@@ -1,0 +1,93 @@
+// Figure 5: linear noise simulation using the transient holding
+// resistance Rtr matches the full nonlinear result closely.
+//
+// Same circuit as Figure 2. The paper reports Rth = 1203 Ohm vs
+// Rtr = 1463 Ohm for its example; the absolute ohms differ here (different
+// technology), but the shape must hold: Rtr > Rth for mid-transition
+// injection, and the Rtr-held linear noise pulse tracks V'n far better
+// than the Thevenin-held one.
+#include <cmath>
+
+#include <iostream>
+#include "bench_util.hpp"
+#include "core/composite_pulse.hpp"
+#include "core/holding_resistance.hpp"
+
+using namespace dn;
+using namespace dn::bench;
+using namespace dn::units;
+
+namespace {
+
+double waveform_rms_error(const Pwl& a, const Pwl& b, double t0, double t1,
+                          double dt) {
+  double acc = 0.0;
+  int n = 0;
+  for (double t = t0; t <= t1; t += dt, ++n) {
+    const double d = a.at(t) - b.at(t);
+    acc += d * d;
+  }
+  return std::sqrt(acc / n);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  (void)argc;
+  (void)argv;
+  print_header(
+      "Figure 5 - linear noise simulation using Rtr vs nonlinear reference",
+      "Rtr > Rth for mid-transition injection, and the Rtr-held noise "
+      "waveform matches the nonlinear V'n far better than Thevenin");
+
+  CoupledNet net = example_coupled_net(1);
+  net.victim.input_slew = 400 * ps;
+  net.aggressors[0].input_slew = 50 * ps;
+
+  SuperpositionEngine eng(net);
+  const double rth = eng.victim_model().model.rth;
+  const auto& vt = eng.victim_transition();
+
+  const double t_tgt = *vt.at_sink.crossing(0.3 * eng.vdd(), true);
+  CompositeAlignment comp = align_aggressor_peaks(eng, rth);
+  std::vector<double> shifts = comp.shifts;
+  for (double& s : shifts) s += t_tgt - comp.params.t_peak;
+
+  const RtrResult r = compute_rtr(eng, shifts);
+  std::printf("Rth = %.0f Ohm   Rtr = %.0f Ohm   (ratio %.2f; paper example: "
+              "1203 -> 1463, ratio 1.22)\n",
+              r.rth, r.rtr, r.rtr / r.rth);
+  std::printf("Rtr iterations: %d (paper: one or two suffice)\n\n",
+              r.iterations);
+
+  // Noise at the victim root with each holding resistance vs V'n.
+  const Pwl noise_rth = eng.composite_noise_at_root(shifts, r.rth);
+  const Pwl noise_rtr = eng.composite_noise_at_root(shifts, r.rtr);
+  const Pwl& noise_nl = r.vn_nonlinear;
+
+  const double t0 = 0.0, t1 = 3 * ns, dt = 5 * ps;
+  const double scale = std::abs(measure_pulse(noise_nl).height);
+  const double err_rth = waveform_rms_error(noise_rth, noise_nl, t0, t1, dt);
+  const double err_rtr = waveform_rms_error(noise_rtr, noise_nl, t0, t1, dt);
+  std::printf("noise-waveform RMS error vs nonlinear (%% of peak):\n");
+  std::printf("  Thevenin Rth held : %.1f%%\n", 100 * err_rth / scale);
+  std::printf("  transient Rtr held: %.1f%%\n\n", 100 * err_rtr / scale);
+
+  Table tbl({"t_ps", "noise_nonlinear_V", "noise_rth_V", "noise_rtr_V"});
+  for (double t = 0.2 * ns; t <= 2.2 * ns; t += 25 * ps)
+    tbl.add_row_values(
+        {t / ps, noise_nl.at(t), noise_rth.at(t), noise_rtr.at(t)});
+  tbl.print(std::cout);
+  std::printf("\nCSV:\n");
+  tbl.print_csv(std::cout);
+  std::printf("\n");
+
+  bool ok = true;
+  ok &= check("Rtr exceeds Rth (weaker holding mid-transition)", r.rtr > r.rth);
+  ok &= check("Rtr-held waveform error < Thevenin-held error",
+              err_rtr < err_rth);
+  ok &= check("Rtr-held RMS error < 15% of the pulse peak",
+              err_rtr < 0.15 * scale);
+  ok &= check("converged in <= 3 iterations", r.iterations <= 3 && r.converged);
+  return ok ? 0 : 1;
+}

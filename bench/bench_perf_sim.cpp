@@ -1,0 +1,79 @@
+// Performance ablation: simulator building blocks — factor-once linear
+// transient vs per-step cost, Newton nonlinear transient, and driver
+// characterization (C-effective + Thevenin fit), the per-net setup cost of
+// the analysis flow.
+#include <benchmark/benchmark.h>
+
+#include "ceff/effective_capacitance.hpp"
+#include "rcnet/random_nets.hpp"
+#include "sim/linear_sim.hpp"
+#include "sim/nonlinear_sim.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace dn;
+using namespace dn::units;
+
+void BM_LinearTransient(benchmark::State& state) {
+  const int segments = static_cast<int>(state.range(0));
+  Circuit ckt;
+  const RcTree line = make_line(segments, 2 * kOhm, 200 * fF);
+  const auto map = line.instantiate(ckt, "n");
+  ckt.add_vsource(map[0], kGround, Pwl::ramp(100 * ps, 200 * ps, 0.0, 1.8));
+  LinearSim sim(ckt);
+  for (auto _ : state) {
+    auto res = sim.run({0.0, 2 * ns, 1 * ps});
+    benchmark::DoNotOptimize(res);
+  }
+}
+
+void BM_NonlinearInverterTransient(benchmark::State& state) {
+  const int segments = static_cast<int>(state.range(0));
+  Circuit ckt;
+  const NodeId vdd = add_vdd(ckt, 1.8);
+  const NodeId in = ckt.node("in");
+  ckt.add_vsource(in, kGround, Pwl::ramp(100 * ps, 200 * ps, 0.0, 1.8));
+  const RcTree line = make_line(segments, 2 * kOhm, 100 * fF);
+  const auto map = line.instantiate(ckt, "n");
+  GateParams g;
+  g.size = 2.0;
+  instantiate_gate(ckt, g, in, map[0], vdd);
+  NonlinearSim sim(ckt);
+  for (auto _ : state) {
+    auto res = sim.run({0.0, 2 * ns, 1 * ps});
+    benchmark::DoNotOptimize(res);
+  }
+}
+
+void BM_TheveninFit(benchmark::State& state) {
+  GateParams g;
+  g.size = 2.0;
+  const Pwl vin = Pwl::ramp(100 * ps, 150 * ps, 0.0, 1.8);
+  for (auto _ : state) {
+    auto fit = fit_thevenin(g, vin, 50 * fF);
+    benchmark::DoNotOptimize(fit);
+  }
+}
+
+void BM_CeffIteration(benchmark::State& state) {
+  GateParams g;
+  g.size = 2.0;
+  const Pwl vin = Pwl::ramp(100 * ps, 150 * ps, 0.0, 1.8);
+  const RcTree line = make_line(10, 2 * kOhm, 100 * fF);
+  for (auto _ : state) {
+    auto r = compute_ceff_for_net(g, vin, line, {}, 5 * fF);
+    benchmark::DoNotOptimize(r);
+  }
+}
+
+BENCHMARK(BM_LinearTransient)->Arg(10)->Arg(40)->Arg(120)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_NonlinearInverterTransient)->Arg(5)->Arg(20)->Arg(60)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TheveninFit)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CeffIteration)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

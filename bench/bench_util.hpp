@@ -1,0 +1,44 @@
+// Shared helpers for the figure-reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/delay_noise.hpp"
+#include "rcnet/random_nets.hpp"
+#include "util/statistics.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace dn::bench {
+
+/// Parses "--nets N" / "--seed S" style integer flags; returns fallback
+/// when absent.
+inline int int_flag(int argc, char** argv, const char* name, int fallback) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], name) == 0) return std::atoi(argv[i + 1]);
+  return fallback;
+}
+
+inline bool has_flag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], name) == 0) return true;
+  return false;
+}
+
+inline void print_header(const char* fig, const char* claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", fig);
+  std::printf("shape criterion: %s\n", claim);
+  std::printf("==============================================================\n\n");
+}
+
+/// PASS/FAIL line for the bench's shape criterion.
+inline bool check(const char* what, bool ok) {
+  std::printf("[%s] %s\n", ok ? "PASS" : "FAIL", what);
+  return ok;
+}
+
+}  // namespace dn::bench

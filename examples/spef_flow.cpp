@@ -1,0 +1,46 @@
+// Parasitics-file flow: write a coupled net to the SPEF-subset format,
+// read it back (as a layout-extraction handoff would), and analyze it.
+// Demonstrates the same round trip a physical-design flow uses between
+// extraction and noise analysis.
+//
+// Usage: spef_flow [file.spef]
+//   With an argument, reads that SPEF file instead of generating one.
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "clarinet/analyzer.hpp"
+#include "rcnet/random_nets.hpp"
+#include "rcnet/spef.hpp"
+#include "util/units.hpp"
+
+using namespace dn;
+using namespace dn::units;
+
+int main(int argc, char** argv) {
+  CoupledNet net;
+  if (argc > 1) {
+    std::printf("reading %s\n", argv[1]);
+    net = read_spef_file(argv[1]);
+  } else {
+    // Generate a parasitic deck from a seeded random net and show it.
+    Rng rng(42);
+    net = random_coupled_net(rng);
+    std::ostringstream deck;
+    write_spef(deck, net, "spef_flow_demo");
+    std::printf("generated SPEF deck:\n%s\n", deck.str().c_str());
+
+    // Round-trip through the parser, as an extraction handoff would.
+    std::istringstream in(deck.str());
+    net = read_spef(in);
+  }
+
+  std::printf("net: victim %d segments, %zu aggressors, %.1f fF coupling\n\n",
+              net.victim.net.num_nodes - 1, net.aggressors.size(),
+              net.total_coupling_cap() / fF);
+
+  NoiseAnalyzer analyzer;
+  const DelayNoiseResult r = analyzer.analyze(net);
+  analyzer.print_report(std::cout, net, r);
+  return 0;
+}

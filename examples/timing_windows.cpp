@@ -1,0 +1,67 @@
+// Timing-window iteration example: crosstalk delay noise inside a small
+// combinational block, with arrival windows constraining the aggressor
+// alignment and the window/noise fixed point iterated to convergence
+// (references [8][9] of the paper).
+//
+// Usage: timing_windows
+#include <cstdio>
+#include <iostream>
+
+#include "rcnet/random_nets.hpp"
+#include "sta/noise_iteration.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace dn;
+using namespace dn::units;
+
+int main() {
+  std::printf("timing-window / delay-noise fixed point on a small block\n\n");
+
+  // A two-stage datapath slice: nets d0/d1 feed s0; control net c runs
+  // alongside d0 (coupled) and also feeds the output stage.
+  TimingGraph g;
+  const int in_d = g.add_primary_input("in_d", 0.0, 60 * ps);
+  const int in_c = g.add_primary_input("in_c", 20 * ps, 180 * ps);
+  const int d0 = g.add_net("d0");
+  const int c = g.add_net("c");
+  const int s0 = g.add_net("s0");
+  g.add_gate(d0, {in_d}, 130 * ps);
+  g.add_gate(c, {in_c}, 70 * ps);
+  g.add_gate(s0, {d0, c}, 95 * ps);
+
+  // d0 is a victim of the control net c.
+  NetCouplingSite site;
+  site.victim_net = d0;
+  site.aggressor_net = c;
+  site.model = example_coupled_net(1);
+
+  NoiseIterationOptions opts;
+  opts.analysis.method = AlignmentMethod::Exhaustive;
+  const NoiseIterationResult r = iterate_windows_with_noise(g, {site}, opts);
+
+  Table hist({"pass", "max_extra_delay_ps"});
+  for (std::size_t i = 0; i < r.max_extra_history.size(); ++i)
+    hist.add_row_values(
+        {static_cast<double>(i + 1), r.max_extra_history[i] / ps});
+  hist.print(std::cout);
+
+  const auto base = g.compute_windows();
+  std::printf("\nfinal arrival windows (ps):\n");
+  Table wt({"net", "early", "late(no noise)", "late(noisy)"});
+  for (int n = 0; n < g.num_nets(); ++n) {
+    const auto i = static_cast<std::size_t>(n);
+    wt.add_row({g.net_name(n), Table::fmt(r.windows.early[i] / ps),
+                Table::fmt(base.late[i] / ps),
+                Table::fmt(r.windows.late[i] / ps)});
+  }
+  wt.print(std::cout);
+  std::printf("\nconverged after %d passes (%s)\n", r.iterations,
+              r.converged ? "stable" : "NOT stable");
+  std::printf("victim d0 extra delay: %.1f ps, propagated to s0: late "
+              "%.1f -> %.1f ps\n",
+              r.extra_delay[static_cast<std::size_t>(d0)] / ps,
+              base.late[static_cast<std::size_t>(s0)] / ps,
+              r.windows.late[static_cast<std::size_t>(s0)] / ps);
+  return 0;
+}

@@ -1,0 +1,89 @@
+#include "ceff/effective_capacitance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/linear_sim.hpp"
+#include "util/numeric.hpp"
+
+namespace dn {
+
+CeffResult compute_ceff(const GateParams& driver, const Pwl& vin,
+                        const LoadBuilder& build_load, double c_total,
+                        const CeffOptions& opts) {
+  if (c_total <= 0.0)
+    throw std::invalid_argument("compute_ceff: c_total must be > 0");
+
+  CeffResult out;
+  double ceff = c_total;
+  TheveninFit fit;
+
+  for (int it = 1; it <= opts.max_iterations; ++it) {
+    out.iterations = it;
+    fit = fit_thevenin(driver, vin, ceff, opts.fit);
+    const TheveninModel& m = fit.model;
+
+    // Linear simulation: Thevenin driver into the real load.
+    Circuit ckt;
+    const NodeId port = build_load(ckt);
+    const NodeId src = ckt.node("thv_src");
+    const double t_stop = vin.t_end() + opts.sim_tail;
+    ckt.add_vsource(src, kGround, m.source(t_stop));
+    ckt.add_resistor(src, port, m.rth);
+
+    LinearSim sim(ckt);
+    const auto res = sim.run({0.0, t_stop, opts.sim_dt});
+    const Pwl v_port = res.waveform(port);
+
+    // Driver-output 50% crossing.
+    const double mid = 0.5 * (m.v_from + m.v_to);
+    const auto t50 = v_port.crossing(mid, m.rising());
+    if (!t50)
+      throw std::runtime_error(
+          "compute_ceff: port never crossed 50% within the horizon");
+
+    // Charge delivered into the load up to t50.
+    const Pwl src_v = m.source(t_stop);
+    const Pwl i = (src_v - v_port).scaled(1.0 / m.rth);
+    const double q = i.clipped(i.t_begin(), *t50).integral();
+
+    // An ideal capacitor charged to half swing holds C * dV/2.
+    const double half_swing = 0.5 * std::abs(m.v_to - m.v_from);
+    double ceff_new = std::abs(q) / half_swing;
+    ceff_new = std::clamp(ceff_new, 1e-18, c_total);
+
+    const double delta = std::abs(ceff_new - ceff) / std::max(ceff, 1e-18);
+    ceff = (1.0 - opts.damping) * ceff + opts.damping * ceff_new;
+    if (delta < opts.rel_tol) {
+      out.converged = true;
+      break;
+    }
+  }
+
+  out.ceff = ceff;
+  out.model = fit.model;
+  return out;
+}
+
+CeffResult compute_ceff_for_net(
+    const GateParams& driver, const Pwl& vin, const RcTree& net,
+    const std::vector<std::pair<int, double>>& extra_node_caps,
+    double sink_pin_cap, const CeffOptions& opts) {
+  double c_total = net.total_cap() + sink_pin_cap;
+  for (const auto& [node, c] : extra_node_caps) c_total += c;
+
+  LoadBuilder builder = [&net, &extra_node_caps, sink_pin_cap](Circuit& ckt) {
+    const auto map = net.instantiate(ckt, "v");
+    for (const auto& [node, c] : extra_node_caps)
+      if (c > 0)
+        ckt.add_capacitor(map[static_cast<std::size_t>(node)], kGround, c);
+    if (sink_pin_cap > 0)
+      ckt.add_capacitor(map[static_cast<std::size_t>(net.sink)], kGround,
+                        sink_pin_cap);
+    return map[0];
+  };
+  return compute_ceff(driver, vin, builder, c_total, opts);
+}
+
+}  // namespace dn

@@ -1,0 +1,132 @@
+#include "ceff/thevenin_table.hpp"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "rcnet/net.hpp"
+#include "util/numeric.hpp"
+
+namespace dn {
+
+TheveninTable TheveninTable::characterize(const GateParams& gate,
+                                          bool output_rising,
+                                          std::vector<double> slews,
+                                          std::vector<double> cloads,
+                                          const TheveninFitOptions& fit) {
+  if (slews.empty() || cloads.empty())
+    throw std::invalid_argument("TheveninTable: empty axes");
+  for (std::size_t i = 1; i < slews.size(); ++i)
+    if (!(slews[i] > slews[i - 1]))
+      throw std::invalid_argument("TheveninTable: slews not increasing");
+  for (std::size_t i = 1; i < cloads.size(); ++i)
+    if (!(cloads[i] > cloads[i - 1]))
+      throw std::invalid_argument("TheveninTable: cloads not increasing");
+
+  TheveninTable tbl;
+  tbl.rising_ = output_rising;
+  tbl.slews_ = std::move(slews);
+  tbl.cloads_ = std::move(cloads);
+  tbl.grid_.reserve(tbl.slews_.size() * tbl.cloads_.size());
+
+  const double t_start = 100e-12;  // Characterization input anchor.
+  for (const double slew : tbl.slews_) {
+    const Pwl vin = driver_input_ramp(gate, slew, output_rising, t_start);
+    for (const double cload : tbl.cloads_) {
+      TheveninModel m = fit_thevenin(gate, vin, cload, fit).model;
+      m.t0 -= t_start;  // Store input-relative timing.
+      tbl.grid_.push_back(m);
+    }
+  }
+  return tbl;
+}
+
+const TheveninModel& TheveninTable::at(std::size_t si, std::size_t ci) const {
+  if (si >= slews_.size() || ci >= cloads_.size())
+    throw std::out_of_range("TheveninTable::at");
+  return grid_[si * cloads_.size() + ci];
+}
+
+TheveninModel TheveninTable::lookup(double input_slew, double cload,
+                                    double t_input_start) const {
+  auto bracket = [](const std::vector<double>& axis, double q, std::size_t* lo,
+                    double* frac) {
+    if (axis.size() == 1 || q <= axis.front()) {
+      *lo = 0;
+      *frac = 0.0;
+      return;
+    }
+    if (q >= axis.back()) {
+      *lo = axis.size() - 2;
+      *frac = 1.0;
+      return;
+    }
+    std::size_t i = 1;
+    while (axis[i] < q) ++i;
+    *lo = i - 1;
+    *frac = (q - axis[i - 1]) / (axis[i] - axis[i - 1]);
+  };
+
+  std::size_t si = 0, ci = 0;
+  double fs = 0.0, fc = 0.0;
+  bracket(slews_, input_slew, &si, &fs);
+  bracket(cloads_, cload, &ci, &fc);
+  const std::size_t si1 = std::min(si + 1, slews_.size() - 1);
+  const std::size_t ci1 = std::min(ci + 1, cloads_.size() - 1);
+
+  auto blend = [&](auto proj) {
+    const double v00 = proj(at(si, ci));
+    const double v01 = proj(at(si, ci1));
+    const double v10 = proj(at(si1, ci));
+    const double v11 = proj(at(si1, ci1));
+    const double v0 = v00 * (1 - fc) + v01 * fc;
+    const double v1 = v10 * (1 - fc) + v11 * fc;
+    return v0 * (1 - fs) + v1 * fs;
+  };
+
+  TheveninModel m = at(si, ci);
+  m.t0 = blend([](const TheveninModel& x) { return x.t0; }) + t_input_start;
+  m.tr = blend([](const TheveninModel& x) { return x.tr; });
+  m.rth = blend([](const TheveninModel& x) { return x.rth; });
+  return m;
+}
+
+void TheveninTable::save(std::ostream& os) const {
+  os.precision(17);
+  os << "dnoise-thevenin-table 1\n";
+  os << (rising_ ? 1 : 0) << '\n';
+  os << slews_.size() << ' ' << cloads_.size() << '\n';
+  for (double s : slews_) os << s << ' ';
+  os << '\n';
+  for (double c : cloads_) os << c << ' ';
+  os << '\n';
+  for (const auto& m : grid_)
+    os << m.t0 << ' ' << m.tr << ' ' << m.rth << ' ' << m.v_from << ' '
+       << m.v_to << '\n';
+}
+
+TheveninTable TheveninTable::load(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  is >> magic >> version;
+  if (magic != "dnoise-thevenin-table" || version != 1)
+    throw std::runtime_error("TheveninTable: unrecognized table file");
+  TheveninTable tbl;
+  int rising = 0;
+  std::size_t ns = 0, nc = 0;
+  is >> rising >> ns >> nc;
+  if (!is || ns == 0 || nc == 0 || ns > 10000 || nc > 10000)
+    throw std::runtime_error("TheveninTable: corrupt header");
+  tbl.rising_ = rising != 0;
+  tbl.slews_.resize(ns);
+  tbl.cloads_.resize(nc);
+  for (auto& s : tbl.slews_) is >> s;
+  for (auto& c : tbl.cloads_) is >> c;
+  tbl.grid_.resize(ns * nc);
+  for (auto& m : tbl.grid_)
+    is >> m.t0 >> m.tr >> m.rth >> m.v_from >> m.v_to;
+  if (!is) throw std::runtime_error("TheveninTable: corrupt table file");
+  return tbl;
+}
+
+}  // namespace dn

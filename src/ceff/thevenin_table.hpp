@@ -1,0 +1,52 @@
+// Pre-characterized Thevenin driver tables.
+//
+// The paper's tool does not fit drivers during analysis: "Thevenin gate
+// model parameters (t0, dt, and Rth) are a function of the effective load
+// that the driver gate sees" and are precharacterized per cell over a
+// (input slew x effective load) grid, then looked up and interpolated.
+// This module provides that table; the on-the-fly fit in ceff/thevenin.*
+// is the characterization engine behind it.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "ceff/thevenin.hpp"
+
+namespace dn {
+
+class TheveninTable {
+ public:
+  /// Characterizes `gate` for transitions in direction `output_rising`
+  /// over the grid (strictly increasing axes). One nonlinear gate
+  /// simulation per grid point.
+  static TheveninTable characterize(const GateParams& gate, bool output_rising,
+                                    std::vector<double> slews,
+                                    std::vector<double> cloads,
+                                    const TheveninFitOptions& fit = {});
+
+  /// Bilinearly interpolated model for (input_slew, cload), with the ramp
+  /// timing re-anchored so the INPUT ramp starts at t_input_start.
+  /// Queries clamp to the characterized grid.
+  TheveninModel lookup(double input_slew, double cload,
+                       double t_input_start) const;
+
+  const std::vector<double>& slews() const { return slews_; }
+  const std::vector<double>& cloads() const { return cloads_; }
+  bool output_rising() const { return rising_; }
+
+  /// Raw grid entry (si-th slew, ci-th load), t0 relative to input start.
+  const TheveninModel& at(std::size_t si, std::size_t ci) const;
+
+  /// Persistence (characterize once per library, reload per session).
+  void save(std::ostream& os) const;
+  static TheveninTable load(std::istream& is);
+
+ private:
+  TheveninTable() = default;
+  std::vector<double> slews_, cloads_;
+  std::vector<TheveninModel> grid_;  // [si * cloads + ci], t0 input-relative.
+  bool rising_ = true;
+};
+
+}  // namespace dn

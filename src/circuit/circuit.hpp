@@ -1,0 +1,95 @@
+// Netlist container: nodes plus R / C / V / I / MOSFET elements.
+//
+// A Circuit is a cheap value type; the superposition flow (core/) builds a
+// fresh Circuit per linear simulation (aggressor switching, victim holding,
+// etc.) instead of mutating one shared instance — that keeps each analysis
+// step auditable and trivially parallelizable.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "devices/mosfet.hpp"
+#include "waveform/pwl.hpp"
+
+namespace dn {
+
+/// Node handle. Node 0 is always ground.
+using NodeId = int;
+inline constexpr NodeId kGround = 0;
+
+struct Resistor {
+  NodeId a = kGround, b = kGround;
+  double r = 0.0;
+};
+
+struct Capacitor {
+  NodeId a = kGround, b = kGround;
+  double c = 0.0;
+};
+
+/// Independent voltage source (pos relative to neg), PWL-valued in time.
+struct VSource {
+  NodeId pos = kGround, neg = kGround;
+  Pwl v;
+};
+
+/// Independent current source injecting i(t) INTO `into` (out of `from`).
+struct ISource {
+  NodeId into = kGround, from = kGround;
+  Pwl i;
+};
+
+struct MosfetInst {
+  NodeId d = kGround, g = kGround, s = kGround;
+  MosfetParams params;
+};
+
+class Circuit {
+ public:
+  Circuit();
+
+  /// Creates a fresh anonymous node.
+  NodeId add_node();
+
+  /// Gets or creates a named node ("0", "gnd", "GND" alias ground).
+  NodeId node(const std::string& name);
+
+  /// Name of a node if it was created via node(); otherwise "n<id>".
+  std::string node_name(NodeId n) const;
+
+  int num_nodes() const { return next_node_; }  // Including ground.
+
+  void add_resistor(NodeId a, NodeId b, double ohms);
+  void add_capacitor(NodeId a, NodeId b, double farads);
+  /// Returns the source index (usable to read its branch current later).
+  int add_vsource(NodeId pos, NodeId neg, Pwl v);
+  void add_isource(NodeId into, NodeId from, Pwl i);
+  void add_mosfet(NodeId d, NodeId g, NodeId s, const MosfetParams& params);
+
+  const std::vector<Resistor>& resistors() const { return resistors_; }
+  const std::vector<Capacitor>& capacitors() const { return capacitors_; }
+  const std::vector<VSource>& vsources() const { return vsources_; }
+  const std::vector<ISource>& isources() const { return isources_; }
+  const std::vector<MosfetInst>& mosfets() const { return mosfets_; }
+
+  bool is_linear() const { return mosfets_.empty(); }
+
+  /// Total capacitance attached to `n` (grounded + coupling), a convenient
+  /// upper bound used to seed C-effective iterations.
+  double total_cap_at(NodeId n) const;
+
+ private:
+  void check_node(NodeId n) const;
+  int next_node_ = 1;  // 0 is ground.
+  std::unordered_map<std::string, NodeId> names_;
+  std::vector<std::string> id_to_name_;
+  std::vector<Resistor> resistors_;
+  std::vector<Capacitor> capacitors_;
+  std::vector<VSource> vsources_;
+  std::vector<ISource> isources_;
+  std::vector<MosfetInst> mosfets_;
+};
+
+}  // namespace dn

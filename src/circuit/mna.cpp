@@ -1,0 +1,106 @@
+#include "circuit/mna.hpp"
+
+#include <stdexcept>
+
+namespace dn {
+
+MnaSystem::MnaSystem(const Circuit& ckt, double gmin)
+    : ckt_(ckt),
+      n_nodes_(ckt.num_nodes()),
+      n_vsrc_(ckt.vsources().size()) {
+  const std::size_t nv = static_cast<std::size_t>(n_nodes_ - 1);
+  const std::size_t dim = nv + n_vsrc_;
+  g_ = Matrix(dim, dim);
+  c_ = Matrix(dim, dim);
+
+  auto idx = [&](NodeId n) -> int {
+    return n == kGround ? -1 : n - 1;  // Ground eliminated.
+  };
+
+  // Conductances.
+  for (const auto& r : ckt.resistors()) {
+    const double gval = 1.0 / r.r;
+    const int ia = idx(r.a), ib = idx(r.b);
+    if (ia >= 0) g_(ia, ia) += gval;
+    if (ib >= 0) g_(ib, ib) += gval;
+    if (ia >= 0 && ib >= 0) {
+      g_(ia, ib) -= gval;
+      g_(ib, ia) -= gval;
+    }
+  }
+  // Capacitances.
+  for (const auto& c : ckt.capacitors()) {
+    const int ia = idx(c.a), ib = idx(c.b);
+    if (ia >= 0) c_(ia, ia) += c.c;
+    if (ib >= 0) c_(ib, ib) += c.c;
+    if (ia >= 0 && ib >= 0) {
+      c_(ia, ib) -= c.c;
+      c_(ib, ia) -= c.c;
+    }
+  }
+  // MOSFET device capacitances are linear and constant: stamp them here so
+  // both simulators share one C matrix.
+  for (const auto& m : ckt.mosfets()) {
+    auto stamp_cap = [&](NodeId a, NodeId b, double cv) {
+      const int ia = idx(a), ib = idx(b);
+      if (ia >= 0) c_(ia, ia) += cv;
+      if (ib >= 0) c_(ib, ib) += cv;
+      if (ia >= 0 && ib >= 0) {
+        c_(ia, ib) -= cv;
+        c_(ib, ia) -= cv;
+      }
+    };
+    stamp_cap(m.g, m.s, m.params.cgs());
+    stamp_cap(m.g, m.d, m.params.cgd());
+    stamp_cap(m.d, kGround, m.params.cdb());
+    stamp_cap(m.s, kGround, m.params.csb());
+  }
+  // Voltage sources: branch current unknowns.
+  for (std::size_t k = 0; k < n_vsrc_; ++k) {
+    const auto& vs = ckt.vsources()[k];
+    const int ip = idx(vs.pos), in = idx(vs.neg);
+    const std::size_t br = nv + k;
+    if (ip >= 0) {
+      g_(ip, br) += 1.0;
+      g_(br, ip) += 1.0;
+    }
+    if (in >= 0) {
+      g_(in, br) -= 1.0;
+      g_(br, in) -= 1.0;
+    }
+  }
+  // Gmin from every node to ground.
+  for (std::size_t i = 0; i < nv; ++i) g_(i, i) += gmin;
+}
+
+Vector MnaSystem::rhs(double t) const {
+  const std::size_t nv = static_cast<std::size_t>(n_nodes_ - 1);
+  Vector b(dim(), 0.0);
+  for (const auto& is : ckt_.isources()) {
+    const double ival = is.i.at(t);
+    if (is.into != kGround) b[static_cast<std::size_t>(is.into - 1)] += ival;
+    if (is.from != kGround) b[static_cast<std::size_t>(is.from - 1)] -= ival;
+  }
+  for (std::size_t k = 0; k < n_vsrc_; ++k)
+    b[nv + k] = ckt_.vsources()[k].v.at(t);
+  return b;
+}
+
+std::size_t MnaSystem::node_index(NodeId n) const {
+  if (n <= kGround || n >= n_nodes_)
+    throw std::invalid_argument("MnaSystem::node_index: bad node");
+  return static_cast<std::size_t>(n - 1);
+}
+
+std::size_t MnaSystem::vsource_index(int k) const {
+  if (k < 0 || static_cast<std::size_t>(k) >= n_vsrc_)
+    throw std::invalid_argument("MnaSystem::vsource_index: bad index");
+  return static_cast<std::size_t>(n_nodes_ - 1) + static_cast<std::size_t>(k);
+}
+
+double MnaSystem::node_voltage(const Vector& x, NodeId n) const {
+  if (n == kGround) return 0.0;
+  return x[node_index(n)];
+}
+
+}  // namespace dn

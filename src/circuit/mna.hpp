@@ -1,0 +1,48 @@
+// Modified nodal analysis assembly.
+//
+// Builds the descriptor system  C x' + G x = b(t)  for a Circuit:
+//   unknowns x = [ v_1 .. v_{N-1} | i_vsrc_0 .. ]   (ground eliminated)
+// Linear R/C/V/I elements are stamped once here; MOSFETs are stamped per
+// Newton iteration by the nonlinear simulator on top of these matrices.
+#pragma once
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "matrix/dense.hpp"
+
+namespace dn {
+
+class MnaSystem {
+ public:
+  /// Assembles the linear part of `ckt`. `gmin` is added from every node to
+  /// ground, regularizing DC solves of capacitively-floating nodes.
+  explicit MnaSystem(const Circuit& ckt, double gmin = 1e-12);
+
+  std::size_t dim() const { return g_.rows(); }
+  std::size_t num_node_vars() const { return n_nodes_ - 1; }
+  std::size_t num_vsources() const { return n_vsrc_; }
+
+  const Matrix& G() const { return g_; }
+  const Matrix& C() const { return c_; }
+
+  /// Right-hand side at time t (independent sources evaluated at t).
+  Vector rhs(double t) const;
+
+  /// Index of node `n` in x (n must not be ground).
+  std::size_t node_index(NodeId n) const;
+
+  /// Index of vsource branch current `k` in x.
+  std::size_t vsource_index(int k) const;
+
+  /// Extracts a node voltage from a solution vector (0 for ground).
+  double node_voltage(const Vector& x, NodeId n) const;
+
+ private:
+  const Circuit& ckt_;
+  int n_nodes_ = 0;
+  std::size_t n_vsrc_ = 0;
+  Matrix g_, c_;
+};
+
+}  // namespace dn

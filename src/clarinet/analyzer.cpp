@@ -1,0 +1,59 @@
+#include "clarinet/analyzer.hpp"
+
+#include <ostream>
+
+#include "util/units.hpp"
+
+namespace dn {
+
+NoiseAnalyzer::NoiseAnalyzer(AnalyzerConfig config)
+    : config_(std::move(config)) {}
+
+const AlignmentTable& NoiseAnalyzer::table_for(const GateParams& receiver,
+                                               bool victim_rising) {
+  const TableKey key{receiver.type, receiver.size, receiver.vdd, victim_rising};
+  const auto it = tables_.find(key);
+  if (it != tables_.end()) return it->second;
+  return tables_
+      .emplace(key, AlignmentTable::characterize(receiver, victim_rising,
+                                                 config_.table_spec))
+      .first->second;
+}
+
+DelayNoiseResult NoiseAnalyzer::analyze(const CoupledNet& net) {
+  SuperpositionEngine eng(net, config_.engine);
+  DelayNoiseOptions opts = config_.analysis;
+  if (config_.use_prediction_tables) {
+    opts.method = AlignmentMethod::Predicted;
+    opts.table = &table_for(net.victim.receiver, net.victim.output_rising);
+  } else {
+    opts.method = AlignmentMethod::Exhaustive;
+    opts.table = nullptr;
+  }
+  return analyze_delay_noise(eng, opts);
+}
+
+void NoiseAnalyzer::print_report(std::ostream& os, const CoupledNet& net,
+                                 const DelayNoiseResult& r) const {
+  using namespace dn::units;
+  os << "delay-noise report\n";
+  os << "  victim: " << gate_type_name(net.victim.driver.type) << "X"
+     << net.victim.driver.size << " driving " << net.victim.net.num_nodes - 1
+     << "-segment net, " << (net.victim.output_rising ? "rising" : "falling")
+     << " transition\n";
+  os << "  aggressors: " << net.aggressors.size() << ", total coupling "
+     << net.total_coupling_cap() / fF << " fF\n";
+  os << "  victim driver: Rth = " << r.rth
+     << " Ohm, transient holding R = " << r.holding_r << " Ohm ("
+     << r.rtr_iterations << " Rtr iterations)\n";
+  os << "  composite noise pulse: height " << r.composite.params.height
+     << " V, width " << r.composite.params.width / ps << " ps\n";
+  os << "  worst-case alignment: pulse peak at " << r.alignment.t_peak / ps
+     << " ps (alignment voltage " << r.alignment.align_voltage << " V)\n";
+  os << "  interconnect delay noise: " << r.input_delay_noise() / ps
+     << " ps\n";
+  os << "  combined (receiver output) delay noise: " << r.delay_noise() / ps
+     << " ps\n";
+}
+
+}  // namespace dn

@@ -1,0 +1,51 @@
+// NoiseAnalyzer: the one-call "ClariNet" front end.
+//
+// Wraps the full paper flow behind a single analyze() entry point:
+// driver characterization, transient-holding-resistance iteration, and
+// worst-case alignment via per-receiver-type 8-point tables that are
+// characterized on first use and cached — mirroring how the industrial
+// tool pre-characterizes each library gate once and reuses the table for
+// every instantiation.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <tuple>
+
+#include "core/delay_noise.hpp"
+
+namespace dn {
+
+struct AnalyzerConfig {
+  SuperpositionOptions engine{};
+  DelayNoiseOptions analysis{};       // analysis.table is managed internally.
+  AlignmentTableSpec table_spec{};
+  bool use_prediction_tables = true;  // false: exhaustive alignment search.
+};
+
+class NoiseAnalyzer {
+ public:
+  explicit NoiseAnalyzer(AnalyzerConfig config = {});
+
+  /// Full delay-noise analysis of one coupled net.
+  DelayNoiseResult analyze(const CoupledNet& net);
+
+  /// The cached 8-point table for a receiver type/size and victim
+  /// direction (characterizing it on first use).
+  const AlignmentTable& table_for(const GateParams& receiver,
+                                  bool victim_rising);
+
+  /// Number of distinct receiver conditions characterized so far.
+  std::size_t tables_cached() const { return tables_.size(); }
+
+  /// Human-readable per-net report.
+  void print_report(std::ostream& os, const CoupledNet& net,
+                    const DelayNoiseResult& r) const;
+
+ private:
+  AnalyzerConfig config_;
+  using TableKey = std::tuple<GateType, double, double, bool>;
+  std::map<TableKey, AlignmentTable> tables_;
+};
+
+}  // namespace dn

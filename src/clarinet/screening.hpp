@@ -1,0 +1,31 @@
+// Crosstalk net screening: cheap per-net noise severity estimates used to
+// order/filter nets before the expensive full analysis (the role Elmore-
+// based metrics play in crosstalk net sorting; cf. Guardiani et al.).
+//
+// Estimate: victim-held RC divider peak of the composite coupling charge
+//   vn_est ~ Vdd * Cc / (Cc + Cv + Cdrv_hold)  scaled by the ratio of the
+//   aggressor edge rate to the victim's holding time constant,
+// and a delay-noise proxy  dN_est ~ vn_est * slew_at_sink / Vdd,
+// both computable from moments only (no simulation).
+#pragma once
+
+#include <vector>
+
+#include "rcnet/net.hpp"
+
+namespace dn {
+
+struct ScreeningEstimate {
+  double vn_est = 0.0;    // Estimated composite noise peak [V].
+  double dn_est = 0.0;    // Estimated delay noise [s].
+  double victim_tau = 0.0;  // Holding time constant proxy [s].
+};
+
+/// Moment-level estimate for one coupled net (microseconds of work, no
+/// transient simulation).
+ScreeningEstimate screen_net(const CoupledNet& net);
+
+/// Indices of `nets` ordered most-severe-first by dn_est.
+std::vector<std::size_t> rank_by_severity(const std::vector<CoupledNet>& nets);
+
+}  // namespace dn

@@ -1,0 +1,203 @@
+#include "core/alignment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/numeric.hpp"
+
+namespace dn {
+
+ReceiverEval evaluate_receiver(const GateParams& receiver, const Pwl& vin,
+                               double cload, bool input_rising, double dt) {
+  const bool out_rising =
+      gate_inverts(receiver.type) ? !input_rising : input_rising;
+  // Horizon: input end plus a settling tail sized to the load.
+  const double tail = 2e-9 + 200.0 * receiver.vdd * cload;  // Heuristic, generous.
+  const TransientSpec spec{0.0, vin.t_end() + tail, dt};
+  ReceiverEval ev;
+  ev.output = simulate_gate(receiver, vin, cload, spec);
+
+  const double mid = 0.5 * receiver.vdd;
+  const auto t50 = ev.output.last_crossing(mid, out_rising);
+  if (!t50)
+    throw std::runtime_error(
+        "evaluate_receiver: output never completed its transition");
+  ev.t_out_50 = *t50;
+
+  // Residual noise at the output: the largest REVERSE excursion after the
+  // final crossing — how far the output bounces back against its settling
+  // direction (a slow but monotonic settle scores zero). This is the
+  // "noise pulse at the receiver output" the paper checks stays <100 mV.
+  double reverse = 0.0;
+  const auto times = ev.output.times();
+  const auto vals = ev.output.values();
+  double extreme = out_rising ? -1e300 : 1e300;
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    if (times[i] < *t50) continue;
+    if (out_rising) {
+      extreme = std::max(extreme, vals[i]);
+      reverse = std::max(reverse, extreme - vals[i]);
+    } else {
+      extreme = std::min(extreme, vals[i]);
+      reverse = std::max(reverse, vals[i] - extreme);
+    }
+  }
+  ev.out_noise_peak = reverse;
+  return ev;
+}
+
+Pwl shift_pulse_peak_to(const Pwl& composite, double t_target,
+                        double* shift_out) {
+  const PulseParams p = measure_pulse(composite);
+  const double shift = t_target - p.t_peak;
+  if (shift_out) *shift_out = shift;
+  return composite.shifted(shift);
+}
+
+namespace {
+
+/// Receiver-output crossing for the pulse peak placed at `t_peak`.
+double delay_for_peak_at(const Pwl& noiseless_sink, const Pwl& composite,
+                         const GateParams& receiver, double rcv_load,
+                         bool victim_rising, double t_peak, double dt) {
+  const Pwl noisy = noiseless_sink + shift_pulse_peak_to(composite, t_peak,
+                                                          nullptr);
+  return evaluate_receiver(receiver, noisy, rcv_load, victim_rising, dt)
+      .t_out_50;
+}
+
+}  // namespace
+
+namespace {
+
+AlignmentResult exhaustive_extremum_alignment(
+    const Pwl& noiseless_sink, const Pwl& composite, const GateParams& receiver,
+    double rcv_load, bool victim_rising, const AlignmentSearchOptions& opts,
+    bool maximize) {
+  const PulseParams pulse = measure_pulse(composite);
+  const auto t50 = noiseless_sink.crossing(0.5 * receiver.vdd, victim_rising);
+  if (!t50)
+    throw std::runtime_error(
+        "exhaustive alignment: noiseless transition has no 50% crossing");
+
+  const auto slew10_90 = noiseless_sink.slew(
+      victim_rising ? noiseless_sink.min_value() : noiseless_sink.max_value(),
+      victim_rising ? noiseless_sink.max_value() : noiseless_sink.min_value());
+  const double slew = slew10_90 ? *slew10_90 / 0.8 : 200e-12;
+
+  double before = opts.span_before, after = opts.span_after;
+  if (before <= 0) before = slew + pulse.width + 100e-12;
+  if (after <= 0) after = slew + pulse.width + 100e-12;
+  double lo = *t50 - before, hi = *t50 + after;
+  if (opts.has_window()) {
+    lo = std::max(lo, opts.window_min);
+    hi = std::min(hi, opts.window_max);
+    if (!(hi > lo)) {
+      lo = opts.window_min;
+      hi = opts.window_max;
+    }
+    if (hi <= lo) hi = lo + 1e-15;
+  }
+
+  const double sign = maximize ? 1.0 : -1.0;
+  auto eval = [&](double t_peak) {
+    return sign * delay_for_peak_at(noiseless_sink, composite, receiver,
+                                    rcv_load, victim_rising, t_peak, opts.dt);
+  };
+
+  // Coarse sweep.
+  const auto coarse = linspace(lo, hi, std::max(opts.coarse_points, 5));
+  double best_t = coarse.front();
+  double best_d = -1e300;
+  for (double t : coarse) {
+    const double d = eval(t);
+    if (d > best_d) {
+      best_d = d;
+      best_t = t;
+    }
+  }
+  // Fine sweep around the best coarse point (+- one coarse step),
+  // respecting the window.
+  const double step = coarse[1] - coarse[0];
+  double flo = best_t - step, fhi = best_t + step;
+  if (opts.has_window()) {
+    flo = std::max(flo, opts.window_min);
+    fhi = std::min(fhi, opts.window_max);
+    if (!(fhi > flo)) fhi = flo + 1e-15;
+  }
+  const auto fine = linspace(flo, fhi, std::max(opts.fine_points, 5));
+  for (double t : fine) {
+    const double d = eval(t);
+    if (d > best_d) {
+      best_d = d;
+      best_t = t;
+    }
+  }
+
+  AlignmentResult out;
+  out.t_peak = best_t;
+  out.shift = best_t - pulse.t_peak;
+  out.align_voltage = noiseless_sink.at(best_t);
+  out.t_out_50 = sign * best_d;
+  return out;
+}
+
+}  // namespace
+
+AlignmentResult exhaustive_worst_alignment(const Pwl& noiseless_sink,
+                                           const Pwl& composite,
+                                           const GateParams& receiver,
+                                           double rcv_load, bool victim_rising,
+                                           const AlignmentSearchOptions& opts) {
+  return exhaustive_extremum_alignment(noiseless_sink, composite, receiver,
+                                       rcv_load, victim_rising, opts,
+                                       /*maximize=*/true);
+}
+
+AlignmentResult exhaustive_speedup_alignment(const Pwl& noiseless_sink,
+                                             const Pwl& composite,
+                                             const GateParams& receiver,
+                                             double rcv_load,
+                                             bool victim_rising,
+                                             const AlignmentSearchOptions& opts) {
+  return exhaustive_extremum_alignment(noiseless_sink, composite, receiver,
+                                       rcv_load, victim_rising, opts,
+                                       /*maximize=*/false);
+}
+
+AlignmentResult receiver_input_peak_alignment(
+    const Pwl& noiseless_sink, const Pwl& composite, const GateParams& receiver,
+    double rcv_load, bool victim_rising, const AlignmentSearchOptions& opts) {
+  const double dt = opts.dt;
+  const PulseParams pulse = measure_pulse(composite);
+  const double vdd = receiver.vdd;
+  const double vn = std::abs(pulse.height);
+  // Rising victim: peak where the noiseless transition reaches Vdd/2 + Vn,
+  // clamped into the reachable range. Mirrored for a falling victim.
+  double level = victim_rising ? 0.5 * vdd + vn : 0.5 * vdd - vn;
+  level = std::clamp(level, 0.02 * vdd, 0.98 * vdd);
+  if (victim_rising)
+    level = std::min(level, noiseless_sink.max_value() - 0.01 * vdd);
+  else
+    level = std::max(level, noiseless_sink.min_value() + 0.01 * vdd);
+
+  const auto t_level = noiseless_sink.crossing(level, victim_rising);
+  if (!t_level)
+    throw std::runtime_error(
+        "receiver_input_peak_alignment: level never crossed");
+
+  double t_peak = *t_level;
+  if (opts.has_window())
+    t_peak = std::clamp(t_peak, opts.window_min, opts.window_max);
+
+  AlignmentResult out;
+  out.t_peak = t_peak;
+  out.shift = t_peak - pulse.t_peak;
+  out.align_voltage = noiseless_sink.at(t_peak);
+  out.t_out_50 = delay_for_peak_at(noiseless_sink, composite, receiver,
+                                   rcv_load, victim_rising, t_peak, dt);
+  return out;
+}
+
+}  // namespace dn

@@ -1,0 +1,90 @@
+// Alignment of the composite noise pulse vs the victim transition
+// (paper Section 3.2) — evaluation primitives and the two search-based
+// methods. The 8-point pre-characterization predictor lives in
+// core/alignment_table.hpp.
+#pragma once
+
+#include <optional>
+
+#include "devices/gate.hpp"
+#include "waveform/pulse.hpp"
+
+namespace dn {
+
+/// Receiver evaluation of a (possibly noisy) input waveform: one nonlinear
+/// simulation of the receiver gate into `cload`.
+struct ReceiverEval {
+  double t_out_50 = 0.0;   // Final 50%-Vdd crossing time at the output [s].
+  double out_noise_peak = 0.0;  // Residual noise peak at the output [V].
+  Pwl output;
+};
+
+/// `input_rising` is the direction of the victim transition at the
+/// receiver input; the output crossing is measured in the corresponding
+/// output direction (inverted for inverting receivers). Throws if the
+/// output never completes its transition.
+ReceiverEval evaluate_receiver(const GateParams& receiver, const Pwl& vin,
+                               double cload, bool input_rising,
+                               double dt = 1e-12);
+
+/// Result of choosing a composite-pulse alignment.
+struct AlignmentResult {
+  double shift = 0.0;        // Time shift applied to the composite pulse.
+  double t_peak = 0.0;       // Pulse peak time after the shift.
+  double align_voltage = 0.0;  // Noiseless victim value at t_peak.
+  double t_out_50 = 0.0;     // Receiver-output 50% crossing with this shift.
+};
+
+struct AlignmentSearchOptions {
+  int coarse_points = 33;
+  int fine_points = 17;
+  double dt = 1e-12;
+  /// Search window for the pulse peak, centered on the noiseless 50%
+  /// crossing at the sink: [t50 - span_before, t50 + span_after]. When
+  /// zero, spans are auto-derived from the victim slew and pulse width.
+  double span_before = 0.0;
+  double span_after = 0.0;
+  /// Timing-window constraint on the pulse peak time (absolute). During
+  /// the window/noise fix-point iteration of [8][9], the aggressors may
+  /// only switch within their arrival windows; this clamps every
+  /// alignment method to [window_min, window_max]. Unconstrained when
+  /// window_min > window_max (the default).
+  double window_min = 1.0;
+  double window_max = 0.0;
+  bool has_window() const { return window_max >= window_min; }
+};
+
+/// Exhaustive worst-case alignment against the RECEIVER OUTPUT delay (the
+/// paper's objective): sweeps the composite-pulse position, evaluating the
+/// nonlinear receiver each time, and refines around the worst coarse point.
+AlignmentResult exhaustive_worst_alignment(const Pwl& noiseless_sink,
+                                           const Pwl& composite,
+                                           const GateParams& receiver,
+                                           double rcv_load, bool victim_rising,
+                                           const AlignmentSearchOptions& opts = {});
+
+/// Best-case (speed-up) alignment: aggressors switching WITH the victim
+/// inject aiding noise that DECREASES its delay (the other half of the
+/// paper's "its delay can either increase or decrease"). Sweeps the same
+/// space but minimizes the receiver-output crossing — the bound needed for
+/// early-arrival (hold) analysis.
+AlignmentResult exhaustive_speedup_alignment(const Pwl& noiseless_sink,
+                                             const Pwl& composite,
+                                             const GateParams& receiver,
+                                             double rcv_load,
+                                             bool victim_rising,
+                                             const AlignmentSearchOptions& opts = {});
+
+/// Method of [5]: maximize the RECEIVER INPUT (interconnect) delay by
+/// placing the pulse peak where the noiseless transition crosses
+/// Vdd/2 + Vn (rising victim; mirrored when falling). The receiver is then
+/// evaluated once at that alignment for comparison.
+AlignmentResult receiver_input_peak_alignment(
+    const Pwl& noiseless_sink, const Pwl& composite, const GateParams& receiver,
+    double rcv_load, bool victim_rising,
+    const AlignmentSearchOptions& opts = {});
+
+/// Helper: shift `composite` so its measured peak lands at `t_target`.
+Pwl shift_pulse_peak_to(const Pwl& composite, double t_target, double* shift_out);
+
+}  // namespace dn

@@ -1,0 +1,141 @@
+#include "core/delay_noise.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dn {
+
+const char* alignment_method_name(AlignmentMethod m) {
+  switch (m) {
+    case AlignmentMethod::Predicted: return "predicted(8pt)";
+    case AlignmentMethod::Exhaustive: return "exhaustive";
+    case AlignmentMethod::ReceiverInputPeak: return "receiver-input[5]";
+  }
+  return "?";
+}
+
+namespace {
+
+AlignmentResult choose_alignment(const DelayNoiseOptions& opts,
+                                 const Pwl& noiseless_sink, const Pwl& composite,
+                                 const GateParams& receiver, double rcv_load,
+                                 bool rising) {
+  switch (opts.method) {
+    case AlignmentMethod::Exhaustive:
+      return exhaustive_worst_alignment(noiseless_sink, composite, receiver,
+                                        rcv_load, rising, opts.search);
+    case AlignmentMethod::ReceiverInputPeak:
+      return receiver_input_peak_alignment(noiseless_sink, composite, receiver,
+                                           rcv_load, rising, opts.search);
+    case AlignmentMethod::Predicted: {
+      if (!opts.table)
+        throw std::invalid_argument(
+            "analyze_delay_noise: Predicted method needs an AlignmentTable");
+      const PulseParams p = measure_pulse(composite);
+      double t_pred =
+          opts.table->predict_peak_time(noiseless_sink, measure_pulse(composite));
+      // Guard candidate: the 50% crossing. For pulses near the functional-
+      // noise boundary, the min-load table can predict an alignment so
+      // late that a loaded receiver filters the noise entirely (the
+      // Figure 3 failure mode); mid-transition is always a safe fallback,
+      // and evaluating it costs one extra receiver simulation.
+      double t_mid = noiseless_sink.crossing(0.5 * receiver.vdd, rising)
+                         .value_or(t_pred);
+      if (opts.search.has_window()) {
+        t_pred = std::clamp(t_pred, opts.search.window_min,
+                            opts.search.window_max);
+        t_mid = std::clamp(t_mid, opts.search.window_min,
+                           opts.search.window_max);
+      }
+      AlignmentResult best;
+      best.t_out_50 = -1e300;
+      for (const double t_peak : {t_pred, t_mid}) {
+        AlignmentResult r;
+        r.t_peak = t_peak;
+        r.shift = t_peak - p.t_peak;
+        r.align_voltage = noiseless_sink.at(t_peak);
+        const Pwl noisy = noiseless_sink + composite.shifted(r.shift);
+        r.t_out_50 =
+            evaluate_receiver(receiver, noisy, rcv_load, rising,
+                              opts.search.dt)
+                .t_out_50;
+        if (r.t_out_50 > best.t_out_50) best = r;
+      }
+      return best;
+    }
+  }
+  throw std::invalid_argument("analyze_delay_noise: unknown method");
+}
+
+}  // namespace
+
+DelayNoiseResult analyze_delay_noise(const SuperpositionEngine& eng,
+                                     const DelayNoiseOptions& opts) {
+  const CoupledNet& net = eng.net();
+  if (net.aggressors.empty())
+    throw std::invalid_argument("analyze_delay_noise: net has no aggressors");
+
+  DelayNoiseResult out;
+  out.rth = eng.victim_model().model.rth;
+  out.holding_r = out.rth;
+
+  const auto& vt = eng.victim_transition();
+  out.noiseless_sink = vt.at_sink;
+  const bool rising = net.victim.output_rising;
+  const GateParams& rcv = net.victim.receiver;
+  const double rcv_load = net.victim.receiver_load;
+  const double vdd = eng.vdd();
+
+  // Fix-point between the linear victim model and the alignment.
+  const int iters = std::max(opts.model_alignment_iterations, 1);
+  for (int pass = 0; pass < iters; ++pass) {
+    out.composite = align_aggressor_peaks(eng, out.holding_r);
+    out.alignment = choose_alignment(opts, out.noiseless_sink,
+                                     out.composite.at_sink, rcv, rcv_load,
+                                     rising);
+    if (!opts.use_transient_holding) break;
+    std::vector<double> shifts = out.composite.shifts;
+    for (double& s : shifts) s += out.alignment.shift;
+    const RtrResult rtr = compute_rtr(eng, shifts, opts.rtr);
+    out.rtr_iterations = rtr.iterations;  // Cost of the latest extraction.
+    if (pass + 1 < iters) {
+      out.holding_r = rtr.rtr;
+    } else {
+      // Final pass keeps the composite/alignment consistent with the last
+      // holding resistance actually simulated.
+      out.holding_r = rtr.rtr;
+      out.composite = align_aggressor_peaks(eng, out.holding_r);
+      out.alignment = choose_alignment(opts, out.noiseless_sink,
+                                       out.composite.at_sink, rcv, rcv_load,
+                                       rising);
+    }
+  }
+
+  out.noisy_sink =
+      out.noiseless_sink + out.composite.at_sink.shifted(out.alignment.shift);
+
+  // Combined (receiver-output) delays.
+  out.nominal_t50 =
+      evaluate_receiver(rcv, out.noiseless_sink, rcv_load, rising,
+                        opts.search.dt)
+          .t_out_50;
+  out.noisy_t50 = out.alignment.t_out_50;
+
+  // Interconnect-only (receiver-input) delays.
+  const double mid = 0.5 * vdd;
+  const auto tn = out.noiseless_sink.crossing(mid, rising);
+  const auto tz = out.noisy_sink.last_crossing(mid, rising);
+  if (!tn || !tz)
+    throw std::runtime_error("analyze_delay_noise: missing 50% crossings");
+  out.nominal_input_t50 = *tn;
+  out.noisy_input_t50 = *tz;
+  return out;
+}
+
+std::vector<double> absolute_shifts(const DelayNoiseResult& r) {
+  std::vector<double> shifts = r.composite.shifts;
+  for (double& s : shifts) s += r.alignment.shift;
+  return shifts;
+}
+
+}  // namespace dn

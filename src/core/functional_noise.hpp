@@ -1,0 +1,39 @@
+// Functional noise analysis (the sibling of delay noise; paper Section 1:
+// "If the victim net is stable when the aggressors switch, the resulting
+// noise pulse can cause a functional failure").
+//
+// A quiet victim is held far more strongly than the transition-aggregate
+// Rth suggests (its driver sits in deep triode at the rail), so the
+// holding resistance comes from the same area-matching construction used
+// for Rtr, probed at the quiet state. The aggressor pulses are then
+// peak-aligned (worst case for a static victim) and the receiver's output
+// disturbance is checked against a noise margin — the paper's Figure 3
+// remark uses 100 mV as the "not a functional failure" bound.
+#pragma once
+
+#include "core/superposition.hpp"
+
+namespace dn {
+
+struct FunctionalNoiseOptions {
+  double margin = 0.1;  // Receiver-output failure threshold [V].
+};
+
+struct FunctionalNoiseResult {
+  bool victim_quiet_high = true;  // The analyzed quiet state.
+  double holding_r = 0.0;         // Quiet-state holding resistance [Ohm].
+  double rth = 0.0;               // Transition-aggregate Rth, for contrast.
+  double input_peak = 0.0;        // |composite| peak at the victim sink [V].
+  double output_peak = 0.0;       // Receiver-output disturbance peak [V].
+  bool failure = false;           // output_peak > margin.
+  Pwl sink_noise;                 // Composite noise at the sink.
+  Pwl receiver_output;            // Receiver output (absolute levels).
+};
+
+/// Analyzes the quiet victim state that the engine's aggressors attack
+/// (aggressors falling -> quiet-high victim at risk, and vice versa).
+/// Multi-directional aggressor sets analyze the majority direction.
+FunctionalNoiseResult analyze_functional_noise(
+    const SuperpositionEngine& eng, const FunctionalNoiseOptions& opts = {});
+
+}  // namespace dn

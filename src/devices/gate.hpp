@@ -1,0 +1,66 @@
+// CMOS gate primitives built from MOSFETs.
+//
+// Drivers and receivers in the delay-noise flow are instances of these
+// gates. A Gate is a pure description (type + sizing + process); helpers
+// instantiate its transistors into a Circuit, or run the small canonical
+// single-gate simulations the characterization steps need (gate into a
+// lumped load, with or without an injected noise current — paper Figure 4).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "circuit/circuit.hpp"
+#include "sim/transient.hpp"
+
+namespace dn {
+
+enum class GateType { Inverter, Buffer, Nand2, Nor2 };
+
+/// True when the gate's output transition direction is opposite its input's.
+bool gate_inverts(GateType t);
+
+const char* gate_type_name(GateType t);
+
+/// Gate description: type, drive strength, and process parameters.
+struct GateParams {
+  GateType type = GateType::Inverter;
+  double size = 1.0;        // Drive-strength multiplier (X1, X2, ...).
+  double vdd = 1.8;         // Supply [V].
+  double wn_unit = 1.0e-6;  // X1 NMOS width [m].
+  double wp_unit = 2.0e-6;  // X1 PMOS width [m].
+  MosfetParams nmos_proto{};  // type/w overridden per device.
+  MosfetParams pmos_proto{MosType::Pmos, 1e-6, 0.18e-6, 0.45, 60e-6, 0.08,
+                          1.2e-9, 0.9e-9};
+
+  double wn() const { return wn_unit * size; }
+  double wp() const { return wp_unit * size; }
+
+  /// Input pin capacitance (gate caps of the devices on one input pin).
+  double input_cap() const;
+
+  /// Parasitic output capacitance (drain junctions on the output node).
+  double output_parasitic_cap() const;
+};
+
+/// Adds the gate's transistors to `ckt` between `in` and `out`; `vdd_node`
+/// must carry the supply. Unused side inputs of NAND2/NOR2 are tied to
+/// their non-controlling values, so the gate behaves as a (possibly
+/// inverting) single-input driver along the sensitized path.
+void instantiate_gate(Circuit& ckt, const GateParams& gate, NodeId in,
+                      NodeId out, NodeId vdd_node);
+
+/// Creates a "vdd" node with an ideal supply source and returns it.
+NodeId add_vdd(Circuit& ckt, double vdd);
+
+/// Simulates the gate driving a lumped capacitor `cload` with input `vin`.
+/// If `inject` is provided, that current is additionally pushed into the
+/// output node (paper Figure 4(b)). Returns the output waveform.
+Pwl simulate_gate(const GateParams& gate, const Pwl& vin, double cload,
+                  const TransientSpec& spec,
+                  const std::optional<Pwl>& inject = std::nullopt);
+
+/// Initial output level (t -> -inf) for a given initial input level.
+double gate_initial_output(const GateParams& gate, double vin_initial);
+
+}  // namespace dn

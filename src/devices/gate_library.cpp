@@ -1,0 +1,60 @@
+#include "devices/gate_library.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dn {
+
+GateLibrary GateLibrary::standard(double vdd) {
+  GateLibrary lib;
+  const struct {
+    GateType type;
+    const char* base;
+  } kinds[] = {
+      {GateType::Inverter, "INV"},
+      {GateType::Buffer, "BUF"},
+      {GateType::Nand2, "NAND2"},
+      {GateType::Nor2, "NOR2"},
+  };
+  for (const auto& k : kinds) {
+    for (double size : {1.0, 2.0, 4.0, 8.0}) {
+      GateParams g;
+      g.type = k.type;
+      g.size = size;
+      g.vdd = vdd;
+      lib.add(std::string(k.base) + "X" + std::to_string(static_cast<int>(size)),
+              g);
+    }
+  }
+  return lib;
+}
+
+void GateLibrary::add(const std::string& name, const GateParams& params) {
+  for (auto& [n, p] : cells_) {
+    if (n == name) {
+      p = params;
+      return;
+    }
+  }
+  cells_.emplace_back(name, params);
+}
+
+const GateParams& GateLibrary::cell(const std::string& name) const {
+  for (const auto& [n, p] : cells_)
+    if (n == name) return p;
+  throw std::out_of_range("GateLibrary: unknown cell '" + name + "'");
+}
+
+bool GateLibrary::has(const std::string& name) const {
+  return std::any_of(cells_.begin(), cells_.end(),
+                     [&](const auto& kv) { return kv.first == name; });
+}
+
+std::vector<std::string> GateLibrary::names() const {
+  std::vector<std::string> out;
+  out.reserve(cells_.size());
+  for (const auto& [n, p] : cells_) out.push_back(n);
+  return out;
+}
+
+}  // namespace dn

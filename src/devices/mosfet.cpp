@@ -1,0 +1,79 @@
+#include "devices/mosfet.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dn {
+
+namespace {
+
+// Core NMOS-convention evaluation assuming vds >= 0.
+// Returns id(vgs, vds) plus d(id)/d(vgs) and d(id)/d(vds).
+struct CoreEval {
+  double id, dgs, dds;
+};
+
+CoreEval nmos_core(const MosfetParams& p, double vgs, double vds) {
+  const double beta = p.kp * p.w / p.l;
+  const double vov = vgs - p.vt;
+  if (vov <= 0.0) {
+    // Cutoff. A tiny leakage conductance keeps Newton matrices regular
+    // when a node hangs only on off devices.
+    constexpr double kGleak = 1e-12;
+    return {kGleak * vds, 0.0, kGleak};
+  }
+  const double clm = 1.0 + p.lambda * vds;
+  if (vds < vov) {
+    // Triode region.
+    const double id = beta * (vov * vds - 0.5 * vds * vds) * clm;
+    const double dgs = beta * vds * clm;
+    const double dds = beta * ((vov - vds) * clm +
+                               (vov * vds - 0.5 * vds * vds) * p.lambda);
+    return {id, dgs, dds};
+  }
+  // Saturation.
+  const double id = 0.5 * beta * vov * vov * clm;
+  const double dgs = beta * vov * clm;
+  const double dds = 0.5 * beta * vov * vov * p.lambda;
+  return {id, dgs, dds};
+}
+
+}  // namespace
+
+MosfetEval mosfet_eval(const MosfetParams& p, double vd, double vg, double vs) {
+  MosfetEval out;
+  if (p.type == MosType::Nmos) {
+    if (vd >= vs) {
+      const CoreEval e = nmos_core(p, vg - vs, vd - vs);
+      out.id = e.id;
+      out.gm = e.dgs;
+      out.gds = e.dds;
+    } else {
+      // Swapped operation: physical source is the 'drain' terminal.
+      const CoreEval e = nmos_core(p, vg - vd, vs - vd);
+      // id(drain->source) = -e.id; vgs_eff = vg - vd, vds_eff = vs - vd.
+      out.id = -e.id;
+      out.gm = -e.dgs;
+      // dId/dVd = -(d(-e.id)... work it out: Id = -f(vg-vd, vs-vd)
+      //   dId/dVd = +df/dvgs + df/dvds = e.dgs + e.dds
+      out.gds = e.dgs + e.dds;
+      // Check consistency: dId/dVs must equal -(gm+gds) = -(e.dds), and
+      // indeed d(-f(vg-vd, vs-vd))/dvs = -e.dds.
+    }
+  } else {
+    // PMOS: evaluate the mirrored NMOS with all polarities flipped.
+    // Let id_n(vd', vg', vs') with vX' = -vX; then Id_p(d->s) = -id_n.
+    MosfetParams np = p;
+    np.type = MosType::Nmos;
+    const MosfetEval n = mosfet_eval(np, -vd, -vg, -vs);
+    out.id = -n.id;
+    // dId_p/dVg = -d id_n/dVg' * dVg'/dVg = -n.gm * (-1) = n.gm... careful:
+    // Id_p(vd,vg,vs) = -Id_n(-vd,-vg,-vs)
+    //   dId_p/dVg = -(dId_n/dVg')( -1 ) = dId_n/dVg' = n.gm
+    out.gm = n.gm;
+    out.gds = n.gds;
+  }
+  return out;
+}
+
+}  // namespace dn

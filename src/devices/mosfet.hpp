@@ -1,0 +1,49 @@
+// Square-law (SPICE level-1 style) MOSFET model.
+//
+// The paper's driver-modeling contribution hinges on one physical fact:
+// the small-signal conductance of a CMOS driver varies dramatically over a
+// transition, so a single aggregate Thevenin resistance misrepresents the
+// driver while a short noise pulse is being injected. A level-1 square-law
+// model with channel-length modulation reproduces exactly that behaviour;
+// second-order effects (velocity saturation, body effect) change numbers,
+// not the shape of the phenomenon. Device capacitances are modeled as
+// fixed linear caps (Cgs/Cgd/Cdb/Csb), which keeps the MNA C matrix
+// constant while still giving the Miller coupling that makes the problem
+// interesting.
+#pragma once
+
+namespace dn {
+
+enum class MosType { Nmos, Pmos };
+
+/// Process + geometry parameters for one device. Defaults approximate a
+/// generic 0.18 um process at Vdd = 1.8 V (the paper's era).
+struct MosfetParams {
+  MosType type = MosType::Nmos;
+  double w = 1.0e-6;       // Channel width [m].
+  double l = 0.18e-6;      // Channel length [m].
+  double vt = 0.45;        // |Threshold| [V].
+  double kp = 170e-6;      // Transconductance k' = mu*Cox [A/V^2].
+  double lambda = 0.08;    // Channel-length modulation [1/V].
+  double cg_per_m = 1.2e-9;   // Gate cap per meter of width [F/m] (~1.2 fF/um).
+  double cj_per_m = 0.9e-9;   // Drain/source junction cap per meter [F/m].
+
+  double cgs() const { return 0.5 * cg_per_m * w; }
+  double cgd() const { return 0.5 * cg_per_m * w; }
+  double cdb() const { return cj_per_m * w; }
+  double csb() const { return cj_per_m * w; }
+};
+
+/// Large-signal evaluation result: drain current (drain -> source through
+/// the channel) and its partial derivatives w.r.t. terminal voltages.
+struct MosfetEval {
+  double id = 0.0;   // I(drain->source) [A].
+  double gm = 0.0;   // dId/dVg.
+  double gds = 0.0;  // dId/dVd.  (dId/dVs = -(gm + gds).)
+};
+
+/// Evaluates the device at terminal voltages (vd, vg, vs), handling
+/// source/drain swap so the model is symmetric, as a real device is.
+MosfetEval mosfet_eval(const MosfetParams& p, double vd, double vg, double vs);
+
+}  // namespace dn

@@ -1,0 +1,86 @@
+// Dense linear algebra for MNA systems.
+//
+// Nets in this library are a few dozen to a few hundred nodes; dense
+// storage with partial-pivot LU is simpler and plenty fast, especially
+// since fixed-timestep transient analysis factors the system matrix once
+// and then only back-substitutes (see sim/linear_sim.*). PRIMA (mor/)
+// reduces anything genuinely large before simulation.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dn {
+
+using Vector = std::vector<double>;
+
+/// Row-major dense matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  std::span<double> row(std::size_t r) { return {data_.data() + r * cols_, cols_}; }
+  std::span<const double> row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  Matrix transposed() const;
+  Matrix operator*(const Matrix& rhs) const;
+  Vector operator*(const Vector& v) const;
+  Matrix operator+(const Matrix& rhs) const;
+  Matrix operator-(const Matrix& rhs) const;
+  Matrix scaled(double s) const;
+
+  /// Frobenius norm.
+  double norm() const;
+
+  void fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  Vector data_;
+};
+
+/// Partial-pivot LU factorization of a square matrix; solve() reuses the
+/// factorization for any number of right-hand sides.
+class LuFactor {
+ public:
+  /// Factors A (throws std::runtime_error on numerical singularity).
+  explicit LuFactor(Matrix a);
+
+  std::size_t size() const { return lu_.rows(); }
+
+  /// Solves A x = b.
+  Vector solve(std::span<const double> b) const;
+
+  /// Solves in place (x holds b on entry, solution on exit).
+  void solve_in_place(Vector& x) const;
+
+  /// 1-norm condition estimate is overkill; this exposes the smallest
+  /// pivot magnitude as a cheap health indicator.
+  double min_pivot() const { return min_pivot_; }
+
+ private:
+  Matrix lu_;
+  std::vector<std::size_t> perm_;
+  double min_pivot_ = 0.0;
+};
+
+// Basic vector helpers shared by the simulators and PRIMA.
+double dot(std::span<const double> a, std::span<const double> b);
+double norm2(std::span<const double> v);
+void axpy(double alpha, std::span<const double> x, std::span<double> y);  // y += a*x
+void scale(std::span<double> v, double s);
+
+}  // namespace dn

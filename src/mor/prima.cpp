@@ -1,0 +1,144 @@
+#include "mor/prima.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dn {
+
+namespace {
+
+/// Extracts column j of m.
+Vector column(const Matrix& m, std::size_t j) {
+  Vector v(m.rows());
+  for (std::size_t i = 0; i < m.rows(); ++i) v[i] = m(i, j);
+  return v;
+}
+
+/// Builds a matrix from column vectors.
+Matrix from_columns(const std::vector<Vector>& cols, std::size_t n) {
+  Matrix m(n, cols.size());
+  for (std::size_t j = 0; j < cols.size(); ++j)
+    for (std::size_t i = 0; i < n; ++i) m(i, j) = cols[j][i];
+  return m;
+}
+
+}  // namespace
+
+ReducedModel prima(const DescriptorSystem& full, int order) {
+  const std::size_t n = full.G.rows();
+  if (full.G.cols() != n || full.C.rows() != n || full.C.cols() != n ||
+      full.B.rows() != n || full.L.rows() != n)
+    throw std::invalid_argument("prima: inconsistent system shapes");
+  if (order < 1) throw std::invalid_argument("prima: order must be >= 1");
+
+  const LuFactor g_lu(full.G);
+  const std::size_t p = full.B.cols();
+
+  // Krylov basis columns, orthonormalized by modified Gram-Schmidt.
+  std::vector<Vector> basis;
+  constexpr double kDeflationTol = 1e-10;
+  auto orthonormalize_and_add = [&](Vector v) {
+    const double norm_in = norm2(v);
+    if (norm_in == 0.0) return false;
+    for (const auto& q : basis) {
+      const double h = dot(q, v);
+      axpy(-h, q, v);
+    }
+    // Re-orthogonalize once for numerical safety.
+    for (const auto& q : basis) {
+      const double h = dot(q, v);
+      axpy(-h, q, v);
+    }
+    const double nrm = norm2(v);
+    if (nrm < kDeflationTol * norm_in || nrm == 0.0) return false;  // Deflated.
+    scale(v, 1.0 / nrm);
+    basis.push_back(std::move(v));
+    return true;
+  };
+
+  // Starting block: R = G^{-1} B.
+  std::vector<Vector> block;
+  for (std::size_t j = 0; j < p; ++j) {
+    Vector r = g_lu.solve(column(full.B, j));
+    if (orthonormalize_and_add(r)) block.push_back(basis.back());
+    if (static_cast<int>(basis.size()) >= order) break;
+  }
+
+  // Arnoldi blocks: W = G^{-1} C * (previous block).
+  while (static_cast<int>(basis.size()) < order && !block.empty()) {
+    std::vector<Vector> next;
+    for (const auto& qprev : block) {
+      if (static_cast<int>(basis.size()) >= order) break;
+      Vector w = g_lu.solve(full.C * qprev);
+      if (orthonormalize_and_add(w)) next.push_back(basis.back());
+    }
+    if (next.empty()) break;  // Krylov space exhausted.
+    block = std::move(next);
+  }
+
+  if (basis.empty()) throw std::runtime_error("prima: empty projection basis");
+
+  ReducedModel rm;
+  rm.V = from_columns(basis, n);
+  const Matrix vt = rm.V.transposed();
+  rm.sys.G = vt * (full.G * rm.V);
+  rm.sys.C = vt * (full.C * rm.V);
+  rm.sys.B = vt * full.B;
+  rm.sys.L = vt * full.L;
+  return rm;
+}
+
+std::vector<Pwl> simulate_descriptor(const DescriptorSystem& sys,
+                                     const std::vector<Pwl>& u,
+                                     const TransientSpec& spec) {
+  const std::size_t n = sys.G.rows();
+  const std::size_t p = sys.B.cols();
+  const std::size_t q = sys.L.cols();
+  if (u.size() != p)
+    throw std::invalid_argument("simulate_descriptor: wrong input count");
+  const int steps = spec.num_steps();
+
+  auto input_at = [&](double t) {
+    Vector uu(p);
+    for (std::size_t j = 0; j < p; ++j) uu[j] = u[j].at(t);
+    return sys.B * uu;
+  };
+
+  // DC initial condition: G x0 = B u(0).
+  const LuFactor g_lu(sys.G);
+  Vector x = g_lu.solve(input_at(spec.t_start));
+
+  const Matrix a_lhs = sys.C.scaled(1.0 / spec.dt) + sys.G.scaled(0.5);
+  const Matrix a_rhs = sys.C.scaled(1.0 / spec.dt) - sys.G.scaled(0.5);
+  const LuFactor lu(a_lhs);
+
+  std::vector<double> time(static_cast<std::size_t>(steps) + 1);
+  for (int k = 0; k <= steps; ++k)
+    time[static_cast<std::size_t>(k)] = spec.t_start + spec.dt * k;
+  std::vector<std::vector<double>> ys(q, std::vector<double>(time.size()));
+
+  const Matrix lt = sys.L.transposed();
+  auto record = [&](std::size_t k) {
+    const Vector y = lt * x;
+    for (std::size_t j = 0; j < q; ++j) ys[j][k] = y[j];
+  };
+  record(0);
+
+  Vector b0 = input_at(spec.t_start);
+  for (int k = 1; k <= steps; ++k) {
+    Vector b1 = input_at(spec.t_start + spec.dt * k);
+    Vector rhs = a_rhs * x;
+    for (std::size_t i = 0; i < n; ++i) rhs[i] += 0.5 * (b0[i] + b1[i]);
+    lu.solve_in_place(rhs);
+    x = std::move(rhs);
+    b0 = std::move(b1);
+    record(static_cast<std::size_t>(k));
+  }
+
+  std::vector<Pwl> out;
+  out.reserve(q);
+  for (std::size_t j = 0; j < q; ++j) out.emplace_back(time, std::move(ys[j]));
+  return out;
+}
+
+}  // namespace dn

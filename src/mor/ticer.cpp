@@ -1,0 +1,108 @@
+#include "mor/ticer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace dn {
+
+TicerResult ticer_reduce(const RcTree& tree, const std::vector<int>& keep,
+                         const TicerOptions& opts) {
+  tree.validate();
+  const int n = tree.num_nodes;
+
+  std::vector<char> protected_(static_cast<std::size_t>(n), 0);
+  protected_[0] = 1;
+  protected_[static_cast<std::size_t>(tree.sink)] = 1;
+  for (int k : keep) {
+    if (k < 0 || k >= n) throw std::invalid_argument("ticer: bad keep node");
+    protected_[static_cast<std::size_t>(k)] = 1;
+  }
+
+  // Mutable element lists; alive flags per node.
+  struct Res {
+    int a, b;
+    double r;
+    bool alive = true;
+  };
+  std::vector<Res> res;
+  res.reserve(tree.res.size());
+  for (const auto& r : tree.res) res.push_back({r.a, r.b, r.r});
+  std::vector<double> cap(static_cast<std::size_t>(n), 0.0);
+  for (const auto& c : tree.caps) cap[static_cast<std::size_t>(c.node)] += c.c;
+  std::vector<char> alive(static_cast<std::size_t>(n), 1);
+
+  auto incident = [&](int node) {
+    std::vector<int> out;
+    for (std::size_t i = 0; i < res.size(); ++i)
+      if (res[i].alive && (res[i].a == node || res[i].b == node))
+        out.push_back(static_cast<int>(i));
+    return out;
+  };
+
+  const int internal = std::max(n - 2, 1);
+  const int max_elim =
+      static_cast<int>(opts.max_elimination_fraction * internal);
+  int eliminated = 0;
+
+  bool progress = true;
+  while (progress && eliminated < max_elim) {
+    progress = false;
+    for (int node = 1; node < n; ++node) {
+      const std::size_t ni = static_cast<std::size_t>(node);
+      if (!alive[ni] || protected_[ni]) continue;
+      const auto inc = incident(node);
+      if (inc.size() != 2) continue;  // Only series nodes keep tree-ness.
+      Res& e1 = res[static_cast<std::size_t>(inc[0])];
+      Res& e2 = res[static_cast<std::size_t>(inc[1])];
+      const double g = 1.0 / e1.r + 1.0 / e2.r;
+      const double tau = cap[ni] / g;
+      if (tau >= opts.tau_max) continue;
+
+      // Neighbors on the far side of each incident resistor.
+      const int u = (e1.a == node) ? e1.b : e1.a;
+      const int v = (e2.a == node) ? e2.b : e2.a;
+      if (u == v) continue;  // Would create a parallel pair; skip.
+
+      // Redistribute the node's cap by conductance share, then merge the
+      // resistors in series.
+      const double share_u = (1.0 / e1.r) / g;
+      cap[static_cast<std::size_t>(u)] += cap[ni] * share_u;
+      cap[static_cast<std::size_t>(v)] += cap[ni] * (1.0 - share_u);
+      cap[ni] = 0.0;
+      e1.a = u;
+      e1.b = v;
+      e1.r = e1.r + e2.r;
+      e2.alive = false;
+      alive[ni] = 0;
+      ++eliminated;
+      progress = true;
+      if (eliminated >= max_elim) break;
+    }
+  }
+
+  // Compact into a fresh RcTree.
+  TicerResult out;
+  out.eliminated = eliminated;
+  out.node_map.assign(static_cast<std::size_t>(n), -1);
+  int next = 0;
+  for (int node = 0; node < n; ++node)
+    if (alive[static_cast<std::size_t>(node)])
+      out.node_map[static_cast<std::size_t>(node)] = next++;
+  out.reduced.num_nodes = next;
+  out.reduced.sink = out.node_map[static_cast<std::size_t>(tree.sink)];
+  for (const auto& r : res)
+    if (r.alive)
+      out.reduced.res.push_back({out.node_map[static_cast<std::size_t>(r.a)],
+                                 out.node_map[static_cast<std::size_t>(r.b)],
+                                 r.r});
+  for (int node = 0; node < n; ++node)
+    if (alive[static_cast<std::size_t>(node)] &&
+        cap[static_cast<std::size_t>(node)] > 0)
+      out.reduced.caps.push_back({out.node_map[static_cast<std::size_t>(node)],
+                                  cap[static_cast<std::size_t>(node)]});
+  out.reduced.validate();
+  return out;
+}
+
+}  // namespace dn

@@ -1,0 +1,38 @@
+// TICER-style realizable RC reduction (Sheehan's "TICER: Realizable
+// reduction of extracted RC circuits").
+//
+// Where PRIMA (mor/prima.*) produces an abstract reduced-order model, node
+// elimination keeps the result a plain RC NETWORK: a "quick" internal node
+// n (time constant C_n / G_n far below the timescale of interest) is
+// removed and its neighbors reconnected with
+//     G_ij += g_in * g_jn / G_n            (exact DC / first moment)
+//     C_ij-to-ground redistribution  C_j += C_n * g_jn / G_n
+// This matters to the flow because extracted victim nets carry many tiny
+// segment nodes that only slow the transient solves; eliminating them
+// preserves Elmore delays exactly and waveforms to first order.
+#pragma once
+
+#include "rcnet/net.hpp"
+
+namespace dn {
+
+struct TicerOptions {
+  /// Nodes with time constant below this are eliminated [s].
+  double tau_max = 1e-12;
+  /// Never eliminate more than this fraction of internal nodes (safety).
+  double max_elimination_fraction = 0.95;
+};
+
+struct TicerResult {
+  RcTree reduced;
+  int eliminated = 0;
+  std::vector<int> node_map;  // Original local node -> reduced local node
+                              // (-1 if eliminated).
+};
+
+/// Reduces `tree`, never eliminating the root (0), the sink, or any node
+/// listed in `keep` (e.g. coupling-cap attachment points).
+TicerResult ticer_reduce(const RcTree& tree, const std::vector<int>& keep = {},
+                         const TicerOptions& opts = {});
+
+}  // namespace dn

@@ -1,0 +1,105 @@
+#include "rcnet/random_nets.hpp"
+
+#include <algorithm>
+
+namespace dn {
+
+namespace {
+
+GateParams gate_of(GateType type, double size, double vdd) {
+  GateParams g;
+  g.type = type;
+  g.size = size;
+  g.vdd = vdd;
+  return g;
+}
+
+}  // namespace
+
+CoupledNet random_coupled_net(Rng& rng, const RandomNetConfig& cfg) {
+  CoupledNet cn;
+  const double vdd = cfg.vdd;
+
+  // Victim: medium wire, small-to-medium driver (weak victims are where
+  // delay noise hurts).
+  const int vseg = rng.uniform_int(cfg.min_segments, cfg.max_segments);
+  const double vr = rng.log_uniform(cfg.r_total_min, cfg.r_total_max);
+  const double vc = rng.log_uniform(cfg.c_total_min, cfg.c_total_max);
+  cn.victim.net = make_line(vseg, vr, vc);
+  cn.victim.driver = gate_of(
+      GateType::Inverter,
+      cfg.victim_sizes[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<int>(cfg.victim_sizes.size()) - 1))],
+      vdd);
+  cn.victim.input_slew = rng.uniform(cfg.slew_min, cfg.slew_max);
+  cn.victim.output_rising =
+      cfg.randomize_victim_direction ? rng.chance(0.5) : true;
+  cn.victim.receiver = gate_of(
+      GateType::Inverter,
+      cfg.receiver_sizes[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<int>(cfg.receiver_sizes.size()) - 1))],
+      vdd);
+  cn.victim.receiver_load = rng.log_uniform(cfg.rcv_load_min, cfg.rcv_load_max);
+
+  // Aggressors: opposite switching direction (the delay-increasing case),
+  // typically stronger drivers than the victim.
+  const int n_agg = rng.uniform_int(cfg.min_aggressors, cfg.max_aggressors);
+  const double cc_total =
+      vc * rng.uniform(cfg.coupling_ratio_min, cfg.coupling_ratio_max);
+  for (int k = 0; k < n_agg; ++k) {
+    AggressorDesc agg;
+    const int aseg = rng.uniform_int(cfg.min_segments, cfg.max_segments);
+    agg.net = make_line(aseg, rng.log_uniform(cfg.r_total_min, cfg.r_total_max),
+                        rng.log_uniform(cfg.c_total_min, cfg.c_total_max));
+    agg.driver = gate_of(
+        GateType::Inverter,
+        cfg.aggressor_sizes[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<int>(cfg.aggressor_sizes.size()) - 1))],
+        vdd);
+    agg.input_slew = rng.uniform(cfg.slew_min, cfg.slew_max);
+    agg.output_rising = !cn.victim.output_rising;
+    agg.sink_load = rng.uniform(2e-15, 8e-15);
+    cn.aggressors.push_back(agg);
+
+    // Couple along an overlap region: distribute this aggressor's share of
+    // the total coupling across a run of adjacent victim nodes, mapped
+    // proportionally onto the aggressor's own nodes.
+    const double cc_this = cc_total / n_agg;
+    const int overlap = std::max(1, rng.uniform_int(vseg / 2, vseg));
+    const int v_start = rng.uniform_int(1, std::max(1, vseg - overlap + 1));
+    for (int j = 0; j < overlap; ++j) {
+      const int vnode = std::min(v_start + j, vseg);
+      const int anode =
+          std::clamp(1 + (j * aseg) / overlap, 1, aseg);
+      cn.couplings.push_back({k, anode, vnode, cc_this / overlap});
+    }
+  }
+  cn.validate();
+  return cn;
+}
+
+CoupledNet example_coupled_net(int n_aggressors) {
+  CoupledNet cn;
+  cn.victim.net = make_line(6, 1200.0, 60e-15);
+  cn.victim.driver = gate_of(GateType::Inverter, 1.0, 1.8);
+  cn.victim.input_slew = 150e-12;
+  cn.victim.output_rising = true;
+  cn.victim.receiver = gate_of(GateType::Inverter, 2.0, 1.8);
+  cn.victim.receiver_load = 10e-15;
+
+  for (int k = 0; k < n_aggressors; ++k) {
+    AggressorDesc agg;
+    agg.net = make_line(6, 600.0, 50e-15);
+    agg.driver = gate_of(GateType::Inverter, 4.0, 1.8);
+    agg.input_slew = 80e-12;
+    agg.output_rising = false;  // Opposes the rising victim.
+    cn.aggressors.push_back(agg);
+    // Coupled along the full run, 40 fF total split over 5 interior nodes.
+    for (int j = 1; j <= 5; ++j)
+      cn.couplings.push_back({k, j, j, 40e-15 / 5 / n_aggressors});
+  }
+  cn.validate();
+  return cn;
+}
+
+}  // namespace dn

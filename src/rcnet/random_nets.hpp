@@ -1,0 +1,48 @@
+// Synthetic coupled-net workload generation.
+//
+// Stand-in for the paper's "300 nets from a high performance
+// microprocessor block": seeded random coupled RC nets with realistic
+// parameter spreads (victim/aggressor drive strengths, net sizes, coupling
+// ratios, slews, receiver loads). Fully deterministic given the seed.
+#pragma once
+
+#include "rcnet/net.hpp"
+#include "util/rng.hpp"
+
+namespace dn {
+
+struct RandomNetConfig {
+  int min_aggressors = 1;
+  int max_aggressors = 3;
+  int min_segments = 3;
+  int max_segments = 10;
+  double r_total_min = 200.0;     // Victim/aggressor wire resistance [Ohm].
+  double r_total_max = 2500.0;
+  double c_total_min = 20e-15;    // Wire ground capacitance [F].
+  double c_total_max = 120e-15;
+  double coupling_ratio_min = 0.4;  // Total coupling / victim ground cap.
+  double coupling_ratio_max = 1.5;
+  double slew_min = 60e-12;       // Driver input slews [s].
+  double slew_max = 300e-12;
+  double rcv_load_min = 3e-15;    // Receiver output load [F].
+  double rcv_load_max = 60e-15;
+  double vdd = 1.8;
+  bool randomize_victim_direction = true;
+  /// Drive-strength pools sampled uniformly. Delay noise is a weak-victim
+  /// phenomenon; populations emphasizing small victim drivers and strong
+  /// aggressors match the nets a noise tool flags in practice.
+  std::vector<double> victim_sizes{1.0, 1.0, 2.0, 2.0, 4.0};
+  std::vector<double> aggressor_sizes{2.0, 4.0, 4.0, 8.0};
+  std::vector<double> receiver_sizes{1.0, 2.0, 4.0};
+};
+
+/// One random coupled net. Aggressors always switch OPPOSITE the victim
+/// (the delay-increasing case the paper analyzes).
+CoupledNet random_coupled_net(Rng& rng, const RandomNetConfig& cfg = {});
+
+/// The fixed two-line example used by the waveform figures (2, 5): a weak
+/// victim driver on a resistive line, one strong fast aggressor coupled
+/// along most of its length.
+CoupledNet example_coupled_net(int n_aggressors = 1);
+
+}  // namespace dn

@@ -1,0 +1,319 @@
+#include "rcnet/spef.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace dn {
+
+namespace {
+
+constexpr double kPs = 1e-12;
+constexpr double kFf = 1e-15;
+
+const char* type_token(GateType t) {
+  switch (t) {
+    case GateType::Inverter: return "INV";
+    case GateType::Buffer: return "BUF";
+    case GateType::Nand2: return "NAND2";
+    case GateType::Nor2: return "NOR2";
+  }
+  return "INV";
+}
+
+GateType parse_type(const std::string& s) {
+  if (s == "INV") return GateType::Inverter;
+  if (s == "BUF") return GateType::Buffer;
+  if (s == "NAND2") return GateType::Nand2;
+  if (s == "NOR2") return GateType::Nor2;
+  throw std::runtime_error("spef: unknown gate type '" + s + "'");
+}
+
+std::string node_ref(const std::string& net, int idx) {
+  return net + ":" + std::to_string(idx);
+}
+
+void write_net_block(std::ostream& os, const std::string& name,
+                     const RcTree& tree,
+                     const std::vector<std::string>& coupling_lines = {}) {
+  os << "*SINK " << tree.sink << "\n";
+  os << "*CAP\n";
+  for (const auto& c : tree.caps)
+    os << node_ref(name, c.node) << " " << c.c / kFf << "\n";
+  for (const auto& line : coupling_lines) os << line << "\n";
+  os << "*RES\n";
+  for (const auto& r : tree.res)
+    os << node_ref(name, r.a) << " " << node_ref(name, r.b) << " " << r.r
+       << "\n";
+}
+
+}  // namespace
+
+void write_spef(std::ostream& os, const CoupledNet& net,
+                const std::string& design) {
+  net.validate();
+  os.precision(12);  // Values must survive a round trip.
+  os << "*SPEF \"dnoise-subset-1\"\n";
+  os << "*DESIGN " << design << "\n";
+  os << "*T_UNIT 1 PS\n*C_UNIT 1 FF\n*R_UNIT 1 OHM\n\n";
+
+  const auto& v = net.victim;
+  os << "*D_NET victim *VICTIM\n";
+  os << "*DRIVER " << type_token(v.driver.type) << " " << v.driver.size << " "
+     << v.input_slew / kPs << " " << (v.output_rising ? "RISE" : "FALL")
+     << "\n";
+  os << "*RECEIVER " << type_token(v.receiver.type) << " " << v.receiver.size
+     << " " << v.receiver_load / kFf << "\n";
+  // Victim block carries the coupling caps inside its *CAP section.
+  std::vector<std::string> coupling_lines;
+  for (const auto& cc : net.couplings) {
+    std::ostringstream line;
+    line.precision(12);
+    line << node_ref("victim", cc.victim_node) << " "
+         << node_ref("agg" + std::to_string(cc.aggressor), cc.aggressor_node)
+         << " " << cc.c / kFf;
+    coupling_lines.push_back(line.str());
+  }
+  write_net_block(os, "victim", v.net, coupling_lines);
+  os << "*END\n\n";
+
+  for (std::size_t k = 0; k < net.aggressors.size(); ++k) {
+    const auto& a = net.aggressors[k];
+    os << "*D_NET agg" << k << " *AGGRESSOR\n";
+    os << "*DRIVER " << type_token(a.driver.type) << " " << a.driver.size
+       << " " << a.input_slew / kPs << " "
+       << (a.output_rising ? "RISE" : "FALL") << "\n";
+    os << "*SINKLOAD " << a.sink_load / kFf << "\n";
+    write_net_block(os, "agg" + std::to_string(k), a.net);
+    os << "*END\n\n";
+  }
+}
+
+namespace {
+
+struct Tokenizer {
+  explicit Tokenizer(std::istream& is) {
+    std::string line;
+    while (std::getline(is, line)) {
+      const auto slash = line.find("//");
+      if (slash != std::string::npos) line.erase(slash);
+      std::istringstream ls(line);
+      std::string tok;
+      while (ls >> tok) tokens.push_back(tok);
+    }
+  }
+  bool done() const { return pos >= tokens.size(); }
+  const std::string& peek() const {
+    if (done()) throw std::runtime_error("spef: unexpected end of input");
+    return tokens[pos];
+  }
+  std::string next() {
+    const std::string t = peek();
+    ++pos;
+    return t;
+  }
+  double next_number() {
+    const std::string t = next();
+    try {
+      std::size_t used = 0;
+      const double v = std::stod(t, &used);
+      if (used != t.size()) throw std::invalid_argument(t);
+      return v;
+    } catch (const std::exception&) {
+      throw std::runtime_error("spef: expected a number, got '" + t + "'");
+    }
+  }
+  void expect(const std::string& what) {
+    const std::string t = next();
+    if (t != what)
+      throw std::runtime_error("spef: expected '" + what + "', got '" + t + "'");
+  }
+  std::vector<std::string> tokens;
+  std::size_t pos = 0;
+};
+
+struct NodeRef {
+  std::string net;
+  int idx;
+};
+
+NodeRef parse_node(const std::string& tok) {
+  const auto colon = tok.find(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= tok.size())
+    throw std::runtime_error("spef: bad node reference '" + tok + "'");
+  NodeRef r;
+  r.net = tok.substr(0, colon);
+  try {
+    r.idx = std::stoi(tok.substr(colon + 1));
+  } catch (const std::exception&) {
+    throw std::runtime_error("spef: bad node index in '" + tok + "'");
+  }
+  if (r.idx < 0) throw std::runtime_error("spef: negative node index");
+  return r;
+}
+
+struct RawCoupling {
+  NodeRef a, b;
+  double c;
+};
+
+struct RawNet {
+  bool is_victim = false;
+  GateParams driver;
+  double input_slew = 0.0;
+  bool output_rising = true;
+  GateParams receiver;
+  double receiver_load = 0.0;
+  double sink_load = 2e-15;
+  RcTree tree;
+  int max_node = 0;
+};
+
+}  // namespace
+
+CoupledNet read_spef(std::istream& is) {
+  Tokenizer tz(is);
+  tz.expect("*SPEF");
+  if (tz.next() != "\"dnoise-subset-1\"")
+    throw std::runtime_error("spef: unsupported dialect");
+  std::map<std::string, RawNet> nets;
+  std::vector<std::string> order;
+  std::vector<RawCoupling> couplings;
+
+  while (!tz.done()) {
+    const std::string tok = tz.next();
+    if (tok == "*DESIGN") {
+      tz.next();
+    } else if (tok == "*T_UNIT" || tok == "*C_UNIT" || tok == "*R_UNIT") {
+      tz.next_number();
+      tz.next();
+    } else if (tok == "*D_NET") {
+      const std::string name = tz.next();
+      if (nets.count(name))
+        throw std::runtime_error("spef: duplicate net '" + name + "'");
+      RawNet rn;
+      const std::string kind = tz.next();
+      if (kind == "*VICTIM") rn.is_victim = true;
+      else if (kind != "*AGGRESSOR")
+        throw std::runtime_error("spef: expected *VICTIM/*AGGRESSOR");
+
+      enum class Section { None, Cap, Res } section = Section::None;
+      while (true) {
+        const std::string t = tz.next();
+        if (t == "*END") break;
+        if (t == "*DRIVER") {
+          rn.driver.type = parse_type(tz.next());
+          rn.driver.size = tz.next_number();
+          rn.input_slew = tz.next_number() * kPs;
+          const std::string edge = tz.next();
+          if (edge == "RISE") rn.output_rising = true;
+          else if (edge == "FALL") rn.output_rising = false;
+          else throw std::runtime_error("spef: expected RISE/FALL");
+        } else if (t == "*RECEIVER") {
+          rn.receiver.type = parse_type(tz.next());
+          rn.receiver.size = tz.next_number();
+          rn.receiver_load = tz.next_number() * kFf;
+        } else if (t == "*SINKLOAD") {
+          rn.sink_load = tz.next_number() * kFf;
+        } else if (t == "*SINK") {
+          rn.tree.sink = static_cast<int>(tz.next_number());
+        } else if (t == "*CAP") {
+          section = Section::Cap;
+        } else if (t == "*RES") {
+          section = Section::Res;
+        } else if (section == Section::Cap) {
+          const NodeRef a = parse_node(t);
+          // Either "<node> <fF>" or "<node> <node> <fF>" (coupling).
+          if (tz.peek().find(':') != std::string::npos) {
+            const NodeRef b = parse_node(tz.next());
+            couplings.push_back({a, b, tz.next_number() * kFf});
+          } else {
+            const double c = tz.next_number() * kFf;
+            if (a.net != name)
+              throw std::runtime_error("spef: grounded cap on foreign net");
+            rn.tree.caps.push_back({a.idx, c});
+            rn.max_node = std::max(rn.max_node, a.idx);
+          }
+        } else if (section == Section::Res) {
+          const NodeRef a = parse_node(t);
+          const NodeRef b = parse_node(tz.next());
+          if (a.net != name || b.net != name)
+            throw std::runtime_error("spef: resistor spans nets");
+          rn.tree.res.push_back({a.idx, b.idx, tz.next_number()});
+          rn.max_node = std::max({rn.max_node, a.idx, b.idx});
+        } else {
+          throw std::runtime_error("spef: unexpected token '" + t + "'");
+        }
+      }
+      rn.max_node = std::max(rn.max_node, rn.tree.sink);
+      rn.tree.num_nodes = rn.max_node + 1;
+      nets.emplace(name, std::move(rn));
+      order.push_back(name);
+    } else {
+      throw std::runtime_error("spef: unexpected top-level token '" + tok + "'");
+    }
+  }
+
+  // Assemble the CoupledNet: the victim plus aggressors in file order.
+  CoupledNet out;
+  std::map<std::string, int> agg_index;
+  bool have_victim = false;
+  for (const auto& name : order) {
+    RawNet& rn = nets.at(name);
+    if (rn.is_victim) {
+      if (have_victim) throw std::runtime_error("spef: multiple victims");
+      have_victim = true;
+      out.victim.net = rn.tree;
+      out.victim.driver = rn.driver;
+      out.victim.input_slew = rn.input_slew;
+      out.victim.output_rising = rn.output_rising;
+      out.victim.receiver = rn.receiver;
+      out.victim.receiver_load = rn.receiver_load;
+    } else {
+      AggressorDesc agg;
+      agg.net = rn.tree;
+      agg.driver = rn.driver;
+      agg.input_slew = rn.input_slew;
+      agg.output_rising = rn.output_rising;
+      agg.sink_load = rn.sink_load;
+      agg_index[name] = static_cast<int>(out.aggressors.size());
+      out.aggressors.push_back(std::move(agg));
+    }
+  }
+  if (!have_victim) throw std::runtime_error("spef: no victim net");
+
+  auto victim_side = [&](const NodeRef& r) { return nets.at(r.net).is_victim; };
+  for (const auto& rc : couplings) {
+    if (!nets.count(rc.a.net) || !nets.count(rc.b.net))
+      throw std::runtime_error("spef: coupling references unknown net");
+    const bool a_victim = victim_side(rc.a);
+    const bool b_victim = victim_side(rc.b);
+    if (a_victim == b_victim)
+      throw std::runtime_error(
+          "spef: coupling must connect the victim to an aggressor");
+    const NodeRef& vn = a_victim ? rc.a : rc.b;
+    const NodeRef& an = a_victim ? rc.b : rc.a;
+    out.couplings.push_back({agg_index.at(an.net), an.idx, vn.idx, rc.c});
+  }
+  out.validate();
+  return out;
+}
+
+void write_spef_file(const std::string& path, const CoupledNet& net,
+                     const std::string& design) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("spef: cannot open '" + path + "' for write");
+  write_spef(f, net, design);
+}
+
+CoupledNet read_spef_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("spef: cannot open '" + path + "'");
+  return read_spef(f);
+}
+
+}  // namespace dn

@@ -1,0 +1,56 @@
+#include "sim/linear_sim.hpp"
+
+#include <stdexcept>
+
+namespace dn {
+
+LinearSim::LinearSim(const Circuit& ckt) : ckt_(ckt), mna_(ckt) {
+  if (!ckt.is_linear())
+    throw std::invalid_argument(
+        "LinearSim: circuit contains MOSFETs; use NonlinearSim");
+}
+
+Vector LinearSim::dc_solve(double t) const {
+  // At DC the capacitors are open: solve G x = b(t). gmin (stamped in the
+  // MNA assembly) keeps capacitively-floating nodes well defined.
+  LuFactor lu(mna_.G());
+  return lu.solve(mna_.rhs(t));
+}
+
+TransientResult LinearSim::run(const TransientSpec& spec) const {
+  const int steps = spec.num_steps();
+  const std::size_t dim = mna_.dim();
+
+  // Trapezoidal:  (C/dt + G/2) x1 = (C/dt - G/2) x0 + (b0 + b1)/2.
+  const Matrix a_lhs = mna_.C().scaled(1.0 / spec.dt) + mna_.G().scaled(0.5);
+  const Matrix a_rhs = mna_.C().scaled(1.0 / spec.dt) - mna_.G().scaled(0.5);
+  const LuFactor lu(a_lhs);
+
+  Vector x = dc_solve(spec.t_start);
+
+  std::vector<double> time(static_cast<std::size_t>(steps) + 1);
+  for (int k = 0; k <= steps; ++k) time[static_cast<std::size_t>(k)] =
+      spec.t_start + spec.dt * k;
+
+  TransientResult result(time, ckt_.num_nodes());
+  auto record = [&](std::size_t k) {
+    for (NodeId n = 1; n < ckt_.num_nodes(); ++n)
+      result.v(n, k) = mna_.node_voltage(x, n);
+  };
+  record(0);
+
+  Vector b0 = mna_.rhs(spec.t_start);
+  for (int k = 1; k <= steps; ++k) {
+    const double t1 = spec.t_start + spec.dt * k;
+    Vector b1 = mna_.rhs(t1);
+    Vector rhs = a_rhs * x;
+    for (std::size_t i = 0; i < dim; ++i) rhs[i] += 0.5 * (b0[i] + b1[i]);
+    lu.solve_in_place(rhs);
+    x = std::move(rhs);
+    b0 = std::move(b1);
+    record(static_cast<std::size_t>(k));
+  }
+  return result;
+}
+
+}  // namespace dn

@@ -1,0 +1,32 @@
+// Linear transient simulator (trapezoidal, fixed step, factor-once).
+//
+// This is the workhorse of the superposition flow (paper Figure 1): each
+// aggressor/victim simulation over the coupled RC network with Thevenin or
+// transient-holding-resistance driver models is one of these runs.
+#pragma once
+
+#include "circuit/circuit.hpp"
+#include "circuit/mna.hpp"
+#include "sim/transient.hpp"
+
+namespace dn {
+
+class LinearSim {
+ public:
+  /// `ckt` must be linear (no MOSFETs) and must outlive the simulator.
+  explicit LinearSim(const Circuit& ckt);
+
+  /// Runs trapezoidal transient from the DC operating point at t_start.
+  TransientResult run(const TransientSpec& spec) const;
+
+  /// DC solution (node voltages) at time t.
+  Vector dc_solve(double t) const;
+
+  const MnaSystem& mna() const { return mna_; }
+
+ private:
+  const Circuit& ckt_;
+  MnaSystem mna_;
+};
+
+}  // namespace dn

@@ -1,0 +1,168 @@
+#include "sim/nonlinear_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace dn {
+
+NonlinearSim::NonlinearSim(const Circuit& ckt, NewtonOptions opts)
+    : ckt_(ckt), mna_(ckt, opts.gmin), opts_(opts) {}
+
+void NonlinearSim::stamp_devices(const Vector& x, Vector& inl, Matrix* jac) const {
+  for (const auto& m : ckt_.mosfets()) {
+    const double vd = mna_.node_voltage(x, m.d);
+    const double vg = mna_.node_voltage(x, m.g);
+    const double vs = mna_.node_voltage(x, m.s);
+    const MosfetEval e = mosfet_eval(m.params, vd, vg, vs);
+    const double dvs = -(e.gm + e.gds);  // dId/dVs.
+
+    const int id_d = (m.d == kGround) ? -1 : static_cast<int>(mna_.node_index(m.d));
+    const int id_g = (m.g == kGround) ? -1 : static_cast<int>(mna_.node_index(m.g));
+    const int id_s = (m.s == kGround) ? -1 : static_cast<int>(mna_.node_index(m.s));
+
+    // Current id flows drain -> source: out of node d, into node s.
+    if (id_d >= 0) inl[static_cast<std::size_t>(id_d)] += e.id;
+    if (id_s >= 0) inl[static_cast<std::size_t>(id_s)] -= e.id;
+
+    if (jac) {
+      auto add = [&](int row, int col, double v) {
+        if (row >= 0 && col >= 0)
+          (*jac)(static_cast<std::size_t>(row), static_cast<std::size_t>(col)) += v;
+      };
+      add(id_d, id_d, e.gds);
+      add(id_d, id_g, e.gm);
+      add(id_d, id_s, dvs);
+      add(id_s, id_d, -e.gds);
+      add(id_s, id_g, -e.gm);
+      add(id_s, id_s, -dvs);
+    }
+  }
+}
+
+bool NonlinearSim::newton_dc(Vector& x, const Vector& b, double g_extra) const {
+  const std::size_t dim = mna_.dim();
+  const std::size_t nv = mna_.num_node_vars();
+  for (int it = 0; it < opts_.max_iterations; ++it) {
+    // Residual F = G x + i_nl(x) + g_extra * v - b.
+    Vector f = mna_.G() * x;
+    for (std::size_t i = 0; i < nv; ++i) f[i] += g_extra * x[i];
+    for (std::size_t i = 0; i < dim; ++i) f[i] -= b[i];
+    Matrix jac = mna_.G();
+    for (std::size_t i = 0; i < nv; ++i) jac(i, i) += g_extra;
+    stamp_devices(x, f, &jac);
+
+    LuFactor lu(std::move(jac));
+    Vector dx = f;
+    lu.solve_in_place(dx);
+
+    double max_dv = 0.0;
+    for (std::size_t i = 0; i < dim; ++i) {
+      double step = dx[i];
+      if (i < nv) {
+        step = std::clamp(step, -opts_.v_limit, opts_.v_limit);
+        max_dv = std::max(max_dv, std::abs(step));
+      }
+      x[i] -= step;
+    }
+    if (max_dv < opts_.v_tol) return true;
+  }
+  return false;
+}
+
+Vector NonlinearSim::dc_solve(double t) const {
+  const Vector b = mna_.rhs(t);
+  Vector x(mna_.dim(), 0.0);
+  // gmin stepping: relax from a heavily grounded problem to the real one.
+  for (double g = 1e-2; g >= 1e-13; g /= 10.0) {
+    if (!newton_dc(x, b, g) && g < 1e-11)
+      throw std::runtime_error("NonlinearSim: DC gmin stepping diverged");
+  }
+  if (!newton_dc(x, b, 0.0))
+    throw std::runtime_error("NonlinearSim: DC operating point did not converge");
+  return x;
+}
+
+TransientResult NonlinearSim::run(const TransientSpec& spec) const {
+  const int steps = spec.num_steps();
+  const std::size_t dim = mna_.dim();
+  const std::size_t nv = mna_.num_node_vars();
+
+  Vector x0 = dc_solve(spec.t_start);
+
+  std::vector<double> time(static_cast<std::size_t>(steps) + 1);
+  for (int k = 0; k <= steps; ++k)
+    time[static_cast<std::size_t>(k)] = spec.t_start + spec.dt * k;
+  TransientResult result(time, ckt_.num_nodes());
+  auto record = [&](const Vector& x, std::size_t k) {
+    for (NodeId n = 1; n < ckt_.num_nodes(); ++n)
+      result.v(n, k) = mna_.node_voltage(x, n);
+  };
+  record(x0, 0);
+
+  // Trapezoidal residual at new state x1:
+  //   F(x1) = C (x1 - x0)/dt + (G x1 + i(x1))/2 + (G x0 + i(x0))/2
+  //           - (b0 + b1)/2
+  // The base Jacobian C/dt + G/2 is constant; device conductances add 0.5x.
+  const Matrix base_jac = mna_.C().scaled(1.0 / spec.dt) + mna_.G().scaled(0.5);
+
+  Vector b0 = mna_.rhs(spec.t_start);
+  // hist = -C x0/dt + (G x0 + i(x0))/2 recomputed each step.
+  for (int k = 1; k <= steps; ++k) {
+    const double t1 = spec.t_start + spec.dt * k;
+    Vector b1 = mna_.rhs(t1);
+
+    Vector f0 = mna_.G() * x0;  // G x0 + i(x0)
+    stamp_devices(x0, f0, nullptr);
+    const Vector cx0 = mna_.C() * x0;
+
+    Vector x1 = x0;  // Previous point is an excellent predictor at small dt.
+    bool converged = false;
+    for (int it = 0; it < opts_.max_iterations; ++it) {
+      Vector f = mna_.G() * x1;
+      Matrix jac = base_jac;
+      stamp_devices(x1, f, nullptr);
+      // f currently holds G x1 + i(x1); build the full residual.
+      const Vector cx1 = mna_.C() * x1;
+      for (std::size_t i = 0; i < dim; ++i)
+        f[i] = (cx1[i] - cx0[i]) / spec.dt + 0.5 * f[i] + 0.5 * f0[i] -
+               0.5 * (b0[i] + b1[i]);
+      // Device Jacobian enters with the trapezoidal 1/2 factor.
+      {
+        Matrix dev_jac(dim, dim);
+        Vector dummy(dim, 0.0);
+        stamp_devices(x1, dummy, &dev_jac);
+        for (std::size_t r = 0; r < dim; ++r)
+          for (std::size_t c = 0; c < dim; ++c)
+            jac(r, c) += 0.5 * dev_jac(r, c);
+      }
+      LuFactor lu(std::move(jac));
+      Vector dx = f;
+      lu.solve_in_place(dx);
+
+      double max_dv = 0.0;
+      for (std::size_t i = 0; i < dim; ++i) {
+        double step = dx[i];
+        if (i < nv) {
+          step = std::clamp(step, -opts_.v_limit, opts_.v_limit);
+          max_dv = std::max(max_dv, std::abs(step));
+        }
+        x1[i] -= step;
+      }
+      if (max_dv < opts_.v_tol) {
+        converged = true;
+        break;
+      }
+    }
+    if (!converged)
+      throw std::runtime_error("NonlinearSim: Newton diverged at t = " +
+                               std::to_string(t1));
+    x0 = std::move(x1);
+    b0 = std::move(b1);
+    record(x0, static_cast<std::size_t>(k));
+  }
+  return result;
+}
+
+}  // namespace dn

@@ -1,0 +1,52 @@
+// Nonlinear transient simulator: Newton-Raphson over trapezoidal MNA.
+//
+// This is the repo's stand-in for SPICE: it provides the "full non-linear
+// simulation" golden reference of the paper (Figure 13's X axis), the
+// single-driver simulations used to extract the transient holding
+// resistance (paper §2, Figure 4), and the nonlinear receiver simulations
+// behind the alignment pre-characterization (paper §3.2).
+#pragma once
+
+#include "circuit/circuit.hpp"
+#include "circuit/mna.hpp"
+#include "sim/transient.hpp"
+
+namespace dn {
+
+struct NewtonOptions {
+  int max_iterations = 80;
+  double v_tol = 1e-9;        // Convergence: max |delta V| [V].
+  double v_limit = 0.5;       // Per-iteration node-voltage step clamp [V].
+  double gmin = 1e-12;        // Baseline gmin (also in MnaSystem).
+};
+
+class NonlinearSim {
+ public:
+  /// `ckt` must outlive the simulator.
+  explicit NonlinearSim(const Circuit& ckt, NewtonOptions opts = {});
+
+  /// Trapezoidal transient from the DC operating point at t_start.
+  /// Throws std::runtime_error if Newton fails to converge at any step.
+  TransientResult run(const TransientSpec& spec) const;
+
+  /// DC operating point at time t via gmin stepping.
+  Vector dc_solve(double t) const;
+
+  const MnaSystem& mna() const { return mna_; }
+
+ private:
+  /// Adds MOSFET companion-model contributions at state x:
+  ///   inl  += device currents flowing out of each node
+  ///   jac  += d(inl)/dx   (only when jac != nullptr)
+  void stamp_devices(const Vector& x, Vector& inl, Matrix* jac) const;
+
+  /// Solves G x + i_nl(x) = b with an extra `g_extra` to ground on every
+  /// node row. Returns true on convergence; x is input guess and output.
+  bool newton_dc(Vector& x, const Vector& b, double g_extra) const;
+
+  const Circuit& ckt_;
+  MnaSystem mna_;
+  NewtonOptions opts_;
+};
+
+}  // namespace dn

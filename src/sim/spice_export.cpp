@@ -1,0 +1,130 @@
+#include "sim/spice_export.hpp"
+
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+
+namespace dn {
+
+namespace {
+
+/// SPICE node name: ground is "0", others use the circuit's name.
+std::string spice_node(const Circuit& ckt, NodeId n) {
+  return n == kGround ? "0" : ckt.node_name(n);
+}
+
+void emit_pwl(std::ostream& os, const Pwl& w) {
+  os << "PWL(";
+  const auto ts = w.times();
+  const auto vs = w.values();
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    if (i) os << ' ';
+    os << ts[i] << ' ' << vs[i];
+  }
+  os << ")";
+}
+
+/// Distinct model card per (type, vt, kp, lambda) parameter set.
+struct ModelKey {
+  MosType type;
+  double vt, kp, lambda;
+  bool operator<(const ModelKey& o) const {
+    if (type != o.type) return type < o.type;
+    if (vt != o.vt) return vt < o.vt;
+    if (kp != o.kp) return kp < o.kp;
+    return lambda < o.lambda;
+  }
+};
+
+}  // namespace
+
+void export_spice(std::ostream& os, const Circuit& ckt,
+                  const TransientSpec& spec, const SpiceExportOptions& opts) {
+  os.precision(12);
+  os << "* " << opts.title << "\n";
+  os << "* exported by dnoise (level-1 square-law devices; device caps as\n";
+  os << "* explicit C elements to match the internal simulator exactly)\n\n";
+
+  int idx = 0;
+  for (const auto& r : ckt.resistors())
+    os << "R" << ++idx << " " << spice_node(ckt, r.a) << " "
+       << spice_node(ckt, r.b) << " " << r.r << "\n";
+  idx = 0;
+  for (const auto& c : ckt.capacitors())
+    os << "C" << ++idx << " " << spice_node(ckt, c.a) << " "
+       << spice_node(ckt, c.b) << " " << c.c << "\n";
+  idx = 0;
+  for (const auto& v : ckt.vsources()) {
+    os << "V" << ++idx << " " << spice_node(ckt, v.pos) << " "
+       << spice_node(ckt, v.neg) << " ";
+    emit_pwl(os, v.v);
+    os << "\n";
+  }
+  idx = 0;
+  for (const auto& i : ckt.isources()) {
+    os << "I" << ++idx << " " << spice_node(ckt, i.from) << " "
+       << spice_node(ckt, i.into) << " ";
+    emit_pwl(os, i.i);
+    os << "\n";
+  }
+
+  // MOSFETs: collect model cards, emit devices with explicit caps.
+  std::map<ModelKey, std::string> models;
+  idx = 0;
+  int cidx = 10000;  // Device-cap C elements, separate numbering block.
+  for (const auto& m : ckt.mosfets()) {
+    const ModelKey key{m.params.type, m.params.vt, m.params.kp,
+                       m.params.lambda};
+    auto it = models.find(key);
+    if (it == models.end()) {
+      const std::string name =
+          (m.params.type == MosType::Nmos ? "NMOD" : "PMOD") +
+          std::to_string(models.size());
+      it = models.emplace(key, name).first;
+    }
+    // Body tied to source (the internal model has no body effect).
+    os << "M" << ++idx << " " << spice_node(ckt, m.d) << " "
+       << spice_node(ckt, m.g) << " " << spice_node(ckt, m.s) << " "
+       << spice_node(ckt, m.s) << " " << it->second << " W=" << m.params.w
+       << " L=" << m.params.l << "\n";
+    os << "C" << ++cidx << " " << spice_node(ckt, m.g) << " "
+       << spice_node(ckt, m.s) << " " << m.params.cgs() << "\n";
+    os << "C" << ++cidx << " " << spice_node(ckt, m.g) << " "
+       << spice_node(ckt, m.d) << " " << m.params.cgd() << "\n";
+    os << "C" << ++cidx << " " << spice_node(ckt, m.d) << " 0 "
+       << m.params.cdb() << "\n";
+    os << "C" << ++cidx << " " << spice_node(ckt, m.s) << " 0 "
+       << m.params.csb() << "\n";
+  }
+  os << "\n";
+  for (const auto& [key, name] : models) {
+    os << ".MODEL " << name << " "
+       << (key.type == MosType::Nmos ? "NMOS" : "PMOS")
+       << " (LEVEL=1 VTO=" << (key.type == MosType::Nmos ? key.vt : -key.vt)
+       << " KP=" << key.kp << " LAMBDA=" << key.lambda
+       << " CGSO=0 CGDO=0 CJ=0 TOX=1e-7)\n";
+  }
+
+  os << "\n.TRAN " << spec.dt << " " << spec.t_stop;
+  if (spec.t_start > 0) os << " " << spec.t_start;
+  os << "\n";
+
+  std::vector<NodeId> probes = opts.probes;
+  if (probes.empty())
+    for (NodeId n = 1; n < ckt.num_nodes(); ++n) probes.push_back(n);
+  os << ".PRINT TRAN";
+  for (NodeId n : probes) os << " V(" << spice_node(ckt, n) << ")";
+  os << "\n.END\n";
+}
+
+void export_spice_file(const std::string& path, const Circuit& ckt,
+                       const TransientSpec& spec,
+                       const SpiceExportOptions& opts) {
+  std::ofstream f(path);
+  if (!f)
+    throw std::runtime_error("export_spice: cannot open '" + path + "'");
+  export_spice(f, ckt, spec, opts);
+}
+
+}  // namespace dn

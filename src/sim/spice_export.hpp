@@ -1,0 +1,35 @@
+// SPICE netlist export.
+//
+// Emits a self-contained ngspice-compatible deck (.MODEL level-1 cards,
+// PWL sources, R/C elements, .TRAN + .PRINT) for any Circuit, so every
+// simulation this library runs can be cross-validated against a real SPICE
+// offline. The exported MOSFET cards carry the same square-law parameters
+// (VTO, KP, LAMBDA) and the fixed device capacitances are emitted as
+// explicit C elements (level-1 SPICE would otherwise recompute junction
+// caps from geometry).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "sim/transient.hpp"
+
+namespace dn {
+
+struct SpiceExportOptions {
+  std::string title = "dnoise export";
+  std::vector<NodeId> probes;  // Nodes to .PRINT (empty = all named nodes).
+};
+
+/// Writes the deck for `ckt` with the given transient window.
+void export_spice(std::ostream& os, const Circuit& ckt,
+                  const TransientSpec& spec,
+                  const SpiceExportOptions& opts = {});
+
+void export_spice_file(const std::string& path, const Circuit& ckt,
+                       const TransientSpec& spec,
+                       const SpiceExportOptions& opts = {});
+
+}  // namespace dn

@@ -1,0 +1,56 @@
+// Shared transient-analysis types.
+#pragma once
+
+#include <stdexcept>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "waveform/pwl.hpp"
+
+namespace dn {
+
+/// Fixed-step transient specification. A fixed step lets the linear solver
+/// factor the system matrix exactly once per run.
+struct TransientSpec {
+  double t_start = 0.0;
+  double t_stop = 0.0;
+  double dt = 0.0;
+
+  int num_steps() const {
+    if (!(t_stop > t_start) || !(dt > 0))
+      throw std::invalid_argument("TransientSpec: bad time range/step");
+    const double n = (t_stop - t_start) / dt;
+    if (n > 2e7)
+      throw std::invalid_argument(
+          "TransientSpec: more than 2e7 steps requested; check units");
+    return static_cast<int>(n + 0.5);
+  }
+};
+
+/// Transient result: per-node sampled voltages on a uniform grid.
+class TransientResult {
+ public:
+  TransientResult(std::vector<double> time, int num_nodes)
+      : time_(std::move(time)),
+        v_(static_cast<std::size_t>(num_nodes),
+           std::vector<double>(time_.size(), 0.0)) {}
+
+  std::size_t num_points() const { return time_.size(); }
+  const std::vector<double>& time() const { return time_; }
+
+  double& v(NodeId n, std::size_t k) { return v_[static_cast<std::size_t>(n)][k]; }
+  double v(NodeId n, std::size_t k) const {
+    return v_[static_cast<std::size_t>(n)][k];
+  }
+
+  /// Node voltage as a waveform.
+  Pwl waveform(NodeId n) const {
+    return Pwl(time_, v_[static_cast<std::size_t>(n)]);
+  }
+
+ private:
+  std::vector<double> time_;
+  std::vector<std::vector<double>> v_;  // [node][time index]; node 0 = ground.
+};
+
+}  // namespace dn

@@ -1,0 +1,90 @@
+#include "sta/noise_iteration.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/composite_pulse.hpp"
+
+namespace dn {
+
+NoiseIterationResult iterate_windows_with_noise(
+    const TimingGraph& graph, const std::vector<NetCouplingSite>& sites,
+    const NoiseIterationOptions& opts) {
+  std::vector<char> victim_seen(static_cast<std::size_t>(graph.num_nets()), 0);
+  for (const auto& s : sites) {
+    if (s.victim_net < 0 || s.victim_net >= graph.num_nets() ||
+        s.aggressor_net < 0 || s.aggressor_net >= graph.num_nets())
+      throw std::invalid_argument("noise_iteration: bad site net ids");
+    // One site per victim: a victim with several aggressors must model
+    // them inside ONE CoupledNet so the composite pulse is correct;
+    // letting two sites write the same victim would silently keep only
+    // the last one's extra delay.
+    auto& seen = victim_seen[static_cast<std::size_t>(s.victim_net)];
+    if (seen)
+      throw std::invalid_argument(
+          "noise_iteration: duplicate victim net across sites; merge the "
+          "aggressors into one CoupledNet");
+    seen = 1;
+    s.model.validate();
+  }
+
+  // Engines are window-independent: characterize each site once.
+  std::vector<std::unique_ptr<SuperpositionEngine>> engines;
+  engines.reserve(sites.size());
+  for (const auto& s : sites)
+    engines.push_back(
+        std::make_unique<SuperpositionEngine>(s.model, opts.engine));
+
+  NoiseIterationResult out;
+  out.extra_delay.assign(static_cast<std::size_t>(graph.num_nets()), 0.0);
+
+  for (int pass = 1; pass <= opts.max_iterations; ++pass) {
+    out.iterations = pass;
+    out.windows = graph.compute_windows(out.extra_delay);
+
+    double max_change = 0.0;
+    std::vector<double> next = out.extra_delay;
+    for (std::size_t i = 0; i < sites.size(); ++i) {
+      const auto& site = sites[i];
+      auto& eng = *engines[i];
+      const std::size_t vi = static_cast<std::size_t>(site.victim_net);
+
+      // Aggressor-vs-victim input offset window (victim at late arrival).
+      const double vic_late =
+          out.windows.late[vi] - out.extra_delay[vi];  // Its own noise is
+      // not part of the victim's launch time; remove the self-term.
+      const double lo =
+          out.windows.early[static_cast<std::size_t>(site.aggressor_net)] -
+          vic_late;
+      const double hi =
+          out.windows.late[static_cast<std::size_t>(site.aggressor_net)] -
+          vic_late;
+
+      // Map the input-offset window onto the composite-pulse peak.
+      const double rth = eng.victim_model().model.rth;
+      const double peak_ref = align_aggressor_peaks(eng, rth).params.t_peak;
+
+      DelayNoiseOptions a = opts.analysis;
+      a.search.window_min = peak_ref + lo;
+      a.search.window_max = peak_ref + hi;
+      const DelayNoiseResult r = analyze_delay_noise(eng, a);
+      const double extra = std::max(r.delay_noise(), 0.0);
+      max_change = std::max(max_change, std::abs(extra - out.extra_delay[vi]));
+      next[vi] = extra;
+    }
+    out.extra_delay = std::move(next);
+    out.max_extra_history.push_back(
+        out.extra_delay.empty()
+            ? 0.0
+            : *std::max_element(out.extra_delay.begin(), out.extra_delay.end()));
+    if (max_change < opts.tol) {
+      out.converged = true;
+      break;
+    }
+  }
+  out.windows = graph.compute_windows(out.extra_delay);
+  return out;
+}
+
+}  // namespace dn

@@ -1,0 +1,55 @@
+// Timing-window <-> delay-noise fixed-point iteration [8][9].
+//
+// Delay noise depends on how aggressors can align against the victim,
+// which is constrained by arrival windows; but the windows themselves
+// depend on the noise-augmented delays. Iterating the two converges in a
+// few passes ([8][9]; verified by bench_sta_convergence).
+//
+// Window -> alignment mapping: the worst late victim switches at its LATE
+// arrival; an aggressor's input may switch anywhere in its own window, so
+// the aggressor-vs-victim input offset ranges over
+//     [agg.early - vic.late, agg.late - vic.late].
+// Shifting the aggressor input by s shifts its noise pulse by s (the
+// linearized network is LTI), so the composite-pulse peak is constrained
+// to [peak_ref + lo, peak_ref + hi]. When several aggressors share a
+// victim, the composite uses the intersection-style simplification of one
+// common window (paper Section 3.1 argues peak-aligned aggressors are
+// within 5% anyway).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/delay_noise.hpp"
+#include "sta/timing_graph.hpp"
+
+namespace dn {
+
+/// One coupled victim/aggressor pair embedded in the timing graph: the
+/// graph nets involved plus the electrical model to analyze.
+struct NetCouplingSite {
+  int victim_net = -1;      // Graph net whose LATE delay grows.
+  int aggressor_net = -1;   // Graph net whose window constrains alignment.
+  CoupledNet model;
+};
+
+struct NoiseIterationOptions {
+  int max_iterations = 8;
+  double tol = 0.5e-12;            // Convergence on extra delays [s].
+  DelayNoiseOptions analysis{};    // Per-site analysis configuration.
+  SuperpositionOptions engine{};   // Shared engine time frame.
+};
+
+struct NoiseIterationResult {
+  std::vector<double> extra_delay;     // Per graph net [s].
+  TimingGraph::Windows windows;        // Final windows.
+  int iterations = 0;
+  bool converged = false;
+  std::vector<double> max_extra_history;  // Max extra delay after each pass.
+};
+
+NoiseIterationResult iterate_windows_with_noise(
+    const TimingGraph& graph, const std::vector<NetCouplingSite>& sites,
+    const NoiseIterationOptions& opts = {});
+
+}  // namespace dn

@@ -1,0 +1,57 @@
+// Small numerical toolbox: root finding, interpolation, quadrature.
+//
+// These are the only numerics the rest of the library is allowed to
+// hand-roll; everything else goes through matrix/ or waveform/.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace dn {
+
+/// Relative/absolute comparison helper: |a-b| <= atol + rtol*max(|a|,|b|).
+bool almost_equal(double a, double b, double rtol = 1e-9, double atol = 1e-12);
+
+/// Linear interpolation of y(x) through two points.
+double lerp(double x0, double y0, double x1, double y1, double x);
+
+/// Clamped linear interpolation over tabulated, strictly increasing xs.
+/// Outside the table the boundary value is returned (no extrapolation).
+double interp1(std::span<const double> xs, std::span<const double> ys, double x);
+
+/// Bilinear interpolation on a 2-D table. `z[i*nx + j]` holds z(ys[i], xs[j]).
+/// Clamps outside the grid.
+double interp2(std::span<const double> xs, std::span<const double> ys,
+               std::span<const double> z, double x, double y);
+
+/// Bisection root finding of f on [lo, hi]; requires a sign change.
+/// Returns std::nullopt if f(lo) and f(hi) have the same sign.
+std::optional<double> bisect(const std::function<double(double)>& f, double lo,
+                             double hi, double xtol = 1e-15, int max_iter = 200);
+
+/// Brent's method: bracketing root finder with superlinear convergence.
+/// Falls back to bisection steps internally; requires a sign change.
+std::optional<double> brent(const std::function<double(double)>& f, double lo,
+                            double hi, double xtol = 1e-15, int max_iter = 200);
+
+/// Golden-section minimization of a unimodal f on [lo, hi].
+double golden_min(const std::function<double(double)>& f, double lo, double hi,
+                  double xtol = 1e-12, int max_iter = 200);
+
+/// Trapezoidal integral of samples ys over abscissae xs (same length).
+double trapz(std::span<const double> xs, std::span<const double> ys);
+
+/// Newton's method with step damping for a scalar equation f(x)=0.
+/// `dfdx` is evaluated by central finite differences with step h.
+std::optional<double> newton_fd(const std::function<double(double)>& f, double x0,
+                                double h, double ftol = 1e-12, int max_iter = 100);
+
+/// Evenly spaced grid of n points from lo to hi inclusive (n >= 2).
+std::vector<double> linspace(double lo, double hi, int n);
+
+/// Log-spaced grid of n points from lo to hi inclusive (lo, hi > 0, n >= 2).
+std::vector<double> logspace(double lo, double hi, int n);
+
+}  // namespace dn

@@ -1,0 +1,71 @@
+// Deterministic random number generation for synthetic workloads.
+//
+// All randomized benches/tests seed explicitly so every run reproduces the
+// same nets; wall-clock seeding is deliberately not provided.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace dn {
+
+/// xoshiro256** by Blackman & Vigna (public domain algorithm), seeded via
+/// SplitMix64. Small, fast, and good enough for workload synthesis.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // SplitMix64 expansion of the seed into the 4-word state.
+    std::uint64_t x = seed;
+    for (auto& w : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      w = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int uniform_int(int lo, int hi) {
+    if (hi <= lo) return lo;
+    const auto span = static_cast<std::uint64_t>(hi - lo + 1);
+    return lo + static_cast<int>(next_u64() % span);
+  }
+
+  /// Log-uniform double in [lo, hi) — natural for R/C spreads.
+  double log_uniform(double lo, double hi) {
+    const double llo = std::log(lo), lhi = std::log(hi);
+    return std::exp(llo + (lhi - llo) * uniform());
+  }
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) { return uniform() < p; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace dn

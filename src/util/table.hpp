@@ -1,0 +1,40 @@
+// Aligned text tables + CSV emission for the benchmark harness.
+//
+// Every bench binary reproduces a paper figure/table by printing one or
+// more of these; keeping the formatting in one place keeps the bench
+// sources focused on the experiment itself.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dn {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; strings and doubles may be mixed via the overloads.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats each double with %.6g.
+  void add_row_values(const std::vector<double>& values);
+
+  /// Number of data rows currently held.
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Pretty-prints with aligned columns and a header rule.
+  void print(std::ostream& os) const;
+
+  /// Emits RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  void print_csv(std::ostream& os) const;
+
+  static std::string fmt(double v, int precision = 6);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dn

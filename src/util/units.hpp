@@ -1,0 +1,38 @@
+// SI unit constants and conventions used throughout the library.
+//
+// All internal quantities are plain SI doubles: seconds, volts, amperes,
+// ohms, farads. These constants exist so that call sites read like the
+// paper ("36 fF", "120 ps") instead of bare exponents.
+#pragma once
+
+namespace dn::units {
+
+// Time.
+inline constexpr double s  = 1.0;
+inline constexpr double ms = 1e-3;
+inline constexpr double us = 1e-6;
+inline constexpr double ns = 1e-9;
+inline constexpr double ps = 1e-12;
+inline constexpr double fs = 1e-15;
+
+// Capacitance.
+inline constexpr double F  = 1.0;
+inline constexpr double pF = 1e-12;
+inline constexpr double fF = 1e-15;
+
+// Resistance.
+inline constexpr double Ohm  = 1.0;
+inline constexpr double kOhm = 1e3;
+
+// Voltage / current.
+inline constexpr double V  = 1.0;
+inline constexpr double mV = 1e-3;
+inline constexpr double A  = 1.0;
+inline constexpr double mA = 1e-3;
+inline constexpr double uA = 1e-6;
+
+// Length (device geometry).
+inline constexpr double um = 1e-6;
+inline constexpr double nm = 1e-9;
+
+}  // namespace dn::units

@@ -1,0 +1,86 @@
+#include "waveform/pulse.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+#include "util/numeric.hpp"
+
+namespace dn {
+
+PulseParams measure_pulse(const Pwl& noise) {
+  PulseParams p;
+  if (noise.empty()) return p;
+  const auto pk = noise.peak(0.0);
+  p.height = pk.value;
+  p.t_peak = pk.t;
+  p.width = noise.width_at_fraction(0.5, 0.0);
+  return p;
+}
+
+Pwl triangle_pulse(double height, double fwhm, double t_peak) {
+  if (fwhm <= 0) throw std::invalid_argument("triangle_pulse: fwhm <= 0");
+  const double half_base = fwhm;  // FWHM of a triangle = half its base width.
+  return Pwl({t_peak - half_base, t_peak, t_peak + half_base},
+             {0.0, height, 0.0});
+}
+
+Pwl raised_cosine_pulse(double height, double fwhm, double t_peak, int samples) {
+  if (fwhm <= 0) throw std::invalid_argument("raised_cosine_pulse: fwhm <= 0");
+  if (samples < 5) throw std::invalid_argument("raised_cosine_pulse: samples < 5");
+  // Hann window of total width W has FWHM = W/2.
+  const double w = 2.0 * fwhm;
+  std::vector<double> ts = linspace(t_peak - 0.5 * w, t_peak + 0.5 * w, samples);
+  std::vector<double> vs(ts.size());
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    const double x = (ts[i] - (t_peak - 0.5 * w)) / w;  // 0..1
+    vs[i] = height * 0.5 * (1.0 - std::cos(2.0 * std::numbers::pi * x));
+  }
+  vs.front() = 0.0;
+  vs.back() = 0.0;
+  return Pwl(std::move(ts), std::move(vs));
+}
+
+Pwl double_exp_pulse(double height, double fwhm, double t_peak, double asym,
+                     int samples) {
+  if (fwhm <= 0) throw std::invalid_argument("double_exp_pulse: fwhm <= 0");
+  if (asym <= 1.0) throw std::invalid_argument("double_exp_pulse: asym must be > 1");
+  if (samples < 9) throw std::invalid_argument("double_exp_pulse: samples < 9");
+  // Shape s(t) = e^{-t/tf} - e^{-t/tr} with tf = asym * tr, t >= 0.
+  // Peak at tp = tr*tf/(tf-tr) * ln(tf/tr). We first build the unit shape
+  // with tr = 1, measure its FWHM numerically, then scale time so the FWHM
+  // matches, and scale amplitude to the requested height.
+  const double tr = 1.0;
+  const double tf = asym;
+  const double tp = tr * tf / (tf - tr) * std::log(tf / tr);
+  auto shape = [&](double t) {
+    return t < 0 ? 0.0 : std::exp(-t / tf) - std::exp(-t / tr);
+  };
+  const double peak = shape(tp);
+  // FWHM via bracketing on both sides of the peak.
+  const double half = 0.5 * peak;
+  const auto t_lead = bisect([&](double t) { return shape(t) - half; }, 0.0, tp);
+  // The tail decays with tf; 40*tf is far past the half level.
+  const auto t_trail =
+      bisect([&](double t) { return shape(t) - half; }, tp, tp + 40.0 * tf);
+  if (!t_lead || !t_trail)
+    throw std::runtime_error("double_exp_pulse: FWHM bracketing failed");
+  const double fwhm_unit = *t_trail - *t_lead;
+  const double tscale = fwhm / fwhm_unit;
+
+  // Sample from t=0 until the tail has decayed to <0.1% of the peak.
+  const double t_tail = tp + tf * std::log(1000.0);
+  std::vector<double> ts = linspace(0.0, t_tail, samples);
+  std::vector<double> vs(ts.size());
+  for (std::size_t i = 0; i < ts.size(); ++i)
+    vs[i] = height / peak * shape(ts[i]);
+  vs.back() = 0.0;
+  // Shift so the peak lands on t_peak after time scaling.
+  std::vector<double> ts2(ts.size());
+  for (std::size_t i = 0; i < ts.size(); ++i)
+    ts2[i] = (ts[i] - tp) * tscale + t_peak;
+  return Pwl(std::move(ts2), std::move(vs));
+}
+
+}  // namespace dn

@@ -1,0 +1,38 @@
+// Canonical noise-pulse shapes and pulse parameter extraction.
+//
+// The alignment pre-characterization (paper §3.2) parameterizes the
+// composite noise pulse by its height and width; to characterize a gate we
+// need a canonical pulse generator for a given (height, width), and to
+// query the table we need to measure (height, width) of an actual
+// superposed pulse. Both live here.
+#pragma once
+
+#include "waveform/pwl.hpp"
+
+namespace dn {
+
+/// Measured pulse parameters (relative to a 0 baseline).
+struct PulseParams {
+  double height = 0.0;    // Peak deviation (signed; >0 for an upward pulse).
+  double width = 0.0;     // Full width at half maximum.
+  double t_peak = 0.0;    // Time of the peak.
+};
+
+/// Extracts (height, FWHM, peak time) from a noise waveform.
+PulseParams measure_pulse(const Pwl& noise);
+
+/// Triangular pulse with given peak height, FWHM, and peak time.
+/// Base width is 2*fwhm so that the width at half maximum equals fwhm.
+Pwl triangle_pulse(double height, double fwhm, double t_peak);
+
+/// Raised-cosine (Hann) pulse: smooth, zero-slope at the ends. FWHM equals
+/// half the base width, matching the triangle parameterization.
+Pwl raised_cosine_pulse(double height, double fwhm, double t_peak, int samples = 65);
+
+/// Double-exponential pulse v(t) = h_norm*(e^{-t/tf} - e^{-t/tr}) shifted so
+/// its peak is at t_peak with the requested height; `asym` = tf/tr (> 1).
+/// Closest to real RC coupling noise shapes.
+Pwl double_exp_pulse(double height, double fwhm, double t_peak, double asym = 3.0,
+                     int samples = 129);
+
+}  // namespace dn

@@ -1,0 +1,208 @@
+#include "waveform/pwl.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/numeric.hpp"
+
+namespace dn {
+
+Pwl::Pwl(std::vector<double> times, std::vector<double> values)
+    : times_(std::move(times)), values_(std::move(values)) {
+  check_invariants();
+}
+
+void Pwl::check_invariants() const {
+  if (times_.size() != values_.size())
+    throw std::invalid_argument("Pwl: times/values size mismatch");
+  for (std::size_t i = 1; i < times_.size(); ++i)
+    if (!(times_[i] > times_[i - 1]))
+      throw std::invalid_argument("Pwl: time axis not strictly increasing");
+  for (double t : times_)
+    if (!std::isfinite(t)) throw std::invalid_argument("Pwl: non-finite time");
+  for (double v : values_)
+    if (!std::isfinite(v)) throw std::invalid_argument("Pwl: non-finite value");
+}
+
+Pwl Pwl::ramp(double t0, double trans, double low, double high) {
+  if (trans <= 0) throw std::invalid_argument("Pwl::ramp: trans must be > 0");
+  return Pwl({t0, t0 + trans}, {low, high});
+}
+
+Pwl Pwl::constant(double level, double t0, double t1) {
+  if (!(t1 > t0)) throw std::invalid_argument("Pwl::constant: t1 <= t0");
+  return Pwl({t0, t1}, {level, level});
+}
+
+double Pwl::at(double t) const {
+  if (times_.empty()) return 0.0;
+  if (t <= times_.front()) return values_.front();
+  if (t >= times_.back()) return values_.back();
+  const auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  const std::size_t i = static_cast<std::size_t>(it - times_.begin());
+  return lerp(times_[i - 1], values_[i - 1], times_[i], values_[i], t);
+}
+
+double Pwl::slope_at(double t) const {
+  if (times_.size() < 2) return 0.0;
+  if (t <= times_.front() || t >= times_.back()) return 0.0;
+  const auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  const std::size_t i = static_cast<std::size_t>(it - times_.begin());
+  return (values_[i] - values_[i - 1]) / (times_[i] - times_[i - 1]);
+}
+
+namespace {
+std::vector<double> merge_grids(std::span<const double> a, std::span<const double> b) {
+  std::vector<double> out;
+  out.reserve(a.size() + b.size());
+  std::merge(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+}  // namespace
+
+Pwl Pwl::operator+(const Pwl& rhs) const {
+  if (empty()) return rhs;
+  if (rhs.empty()) return *this;
+  auto grid = merge_grids(times_, rhs.times_);
+  std::vector<double> vals(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) vals[i] = at(grid[i]) + rhs.at(grid[i]);
+  return Pwl(std::move(grid), std::move(vals));
+}
+
+Pwl Pwl::operator-(const Pwl& rhs) const { return *this + rhs.scaled(-1.0); }
+
+Pwl Pwl::scaled(double s) const {
+  Pwl out = *this;
+  for (double& v : out.values_) v *= s;
+  return out;
+}
+
+Pwl Pwl::shifted(double dt) const {
+  Pwl out = *this;
+  for (double& t : out.times_) t += dt;
+  return out;
+}
+
+Pwl Pwl::plus_constant(double dv) const {
+  Pwl out = *this;
+  for (double& v : out.values_) v += dv;
+  return out;
+}
+
+Pwl Pwl::resampled(double t0, double t1, int n) const {
+  if (n < 2) throw std::invalid_argument("Pwl::resampled: n < 2");
+  std::vector<double> ts = linspace(t0, t1, n);
+  std::vector<double> vs(ts.size());
+  for (std::size_t i = 0; i < ts.size(); ++i) vs[i] = at(ts[i]);
+  return Pwl(std::move(ts), std::move(vs));
+}
+
+Pwl Pwl::clipped(double t0, double t1) const {
+  if (!(t1 > t0)) throw std::invalid_argument("Pwl::clipped: t1 <= t0");
+  std::vector<double> ts, vs;
+  ts.push_back(t0);
+  vs.push_back(at(t0));
+  for (std::size_t i = 0; i < times_.size(); ++i) {
+    if (times_[i] > t0 && times_[i] < t1) {
+      ts.push_back(times_[i]);
+      vs.push_back(values_[i]);
+    }
+  }
+  ts.push_back(t1);
+  vs.push_back(at(t1));
+  return Pwl(std::move(ts), std::move(vs));
+}
+
+std::optional<double> Pwl::crossing(double level, std::optional<bool> rising,
+                                    double t_from) const {
+  for (std::size_t i = 1; i < times_.size(); ++i) {
+    const double v0 = values_[i - 1], v1 = values_[i];
+    if (times_[i] < t_from) continue;
+    const bool up = v1 > v0;
+    if (rising && *rising != up) continue;
+    const bool crosses = (v0 - level) * (v1 - level) <= 0.0 && v0 != v1;
+    if (!crosses) continue;
+    const double tc = times_[i - 1] +
+                      (level - v0) / (v1 - v0) * (times_[i] - times_[i - 1]);
+    if (tc >= t_from) return tc;
+  }
+  return std::nullopt;
+}
+
+std::optional<double> Pwl::last_crossing(double level,
+                                         std::optional<bool> rising) const {
+  std::optional<double> found;
+  for (std::size_t i = 1; i < times_.size(); ++i) {
+    const double v0 = values_[i - 1], v1 = values_[i];
+    const bool up = v1 > v0;
+    if (rising && *rising != up) continue;
+    if ((v0 - level) * (v1 - level) <= 0.0 && v0 != v1)
+      found = times_[i - 1] +
+              (level - v0) / (v1 - v0) * (times_[i] - times_[i - 1]);
+  }
+  return found;
+}
+
+Pwl::Peak Pwl::peak(double baseline) const {
+  Peak p;
+  if (empty()) return p;
+  double best = -1.0;
+  for (std::size_t i = 0; i < times_.size(); ++i) {
+    const double dev = std::abs(values_[i] - baseline);
+    if (dev > best) {
+      best = dev;
+      p.t = times_[i];
+      p.value = values_[i];
+    }
+  }
+  return p;
+}
+
+double Pwl::width_at_fraction(double frac, double baseline) const {
+  if (empty()) return 0.0;
+  const Peak p = peak(baseline);
+  const double level = baseline + frac * (p.value - baseline);
+  if (p.value == baseline) return 0.0;
+  // Latest crossing at/before the peak (leading edge) and first crossing
+  // at/after it (trailing edge).
+  std::optional<double> t_lead, t_trail;
+  for (std::size_t i = 1; i < times_.size(); ++i) {
+    const double v0 = values_[i - 1], v1 = values_[i];
+    if ((v0 - level) * (v1 - level) <= 0.0 && v0 != v1) {
+      const double tc = times_[i - 1] +
+                        (level - v0) / (v1 - v0) * (times_[i] - times_[i - 1]);
+      if (tc <= p.t) t_lead = tc;
+      if (tc >= p.t && !t_trail) t_trail = tc;
+    }
+  }
+  if (!t_lead || !t_trail) return 0.0;
+  return *t_trail - *t_lead;
+}
+
+std::optional<double> Pwl::slew(double v_low, double v_high, double lo_frac,
+                                double hi_frac) const {
+  const double span = v_high - v_low;
+  const double a = v_low + lo_frac * span;
+  const double b = v_low + hi_frac * span;
+  const bool rising = values_.back() > values_.front();
+  const auto ta = crossing(rising ? a : b, rising);
+  const auto tb = crossing(rising ? b : a, rising);
+  if (!ta || !tb) return std::nullopt;
+  return std::abs(*tb - *ta);
+}
+
+double Pwl::integral() const {
+  return trapz(times_, values_);
+}
+
+double Pwl::min_value() const {
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Pwl::max_value() const {
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+}  // namespace dn

@@ -1,0 +1,156 @@
+// Alignment machinery tests (core/alignment.*, core/composite_pulse.*).
+#include "core/alignment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/composite_pulse.hpp"
+#include "rcnet/random_nets.hpp"
+#include "util/units.hpp"
+
+namespace dn {
+namespace {
+
+using namespace dn::units;
+
+constexpr double kVdd = 1.8;
+
+GateParams receiver_x2() {
+  GateParams g;
+  g.type = GateType::Inverter;
+  g.size = 2.0;
+  return g;
+}
+
+Pwl canonical_rise(double slew = 200 * ps) {
+  return Pwl::ramp(2 * ns, slew, 0.0, kVdd);
+}
+
+TEST(EvaluateReceiver, CleanRampDelay) {
+  const Pwl vin = canonical_rise();
+  const ReceiverEval ev = evaluate_receiver(receiver_x2(), vin, 10 * fF, true);
+  // Inverting receiver: output falls after the input passes threshold.
+  const double t_in_50 = *vin.crossing(kVdd / 2, true);
+  EXPECT_GT(ev.t_out_50, t_in_50);
+  EXPECT_LT(ev.t_out_50, t_in_50 + 500 * ps);
+  EXPECT_LT(ev.out_noise_peak, 0.05);
+}
+
+TEST(EvaluateReceiver, NoisePulseDelaysTheOutput) {
+  const Pwl vin = canonical_rise();
+  const double clean =
+      evaluate_receiver(receiver_x2(), vin, 10 * fF, true).t_out_50;
+  // Opposing pulse right at the 50% crossing.
+  const double t50 = *vin.crossing(kVdd / 2, true);
+  const Pwl noisy = vin + triangle_pulse(-0.5, 150 * ps, t50 + 50 * ps);
+  const double dirty =
+      evaluate_receiver(receiver_x2(), noisy, 10 * fF, true).t_out_50;
+  EXPECT_GT(dirty, clean + 20 * ps);
+}
+
+TEST(EvaluateReceiver, LargeLoadFiltersNoiseAtOutput) {
+  const Pwl vin = canonical_rise(100 * ps);
+  const double t50 = *vin.crossing(kVdd / 2, true);
+  const Pwl noisy = vin + triangle_pulse(-0.4, 60 * ps, t50 + 300 * ps);
+  const ReceiverEval small = evaluate_receiver(receiver_x2(), noisy, 3 * fF, true);
+  const ReceiverEval large =
+      evaluate_receiver(receiver_x2(), noisy, 150 * fF, true);
+  // The late pulse re-disturbs a small-load output far more than a
+  // heavily loaded one (the receiver acts as a low-pass filter).
+  EXPECT_GT(small.out_noise_peak, large.out_noise_peak);
+}
+
+TEST(ShiftPulsePeakTo, MovesThePeak) {
+  const Pwl p = triangle_pulse(-0.3, 100 * ps, 1 * ns);
+  double shift = 0.0;
+  const Pwl moved = shift_pulse_peak_to(p, 1.7 * ns, &shift);
+  EXPECT_NEAR(shift, 0.7 * ns, 1e-15);
+  EXPECT_NEAR(measure_pulse(moved).t_peak, 1.7 * ns, 1 * ps);
+}
+
+TEST(ExhaustiveAlignment, BeatsEverySampledAlternative) {
+  const Pwl ramp = canonical_rise();
+  const Pwl pulse = triangle_pulse(-0.45, 150 * ps, 2 * ns);
+  const GateParams rcv = receiver_x2();
+  AlignmentSearchOptions opts;
+  opts.coarse_points = 21;
+  opts.fine_points = 9;
+  const AlignmentResult best =
+      exhaustive_worst_alignment(ramp, pulse, rcv, 5 * fF, true, opts);
+
+  for (double dt_peak = -400 * ps; dt_peak <= 400 * ps; dt_peak += 100 * ps) {
+    const double t = *ramp.crossing(kVdd / 2, true) + dt_peak;
+    const Pwl noisy = ramp + shift_pulse_peak_to(pulse, t, nullptr);
+    const double d = evaluate_receiver(rcv, noisy, 5 * fF, true).t_out_50;
+    EXPECT_GE(best.t_out_50 + 2 * ps, d) << "dt=" << dt_peak;
+  }
+}
+
+TEST(ExhaustiveAlignment, WorstLandsNearTheTransition) {
+  const Pwl ramp = canonical_rise();
+  const Pwl pulse = triangle_pulse(-0.4, 120 * ps, 2 * ns);
+  const AlignmentResult best = exhaustive_worst_alignment(
+      ramp, pulse, receiver_x2(), 5 * fF, true);
+  // Worst-case alignment voltage sits in the upper half of a rising
+  // transition (around Vdd/2 + Vn, per [5]/Figure 3 discussion).
+  EXPECT_GT(best.align_voltage, 0.5 * kVdd);
+  EXPECT_LT(best.align_voltage, kVdd);
+}
+
+TEST(ExhaustiveAlignment, RespectsTimingWindow) {
+  const Pwl ramp = canonical_rise();
+  const Pwl pulse = triangle_pulse(-0.4, 120 * ps, 2 * ns);
+  AlignmentSearchOptions opts;
+  const double t50 = *ramp.crossing(kVdd / 2, true);
+  opts.window_min = t50 - 300 * ps;
+  opts.window_max = t50 - 150 * ps;  // Forced early.
+  const AlignmentResult r = exhaustive_worst_alignment(
+      ramp, pulse, receiver_x2(), 5 * fF, true, opts);
+  EXPECT_GE(r.t_peak, opts.window_min - 1 * ps);
+  EXPECT_LE(r.t_peak, opts.window_max + 1 * ps);
+}
+
+TEST(ReceiverInputAlignment, PeaksAtVddHalfPlusVn) {
+  const Pwl ramp = canonical_rise();
+  const double vn = 0.35;
+  const Pwl pulse = triangle_pulse(-vn, 120 * ps, 2 * ns);
+  const AlignmentResult r = receiver_input_peak_alignment(
+      ramp, pulse, receiver_x2(), 5 * fF, true);
+  EXPECT_NEAR(r.align_voltage, kVdd / 2 + vn, 0.02);
+}
+
+TEST(ReceiverInputAlignment, FallingVictimMirrors) {
+  const Pwl ramp = Pwl::ramp(2 * ns, 200 * ps, kVdd, 0.0);
+  const double vn = 0.3;
+  const Pwl pulse = triangle_pulse(vn, 120 * ps, 2 * ns);
+  const AlignmentResult r = receiver_input_peak_alignment(
+      ramp, pulse, receiver_x2(), 5 * fF, false);
+  EXPECT_NEAR(r.align_voltage, kVdd / 2 - vn, 0.02);
+}
+
+TEST(CompositePulse, PeakAlignmentMaximizesHeight) {
+  CoupledNet net = example_coupled_net(2);
+  SuperpositionEngine eng(net);
+  const double rth = eng.victim_model().model.rth;
+  const CompositeAlignment aligned = align_aggressor_peaks(eng, rth);
+  // Skewing one aggressor away must not increase the composite height.
+  for (double skew : {-200 * ps, -100 * ps, 100 * ps, 200 * ps}) {
+    const CompositeAlignment skewed = align_with_skew(eng, rth, 1, skew);
+    EXPECT_LE(std::abs(skewed.params.height),
+              std::abs(aligned.params.height) + 1e-3)
+        << "skew=" << skew;
+  }
+  // And it must widen the composite pulse.
+  const CompositeAlignment far_skew = align_with_skew(eng, rth, 1, 300 * ps);
+  EXPECT_GE(far_skew.params.width, aligned.params.width - 1 * ps);
+}
+
+TEST(CompositePulse, NoAggressorsThrows) {
+  CoupledNet net = example_coupled_net(1);
+  net.aggressors.clear();
+  net.couplings.clear();
+  SuperpositionEngine eng(net);
+  EXPECT_THROW(align_aggressor_peaks(eng, 1000.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dn

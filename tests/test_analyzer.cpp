@@ -1,0 +1,94 @@
+// Top-level NoiseAnalyzer tests (clarinet/analyzer.*).
+#include "clarinet/analyzer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "rcnet/random_nets.hpp"
+#include "util/units.hpp"
+
+namespace dn {
+namespace {
+
+using namespace dn::units;
+
+AnalyzerConfig fast_config() {
+  AnalyzerConfig c;
+  c.table_spec.search.coarse_points = 17;
+  c.table_spec.search.fine_points = 9;
+  c.table_spec.search.dt = 2 * ps;
+  c.analysis.search.coarse_points = 17;
+  c.analysis.search.fine_points = 9;
+  c.analysis.search.dt = 2 * ps;
+  return c;
+}
+
+TEST(NoiseAnalyzer, AnalyzeProducesDelayNoise) {
+  NoiseAnalyzer analyzer(fast_config());
+  const DelayNoiseResult r = analyzer.analyze(example_coupled_net(1));
+  EXPECT_GT(r.delay_noise(), 10 * ps);
+  EXPECT_GT(r.holding_r, 0.0);
+}
+
+TEST(NoiseAnalyzer, TablesAreCachedPerReceiverCondition) {
+  NoiseAnalyzer analyzer(fast_config());
+  const CoupledNet net = example_coupled_net(1);
+  analyzer.analyze(net);
+  EXPECT_EQ(analyzer.tables_cached(), 1u);
+  analyzer.analyze(net);  // Same receiver/direction: no new table.
+  EXPECT_EQ(analyzer.tables_cached(), 1u);
+
+  CoupledNet other = example_coupled_net(1);
+  other.victim.receiver.size = 4.0;  // New receiver condition.
+  analyzer.analyze(other);
+  EXPECT_EQ(analyzer.tables_cached(), 2u);
+
+  CoupledNet falling = example_coupled_net(1);
+  falling.victim.output_rising = false;
+  falling.aggressors[0].output_rising = true;
+  analyzer.analyze(falling);
+  EXPECT_EQ(analyzer.tables_cached(), 3u);
+}
+
+TEST(NoiseAnalyzer, ExhaustiveModeDominatesPrediction) {
+  AnalyzerConfig pred_cfg = fast_config();
+  NoiseAnalyzer pred(pred_cfg);
+  AnalyzerConfig ex_cfg = fast_config();
+  ex_cfg.use_prediction_tables = false;
+  NoiseAnalyzer ex(ex_cfg);
+  const CoupledNet net = example_coupled_net(1);
+  const double d_pred = pred.analyze(net).delay_noise();
+  const double d_ex = ex.analyze(net).delay_noise();
+  // The coarse-grid "exhaustive" search can be undercut by a few ps of
+  // discretization; the prediction must not beat it by more than that.
+  EXPECT_LE(d_pred, d_ex + 5 * ps);
+  EXPECT_GT(d_pred, 0.6 * d_ex);
+}
+
+TEST(NoiseAnalyzer, ReportMentionsKeyQuantities) {
+  NoiseAnalyzer analyzer(fast_config());
+  const CoupledNet net = example_coupled_net(1);
+  const DelayNoiseResult r = analyzer.analyze(net);
+  std::ostringstream os;
+  analyzer.print_report(os, net, r);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("delay-noise report"), std::string::npos);
+  EXPECT_NE(text.find("transient holding R"), std::string::npos);
+  EXPECT_NE(text.find("alignment"), std::string::npos);
+  EXPECT_NE(text.find("INVX1"), std::string::npos);
+}
+
+TEST(NoiseAnalyzer, WorksAcrossRandomPopulation) {
+  NoiseAnalyzer analyzer(fast_config());
+  Rng rng(31415);
+  for (int i = 0; i < 5; ++i) {
+    const CoupledNet net = random_coupled_net(rng);
+    const DelayNoiseResult r = analyzer.analyze(net);
+    EXPECT_GE(r.delay_noise(), 0.0) << "net " << i;
+    EXPECT_LT(r.delay_noise(), 2 * ns) << "net " << i;
+  }
+}
+
+}  // namespace
+}  // namespace dn

@@ -1,0 +1,108 @@
+// C-effective iteration tests (ceff/effective_capacitance.*).
+#include "ceff/effective_capacitance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/units.hpp"
+
+namespace dn {
+namespace {
+
+using namespace dn::units;
+
+constexpr double kVdd = 1.8;
+
+GateParams driver(double size = 2.0) {
+  GateParams g;
+  g.type = GateType::Inverter;
+  g.size = size;
+  return g;
+}
+
+Pwl vin_fall_out() { return Pwl::ramp(100 * ps, 100 * ps, 0.0, kVdd); }
+
+TEST(Ceff, LumpedLoadIsItsOwnCeff) {
+  // Pure capacitor load: Ceff must converge to (nearly) the total cap.
+  const double c = 80 * fF;
+  LoadBuilder builder = [&](Circuit& ckt) {
+    const NodeId port = ckt.node("port");
+    ckt.add_capacitor(port, kGround, c);
+    return port;
+  };
+  const CeffResult r = compute_ceff(driver(), vin_fall_out(), builder, c);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.ceff, c, 0.08 * c);
+}
+
+TEST(Ceff, ResistiveShieldingReducesCeff) {
+  // Far cap behind a big resistance is partially hidden from the driver.
+  const double c_near = 10 * fF, c_far = 90 * fF, r_shield = 5 * kOhm;
+  LoadBuilder builder = [&](Circuit& ckt) {
+    const NodeId port = ckt.node("port");
+    const NodeId far = ckt.node("far");
+    ckt.add_capacitor(port, kGround, c_near);
+    ckt.add_resistor(port, far, r_shield);
+    ckt.add_capacitor(far, kGround, c_far);
+    return port;
+  };
+  const CeffResult r =
+      compute_ceff(driver(), vin_fall_out(), builder, c_near + c_far);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(r.ceff, 0.85 * (c_near + c_far));
+  EXPECT_GT(r.ceff, c_near);
+}
+
+TEST(Ceff, MoreShieldingMeansSmallerCeff) {
+  auto ceff_with_shield = [&](double r_shield) {
+    LoadBuilder builder = [&](Circuit& ckt) {
+      const NodeId port = ckt.node("port");
+      const NodeId far = ckt.node("far");
+      ckt.add_capacitor(port, kGround, 10 * fF);
+      ckt.add_resistor(port, far, r_shield);
+      ckt.add_capacitor(far, kGround, 90 * fF);
+      return port;
+    };
+    return compute_ceff(driver(), vin_fall_out(), builder, 100 * fF).ceff;
+  };
+  EXPECT_GT(ceff_with_shield(200.0), ceff_with_shield(10 * kOhm));
+}
+
+TEST(Ceff, NetFormMatchesGeneralForm) {
+  const RcTree line = make_line(8, 1 * kOhm, 80 * fF);
+  const CeffResult by_net =
+      compute_ceff_for_net(driver(), vin_fall_out(), line, {}, 5 * fF);
+  LoadBuilder builder = [&](Circuit& ckt) {
+    const auto map = line.instantiate(ckt, "n");
+    ckt.add_capacitor(map[static_cast<std::size_t>(line.sink)], kGround, 5 * fF);
+    return map[0];
+  };
+  const CeffResult by_builder = compute_ceff(
+      driver(), vin_fall_out(), builder, line.total_cap() + 5 * fF);
+  EXPECT_NEAR(by_net.ceff, by_builder.ceff, 0.01 * by_builder.ceff);
+}
+
+TEST(Ceff, ExtraNodeCapsEnterTheLoad) {
+  const RcTree line = make_line(4, 500.0, 40 * fF);
+  const CeffResult plain =
+      compute_ceff_for_net(driver(), vin_fall_out(), line, {}, 0.0);
+  const CeffResult loaded = compute_ceff_for_net(
+      driver(), vin_fall_out(), line, {{0, 30 * fF}}, 0.0);
+  EXPECT_GT(loaded.ceff, plain.ceff + 15 * fF);
+}
+
+TEST(Ceff, ConvergesQuickly) {
+  const RcTree line = make_line(10, 2 * kOhm, 100 * fF);
+  const CeffResult r =
+      compute_ceff_for_net(driver(), vin_fall_out(), line, {}, 10 * fF);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(r.iterations, 10);
+}
+
+TEST(Ceff, InvalidTotalThrows) {
+  LoadBuilder builder = [&](Circuit& ckt) { return ckt.node("p"); };
+  EXPECT_THROW(compute_ceff(driver(), vin_fall_out(), builder, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dn

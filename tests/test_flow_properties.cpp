@@ -1,0 +1,121 @@
+// Cross-cutting property tests: invariants of the full analysis flow over
+// a seeded random population (parameterized gtest sweep).
+#include <gtest/gtest.h>
+
+#include "clarinet/analyzer.hpp"
+#include "core/baselines.hpp"
+#include "rcnet/random_nets.hpp"
+#include "rcnet/spef.hpp"
+#include "util/units.hpp"
+
+#include <sstream>
+
+namespace dn {
+namespace {
+
+using namespace dn::units;
+
+class FlowProperty : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static DelayNoiseOptions fast_exhaustive() {
+    DelayNoiseOptions o;
+    o.method = AlignmentMethod::Exhaustive;
+    o.search.coarse_points = 21;
+    o.search.fine_points = 9;
+    o.search.dt = 2 * ps;
+    return o;
+  }
+};
+
+TEST_P(FlowProperty, AnalysisInvariantsHold) {
+  Rng rng(GetParam());
+  const CoupledNet net = random_coupled_net(rng);
+  SuperpositionEngine eng(net);
+  const DelayNoiseResult r = analyze_delay_noise(eng, fast_exhaustive());
+
+  // Worst-case slowdown noise cannot be negative (up to grid noise).
+  EXPECT_GE(r.delay_noise(), -2 * ps);
+  EXPECT_GE(r.input_delay_noise(), -2 * ps);
+  // Bounded above by something sane (a few transition times).
+  EXPECT_LT(r.delay_noise(), 2 * ns);
+
+  // Composite pulse opposes the victim transition.
+  if (net.victim.output_rising)
+    EXPECT_LT(r.composite.params.height, 0.0);
+  else
+    EXPECT_GT(r.composite.params.height, 0.0);
+  // Pulse height bounded by the rail.
+  EXPECT_LT(std::abs(r.composite.params.height), 1.8);
+
+  // Holding resistance inside the configured clamps and near Rth's decade.
+  EXPECT_GE(r.holding_r, 1.0);
+  EXPECT_GT(r.holding_r, 0.2 * r.rth);
+  EXPECT_LT(r.holding_r, 5.0 * r.rth);
+
+  // Alignment voltage is a real point on the victim swing.
+  EXPECT_GE(r.alignment.align_voltage, -0.2);
+  EXPECT_LE(r.alignment.align_voltage, 2.0);
+
+  // The noiseless transition is monotone-ish: it spans the rails.
+  EXPECT_NEAR(std::abs(r.noiseless_sink.values().front() -
+                       r.noiseless_sink.at(r.noiseless_sink.t_end())),
+              1.8, 0.05);
+}
+
+TEST_P(FlowProperty, SpefRoundTripPreservesAnalysis) {
+  Rng rng(GetParam());
+  const CoupledNet net = random_coupled_net(rng);
+  std::stringstream ss;
+  write_spef(ss, net);
+  const CoupledNet back = read_spef(ss);
+
+  SuperpositionEngine e1(net), e2(back);
+  const DelayNoiseOptions opts = fast_exhaustive();
+  const double d1 = analyze_delay_noise(e1, opts).delay_noise();
+  const double d2 = analyze_delay_noise(e2, opts).delay_noise();
+  EXPECT_NEAR(d1, d2, 0.01 * std::abs(d1) + 0.5 * ps);
+}
+
+TEST_P(FlowProperty, WindowedNeverExceedsUnconstrained) {
+  Rng rng(GetParam());
+  const CoupledNet net = random_coupled_net(rng);
+  SuperpositionEngine eng(net);
+  DelayNoiseOptions free = fast_exhaustive();
+  const DelayNoiseResult r_free = analyze_delay_noise(eng, free);
+
+  DelayNoiseOptions boxed = free;
+  boxed.search.window_min = r_free.alignment.t_peak - 500 * ps;
+  boxed.search.window_max = r_free.alignment.t_peak - 200 * ps;
+  const DelayNoiseResult r_boxed = analyze_delay_noise(eng, boxed);
+  EXPECT_LE(r_boxed.delay_noise(), r_free.delay_noise() + 2 * ps);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowProperty,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u));
+
+// Golden agreement across a small random population (expensive: separate,
+// smaller sweep).
+class GoldenProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GoldenProperty, LinearFlowTracksGolden) {
+  Rng rng(GetParam());
+  const CoupledNet net = random_coupled_net(rng);
+  SuperpositionEngine eng(net);
+  DelayNoiseOptions opts;
+  opts.method = AlignmentMethod::Exhaustive;
+  opts.search.coarse_points = 21;
+  opts.search.fine_points = 9;
+  const DelayNoiseResult r = analyze_delay_noise(eng, opts);
+  const GoldenResult g = golden_nonlinear(net, absolute_shifts(r));
+  if (g.delay_noise() < 10 * ps) GTEST_SKIP() << "noise too small to compare";
+  const double rel =
+      std::abs(r.delay_noise() - g.delay_noise()) / g.delay_noise();
+  EXPECT_LT(rel, 0.35) << "linear " << r.delay_noise() / ps << " ps vs golden "
+                       << g.delay_noise() / ps << " ps";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GoldenProperty,
+                         ::testing::Values(101u, 202u, 303u));
+
+}  // namespace
+}  // namespace dn

@@ -1,0 +1,96 @@
+// Full nonlinear golden baseline tests (core/baselines.*).
+#include "core/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/delay_noise.hpp"
+#include "rcnet/random_nets.hpp"
+#include "util/units.hpp"
+
+namespace dn {
+namespace {
+
+using namespace dn::units;
+
+TEST(Golden, NominalTransitionSpansRails) {
+  const CoupledNet net = example_coupled_net(1);
+  const GoldenResult g = golden_nonlinear(net, {0.0});
+  EXPECT_NEAR(g.noiseless_sink.values().front(), 0.0, 0.03);
+  EXPECT_NEAR(g.noiseless_sink.at(g.noiseless_sink.t_end()), 1.8, 0.03);
+  // Receiver inverts: output ends low.
+  EXPECT_NEAR(g.receiver_out_nominal.at(g.receiver_out_nominal.t_end()), 0.0,
+              0.03);
+  EXPECT_GT(g.nominal_t50, 0.0);
+  EXPECT_GT(g.nominal_input_t50, 0.0);
+}
+
+TEST(Golden, OpposingAggressorAddsDelay) {
+  const CoupledNet net = example_coupled_net(1);
+  SuperpositionEngine eng(net);
+  DelayNoiseOptions opts;
+  opts.method = AlignmentMethod::Exhaustive;
+  const DelayNoiseResult r = analyze_delay_noise(eng, opts);
+  const GoldenResult g = golden_nonlinear(net, absolute_shifts(r));
+  EXPECT_GT(g.delay_noise(), 20 * ps);
+  EXPECT_GT(g.input_delay_noise(), 20 * ps);
+}
+
+TEST(Golden, FarShiftedAggressorIsHarmless) {
+  // An aggressor switching long after the victim has settled cannot change
+  // the victim's measured delay...
+  const CoupledNet net = example_coupled_net(1);
+  SuperpositionOptions sup;
+  sup.horizon = 8 * ns;  // Room for the late aggressor to settle too.
+  const GoldenResult g = golden_nonlinear(net, {3 * ns}, sup);
+  EXPECT_NEAR(g.delay_noise(), 0.0, 3 * ps);
+}
+
+TEST(Golden, MoreCouplingMoreDelayNoise) {
+  auto noise_for = [](double scale) {
+    CoupledNet net = example_coupled_net(1);
+    for (auto& cc : net.couplings) cc.c *= scale;
+    SuperpositionEngine eng(net);
+    DelayNoiseOptions opts;
+    opts.method = AlignmentMethod::Exhaustive;
+    const DelayNoiseResult r = analyze_delay_noise(eng, opts);
+    return golden_nonlinear(net, absolute_shifts(r)).delay_noise();
+  };
+  EXPECT_GT(noise_for(1.0), noise_for(0.4) + 10 * ps);
+}
+
+TEST(Golden, FallingVictimMirrors) {
+  CoupledNet net = example_coupled_net(1);
+  net.victim.output_rising = false;
+  net.aggressors[0].output_rising = true;
+  SuperpositionEngine eng(net);
+  DelayNoiseOptions opts;
+  opts.method = AlignmentMethod::Exhaustive;
+  const DelayNoiseResult r = analyze_delay_noise(eng, opts);
+  const GoldenResult g = golden_nonlinear(net, absolute_shifts(r));
+  EXPECT_GT(g.delay_noise(), 20 * ps);
+  // Falling victim: sink ends low, receiver output ends high.
+  EXPECT_NEAR(g.noiseless_sink.at(g.noiseless_sink.t_end()), 0.0, 0.03);
+  EXPECT_NEAR(g.receiver_out_nominal.at(g.receiver_out_nominal.t_end()), 1.8,
+              0.03);
+}
+
+TEST(Golden, TwoAggressorsBeatOne) {
+  // Same total coupling split across two aligned aggressors must produce
+  // at least comparable noise to one (both opposing).
+  CoupledNet one = example_coupled_net(1);
+  CoupledNet two = example_coupled_net(2);
+  auto analyze = [](const CoupledNet& net) {
+    SuperpositionEngine eng(net);
+    DelayNoiseOptions opts;
+    opts.method = AlignmentMethod::Exhaustive;
+    const DelayNoiseResult r = analyze_delay_noise(eng, opts);
+    return golden_nonlinear(net, absolute_shifts(r)).delay_noise();
+  };
+  const double d1 = analyze(one);
+  const double d2 = analyze(two);
+  EXPECT_GT(d2, 0.6 * d1);  // Same total coupling: same ballpark.
+  EXPECT_LT(d2, 1.6 * d1);
+}
+
+}  // namespace
+}  // namespace dn

@@ -1,0 +1,118 @@
+// Unit tests for dense matrices and LU factorization (matrix/dense.*).
+#include "matrix/dense.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace dn {
+namespace {
+
+TEST(Matrix, IdentityAndMultiply) {
+  const Matrix eye = Matrix::identity(3);
+  Matrix a(3, 3);
+  int v = 1;
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c) a(r, c) = v++;
+  const Matrix prod = eye * a;
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(prod(r, c), a(r, c));
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+  Matrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 2) = 5;
+  a(1, 1) = -2;
+  const Matrix att = a.transposed().transposed();
+  EXPECT_DOUBLE_EQ((a - att).norm(), 0.0);
+}
+
+TEST(Matrix, MatrixVectorProduct) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  const Vector y = a * Vector{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a(2, 3), b(2, 3);
+  EXPECT_THROW(a * b, std::invalid_argument);
+  EXPECT_THROW(a * Vector{1.0}, std::invalid_argument);
+}
+
+TEST(Lu, SolvesKnownSystem) {
+  Matrix a(2, 2);
+  a(0, 0) = 2;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 3;
+  LuFactor lu(a);
+  const Vector x = lu.solve(Vector{3.0, 5.0});
+  EXPECT_NEAR(x[0], 0.8, 1e-12);
+  EXPECT_NEAR(x[1], 1.4, 1e-12);
+}
+
+TEST(Lu, RequiresPivoting) {
+  // Zero on the leading diagonal forces a row swap.
+  Matrix a(2, 2);
+  a(0, 0) = 0;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 0;
+  LuFactor lu(a);
+  const Vector x = lu.solve(Vector{2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Lu, SingularThrows) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 4;
+  EXPECT_THROW(LuFactor{a}, std::runtime_error);
+}
+
+TEST(Lu, RandomRoundTrip) {
+  // Property: for random well-conditioned A and x, solve(A, A*x) == x.
+  Rng rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(2, 30));
+    Matrix a(n, n);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.uniform(-1, 1);
+      a(r, r) += 4.0;  // Diagonal dominance keeps the condition number sane.
+    }
+    Vector x(n);
+    for (auto& v : x) v = rng.uniform(-10, 10);
+    const Vector b = a * x;
+    LuFactor lu(a);
+    const Vector got = lu.solve(b);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(got[i], x[i], 1e-8);
+  }
+}
+
+TEST(Lu, NotSquareThrows) {
+  EXPECT_THROW(LuFactor{Matrix(2, 3)}, std::invalid_argument);
+}
+
+TEST(VectorOps, DotNormAxpyScale) {
+  Vector a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+  EXPECT_DOUBLE_EQ(norm2(Vector{3, 4}), 5.0);
+  axpy(2.0, a, b);
+  EXPECT_DOUBLE_EQ(b[2], 12.0);
+  scale(a, -1.0);
+  EXPECT_DOUBLE_EQ(a[0], -1.0);
+}
+
+}  // namespace
+}  // namespace dn

@@ -1,0 +1,127 @@
+// Unit tests for the square-law MOSFET model (devices/mosfet.*).
+#include "devices/mosfet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dn {
+namespace {
+
+MosfetParams nmos() {
+  MosfetParams p;
+  p.type = MosType::Nmos;
+  return p;
+}
+
+MosfetParams pmos() {
+  MosfetParams p;
+  p.type = MosType::Pmos;
+  p.kp = 60e-6;
+  return p;
+}
+
+TEST(Mosfet, CutoffCurrentIsNegligible) {
+  const auto e = mosfet_eval(nmos(), 1.8, 0.2, 0.0);  // vgs < vt.
+  EXPECT_LT(std::abs(e.id), 1e-10);
+}
+
+TEST(Mosfet, SaturationCurrentMatchesFormula) {
+  const MosfetParams p = nmos();
+  const double vgs = 1.8, vds = 1.8;
+  const auto e = mosfet_eval(p, vds, vgs, 0.0);
+  const double beta = p.kp * p.w / p.l;
+  const double expect =
+      0.5 * beta * (vgs - p.vt) * (vgs - p.vt) * (1 + p.lambda * vds);
+  EXPECT_NEAR(e.id, expect, 1e-12);
+  EXPECT_GT(e.gds, 0.0);  // Channel-length modulation.
+}
+
+TEST(Mosfet, TriodeCurrentMatchesFormula) {
+  const MosfetParams p = nmos();
+  const double vgs = 1.8, vds = 0.2;
+  const auto e = mosfet_eval(p, vds, vgs, 0.0);
+  const double beta = p.kp * p.w / p.l;
+  const double expect =
+      beta * ((vgs - p.vt) * vds - 0.5 * vds * vds) * (1 + p.lambda * vds);
+  EXPECT_NEAR(e.id, expect, 1e-12);
+}
+
+TEST(Mosfet, ContinuousAcrossSaturationBoundary) {
+  const MosfetParams p = nmos();
+  const double vgs = 1.0;
+  const double vdsat = vgs - p.vt;
+  const auto lo = mosfet_eval(p, vdsat - 1e-9, vgs, 0.0);
+  const auto hi = mosfet_eval(p, vdsat + 1e-9, vgs, 0.0);
+  EXPECT_NEAR(lo.id, hi.id, 1e-9 * std::abs(hi.id) + 1e-15);
+  EXPECT_NEAR(lo.gm, hi.gm, 1e-6 * std::abs(hi.gm) + 1e-12);
+}
+
+TEST(Mosfet, SymmetricUnderTerminalSwap) {
+  // Swapping drain and source negates the current (no body effect here).
+  const MosfetParams p = nmos();
+  const auto fwd = mosfet_eval(p, 0.9, 1.4, 0.3);
+  const auto rev = mosfet_eval(p, 0.3, 1.4, 0.9);
+  EXPECT_NEAR(fwd.id, -rev.id, 1e-15);
+}
+
+TEST(Mosfet, PmosMirrorsNmos) {
+  MosfetParams pp = pmos();
+  MosfetParams pn = pp;
+  pn.type = MosType::Nmos;
+  // PMOS at (vd, vg, vs) equals -NMOS at mirrored voltages.
+  const auto ep = mosfet_eval(pp, 0.0, 0.0, 1.8);  // Conducting PMOS.
+  const auto en = mosfet_eval(pn, 0.0, 0.0, -1.8);
+  EXPECT_NEAR(ep.id, -en.id, 1e-15);
+  EXPECT_LT(ep.id, 0.0);  // Current flows source->drain inside PMOS.
+}
+
+TEST(Mosfet, DerivativesMatchFiniteDifferences) {
+  const MosfetParams p = nmos();
+  const double h = 1e-7;
+  for (double vd : {0.1, 0.5, 1.0, 1.8}) {
+    for (double vg : {0.3, 0.8, 1.2, 1.8}) {
+      const auto e = mosfet_eval(p, vd, vg, 0.0);
+      const double gm_fd =
+          (mosfet_eval(p, vd, vg + h, 0.0).id - mosfet_eval(p, vd, vg - h, 0.0).id) /
+          (2 * h);
+      const double gds_fd =
+          (mosfet_eval(p, vd + h, vg, 0.0).id - mosfet_eval(p, vd - h, vg, 0.0).id) /
+          (2 * h);
+      EXPECT_NEAR(e.gm, gm_fd, 1e-6 * std::abs(gm_fd) + 1e-9) << vd << "," << vg;
+      EXPECT_NEAR(e.gds, gds_fd, 1e-6 * std::abs(gds_fd) + 1e-9) << vd << "," << vg;
+    }
+  }
+}
+
+TEST(Mosfet, SwappedDerivativesMatchFiniteDifferences) {
+  // Exercise the source/drain-swapped branch (vd < vs).
+  const MosfetParams p = nmos();
+  const double h = 1e-7;
+  const double vd = 0.2, vg = 1.5, vs = 0.9;
+  const auto e = mosfet_eval(p, vd, vg, vs);
+  const double gm_fd =
+      (mosfet_eval(p, vd, vg + h, vs).id - mosfet_eval(p, vd, vg - h, vs).id) /
+      (2 * h);
+  const double gds_fd =
+      (mosfet_eval(p, vd + h, vg, vs).id - mosfet_eval(p, vd - h, vg, vs).id) /
+      (2 * h);
+  const double gs_fd =
+      (mosfet_eval(p, vd, vg, vs + h).id - mosfet_eval(p, vd, vg, vs - h).id) /
+      (2 * h);
+  EXPECT_NEAR(e.gm, gm_fd, 1e-6 * std::abs(gm_fd) + 1e-12);
+  EXPECT_NEAR(e.gds, gds_fd, 1e-6 * std::abs(gds_fd) + 1e-12);
+  EXPECT_NEAR(-(e.gm + e.gds), gs_fd, 1e-6 * std::abs(gs_fd) + 1e-12);
+}
+
+TEST(Mosfet, DeviceCapsScaleWithWidth) {
+  MosfetParams p = nmos();
+  p.w = 2e-6;
+  const double cgs1 = p.cgs();
+  p.w = 4e-6;
+  EXPECT_NEAR(p.cgs(), 2 * cgs1, 1e-22);
+  EXPECT_GT(p.cdb(), 0.0);
+}
+
+}  // namespace
+}  // namespace dn

@@ -1,0 +1,133 @@
+// Tests for characterization-table persistence and STA slack reporting.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ceff/thevenin_table.hpp"
+#include "core/alignment_table.hpp"
+#include "sta/timing_graph.hpp"
+#include "util/units.hpp"
+
+namespace dn {
+namespace {
+
+using namespace dn::units;
+
+AlignmentTableSpec fast_spec() {
+  AlignmentTableSpec s;
+  s.search.coarse_points = 17;
+  s.search.fine_points = 9;
+  s.search.dt = 2 * ps;
+  return s;
+}
+
+TEST(AlignmentTablePersistence, RoundTripIsExact) {
+  GateParams rcv;
+  rcv.size = 2.0;
+  const AlignmentTable tbl =
+      AlignmentTable::characterize(rcv, true, fast_spec());
+  std::stringstream ss;
+  tbl.save(ss);
+  const AlignmentTable back = AlignmentTable::load(ss);
+
+  for (int si = 0; si < 2; ++si)
+    for (int wi = 0; wi < 2; ++wi)
+      for (int hi = 0; hi < 2; ++hi)
+        EXPECT_DOUBLE_EQ(back.alignment_voltage(si, wi, hi),
+                         tbl.alignment_voltage(si, wi, hi));
+  EXPECT_EQ(back.victim_rising(), tbl.victim_rising());
+  EXPECT_DOUBLE_EQ(back.spec().slew_min, tbl.spec().slew_min);
+  EXPECT_DOUBLE_EQ(back.receiver().size, 2.0);
+
+  // Predictions from the loaded table are identical.
+  const Pwl ramp = Pwl::ramp(2 * ns, 200 * ps, 0.0, 1.8);
+  PulseParams p;
+  p.height = -0.35;
+  p.width = 120 * ps;
+  p.t_peak = 2 * ns;
+  EXPECT_DOUBLE_EQ(back.predict_peak_time(ramp, p),
+                   tbl.predict_peak_time(ramp, p));
+}
+
+TEST(AlignmentTablePersistence, RejectsGarbage) {
+  std::stringstream bad("not-a-table 7\n");
+  EXPECT_THROW(AlignmentTable::load(bad), std::runtime_error);
+  std::stringstream truncated("dnoise-alignment-table 1\n0 1 1.8");
+  EXPECT_THROW(AlignmentTable::load(truncated), std::runtime_error);
+}
+
+TEST(TheveninTablePersistence, RoundTripIsExact) {
+  GateParams g;
+  const TheveninTable tbl = TheveninTable::characterize(
+      g, false, {100 * ps, 300 * ps}, {20 * fF, 80 * fF});
+  std::stringstream ss;
+  tbl.save(ss);
+  const TheveninTable back = TheveninTable::load(ss);
+  ASSERT_EQ(back.slews().size(), 2u);
+  ASSERT_EQ(back.cloads().size(), 2u);
+  EXPECT_FALSE(back.output_rising());
+  for (std::size_t si = 0; si < 2; ++si)
+    for (std::size_t ci = 0; ci < 2; ++ci) {
+      EXPECT_DOUBLE_EQ(back.at(si, ci).rth, tbl.at(si, ci).rth);
+      EXPECT_DOUBLE_EQ(back.at(si, ci).tr, tbl.at(si, ci).tr);
+      EXPECT_DOUBLE_EQ(back.at(si, ci).t0, tbl.at(si, ci).t0);
+    }
+  const TheveninModel a = tbl.lookup(180 * ps, 50 * fF, 1 * ns);
+  const TheveninModel b = back.lookup(180 * ps, 50 * fF, 1 * ns);
+  EXPECT_DOUBLE_EQ(a.rth, b.rth);
+  EXPECT_DOUBLE_EQ(a.t0, b.t0);
+}
+
+TEST(TheveninTablePersistence, RejectsGarbage) {
+  std::stringstream bad("dnoise-thevenin-table 99\n");
+  EXPECT_THROW(TheveninTable::load(bad), std::runtime_error);
+  std::stringstream huge("dnoise-thevenin-table 1\n1\n99999999 2\n");
+  EXPECT_THROW(TheveninTable::load(huge), std::runtime_error);
+}
+
+TEST(Slack, ReportsWorstEndpoint) {
+  TimingGraph g;
+  const int a = g.add_primary_input("a", 0.0, 100 * ps);
+  const int n1 = g.add_net("n1");
+  const int n2 = g.add_net("n2");
+  g.add_gate(n1, {a}, 200 * ps);
+  g.add_gate(n2, {a}, 400 * ps);
+  g.set_required(n1, 500 * ps);
+  g.set_required(n2, 520 * ps);
+  const auto w = g.compute_windows();
+  const auto rep = g.compute_slack(w);
+  ASSERT_EQ(rep.endpoints.size(), 2u);
+  // n1: 500 - 300 = 200 ps; n2: 520 - 500 = 20 ps -> worst.
+  EXPECT_NEAR(rep.worst_slack, 20 * ps, 1e-15);
+  EXPECT_EQ(rep.worst_endpoint, n2);
+}
+
+TEST(Slack, NoiseErodesSlack) {
+  TimingGraph g;
+  const int a = g.add_primary_input("a", 0.0, 0.0);
+  const int n1 = g.add_net("n1");
+  g.add_gate(n1, {a}, 300 * ps);
+  g.set_required(n1, 350 * ps);
+  const auto clean = g.compute_slack(g.compute_windows());
+  EXPECT_NEAR(clean.worst_slack, 50 * ps, 1e-15);
+
+  std::vector<double> extra(static_cast<std::size_t>(g.num_nets()), 0.0);
+  extra[static_cast<std::size_t>(n1)] = 80 * ps;  // Crosstalk delay noise.
+  const auto noisy = g.compute_slack(g.compute_windows(extra));
+  EXPECT_NEAR(noisy.worst_slack, -30 * ps, 1e-15);  // Violation.
+}
+
+TEST(Slack, ValidationErrors) {
+  TimingGraph g;
+  const int a = g.add_primary_input("a", 0.0, 0.0);
+  EXPECT_THROW(g.set_required(9, 1e-9), std::invalid_argument);
+  EXPECT_THROW(g.compute_slack(g.compute_windows()), std::runtime_error);
+  g.set_required(a, 1e-9);
+  g.set_required(a, 2e-9);  // Update, not duplicate.
+  const auto rep = g.compute_slack(g.compute_windows());
+  EXPECT_EQ(rep.endpoints.size(), 1u);
+  EXPECT_NEAR(rep.worst_slack, 2e-9, 1e-15);
+}
+
+}  // namespace
+}  // namespace dn

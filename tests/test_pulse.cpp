@@ -1,0 +1,96 @@
+// Unit tests for canonical noise pulses (waveform/pulse.*).
+#include "waveform/pulse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "util/units.hpp"
+
+namespace dn {
+namespace {
+
+using namespace dn::units;
+
+TEST(TrianglePulse, ParametersRoundTrip) {
+  const Pwl p = triangle_pulse(0.5, 200 * ps, 1 * ns);
+  const PulseParams m = measure_pulse(p);
+  EXPECT_NEAR(m.height, 0.5, 1e-12);
+  EXPECT_NEAR(m.width, 200 * ps, 1e-15);
+  EXPECT_NEAR(m.t_peak, 1 * ns, 1e-15);
+}
+
+TEST(TrianglePulse, NegativeHeight) {
+  const Pwl p = triangle_pulse(-0.4, 100 * ps, 0.5 * ns);
+  const PulseParams m = measure_pulse(p);
+  EXPECT_NEAR(m.height, -0.4, 1e-12);
+  EXPECT_NEAR(m.width, 100 * ps, 1e-15);
+}
+
+TEST(RaisedCosinePulse, ParametersRoundTrip) {
+  const Pwl p = raised_cosine_pulse(0.7, 300 * ps, 2 * ns);
+  const PulseParams m = measure_pulse(p);
+  EXPECT_NEAR(m.height, 0.7, 1e-6);
+  EXPECT_NEAR(m.width, 300 * ps, 5 * ps);  // Sampled shape: small tolerance.
+  EXPECT_NEAR(m.t_peak, 2 * ns, 10 * ps);
+  EXPECT_DOUBLE_EQ(p.values().front(), 0.0);
+  EXPECT_DOUBLE_EQ(p.values().back(), 0.0);
+}
+
+TEST(DoubleExpPulse, ParametersRoundTrip) {
+  const Pwl p = double_exp_pulse(0.6, 150 * ps, 1 * ns);
+  const PulseParams m = measure_pulse(p);
+  EXPECT_NEAR(m.height, 0.6, 2e-3);  // Peak lies between samples.
+  EXPECT_NEAR(m.width, 150 * ps, 8 * ps);
+  EXPECT_NEAR(m.t_peak, 1 * ns, 8 * ps);
+}
+
+TEST(DoubleExpPulse, AsymmetryShiftsTail) {
+  // Larger asym -> slower decay -> trailing half-width exceeds leading.
+  const Pwl p = double_exp_pulse(1.0, 100 * ps, 0.0, /*asym=*/6.0, 513);
+  const PulseParams m = measure_pulse(p);
+  const double t_half_lead = *p.crossing(0.5, true);
+  const double t_half_trail = *p.crossing(0.5, false, m.t_peak);
+  EXPECT_GT(t_half_trail - m.t_peak, m.t_peak - t_half_lead);
+}
+
+TEST(PulseValidation, BadArgumentsThrow) {
+  EXPECT_THROW(triangle_pulse(1.0, 0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(raised_cosine_pulse(1.0, -1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(raised_cosine_pulse(1.0, 1.0, 0.0, 2), std::invalid_argument);
+  EXPECT_THROW(double_exp_pulse(1.0, 1.0, 0.0, 0.5), std::invalid_argument);
+}
+
+TEST(MeasurePulse, EmptyWaveform) {
+  const PulseParams m = measure_pulse(Pwl{});
+  EXPECT_DOUBLE_EQ(m.height, 0.0);
+  EXPECT_DOUBLE_EQ(m.width, 0.0);
+}
+
+// Property sweep: every shape must reproduce its requested (height, width)
+// within sampling tolerance across a parameter grid.
+class PulseShapeSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(PulseShapeSweep, AllShapesRoundTrip) {
+  const auto [h, w] = GetParam();
+  for (int shape = 0; shape < 3; ++shape) {
+    Pwl p;
+    switch (shape) {
+      case 0: p = triangle_pulse(h, w, 1 * ns); break;
+      case 1: p = raised_cosine_pulse(h, w, 1 * ns, 129); break;
+      default: p = double_exp_pulse(h, w, 1 * ns, 3.0, 513); break;
+    }
+    const PulseParams m = measure_pulse(p);
+    EXPECT_NEAR(m.height, h, 1e-3 * std::abs(h)) << "shape " << shape;
+    EXPECT_NEAR(m.width, w, 0.05 * w) << "shape " << shape;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    HeightsAndWidths, PulseShapeSweep,
+    ::testing::Combine(::testing::Values(0.1, 0.45, 0.9, -0.3),
+                       ::testing::Values(50 * ps, 200 * ps, 800 * ps)));
+
+}  // namespace
+}  // namespace dn

@@ -1,0 +1,138 @@
+// Unit tests for piecewise-linear waveforms (waveform/pwl.*).
+#include "waveform/pwl.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/units.hpp"
+
+namespace dn {
+namespace {
+
+using namespace dn::units;
+
+TEST(Pwl, RampEvaluation) {
+  const Pwl r = Pwl::ramp(1 * ns, 2 * ns, 0.0, 1.8);
+  EXPECT_DOUBLE_EQ(r.at(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(r.at(1 * ns), 0.0);
+  EXPECT_DOUBLE_EQ(r.at(2 * ns), 0.9);
+  EXPECT_DOUBLE_EQ(r.at(3 * ns), 1.8);
+  EXPECT_DOUBLE_EQ(r.at(10 * ns), 1.8);  // Held after the ramp.
+}
+
+TEST(Pwl, InvariantViolationsThrow) {
+  EXPECT_THROW(Pwl({1.0, 1.0}, {0.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Pwl({1.0, 0.5}, {0.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Pwl({0.0}, {0.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Pwl::ramp(0, -1 * ns, 0, 1), std::invalid_argument);
+}
+
+TEST(Pwl, SlopeInsideSegments) {
+  const Pwl r = Pwl::ramp(0.0, 1.0, 0.0, 2.0);
+  EXPECT_DOUBLE_EQ(r.slope_at(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(r.slope_at(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(r.slope_at(2.0), 0.0);
+}
+
+TEST(Pwl, AdditionOnMergedGrid) {
+  const Pwl a = Pwl::ramp(0.0, 1.0, 0.0, 1.0);
+  const Pwl b = Pwl::ramp(0.5, 1.0, 0.0, 1.0);
+  const Pwl sum = a + b;
+  EXPECT_DOUBLE_EQ(sum.at(0.25), 0.25);
+  EXPECT_DOUBLE_EQ(sum.at(0.75), 0.75 + 0.25);
+  EXPECT_DOUBLE_EQ(sum.at(2.0), 2.0);
+}
+
+TEST(Pwl, SubtractionCancelsExactly) {
+  const Pwl a = Pwl::ramp(0.0, 1.0, 0.0, 1.8);
+  const Pwl diff = a - a;
+  EXPECT_DOUBLE_EQ(diff.max_value(), 0.0);
+  EXPECT_DOUBLE_EQ(diff.min_value(), 0.0);
+}
+
+TEST(Pwl, ScaleShiftPlusConstant) {
+  const Pwl a = Pwl::ramp(0.0, 1.0, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(a.scaled(2.0).at(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(a.shifted(1.0).at(1.5), 0.5);
+  EXPECT_DOUBLE_EQ(a.plus_constant(1.0).at(0.0), 1.0);
+}
+
+TEST(Pwl, CrossingRisingAndFalling) {
+  const Pwl tri({0, 1, 2}, {0, 1, 0});
+  const auto up = tri.crossing(0.5, true);
+  ASSERT_TRUE(up.has_value());
+  EXPECT_DOUBLE_EQ(*up, 0.5);
+  const auto down = tri.crossing(0.5, false);
+  ASSERT_TRUE(down.has_value());
+  EXPECT_DOUBLE_EQ(*down, 1.5);
+  EXPECT_FALSE(tri.crossing(2.0).has_value());
+}
+
+TEST(Pwl, CrossingFromOffset) {
+  const Pwl w({0, 1, 2, 3, 4}, {0, 1, 0, 1, 0});
+  const auto c = w.crossing(0.5, true, 1.5);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_DOUBLE_EQ(*c, 2.5);
+}
+
+TEST(Pwl, LastCrossing) {
+  const Pwl w({0, 1, 2, 3, 4}, {0, 1, 0, 1, 0});
+  const auto c = w.last_crossing(0.5);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_DOUBLE_EQ(*c, 3.5);
+}
+
+TEST(Pwl, PeakAndWidth) {
+  const Pwl tri({0, 1, 2}, {0, 1, 0});
+  const auto p = tri.peak();
+  EXPECT_DOUBLE_EQ(p.t, 1.0);
+  EXPECT_DOUBLE_EQ(p.value, 1.0);
+  EXPECT_DOUBLE_EQ(tri.width_at_fraction(0.5), 1.0);  // FWHM of unit triangle.
+}
+
+TEST(Pwl, NegativePulsePeak) {
+  const Pwl dip({0, 1, 2}, {0, -2, 0});
+  const auto p = dip.peak();
+  EXPECT_DOUBLE_EQ(p.value, -2.0);
+  EXPECT_DOUBLE_EQ(dip.width_at_fraction(0.5), 1.0);
+}
+
+TEST(Pwl, SlewOfRamp) {
+  const Pwl r = Pwl::ramp(0.0, 1.0, 0.0, 1.0);
+  const auto s = r.slew(0.0, 1.0);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_NEAR(*s, 0.8, 1e-12);
+}
+
+TEST(Pwl, SlewOfFallingEdge) {
+  const Pwl r = Pwl::ramp(0.0, 1.0, 1.0, 0.0);
+  const auto s = r.slew(0.0, 1.0);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_NEAR(*s, 0.8, 1e-12);
+}
+
+TEST(Pwl, IntegralOfTriangle) {
+  const Pwl tri({0, 1, 2}, {0, 1, 0});
+  EXPECT_DOUBLE_EQ(tri.integral(), 1.0);
+}
+
+TEST(Pwl, ResampleAndClip) {
+  const Pwl r = Pwl::ramp(0.0, 1.0, 0.0, 1.0);
+  const Pwl rs = r.resampled(0.0, 2.0, 21);
+  EXPECT_EQ(rs.size(), 21u);
+  EXPECT_DOUBLE_EQ(rs.at(0.5), 0.5);
+  const Pwl cl = r.clipped(0.25, 0.75);
+  EXPECT_DOUBLE_EQ(cl.t_begin(), 0.25);
+  EXPECT_DOUBLE_EQ(cl.t_end(), 0.75);
+  EXPECT_DOUBLE_EQ(cl.at(0.5), 0.5);
+}
+
+TEST(Pwl, EmptyBehaviour) {
+  const Pwl e;
+  EXPECT_TRUE(e.empty());
+  EXPECT_DOUBLE_EQ(e.at(1.0), 0.0);
+  const Pwl r = Pwl::ramp(0.0, 1.0, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ((e + r).at(1.0), 1.0);
+}
+
+}  // namespace
+}  // namespace dn

@@ -1,0 +1,101 @@
+// Synthetic workload generator tests (rcnet/random_nets.*).
+#include "rcnet/random_nets.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/units.hpp"
+
+namespace dn {
+namespace {
+
+using namespace dn::units;
+
+TEST(RandomNets, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  const CoupledNet na = random_coupled_net(a);
+  const CoupledNet nb = random_coupled_net(b);
+  EXPECT_EQ(na.aggressors.size(), nb.aggressors.size());
+  EXPECT_EQ(na.victim.net.num_nodes, nb.victim.net.num_nodes);
+  EXPECT_DOUBLE_EQ(na.victim.input_slew, nb.victim.input_slew);
+  EXPECT_DOUBLE_EQ(na.total_coupling_cap(), nb.total_coupling_cap());
+  ASSERT_EQ(na.couplings.size(), nb.couplings.size());
+  for (std::size_t i = 0; i < na.couplings.size(); ++i)
+    EXPECT_DOUBLE_EQ(na.couplings[i].c, nb.couplings[i].c);
+}
+
+TEST(RandomNets, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  const CoupledNet na = random_coupled_net(a);
+  const CoupledNet nb = random_coupled_net(b);
+  // At least one of these must differ (probability of collision ~ 0).
+  const bool differ = na.victim.net.num_nodes != nb.victim.net.num_nodes ||
+                      na.victim.input_slew != nb.victim.input_slew ||
+                      na.total_coupling_cap() != nb.total_coupling_cap();
+  EXPECT_TRUE(differ);
+}
+
+TEST(RandomNets, PopulationRespectsConfigBounds) {
+  RandomNetConfig cfg;
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    const CoupledNet net = random_coupled_net(rng, cfg);
+    EXPECT_NO_THROW(net.validate());
+    EXPECT_GE(static_cast<int>(net.aggressors.size()), cfg.min_aggressors);
+    EXPECT_LE(static_cast<int>(net.aggressors.size()), cfg.max_aggressors);
+    EXPECT_GE(net.victim.input_slew, cfg.slew_min);
+    EXPECT_LE(net.victim.input_slew, cfg.slew_max);
+    EXPECT_GE(net.victim.receiver_load, cfg.rcv_load_min * 0.99);
+    EXPECT_LE(net.victim.receiver_load, cfg.rcv_load_max * 1.01);
+    // Aggressors always oppose the victim.
+    for (const auto& agg : net.aggressors)
+      EXPECT_NE(agg.output_rising, net.victim.output_rising);
+    // Coupling total within the configured ratio of the victim wire cap.
+    const double ratio = net.total_coupling_cap() / net.victim.net.total_cap();
+    EXPECT_GE(ratio, cfg.coupling_ratio_min * 0.99);
+    EXPECT_LE(ratio, cfg.coupling_ratio_max * 1.01);
+  }
+}
+
+TEST(RandomNets, ExampleNetIsStable) {
+  const CoupledNet net = example_coupled_net(1);
+  EXPECT_NO_THROW(net.validate());
+  EXPECT_EQ(net.aggressors.size(), 1u);
+  EXPECT_TRUE(net.victim.output_rising);
+  EXPECT_FALSE(net.aggressors[0].output_rising);
+  EXPECT_NEAR(net.total_coupling_cap(), 40 * fF, 1e-18);
+
+  const CoupledNet net2 = example_coupled_net(2);
+  EXPECT_EQ(net2.aggressors.size(), 2u);
+  EXPECT_NEAR(net2.total_coupling_cap(), 40 * fF, 1e-18);
+}
+
+TEST(Rng, UniformBoundsAndChance) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const int k = rng.uniform_int(3, 7);
+    EXPECT_GE(k, 3);
+    EXPECT_LE(k, 7);
+    const double lg = rng.log_uniform(10.0, 1000.0);
+    EXPECT_GE(lg, 10.0);
+    EXPECT_LE(lg, 1000.0);
+  }
+}
+
+TEST(Rng, LogUniformCoversDecades) {
+  Rng rng(5);
+  int low = 0, high = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const double v = rng.log_uniform(1.0, 100.0);
+    if (v < 10.0) ++low;
+    else ++high;
+  }
+  // Log-uniform: each decade gets ~half the mass.
+  EXPECT_GT(low, 800);
+  EXPECT_GT(high, 800);
+}
+
+}  // namespace
+}  // namespace dn

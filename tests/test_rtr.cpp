@@ -1,0 +1,126 @@
+// Transient holding resistance tests (core/holding_resistance.*).
+//
+// The load-bearing physics: a CMOS driver's small-signal output
+// conductance dips (saturated pull device) mid-transition and is strong
+// (triode) near the rails. Rtr must therefore EXCEED Rth when the noise
+// lands early in the transition and fall at/below Rth when it lands late.
+#include "core/holding_resistance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/composite_pulse.hpp"
+#include "rcnet/random_nets.hpp"
+#include "util/units.hpp"
+
+namespace dn {
+namespace {
+
+using namespace dn::units;
+
+CoupledNet slow_victim_net() {
+  CoupledNet net = example_coupled_net(1);
+  net.victim.input_slew = 400 * ps;
+  net.aggressors[0].input_slew = 50 * ps;
+  return net;
+}
+
+/// Shifts that place the composite peak where the noiseless SINK waveform
+/// crosses `level` (rising victim).
+std::vector<double> shifts_for_level(const SuperpositionEngine& eng,
+                                     double level) {
+  const auto& vt = eng.victim_transition();
+  const auto t_tgt = vt.at_sink.crossing(level, true);
+  EXPECT_TRUE(t_tgt.has_value());
+  auto comp = align_aggressor_peaks(eng, eng.victim_model().model.rth);
+  std::vector<double> shifts = comp.shifts;
+  for (double& s : shifts) s += *t_tgt - comp.params.t_peak;
+  return shifts;
+}
+
+TEST(Differentiate, RampSlope) {
+  // Ramp to 1.0 over [0, 1ns], then flat until 2ns.
+  const Pwl r({0.0, 1 * ns, 2 * ns}, {0.0, 1.0, 1.0});
+  const Pwl d = differentiate(r, 1 * ps);
+  EXPECT_NEAR(d.at(0.5 * ns), 1.0 / (1 * ns), 1e6);  // 1e9 1/s, 0.1% tol.
+  EXPECT_NEAR(d.at(1.5 * ns), 0.0, 1e6);
+}
+
+TEST(Differentiate, EmptyAndConstant) {
+  EXPECT_TRUE(differentiate(Pwl{}, 1e-12).empty());
+  const Pwl c = Pwl::constant(2.0, 0.0, 1e-9);
+  const Pwl d = differentiate(c, 1e-12);
+  EXPECT_NEAR(d.max_value(), 0.0, 1e-9);
+}
+
+TEST(Rtr, EarlyInjectionRaisesHoldingResistance) {
+  const CoupledNet net = slow_victim_net();
+  SuperpositionEngine eng(net);
+  const double rth = eng.victim_model().model.rth;
+
+  // Pulse peak when the sink is at ~17% of the swing: the victim pull-up
+  // is still saturated -> conductance low -> Rtr must exceed Rth clearly.
+  const RtrResult early = compute_rtr(eng, shifts_for_level(eng, 0.3));
+  EXPECT_GT(early.rtr, 1.25 * rth);
+  EXPECT_DOUBLE_EQ(early.rth, rth);
+
+  // Pulse peak at ~72% of the swing: pull-up in triode -> Rtr near/below Rth.
+  const RtrResult late = compute_rtr(eng, shifts_for_level(eng, 1.3));
+  EXPECT_LT(late.rtr, 1.1 * rth);
+  EXPECT_GT(early.rtr, late.rtr);
+}
+
+TEST(Rtr, DiagnosticWaveformsArePopulated) {
+  const CoupledNet net = slow_victim_net();
+  SuperpositionEngine eng(net);
+  const RtrResult r = compute_rtr(eng, shifts_for_level(eng, 0.9));
+  EXPECT_FALSE(r.vn_linear.empty());
+  EXPECT_FALSE(r.in_current.empty());
+  EXPECT_FALSE(r.vn_nonlinear.empty());
+  // The linear and nonlinear noise pulses point the same way (negative for
+  // a falling aggressor on a rising victim).
+  EXPECT_LT(r.vn_linear.peak().value, 0.0);
+  EXPECT_LT(r.vn_nonlinear.peak().value, 0.0);
+}
+
+TEST(Rtr, ConvergesWithinBudget) {
+  const CoupledNet net = slow_victim_net();
+  SuperpositionEngine eng(net);
+  RtrOptions opts;
+  const RtrResult r = compute_rtr(eng, shifts_for_level(eng, 0.9), opts);
+  EXPECT_LE(r.iterations, opts.max_iterations);
+  EXPECT_GE(r.rtr, opts.r_min);
+  EXPECT_LE(r.rtr, opts.r_max);
+  // The paper reports one or two iterations in practice.
+  EXPECT_LE(r.iterations, 3);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(Rtr, NoCouplingMeansNoCorrection) {
+  // With negligible coupling, the injected current is ~0 and Rtr falls
+  // back to Rth instead of producing garbage.
+  CoupledNet net = example_coupled_net(1);
+  for (auto& cc : net.couplings) cc.c = 1e-20;
+  SuperpositionEngine eng(net);
+  const RtrResult r = compute_rtr(eng, shifts_for_level(eng, 0.9));
+  EXPECT_NEAR(r.rtr, r.rth, 0.25 * r.rth);
+}
+
+// Alignment-position sweep: Rtr must decrease monotonically (within noise)
+// as the injection moves from the early to the late part of the victim
+// transition — the core claim that holding is alignment-dependent.
+class RtrAlignmentSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RtrAlignmentSweep, RtrIsFiniteAndBracketed) {
+  const CoupledNet net = slow_victim_net();
+  SuperpositionEngine eng(net);
+  const double rth = eng.victim_model().model.rth;
+  const RtrResult r = compute_rtr(eng, shifts_for_level(eng, GetParam()));
+  EXPECT_GT(r.rtr, 0.3 * rth);
+  EXPECT_LT(r.rtr, 4.0 * rth);
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, RtrAlignmentSweep,
+                         ::testing::Values(0.3, 0.6, 0.9, 1.2, 1.45));
+
+}  // namespace
+}  // namespace dn

@@ -1,0 +1,101 @@
+// SPEF parser robustness: corrupted decks must produce exceptions, never
+// crashes, hangs, or silently wrong nets (seeded token-level fuzzing).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "rcnet/random_nets.hpp"
+#include "rcnet/spef.hpp"
+#include "util/rng.hpp"
+
+namespace dn {
+namespace {
+
+std::vector<std::string> tokenize(const std::string& text) {
+  std::istringstream is(text);
+  std::vector<std::string> toks;
+  std::string t;
+  while (is >> t) toks.push_back(t);
+  return toks;
+}
+
+std::string join(const std::vector<std::string>& toks) {
+  std::string out;
+  for (const auto& t : toks) {
+    out += t;
+    out += '\n';  // One per line: also exercises line handling.
+  }
+  return out;
+}
+
+class SpefFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SpefFuzz, TokenDeletionNeverCrashes) {
+  Rng rng(GetParam());
+  const CoupledNet net = example_coupled_net(2);
+  std::stringstream ss;
+  write_spef(ss, net);
+  const auto toks = tokenize(ss.str());
+
+  for (int trial = 0; trial < 40; ++trial) {
+    auto mutated = toks;
+    // Delete 1-3 random tokens.
+    const int dels = rng.uniform_int(1, 3);
+    for (int d = 0; d < dels && !mutated.empty(); ++d)
+      mutated.erase(mutated.begin() +
+                    rng.uniform_int(0, static_cast<int>(mutated.size()) - 1));
+    std::istringstream in(join(mutated));
+    try {
+      const CoupledNet parsed = read_spef(in);
+      parsed.validate();  // If it parsed, it must be a valid net.
+    } catch (const std::exception&) {
+      // Expected for most corruptions.
+    }
+  }
+}
+
+TEST_P(SpefFuzz, TokenGarblingNeverCrashes) {
+  Rng rng(GetParam() ^ 0x5a5a);
+  const CoupledNet net = example_coupled_net(1);
+  std::stringstream ss;
+  write_spef(ss, net);
+  const auto toks = tokenize(ss.str());
+  const char* garbage[] = {"xyzzy", "-1", "1e999", ":", "victim:",
+                           "*D_NET", "NaN", "\"quote"};
+
+  for (int trial = 0; trial < 40; ++trial) {
+    auto mutated = toks;
+    const int idx = rng.uniform_int(0, static_cast<int>(mutated.size()) - 1);
+    mutated[static_cast<std::size_t>(idx)] =
+        garbage[rng.uniform_int(0, 7)];
+    std::istringstream in(join(mutated));
+    try {
+      const CoupledNet parsed = read_spef(in);
+      parsed.validate();
+    } catch (const std::exception&) {
+    }
+  }
+}
+
+TEST_P(SpefFuzz, TruncationNeverCrashes) {
+  Rng rng(GetParam() ^ 0x1234);
+  const CoupledNet net = example_coupled_net(1);
+  std::stringstream ss;
+  write_spef(ss, net);
+  const std::string text = ss.str();
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto cut = static_cast<std::size_t>(
+        rng.uniform_int(1, static_cast<int>(text.size())));
+    std::istringstream in(text.substr(0, cut));
+    try {
+      read_spef(in);
+    } catch (const std::exception&) {
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpefFuzz, ::testing::Values(7u, 13u, 99u));
+
+}  // namespace
+}  // namespace dn

@@ -1,0 +1,116 @@
+// Superposition engine tests (core/superposition.*).
+#include "core/superposition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rcnet/random_nets.hpp"
+#include "util/units.hpp"
+
+namespace dn {
+namespace {
+
+using namespace dn::units;
+
+class SuperpositionFixture : public ::testing::Test {
+ protected:
+  SuperpositionFixture() : net_(example_coupled_net(2)), eng_(net_) {}
+  CoupledNet net_;
+  SuperpositionEngine eng_;
+};
+
+TEST_F(SuperpositionFixture, CharacterizationIsPhysical) {
+  const auto& vm = eng_.victim_model();
+  EXPECT_GT(vm.ceff, 20 * fF);
+  EXPECT_LT(vm.ceff, 150 * fF);
+  EXPECT_GT(vm.model.rth, 100.0);
+  EXPECT_TRUE(vm.model.rising());  // example net: victim rises.
+  for (int k = 0; k < 2; ++k) {
+    const auto& am = eng_.aggressor_model(k);
+    // Aggressors are X4 vs the X1 victim: stronger drive.
+    EXPECT_LT(am.model.rth, vm.model.rth);
+    EXPECT_FALSE(am.model.rising());
+  }
+  EXPECT_THROW(eng_.aggressor_model(5), std::out_of_range);
+}
+
+TEST_F(SuperpositionFixture, NoiseIsANegativePulseThatSettles) {
+  const auto& w = eng_.aggressor_noise(0, eng_.victim_model().model.rth);
+  // Falling aggressors on a rising victim inject negative noise.
+  EXPECT_LT(w.at_sink.peak().value, -0.02);
+  EXPECT_LT(w.at_root.peak().value, -0.02);
+  // Deviation settles back to zero.
+  EXPECT_NEAR(w.at_sink.at(w.at_sink.t_end()), 0.0, 1e-3);
+  EXPECT_NEAR(w.at_root.at(w.at_root.t_end()), 0.0, 1e-3);
+  // Noise starts at zero before the aggressor switches.
+  EXPECT_NEAR(w.at_sink.at(0.0), 0.0, 1e-6);
+}
+
+TEST_F(SuperpositionFixture, WeakerHoldingGivesBiggerNoise) {
+  const double rth = eng_.victim_model().model.rth;
+  const auto& strong = eng_.aggressor_noise(0, 0.25 * rth);
+  const auto& weak = eng_.aggressor_noise(0, 4.0 * rth);
+  EXPECT_GT(std::abs(weak.at_sink.peak().value),
+            std::abs(strong.at_sink.peak().value));
+}
+
+TEST_F(SuperpositionFixture, NoiseCacheReturnsSameObject) {
+  const double rth = eng_.victim_model().model.rth;
+  const auto* a = &eng_.aggressor_noise(1, rth);
+  const auto* b = &eng_.aggressor_noise(1, rth);
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(SuperpositionFixture, VictimTransitionSpansTheRails) {
+  const auto& vt = eng_.victim_transition();
+  EXPECT_NEAR(vt.at_sink.values().front(), 0.0, 0.02);
+  EXPECT_NEAR(vt.at_sink.at(vt.at_sink.t_end()), eng_.vdd(), 0.02);
+  // Sink lags the root.
+  const auto t_root = vt.at_root.crossing(0.9, true);
+  const auto t_sink = vt.at_sink.crossing(0.9, true);
+  ASSERT_TRUE(t_root && t_sink);
+  EXPECT_GT(*t_sink, *t_root);
+}
+
+TEST_F(SuperpositionFixture, CompositeIsSumOfShiftedNoise) {
+  const double rth = eng_.victim_model().model.rth;
+  const std::vector<double> shifts{30 * ps, -20 * ps};
+  const Pwl comp = eng_.composite_noise_at_sink(shifts, rth);
+  const Pwl manual = eng_.aggressor_noise(0, rth).at_sink.shifted(30 * ps) +
+                     eng_.aggressor_noise(1, rth).at_sink.shifted(-20 * ps);
+  for (double t = 0; t < 3 * ns; t += 100 * ps)
+    EXPECT_NEAR(comp.at(t), manual.at(t), 1e-12);
+}
+
+TEST_F(SuperpositionFixture, CompositeShiftCountValidated) {
+  EXPECT_THROW(eng_.composite_noise_at_sink({0.0}, 1000.0),
+               std::invalid_argument);
+}
+
+TEST(Superposition, RisingAggressorInjectsPositiveNoise) {
+  CoupledNet net = example_coupled_net(1);
+  net.victim.output_rising = false;  // Falling victim...
+  net.aggressors[0].output_rising = true;  // ...opposed by a rising aggressor.
+  SuperpositionEngine eng(net);
+  const auto& w = eng.aggressor_noise(0, eng.victim_model().model.rth);
+  EXPECT_GT(w.at_sink.peak().value, 0.02);
+}
+
+TEST(Superposition, MoreCouplingMoreNoise) {
+  auto peak_for = [](double scale) {
+    CoupledNet net = example_coupled_net(1);
+    for (auto& cc : net.couplings) cc.c *= scale;
+    SuperpositionEngine eng(net);
+    return std::abs(
+        eng.aggressor_noise(0, eng.victim_model().model.rth).at_sink.peak().value);
+  };
+  EXPECT_GT(peak_for(1.5), peak_for(0.5) * 1.5);
+}
+
+TEST(Superposition, InvalidNetRejected) {
+  CoupledNet net = example_coupled_net(1);
+  net.couplings[0].aggressor = 9;
+  EXPECT_THROW(SuperpositionEngine{net}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dn

@@ -1,0 +1,54 @@
+// Table/CSV emission tests (util/table.*).
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dn {
+namespace {
+
+TEST(Table, AlignedPrinting) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22.5"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name   value"), std::string::npos);
+  EXPECT_NE(out.find("alpha  1"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"a", "b"});
+  t.add_row({"has,comma", "has\"quote"});
+  std::ostringstream os;
+  t.print_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, RowWidthValidated) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, AddRowValuesFormats) {
+  Table t({"x", "y"});
+  t.add_row_values({1.5, 2.25e-12});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("1.5,2.25e-12"), std::string::npos);
+}
+
+TEST(Table, FmtPrecision) {
+  EXPECT_EQ(Table::fmt(3.14159265, 3), "3.14");
+  EXPECT_EQ(Table::fmt(1234567.0, 6), "1.23457e+06");
+}
+
+}  // namespace
+}  // namespace dn

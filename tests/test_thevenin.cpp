@@ -1,0 +1,151 @@
+// Thevenin model tests: analytic response properties and fit quality
+// against the nonlinear gate reference (ceff/thevenin.*).
+#include "ceff/thevenin.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "util/units.hpp"
+
+namespace dn {
+namespace {
+
+using namespace dn::units;
+
+constexpr double kVdd = 1.8;
+
+TEST(TheveninModel, SourceWaveformShape) {
+  TheveninModel m{.t0 = 100 * ps, .tr = 200 * ps, .rth = 1 * kOhm,
+                  .v_from = 0.0, .v_to = kVdd};
+  const Pwl s = m.source(1 * ns);
+  EXPECT_DOUBLE_EQ(s.at(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.at(200 * ps), kVdd / 2);
+  EXPECT_DOUBLE_EQ(s.at(1 * ns), kVdd);
+}
+
+TEST(TheveninModel, ResponseLagsBehindSource) {
+  TheveninModel m{.t0 = 0.0, .tr = 100 * ps, .rth = 2 * kOhm,
+                  .v_from = 0.0, .v_to = kVdd};
+  const double c = 50 * fF;  // tau = 100 ps.
+  EXPECT_LT(m.response(50 * ps, c), kVdd / 2);
+  EXPECT_NEAR(m.response(2 * ns, c), kVdd, 1e-6);
+  // Monotone rising.
+  double prev = -1;
+  for (double t = 0; t < 1 * ns; t += 10 * ps) {
+    EXPECT_GE(m.response(t, c), prev);
+    prev = m.response(t, c);
+  }
+}
+
+TEST(TheveninModel, FallingResponseMirrorsRising) {
+  TheveninModel up{.t0 = 0.0, .tr = 100 * ps, .rth = 1 * kOhm,
+                   .v_from = 0.0, .v_to = kVdd};
+  TheveninModel dn_{.t0 = 0.0, .tr = 100 * ps, .rth = 1 * kOhm,
+                    .v_from = kVdd, .v_to = 0.0};
+  const double c = 30 * fF;
+  for (double t = 0; t < 1 * ns; t += 25 * ps)
+    EXPECT_NEAR(up.response(t, c) + dn_.response(t, c), kVdd, 1e-12);
+}
+
+TEST(TheveninModel, ResponseCrossingInvertsResponse) {
+  TheveninModel m{.t0 = 50 * ps, .tr = 150 * ps, .rth = 1.5 * kOhm,
+                  .v_from = 0.0, .v_to = kVdd};
+  const double c = 40 * fF;
+  for (double frac : {0.1, 0.5, 0.9}) {
+    const auto t = m.response_crossing(frac, c);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_NEAR(m.response(*t, c), frac * kVdd, 1e-9);
+  }
+  EXPECT_FALSE(m.response_crossing(0.0, c).has_value());
+  EXPECT_FALSE(m.response_crossing(1.0, c).has_value());
+}
+
+TEST(TheveninFit, MatchesReferenceCrossings) {
+  GateParams g;
+  g.type = GateType::Inverter;
+  g.size = 2.0;
+  const Pwl vin = Pwl::ramp(100 * ps, 150 * ps, 0.0, kVdd);  // Output falls.
+  const double cload = 50 * fF;
+  const TheveninFit fit = fit_thevenin(g, vin, cload);
+  EXPECT_TRUE(fit.converged);
+  EXPECT_LT(fit.worst_residual, 0.5 * ps);
+  EXPECT_GT(fit.model.rth, 10.0);
+  EXPECT_LT(fit.model.rth, 100 * kOhm);
+  EXPECT_FALSE(fit.model.rising());
+
+  // The fitted analytic response reproduces the nonlinear 10/50/90 times.
+  for (double frac : {0.1, 0.5, 0.9}) {
+    const double level = kVdd * (1.0 - frac);  // Falling normalization.
+    const auto t_ref = fit.reference.crossing(level, false);
+    const auto t_fit = fit.model.response_crossing(frac, cload);
+    ASSERT_TRUE(t_ref && t_fit);
+    EXPECT_NEAR(*t_fit, *t_ref, 1 * ps) << "frac " << frac;
+  }
+}
+
+TEST(TheveninFit, RisingOutput) {
+  GateParams g;
+  g.type = GateType::Inverter;
+  const Pwl vin = Pwl::ramp(100 * ps, 100 * ps, kVdd, 0.0);  // Output rises.
+  const TheveninFit fit = fit_thevenin(g, vin, 30 * fF);
+  EXPECT_TRUE(fit.model.rising());
+  EXPECT_LT(fit.worst_residual, 0.5 * ps);
+}
+
+TEST(TheveninFit, RejectsBadLoad) {
+  GateParams g;
+  EXPECT_THROW(fit_thevenin(g, Pwl::ramp(0, 100 * ps, 0, kVdd), 0.0),
+               std::invalid_argument);
+}
+
+TEST(TheveninFit, NonSwitchingInputThrows) {
+  GateParams g;
+  EXPECT_THROW(fit_thevenin(g, Pwl::constant(0.9), 20 * fF), std::runtime_error);
+}
+
+// Property sweep: the fit must converge across gate sizes, slews and loads,
+// with a larger driver always yielding a smaller Rth at fixed load/slew.
+class TheveninSweep
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(TheveninSweep, ConvergesAndIsPhysical) {
+  const auto [size, slew, cload] = GetParam();
+  GateParams g;
+  g.type = GateType::Inverter;
+  g.size = size;
+  const Pwl vin = Pwl::ramp(100 * ps, slew, 0.0, kVdd);
+  const TheveninFit fit = fit_thevenin(g, vin, cload);
+  // Crossing-time residual within 1 ps or 2% of the 10-90 slew, whichever
+  // is larger (slow inputs into light loads are genuinely hard for a
+  // 3-parameter saturated-ramp model).
+  const auto slew_ref = fit.reference.slew(0.0, kVdd);
+  ASSERT_TRUE(slew_ref.has_value());
+  EXPECT_LT(fit.worst_residual, std::max(3 * ps, 0.02 * *slew_ref));
+  EXPECT_GT(fit.model.rth, 1.0);
+  EXPECT_GT(fit.model.tr, 1 * ps);
+  // Ramp start cannot be before the input starts moving... allow slack for
+  // the extrapolated foot.
+  EXPECT_GT(fit.model.t0, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesSlewsLoads, TheveninSweep,
+    ::testing::Combine(::testing::Values(1.0, 2.0, 8.0),
+                       ::testing::Values(60 * ps, 200 * ps),
+                       ::testing::Values(20 * fF, 120 * fF)));
+
+TEST(TheveninFit, BiggerDriverHasSmallerRth) {
+  const Pwl vin = Pwl::ramp(100 * ps, 100 * ps, 0.0, kVdd);
+  GateParams small;
+  small.size = 1.0;
+  GateParams big;
+  big.size = 8.0;
+  const double rth_small = fit_thevenin(small, vin, 60 * fF).model.rth;
+  const double rth_big = fit_thevenin(big, vin, 60 * fF).model.rth;
+  EXPECT_LT(rth_big, 0.5 * rth_small);
+}
+
+}  // namespace
+}  // namespace dn

@@ -1,0 +1,127 @@
+// dnoise_cli — command-line delay/functional noise analysis of a coupled
+// net described in the SPEF-subset format (see rcnet/spef.hpp for the
+// grammar; examples/spef_flow generates decks).
+//
+// Usage:
+//   dnoise_cli <file.spef> [options]
+//     --exhaustive       exhaustive alignment search instead of the
+//                        8-point prediction tables
+//     --thevenin         traditional Thevenin holding (no Rtr)
+//     --functional       also run the functional (static victim) check
+//     --golden           cross-check against the full nonlinear simulation
+//     --csv              emit a single CSV result row instead of a report
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "clarinet/analyzer.hpp"
+#include "core/baselines.hpp"
+#include "core/functional_noise.hpp"
+#include "clarinet/screening.hpp"
+#include "rcnet/spef.hpp"
+#include "util/units.hpp"
+
+using namespace dn;
+using namespace dn::units;
+
+namespace {
+
+bool has_flag(int argc, char** argv, const char* name) {
+  for (int i = 2; i < argc; ++i)
+    if (std::strcmp(argv[i], name) == 0) return true;
+  return false;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: dnoise_cli <file.spef> [--exhaustive] [--thevenin] "
+               "[--functional] [--golden] [--csv]\n"
+               "       dnoise_cli --screen <file.spef>... (rank by severity)\n");
+  return 2;
+}
+
+}  // namespace
+
+int run_screening(int argc, char** argv) {
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i)
+    if (argv[i][0] != '-') files.emplace_back(argv[i]);
+  if (files.empty()) return usage();
+
+  std::vector<CoupledNet> nets;
+  for (const auto& f : files) {
+    try {
+      nets.push_back(read_spef_file(f));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error reading %s: %s\n", f.c_str(), e.what());
+      return 1;
+    }
+  }
+  const auto order = rank_by_severity(nets);
+  std::printf("%-40s %12s %12s\n", "file (most severe first)", "est_noise_V",
+              "est_dnoise_ps");
+  for (const std::size_t i : order) {
+    const ScreeningEstimate est = screen_net(nets[i]);
+    std::printf("%-40s %12.4f %12.2f\n", files[i].c_str(), est.vn_est,
+                est.dn_est / ps);
+  }
+  return 0;
+}
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--screen") == 0) return run_screening(argc, argv);
+  if (argc < 2 || argv[1][0] == '-') return usage();
+
+  CoupledNet net;
+  try {
+    net = read_spef_file(argv[1]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
+  AnalyzerConfig cfg;
+  cfg.use_prediction_tables = !has_flag(argc, argv, "--exhaustive");
+  cfg.analysis.use_transient_holding = !has_flag(argc, argv, "--thevenin");
+  NoiseAnalyzer analyzer(cfg);
+
+  try {
+    const DelayNoiseResult r = analyzer.analyze(net);
+
+    if (has_flag(argc, argv, "--csv")) {
+      std::printf("file,aggressors,coupling_fF,rth_ohm,holding_ohm,"
+                  "pulse_V,pulse_ps,input_dnoise_ps,combined_dnoise_ps\n");
+      std::printf("%s,%zu,%.3f,%.1f,%.1f,%.4f,%.1f,%.2f,%.2f\n", argv[1],
+                  net.aggressors.size(), net.total_coupling_cap() / fF, r.rth,
+                  r.holding_r, r.composite.params.height,
+                  r.composite.params.width / ps, r.input_delay_noise() / ps,
+                  r.delay_noise() / ps);
+    } else {
+      analyzer.print_report(std::cout, net, r);
+    }
+
+    if (has_flag(argc, argv, "--golden")) {
+      const GoldenResult g = golden_nonlinear(net, absolute_shifts(r));
+      const double gd = g.delay_noise();
+      std::printf("golden (full nonlinear): %.2f ps combined delay noise "
+                  "(linear model error %+.1f%%)\n",
+                  gd / ps, gd != 0 ? 100.0 * (r.delay_noise() - gd) / gd : 0.0);
+    }
+
+    if (has_flag(argc, argv, "--functional")) {
+      SuperpositionEngine eng(net, cfg.engine);
+      const FunctionalNoiseResult f = analyze_functional_noise(eng);
+      std::printf("functional noise (victim quiet %s): input peak %.3f V, "
+                  "receiver output peak %.3f V -> %s\n",
+                  f.victim_quiet_high ? "HIGH" : "LOW", f.input_peak,
+                  f.output_peak, f.failure ? "FAILURE" : "ok");
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "analysis error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
