@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_rtr_waveforms.dir/bench_fig5_rtr_waveforms.cpp.o"
+  "CMakeFiles/bench_fig5_rtr_waveforms.dir/bench_fig5_rtr_waveforms.cpp.o.d"
+  "bench_fig5_rtr_waveforms"
+  "bench_fig5_rtr_waveforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_rtr_waveforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_two_aggressor_alignment.dir/bench_fig6_two_aggressor_alignment.cpp.o"
+  "CMakeFiles/bench_fig6_two_aggressor_alignment.dir/bench_fig6_two_aggressor_alignment.cpp.o.d"
+  "bench_fig6_two_aggressor_alignment"
+  "bench_fig6_two_aggressor_alignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_two_aggressor_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_alignment_voltage.dir/bench_fig8_alignment_voltage.cpp.o"
+  "CMakeFiles/bench_fig8_alignment_voltage.dir/bench_fig8_alignment_voltage.cpp.o.d"
+  "bench_fig8_alignment_voltage"
+  "bench_fig8_alignment_voltage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_alignment_voltage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

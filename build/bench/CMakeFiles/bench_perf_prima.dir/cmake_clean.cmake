@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_prima.dir/bench_perf_prima.cpp.o"
+  "CMakeFiles/bench_perf_prima.dir/bench_perf_prima.cpp.o.d"
+  "bench_perf_prima"
+  "bench_perf_prima.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_prima.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_sim.dir/bench_perf_sim.cpp.o"
+  "CMakeFiles/bench_perf_sim.dir/bench_perf_sim.cpp.o.d"
+  "bench_perf_sim"
+  "bench_perf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sta_convergence.dir/bench_sta_convergence.cpp.o"
+  "CMakeFiles/bench_sta_convergence.dir/bench_sta_convergence.cpp.o.d"
+  "bench_sta_convergence"
+  "bench_sta_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sta_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

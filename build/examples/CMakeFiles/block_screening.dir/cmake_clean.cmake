@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_screening.dir/block_screening.cpp.o"
+  "CMakeFiles/block_screening.dir/block_screening.cpp.o.d"
+  "block_screening"
+  "block_screening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_screening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

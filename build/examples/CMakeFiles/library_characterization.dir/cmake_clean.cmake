@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/library_characterization.dir/library_characterization.cpp.o"
+  "CMakeFiles/library_characterization.dir/library_characterization.cpp.o.d"
+  "library_characterization"
+  "library_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/library_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

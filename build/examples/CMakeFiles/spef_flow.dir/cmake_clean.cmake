@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spef_flow.dir/spef_flow.cpp.o"
+  "CMakeFiles/spef_flow.dir/spef_flow.cpp.o.d"
+  "spef_flow"
+  "spef_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spef_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

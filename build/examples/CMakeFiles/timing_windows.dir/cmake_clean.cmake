@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_windows.dir/timing_windows.cpp.o"
+  "CMakeFiles/timing_windows.dir/timing_windows.cpp.o.d"
+  "timing_windows"
+  "timing_windows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_windows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

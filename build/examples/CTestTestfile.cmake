@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[example_quickstart]=] "/root/repo/build/examples/quickstart")
+set_tests_properties([=[example_quickstart]=] PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;9;dn_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_bus_crosstalk]=] "/root/repo/build/examples/bus_crosstalk")
+set_tests_properties([=[example_bus_crosstalk]=] PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;10;dn_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_timing_windows]=] "/root/repo/build/examples/timing_windows")
+set_tests_properties([=[example_timing_windows]=] PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;11;dn_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_spef_flow]=] "/root/repo/build/examples/spef_flow")
+set_tests_properties([=[example_spef_flow]=] PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;12;dn_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_library_characterization]=] "/root/repo/build/examples/library_characterization")
+set_tests_properties([=[example_library_characterization]=] PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;13;dn_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_block_screening]=] "/root/repo/build/examples/block_screening")
+set_tests_properties([=[example_block_screening]=] PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;14;dn_add_example;/root/repo/examples/CMakeLists.txt;0;")

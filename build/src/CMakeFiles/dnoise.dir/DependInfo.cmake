@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ceff/effective_capacitance.cpp" "src/CMakeFiles/dnoise.dir/ceff/effective_capacitance.cpp.o" "gcc" "src/CMakeFiles/dnoise.dir/ceff/effective_capacitance.cpp.o.d"
+  "/root/repo/src/ceff/thevenin.cpp" "src/CMakeFiles/dnoise.dir/ceff/thevenin.cpp.o" "gcc" "src/CMakeFiles/dnoise.dir/ceff/thevenin.cpp.o.d"
+  "/root/repo/src/ceff/thevenin_table.cpp" "src/CMakeFiles/dnoise.dir/ceff/thevenin_table.cpp.o" "gcc" "src/CMakeFiles/dnoise.dir/ceff/thevenin_table.cpp.o.d"
+  "/root/repo/src/circuit/circuit.cpp" "src/CMakeFiles/dnoise.dir/circuit/circuit.cpp.o" "gcc" "src/CMakeFiles/dnoise.dir/circuit/circuit.cpp.o.d"
+  "/root/repo/src/circuit/mna.cpp" "src/CMakeFiles/dnoise.dir/circuit/mna.cpp.o" "gcc" "src/CMakeFiles/dnoise.dir/circuit/mna.cpp.o.d"
+  "/root/repo/src/clarinet/analyzer.cpp" "src/CMakeFiles/dnoise.dir/clarinet/analyzer.cpp.o" "gcc" "src/CMakeFiles/dnoise.dir/clarinet/analyzer.cpp.o.d"
+  "/root/repo/src/clarinet/screening.cpp" "src/CMakeFiles/dnoise.dir/clarinet/screening.cpp.o" "gcc" "src/CMakeFiles/dnoise.dir/clarinet/screening.cpp.o.d"
+  "/root/repo/src/core/alignment.cpp" "src/CMakeFiles/dnoise.dir/core/alignment.cpp.o" "gcc" "src/CMakeFiles/dnoise.dir/core/alignment.cpp.o.d"
+  "/root/repo/src/core/alignment_table.cpp" "src/CMakeFiles/dnoise.dir/core/alignment_table.cpp.o" "gcc" "src/CMakeFiles/dnoise.dir/core/alignment_table.cpp.o.d"
+  "/root/repo/src/core/baselines.cpp" "src/CMakeFiles/dnoise.dir/core/baselines.cpp.o" "gcc" "src/CMakeFiles/dnoise.dir/core/baselines.cpp.o.d"
+  "/root/repo/src/core/composite_pulse.cpp" "src/CMakeFiles/dnoise.dir/core/composite_pulse.cpp.o" "gcc" "src/CMakeFiles/dnoise.dir/core/composite_pulse.cpp.o.d"
+  "/root/repo/src/core/delay_noise.cpp" "src/CMakeFiles/dnoise.dir/core/delay_noise.cpp.o" "gcc" "src/CMakeFiles/dnoise.dir/core/delay_noise.cpp.o.d"
+  "/root/repo/src/core/functional_noise.cpp" "src/CMakeFiles/dnoise.dir/core/functional_noise.cpp.o" "gcc" "src/CMakeFiles/dnoise.dir/core/functional_noise.cpp.o.d"
+  "/root/repo/src/core/holding_resistance.cpp" "src/CMakeFiles/dnoise.dir/core/holding_resistance.cpp.o" "gcc" "src/CMakeFiles/dnoise.dir/core/holding_resistance.cpp.o.d"
+  "/root/repo/src/core/superposition.cpp" "src/CMakeFiles/dnoise.dir/core/superposition.cpp.o" "gcc" "src/CMakeFiles/dnoise.dir/core/superposition.cpp.o.d"
+  "/root/repo/src/devices/gate.cpp" "src/CMakeFiles/dnoise.dir/devices/gate.cpp.o" "gcc" "src/CMakeFiles/dnoise.dir/devices/gate.cpp.o.d"
+  "/root/repo/src/devices/gate_library.cpp" "src/CMakeFiles/dnoise.dir/devices/gate_library.cpp.o" "gcc" "src/CMakeFiles/dnoise.dir/devices/gate_library.cpp.o.d"
+  "/root/repo/src/devices/mosfet.cpp" "src/CMakeFiles/dnoise.dir/devices/mosfet.cpp.o" "gcc" "src/CMakeFiles/dnoise.dir/devices/mosfet.cpp.o.d"
+  "/root/repo/src/matrix/dense.cpp" "src/CMakeFiles/dnoise.dir/matrix/dense.cpp.o" "gcc" "src/CMakeFiles/dnoise.dir/matrix/dense.cpp.o.d"
+  "/root/repo/src/mor/prima.cpp" "src/CMakeFiles/dnoise.dir/mor/prima.cpp.o" "gcc" "src/CMakeFiles/dnoise.dir/mor/prima.cpp.o.d"
+  "/root/repo/src/mor/ticer.cpp" "src/CMakeFiles/dnoise.dir/mor/ticer.cpp.o" "gcc" "src/CMakeFiles/dnoise.dir/mor/ticer.cpp.o.d"
+  "/root/repo/src/rcnet/elmore.cpp" "src/CMakeFiles/dnoise.dir/rcnet/elmore.cpp.o" "gcc" "src/CMakeFiles/dnoise.dir/rcnet/elmore.cpp.o.d"
+  "/root/repo/src/rcnet/net_builder.cpp" "src/CMakeFiles/dnoise.dir/rcnet/net_builder.cpp.o" "gcc" "src/CMakeFiles/dnoise.dir/rcnet/net_builder.cpp.o.d"
+  "/root/repo/src/rcnet/random_nets.cpp" "src/CMakeFiles/dnoise.dir/rcnet/random_nets.cpp.o" "gcc" "src/CMakeFiles/dnoise.dir/rcnet/random_nets.cpp.o.d"
+  "/root/repo/src/rcnet/spef.cpp" "src/CMakeFiles/dnoise.dir/rcnet/spef.cpp.o" "gcc" "src/CMakeFiles/dnoise.dir/rcnet/spef.cpp.o.d"
+  "/root/repo/src/sim/linear_sim.cpp" "src/CMakeFiles/dnoise.dir/sim/linear_sim.cpp.o" "gcc" "src/CMakeFiles/dnoise.dir/sim/linear_sim.cpp.o.d"
+  "/root/repo/src/sim/nonlinear_sim.cpp" "src/CMakeFiles/dnoise.dir/sim/nonlinear_sim.cpp.o" "gcc" "src/CMakeFiles/dnoise.dir/sim/nonlinear_sim.cpp.o.d"
+  "/root/repo/src/sim/spice_export.cpp" "src/CMakeFiles/dnoise.dir/sim/spice_export.cpp.o" "gcc" "src/CMakeFiles/dnoise.dir/sim/spice_export.cpp.o.d"
+  "/root/repo/src/sta/noise_iteration.cpp" "src/CMakeFiles/dnoise.dir/sta/noise_iteration.cpp.o" "gcc" "src/CMakeFiles/dnoise.dir/sta/noise_iteration.cpp.o.d"
+  "/root/repo/src/sta/timing_graph.cpp" "src/CMakeFiles/dnoise.dir/sta/timing_graph.cpp.o" "gcc" "src/CMakeFiles/dnoise.dir/sta/timing_graph.cpp.o.d"
+  "/root/repo/src/util/numeric.cpp" "src/CMakeFiles/dnoise.dir/util/numeric.cpp.o" "gcc" "src/CMakeFiles/dnoise.dir/util/numeric.cpp.o.d"
+  "/root/repo/src/util/statistics.cpp" "src/CMakeFiles/dnoise.dir/util/statistics.cpp.o" "gcc" "src/CMakeFiles/dnoise.dir/util/statistics.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/dnoise.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/dnoise.dir/util/table.cpp.o.d"
+  "/root/repo/src/waveform/pulse.cpp" "src/CMakeFiles/dnoise.dir/waveform/pulse.cpp.o" "gcc" "src/CMakeFiles/dnoise.dir/waveform/pulse.cpp.o.d"
+  "/root/repo/src/waveform/pwl.cpp" "src/CMakeFiles/dnoise.dir/waveform/pwl.cpp.o" "gcc" "src/CMakeFiles/dnoise.dir/waveform/pwl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

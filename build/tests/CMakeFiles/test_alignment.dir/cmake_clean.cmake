@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alignment.dir/test_alignment.cpp.o"
+  "CMakeFiles/test_alignment.dir/test_alignment.cpp.o.d"
+  "test_alignment"
+  "test_alignment.pdb"
+  "test_alignment[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alignment_table.dir/test_alignment_table.cpp.o"
+  "CMakeFiles/test_alignment_table.dir/test_alignment_table.cpp.o.d"
+  "test_alignment_table"
+  "test_alignment_table.pdb"
+  "test_alignment_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alignment_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

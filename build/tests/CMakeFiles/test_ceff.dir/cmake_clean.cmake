@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ceff.dir/test_ceff.cpp.o"
+  "CMakeFiles/test_ceff.dir/test_ceff.cpp.o.d"
+  "test_ceff"
+  "test_ceff.pdb"
+  "test_ceff[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ceff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

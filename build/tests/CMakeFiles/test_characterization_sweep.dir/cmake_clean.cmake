@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_characterization_sweep.dir/test_characterization_sweep.cpp.o"
+  "CMakeFiles/test_characterization_sweep.dir/test_characterization_sweep.cpp.o.d"
+  "test_characterization_sweep"
+  "test_characterization_sweep.pdb"
+  "test_characterization_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_characterization_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

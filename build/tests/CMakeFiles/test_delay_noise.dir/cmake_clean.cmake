@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_delay_noise.dir/test_delay_noise.cpp.o"
+  "CMakeFiles/test_delay_noise.dir/test_delay_noise.cpp.o.d"
+  "test_delay_noise"
+  "test_delay_noise.pdb"
+  "test_delay_noise[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_delay_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mosfet.dir/test_mosfet.cpp.o"
+  "CMakeFiles/test_mosfet.dir/test_mosfet.cpp.o.d"
+  "test_mosfet"
+  "test_mosfet.pdb"
+  "test_mosfet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mosfet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

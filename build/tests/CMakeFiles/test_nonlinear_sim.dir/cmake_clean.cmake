@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nonlinear_sim.dir/test_nonlinear_sim.cpp.o"
+  "CMakeFiles/test_nonlinear_sim.dir/test_nonlinear_sim.cpp.o.d"
+  "test_nonlinear_sim"
+  "test_nonlinear_sim.pdb"
+  "test_nonlinear_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nonlinear_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

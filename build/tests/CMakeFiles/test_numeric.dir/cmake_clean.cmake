@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_numeric.dir/test_numeric.cpp.o"
+  "CMakeFiles/test_numeric.dir/test_numeric.cpp.o.d"
+  "test_numeric"
+  "test_numeric.pdb"
+  "test_numeric[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_persistence_slack.dir/test_persistence_slack.cpp.o"
+  "CMakeFiles/test_persistence_slack.dir/test_persistence_slack.cpp.o.d"
+  "test_persistence_slack"
+  "test_persistence_slack.pdb"
+  "test_persistence_slack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_persistence_slack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prima.dir/test_prima.cpp.o"
+  "CMakeFiles/test_prima.dir/test_prima.cpp.o.d"
+  "test_prima"
+  "test_prima.pdb"
+  "test_prima[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prima.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

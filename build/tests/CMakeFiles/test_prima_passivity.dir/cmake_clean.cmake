@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prima_passivity.dir/test_prima_passivity.cpp.o"
+  "CMakeFiles/test_prima_passivity.dir/test_prima_passivity.cpp.o.d"
+  "test_prima_passivity"
+  "test_prima_passivity.pdb"
+  "test_prima_passivity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prima_passivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pulse.dir/test_pulse.cpp.o"
+  "CMakeFiles/test_pulse.dir/test_pulse.cpp.o.d"
+  "test_pulse"
+  "test_pulse.pdb"
+  "test_pulse[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pulse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

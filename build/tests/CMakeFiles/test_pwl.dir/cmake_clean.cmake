@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pwl.dir/test_pwl.cpp.o"
+  "CMakeFiles/test_pwl.dir/test_pwl.cpp.o.d"
+  "test_pwl"
+  "test_pwl.pdb"
+  "test_pwl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pwl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

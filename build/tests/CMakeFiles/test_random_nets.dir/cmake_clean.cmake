@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_random_nets.dir/test_random_nets.cpp.o"
+  "CMakeFiles/test_random_nets.dir/test_random_nets.cpp.o.d"
+  "test_random_nets"
+  "test_random_nets.pdb"
+  "test_random_nets[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_random_nets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

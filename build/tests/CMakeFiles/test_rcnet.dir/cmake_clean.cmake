@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rcnet.dir/test_rcnet.cpp.o"
+  "CMakeFiles/test_rcnet.dir/test_rcnet.cpp.o.d"
+  "test_rcnet"
+  "test_rcnet.pdb"
+  "test_rcnet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rcnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

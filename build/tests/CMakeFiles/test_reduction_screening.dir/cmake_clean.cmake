@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reduction_screening.dir/test_reduction_screening.cpp.o"
+  "CMakeFiles/test_reduction_screening.dir/test_reduction_screening.cpp.o.d"
+  "test_reduction_screening"
+  "test_reduction_screening.pdb"
+  "test_reduction_screening[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reduction_screening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtr.dir/test_rtr.cpp.o"
+  "CMakeFiles/test_rtr.dir/test_rtr.cpp.o.d"
+  "test_rtr"
+  "test_rtr.pdb"
+  "test_rtr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

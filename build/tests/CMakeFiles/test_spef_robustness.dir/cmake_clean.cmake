@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spef_robustness.dir/test_spef_robustness.cpp.o"
+  "CMakeFiles/test_spef_robustness.dir/test_spef_robustness.cpp.o.d"
+  "test_spef_robustness"
+  "test_spef_robustness.pdb"
+  "test_spef_robustness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spef_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_superposition.dir/test_superposition.cpp.o"
+  "CMakeFiles/test_superposition.dir/test_superposition.cpp.o.d"
+  "test_superposition"
+  "test_superposition.pdb"
+  "test_superposition[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_superposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

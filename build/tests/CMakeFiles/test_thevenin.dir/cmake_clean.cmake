@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_thevenin.dir/test_thevenin.cpp.o"
+  "CMakeFiles/test_thevenin.dir/test_thevenin.cpp.o.d"
+  "test_thevenin"
+  "test_thevenin.pdb"
+  "test_thevenin[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_thevenin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

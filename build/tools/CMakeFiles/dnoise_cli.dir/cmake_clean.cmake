@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnoise_cli.dir/dnoise_cli.cpp.o"
+  "CMakeFiles/dnoise_cli.dir/dnoise_cli.cpp.o.d"
+  "dnoise_cli"
+  "dnoise_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnoise_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
