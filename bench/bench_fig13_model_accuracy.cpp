@@ -87,7 +87,7 @@ int main(int argc, char** argv) {
 
       DelayNoiseOptions opts;
       opts.method = AlignmentMethod::Predicted;
-      opts.table = &tables.table_for(net.victim.receiver, rising);
+      opts.table = tables.table_for(net.victim.receiver, rising);
       opts.search.window_min = *t_center - 60 * ps;
       opts.search.window_max = *t_center + 60 * ps;
 

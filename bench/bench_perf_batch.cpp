@@ -1,0 +1,106 @@
+// bench_perf_batch — chip-level batch engine throughput and determinism.
+//
+// Generates a synthetic "block" of random coupled nets (the paper's 300-net
+// microprocessor block, scaled up) and runs the full delay-noise flow over
+// it with 1, 2, ..., --jobs workers sharing one characterization cache.
+// Checks:
+//   - batch output (per-net results, worst-K ranking) is byte-identical
+//     across job counts, and
+//   - throughput scales with workers (>= 3x at 8 jobs on hardware with
+//     >= 8 threads; the check is skipped, with a note, on smaller hosts
+//     since no scheduler can conjure cores that aren't there).
+//
+//   bench_perf_batch [--nets N] [--seed S] [--jobs J] [--top K]
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "clarinet/batch_analyzer.hpp"
+
+using namespace dn;
+using namespace dn::units;
+
+namespace {
+
+AnalyzerConfig bench_config() {
+  // The coarse-but-representative search grid also used by the analyzer
+  // tests: full flow, ~6x faster per net than the default grid.
+  AnalyzerConfig c;
+  c.table_spec.search.coarse_points = 17;
+  c.table_spec.search.fine_points = 9;
+  c.table_spec.search.dt = 2 * ps;
+  c.analysis.search.coarse_points = 17;
+  c.analysis.search.fine_points = 9;
+  c.analysis.search.dt = 2 * ps;
+  return c;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int n_nets = dn::bench::int_flag(argc, argv, "--nets", 1000);
+  const int seed = dn::bench::int_flag(argc, argv, "--seed", 1);
+  const int max_jobs = dn::bench::int_flag(argc, argv, "--jobs", 8);
+  const int top_k = dn::bench::int_flag(argc, argv, "--top", 10);
+
+  dn::bench::print_header(
+      "perf: chip-level batch analysis engine",
+      "output byte-identical across job counts; throughput scales with "
+      "workers");
+
+  Rng rng(static_cast<std::uint64_t>(seed));
+  std::vector<CoupledNet> nets;
+  nets.reserve(static_cast<std::size_t>(n_nets));
+  for (int i = 0; i < n_nets; ++i) nets.push_back(random_coupled_net(rng));
+  std::printf("workload: %d random coupled nets (seed %d)\n\n", n_nets, seed);
+
+  std::vector<int> job_counts{1};
+  for (int j = 2; j < max_jobs; j *= 2) job_counts.push_back(j);
+  if (max_jobs > 1) job_counts.push_back(max_jobs);
+
+  std::printf("%6s %10s %10s %9s %11s %10s\n", "jobs", "time_s", "nets/s",
+              "speedup", "tables", "hit_rate%");
+  std::string ref_output;
+  bool identical = true;
+  double t_jobs1 = 0.0, t_last = 0.0;
+  for (const int jobs : job_counts) {
+    BatchOptions opts;
+    opts.analyzer = bench_config();
+    opts.jobs = jobs;
+    opts.top_k = top_k;
+    BatchAnalyzer engine(opts);  // Fresh cache: each run re-characterizes.
+    const BatchResult r = engine.analyze(nets);
+    t_last = r.stats.elapsed_s;
+    if (jobs == 1) t_jobs1 = t_last;
+    const std::string out = r.to_json() + "\n" + r.to_text();
+    if (ref_output.empty()) ref_output = out;
+    else if (out != ref_output) identical = false;
+    std::printf("%6d %10.2f %10.1f %8.2fx %11zu %10.1f\n", jobs, t_last,
+                r.stats.nets_per_s, t_jobs1 > 0 ? t_jobs1 / t_last : 0.0,
+                r.stats.tables_cached, 100.0 * r.stats.cache_hit_rate());
+  }
+  std::printf("\n");
+
+  bool ok = dn::bench::check(
+      "batch output (reports + worst-K) byte-identical across job counts",
+      identical);
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  const double speedup = t_last > 0 ? t_jobs1 / t_last : 0.0;
+  if (hw >= static_cast<unsigned>(max_jobs) && max_jobs >= 8) {
+    char label[128];
+    std::snprintf(label, sizeof label,
+                  "speedup at %d jobs >= 3x (measured %.2fx)", max_jobs,
+                  speedup);
+    ok = dn::bench::check(label, speedup >= 3.0) && ok;
+  } else {
+    std::printf(
+        "[SKIP] scaling criterion (>=3x at 8 jobs) needs >=8 hardware "
+        "threads; this host has %u (measured %.2fx at %d jobs)\n",
+        hw, speedup, max_jobs);
+  }
+  return ok ? 0 : 1;
+}

@@ -1,59 +1,63 @@
 #include "clarinet/analyzer.hpp"
 
 #include <ostream>
-
-#include "util/units.hpp"
+#include <stdexcept>
 
 namespace dn {
 
 NoiseAnalyzer::NoiseAnalyzer(AnalyzerConfig config)
-    : config_(std::move(config)) {}
+    : config_(std::move(config)),
+      cache_(std::make_shared<CharacterizationCache>(config_.table_spec)) {}
 
-const AlignmentTable& NoiseAnalyzer::table_for(const GateParams& receiver,
-                                               bool victim_rising) {
-  const TableKey key{receiver.type, receiver.size, receiver.vdd, victim_rising};
-  const auto it = tables_.find(key);
-  if (it != tables_.end()) return it->second;
-  return tables_
-      .emplace(key, AlignmentTable::characterize(receiver, victim_rising,
-                                                 config_.table_spec))
-      .first->second;
+NoiseAnalyzer::NoiseAnalyzer(AnalyzerConfig config,
+                             std::shared_ptr<CharacterizationCache> cache)
+    : config_(std::move(config)), cache_(std::move(cache)) {
+  if (!cache_)
+    throw std::invalid_argument("NoiseAnalyzer: null characterization cache");
+  config_.table_spec = cache_->spec();
 }
 
-DelayNoiseResult NoiseAnalyzer::analyze(const CoupledNet& net) {
-  SuperpositionEngine eng(net, config_.engine);
-  DelayNoiseOptions opts = config_.analysis;
-  if (config_.use_prediction_tables) {
-    opts.method = AlignmentMethod::Predicted;
-    opts.table = &table_for(net.victim.receiver, net.victim.output_rising);
-  } else {
-    opts.method = AlignmentMethod::Exhaustive;
-    opts.table = nullptr;
+const AlignmentTable* NoiseAnalyzer::table_for(const GateParams& receiver,
+                                               bool victim_rising) const {
+  return cache_->table_for(receiver, victim_rising);
+}
+
+StatusOr<DelayNoiseResult> NoiseAnalyzer::try_analyze(
+    const CoupledNet& net) const {
+  try {
+    net.validate();
+  } catch (const std::exception& e) {
+    return Status::InvalidArgument(e.what());
   }
-  return analyze_delay_noise(eng, opts);
+  try {
+    SuperpositionEngine eng(net, config_.engine);
+    DelayNoiseOptions opts = config_.analysis;
+    if (config_.use_prediction_tables) {
+      opts.method = AlignmentMethod::Predicted;
+      opts.table = table_for(net.victim.receiver, net.victim.output_rising);
+    } else {
+      opts.method = AlignmentMethod::Exhaustive;
+      opts.table = nullptr;
+    }
+    return analyze_delay_noise(eng, opts);
+  } catch (const std::exception& e) {
+    return Status::Internal(e.what());
+  }
+}
+
+DelayNoiseResult NoiseAnalyzer::analyze(const CoupledNet& net) const {
+  return try_analyze(net).value_or_throw();
+}
+
+DelayNoiseReport NoiseAnalyzer::report(const CoupledNet& net,
+                                       const DelayNoiseResult& r,
+                                       std::string name) const {
+  return DelayNoiseReport::from(net, r, std::move(name));
 }
 
 void NoiseAnalyzer::print_report(std::ostream& os, const CoupledNet& net,
                                  const DelayNoiseResult& r) const {
-  using namespace dn::units;
-  os << "delay-noise report\n";
-  os << "  victim: " << gate_type_name(net.victim.driver.type) << "X"
-     << net.victim.driver.size << " driving " << net.victim.net.num_nodes - 1
-     << "-segment net, " << (net.victim.output_rising ? "rising" : "falling")
-     << " transition\n";
-  os << "  aggressors: " << net.aggressors.size() << ", total coupling "
-     << net.total_coupling_cap() / fF << " fF\n";
-  os << "  victim driver: Rth = " << r.rth
-     << " Ohm, transient holding R = " << r.holding_r << " Ohm ("
-     << r.rtr_iterations << " Rtr iterations)\n";
-  os << "  composite noise pulse: height " << r.composite.params.height
-     << " V, width " << r.composite.params.width / ps << " ps\n";
-  os << "  worst-case alignment: pulse peak at " << r.alignment.t_peak / ps
-     << " ps (alignment voltage " << r.alignment.align_voltage << " V)\n";
-  os << "  interconnect delay noise: " << r.input_delay_noise() / ps
-     << " ps\n";
-  os << "  combined (receiver output) delay noise: " << r.delay_noise() / ps
-     << " ps\n";
+  report(net, r).to_text(os);
 }
 
 }  // namespace dn

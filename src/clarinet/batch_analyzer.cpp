@@ -1,0 +1,139 @@
+#include "clarinet/batch_analyzer.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <ostream>
+#include <sstream>
+
+namespace dn {
+
+BatchAnalyzer::BatchAnalyzer(BatchOptions opts)
+    : opts_(std::move(opts)),
+      jobs_(ThreadPool::resolve_jobs(opts_.jobs)),
+      analyzer_(opts_.analyzer),
+      pool_(jobs_) {}
+
+BatchResult BatchAnalyzer::analyze(const std::vector<CoupledNet>& nets,
+                                   const std::vector<std::string>& names) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::uint64_t hits0 = cache()->hits();
+  const std::uint64_t misses0 = cache()->misses();
+
+  BatchResult out;
+  out.nets.resize(nets.size());
+  pool_.parallel_for(nets.size(), [&](std::size_t i) {
+    BatchNetResult& slot = out.nets[i];  // Exclusive: one writer per slot.
+    slot.index = i;
+    slot.name = i < names.size() ? names[i] : "net" + std::to_string(i);
+    StatusOr<DelayNoiseResult> r = analyzer_.try_analyze(nets[i]);
+    if (r.ok()) {
+      slot.result = std::move(*r);
+      slot.report = DelayNoiseReport::from(nets[i], slot.result, slot.name);
+    } else {
+      slot.status = r.status();
+    }
+  });
+
+  // Worst-K by combined delay noise, ties broken by index so the ranking
+  // is stable across thread counts.
+  std::vector<std::size_t> ok_idx;
+  ok_idx.reserve(out.nets.size());
+  for (const auto& nr : out.nets)
+    if (nr.status.ok()) ok_idx.push_back(nr.index);
+  const std::size_t k = std::min<std::size_t>(
+      ok_idx.size(), opts_.top_k > 0 ? static_cast<std::size_t>(opts_.top_k)
+                                     : ok_idx.size());
+  std::partial_sort(ok_idx.begin(), ok_idx.begin() + static_cast<long>(k),
+                    ok_idx.end(), [&](std::size_t a, std::size_t b) {
+                      const double da = out.nets[a].result.delay_noise();
+                      const double db = out.nets[b].result.delay_noise();
+                      if (da != db) return da > db;
+                      return a < b;
+                    });
+  ok_idx.resize(k);
+  out.worst = std::move(ok_idx);
+
+  auto& st = out.stats;
+  st.total = out.nets.size();
+  st.analyzed = 0;
+  for (const auto& nr : out.nets)
+    if (nr.status.ok()) ++st.analyzed;
+  st.failed = st.total - st.analyzed;
+  st.jobs = jobs_;
+  st.elapsed_s = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+  st.nets_per_s =
+      st.elapsed_s > 0 ? static_cast<double>(st.total) / st.elapsed_s : 0.0;
+  st.tables_cached = cache()->tables_cached();
+  st.cache_hits = cache()->hits() - hits0;
+  st.cache_misses = cache()->misses() - misses0;
+  return out;
+}
+
+void BatchResult::write_text(std::ostream& os) const {
+  const auto saved = os.precision(6);
+  os << "batch delay-noise analysis: " << stats.total << " nets, "
+     << stats.failed << " failed\n";
+  for (const auto& nr : nets) {
+    os << "  [" << nr.index << "] " << nr.name << ": ";
+    if (nr.status.ok()) {
+      os << nr.report.delay_noise_ps << " ps combined ("
+         << nr.report.input_delay_noise_ps << " ps interconnect, "
+         << nr.report.num_aggressors << " aggressors)\n";
+    } else {
+      os << "FAILED " << nr.status.to_string() << "\n";
+    }
+  }
+  if (!worst.empty()) {
+    os << "worst " << worst.size() << " nets by combined delay noise:\n";
+    int rank = 1;
+    for (const std::size_t i : worst)
+      os << "  #" << rank++ << " [" << i << "] " << nets[i].name << ": "
+         << nets[i].report.delay_noise_ps << " ps\n";
+  }
+  os.precision(saved);
+}
+
+std::string BatchResult::to_text() const {
+  std::ostringstream os;
+  write_text(os);
+  return os.str();
+}
+
+void BatchResult::write_json(std::ostream& os) const {
+  os << "{\"nets\":[";
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    if (i) os << ",";
+    const auto& nr = nets[i];
+    if (nr.status.ok()) {
+      nr.report.to_json(os);
+    } else {
+      os << "{\"net\":\"" << nr.name << "\",\"error\":\""
+         << status_code_name(nr.status.code()) << "\"}";
+    }
+  }
+  os << "],\"worst\":[";
+  for (std::size_t i = 0; i < worst.size(); ++i)
+    os << (i ? "," : "") << worst[i];
+  os << "],\"failed\":" << stats.failed << "}";
+}
+
+std::string BatchResult::to_json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+std::string BatchResult::stats_text() const {
+  std::ostringstream os;
+  os.precision(4);
+  os << "jobs " << stats.jobs << ": " << stats.total << " nets in "
+     << stats.elapsed_s << " s (" << stats.nets_per_s << " nets/s), "
+     << stats.tables_cached << " tables characterized, cache hit rate "
+     << 100.0 * stats.cache_hit_rate() << "% (" << stats.cache_hits << " hits / "
+     << stats.cache_misses << " misses)";
+  return os.str();
+}
+
+}  // namespace dn

@@ -1,0 +1,104 @@
+// BatchAnalyzer: the full-chip delay-noise engine.
+//
+// The paper's pitch is that linear-model noise analysis is cheap enough
+// to run on EVERY coupled net of a chip. This engine delivers that: a
+// vector of CoupledNets fans out across a worker pool, every worker runs
+// the complete per-net flow (Ceff/Thevenin characterization, Rtr
+// iteration, composite pulse, worst-case alignment), and all workers
+// share one process-wide CharacterizationCache so each receiver condition
+// is table-characterized exactly once per run, no matter how many
+// instances or threads touch it.
+//
+// Guarantees:
+//   - Determinism: per-net results are bit-identical regardless of the
+//     number of jobs. Each net's analysis depends only on the net and the
+//     (deterministically characterized) shared tables; results land in
+//     input order, and worst-K ranking ties break on net index.
+//   - Isolation: a net that fails (malformed, solver blow-up) records its
+//     Status and the run continues — one bad extraction cannot kill a
+//     chip-level sweep.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "clarinet/analyzer.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dn {
+
+struct BatchOptions {
+  AnalyzerConfig analyzer{};
+  int jobs = 0;    // Worker count; 0 = one per hardware thread.
+  int top_k = 10;  // Size of the worst-nets ranking.
+};
+
+/// Outcome for one net of the batch (slot `index` of the input vector).
+struct BatchNetResult {
+  std::size_t index = 0;
+  std::string name;
+  Status status;             // OK iff the net analyzed cleanly.
+  DelayNoiseResult result;   // Valid iff status.ok().
+  DelayNoiseReport report;   // Valid iff status.ok().
+};
+
+struct BatchStats {
+  std::size_t total = 0;
+  std::size_t analyzed = 0;
+  std::size_t failed = 0;
+  int jobs = 1;
+  double elapsed_s = 0.0;
+  double nets_per_s = 0.0;
+  std::size_t tables_cached = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  double cache_hit_rate() const {
+    const double n = static_cast<double>(cache_hits + cache_misses);
+    return n > 0 ? static_cast<double>(cache_hits) / n : 0.0;
+  }
+};
+
+struct BatchResult {
+  std::vector<BatchNetResult> nets;  // Input order — deterministic.
+  std::vector<std::size_t> worst;    // Worst-K indices, most severe first.
+  BatchStats stats;
+
+  /// Deterministic rendering (identical across job counts): per-net
+  /// one-liners plus the worst-K table. No timing figures.
+  void write_text(std::ostream& os) const;
+  std::string to_text() const;
+
+  /// Deterministic JSON: {"nets":[...], "worst":[...], "failed":N}.
+  void write_json(std::ostream& os) const;
+  std::string to_json() const;
+
+  /// Throughput/cache summary (NOT deterministic: contains wall-clock
+  /// figures; keep it on stderr so batch stdout stays byte-stable).
+  std::string stats_text() const;
+};
+
+class BatchAnalyzer {
+ public:
+  explicit BatchAnalyzer(BatchOptions opts = {});
+
+  /// Analyzes every net; `names[i]` labels net i (defaults to "net<i>").
+  BatchResult analyze(const std::vector<CoupledNet>& nets,
+                      const std::vector<std::string>& names = {});
+
+  const std::shared_ptr<CharacterizationCache>& cache() const {
+    return analyzer_.cache();
+  }
+  const BatchOptions& options() const { return opts_; }
+  int jobs() const { return jobs_; }
+
+ private:
+  BatchOptions opts_;
+  int jobs_ = 1;
+  NoiseAnalyzer analyzer_;  // Const-callable from all workers.
+  ThreadPool pool_;
+};
+
+}  // namespace dn

@@ -1,0 +1,44 @@
+#include "clarinet/characterization_cache.hpp"
+
+namespace dn {
+
+CharacterizationCache::CharacterizationCache(AlignmentTableSpec spec)
+    : spec_(std::move(spec)) {}
+
+CharacterizationCache::Entry* CharacterizationCache::entry_for(const Key& key) {
+  {
+    std::shared_lock<std::shared_mutex> lk(mu_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) return it->second.get();
+  }
+  std::unique_lock<std::shared_mutex> lk(mu_);
+  // try_emplace: a thread that lost the upgrade race reuses the winner's
+  // placeholder entry instead of clobbering it.
+  const auto [it, inserted] =
+      entries_.try_emplace(key, std::make_unique<Entry>());
+  (void)inserted;
+  return it->second.get();
+}
+
+const AlignmentTable* CharacterizationCache::table_for(
+    const GateParams& receiver, bool victim_rising) {
+  const Key key{receiver.type, receiver.size, receiver.vdd, victim_rising};
+  Entry* entry = entry_for(key);
+
+  bool characterized_here = false;
+  std::call_once(entry->once, [&] {
+    entry->table = std::make_unique<const AlignmentTable>(
+        AlignmentTable::characterize(receiver, victim_rising, spec_));
+    characterized_here = true;
+  });
+  (characterized_here ? misses_ : hits_)
+      .fetch_add(1, std::memory_order_relaxed);
+  return entry->table.get();
+}
+
+std::size_t CharacterizationCache::tables_cached() const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  return entries_.size();
+}
+
+}  // namespace dn

@@ -1,0 +1,78 @@
+// Process-wide, thread-safe characterization cache.
+//
+// An 8-point AlignmentTable costs eight exhaustive alignment searches —
+// by far the most expensive step of the flow — but depends only on the
+// receiver (type, size, vdd) and the victim transition direction, exactly
+// like a library pre-characterization. A full-chip run sees each receiver
+// condition millions of times, so the cache is shared by every analyzer
+// and every worker thread.
+//
+// Locking protocol (two layers, so characterization never blocks lookups):
+//   1. A std::shared_mutex guards the key -> Entry map. Lookups take it
+//      shared; inserting a *placeholder* Entry takes it exclusive for the
+//      few nanoseconds a map insert needs. Entries are heap-allocated and
+//      never erased, so the returned table pointers are stable forever.
+//   2. Each Entry owns a std::once_flag. The actual characterization runs
+//      inside call_once, outside the map lock: two threads racing on the
+//      same NEW key serialize on that entry alone (one computes, one
+//      waits), and a table is computed exactly once per key — while
+//      threads working on other keys sail through untouched.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <tuple>
+
+#include "core/alignment_table.hpp"
+
+namespace dn {
+
+class CharacterizationCache {
+ public:
+  /// `spec` parameterizes every table this cache characterizes.
+  explicit CharacterizationCache(AlignmentTableSpec spec = {});
+
+  CharacterizationCache(const CharacterizationCache&) = delete;
+  CharacterizationCache& operator=(const CharacterizationCache&) = delete;
+
+  /// The 8-point table for a receiver condition, characterizing it on
+  /// first use. The pointer is stable: it is never invalidated by later
+  /// insertions and remains valid for the cache's lifetime. Thread-safe.
+  const AlignmentTable* table_for(const GateParams& receiver,
+                                  bool victim_rising);
+
+  /// Number of distinct receiver conditions characterized so far.
+  std::size_t tables_cached() const;
+
+  /// Lookup counters: a hit found a finished table; a miss performed the
+  /// characterization. (A thread that waits on another thread's in-flight
+  /// characterization counts as a hit — it did not pay for the work.)
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+
+  const AlignmentTableSpec& spec() const { return spec_; }
+
+ private:
+  using Key = std::tuple<GateType, double, double, bool>;
+
+  struct Entry {
+    std::once_flag once;
+    std::unique_ptr<const AlignmentTable> table;  // Set inside call_once.
+  };
+
+  Entry* entry_for(const Key& key);
+
+  AlignmentTableSpec spec_;
+  mutable std::shared_mutex mu_;
+  std::map<Key, std::unique_ptr<Entry>> entries_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace dn

@@ -1,0 +1,110 @@
+#include "clarinet/report.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "util/units.hpp"
+
+namespace dn {
+
+DelayNoiseReport DelayNoiseReport::from(const CoupledNet& net,
+                                        const DelayNoiseResult& r,
+                                        std::string name) {
+  using namespace dn::units;
+  DelayNoiseReport rep;
+  rep.net_name = std::move(name);
+  rep.victim_driver = gate_type_name(net.victim.driver.type);
+  rep.victim_driver_size = net.victim.driver.size;
+  rep.victim_segments = net.victim.net.num_nodes - 1;
+  rep.victim_rising = net.victim.output_rising;
+  rep.num_aggressors = net.aggressors.size();
+  rep.coupling_total_ff = net.total_coupling_cap() / fF;
+  rep.rth_ohm = r.rth;
+  rep.holding_r_ohm = r.holding_r;
+  rep.rtr_iterations = r.rtr_iterations;
+  rep.pulse_height_v = r.composite.params.height;
+  rep.pulse_width_ps = r.composite.params.width / ps;
+  rep.peak_time_ps = r.alignment.t_peak / ps;
+  rep.align_voltage_v = r.alignment.align_voltage;
+  rep.input_delay_noise_ps = r.input_delay_noise() / ps;
+  rep.delay_noise_ps = r.delay_noise() / ps;
+  return rep;
+}
+
+void DelayNoiseReport::to_text(std::ostream& os) const {
+  os << "delay-noise report";
+  if (!net_name.empty()) os << " [" << net_name << "]";
+  os << "\n";
+  os << "  victim: " << victim_driver << "X" << victim_driver_size
+     << " driving " << victim_segments << "-segment net, "
+     << (victim_rising ? "rising" : "falling") << " transition\n";
+  os << "  aggressors: " << num_aggressors << ", total coupling "
+     << coupling_total_ff << " fF\n";
+  os << "  victim driver: Rth = " << rth_ohm
+     << " Ohm, transient holding R = " << holding_r_ohm << " Ohm ("
+     << rtr_iterations << " Rtr iterations)\n";
+  os << "  composite noise pulse: height " << pulse_height_v << " V, width "
+     << pulse_width_ps << " ps\n";
+  os << "  worst-case alignment: pulse peak at " << peak_time_ps
+     << " ps (alignment voltage " << align_voltage_v << " V)\n";
+  os << "  interconnect delay noise: " << input_delay_noise_ps << " ps\n";
+  os << "  combined (receiver output) delay noise: " << delay_noise_ps
+     << " ps\n";
+}
+
+std::string DelayNoiseReport::to_text() const {
+  std::ostringstream os;
+  to_text(os);
+  return os.str();
+}
+
+namespace {
+
+void json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) break;  // Drop controls.
+        os << c;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void DelayNoiseReport::to_json(std::ostream& os) const {
+  const auto saved = os.precision(12);
+  os << "{\"net\":";
+  json_string(os, net_name);
+  os << ",\"victim_driver\":";
+  json_string(os, victim_driver);
+  os << ",\"victim_driver_size\":" << victim_driver_size
+     << ",\"victim_segments\":" << victim_segments
+     << ",\"victim_rising\":" << (victim_rising ? "true" : "false")
+     << ",\"aggressors\":" << num_aggressors
+     << ",\"coupling_total_ff\":" << coupling_total_ff
+     << ",\"rth_ohm\":" << rth_ohm
+     << ",\"holding_r_ohm\":" << holding_r_ohm
+     << ",\"rtr_iterations\":" << rtr_iterations
+     << ",\"pulse_height_v\":" << pulse_height_v
+     << ",\"pulse_width_ps\":" << pulse_width_ps
+     << ",\"peak_time_ps\":" << peak_time_ps
+     << ",\"align_voltage_v\":" << align_voltage_v
+     << ",\"input_delay_noise_ps\":" << input_delay_noise_ps
+     << ",\"delay_noise_ps\":" << delay_noise_ps << "}";
+  os.precision(saved);
+}
+
+std::string DelayNoiseReport::to_json() const {
+  std::ostringstream os;
+  to_json(os);
+  return os.str();
+}
+
+}  // namespace dn

@@ -1,0 +1,57 @@
+// Structured per-net analysis report.
+//
+// The old free-form print_report text was fine for a human at a terminal
+// but useless to the batch engine, which must merge millions of per-net
+// outcomes into worst-K tables, CSV dumps, and downstream signoff flows.
+// DelayNoiseReport is the data; to_text() reproduces the classic report,
+// to_json() renders the same fields machine-readable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/delay_noise.hpp"
+
+namespace dn {
+
+struct DelayNoiseReport {
+  std::string net_name;         // Optional caller-assigned label.
+
+  // Victim topology.
+  std::string victim_driver;    // Cell name, e.g. "INV".
+  double victim_driver_size = 0.0;
+  int victim_segments = 0;      // Wire segments of the victim net.
+  bool victim_rising = true;
+  std::size_t num_aggressors = 0;
+  double coupling_total_ff = 0.0;
+
+  // Driver model.
+  double rth_ohm = 0.0;
+  double holding_r_ohm = 0.0;
+  int rtr_iterations = 0;
+
+  // Composite pulse and worst-case alignment.
+  double pulse_height_v = 0.0;
+  double pulse_width_ps = 0.0;
+  double peak_time_ps = 0.0;
+  double align_voltage_v = 0.0;
+
+  // The answer.
+  double input_delay_noise_ps = 0.0;
+  double delay_noise_ps = 0.0;
+
+  /// Extracts every field from a net + its analysis result.
+  static DelayNoiseReport from(const CoupledNet& net, const DelayNoiseResult& r,
+                               std::string name = "");
+
+  /// The classic human-readable report (byte-compatible with the old
+  /// NoiseAnalyzer::print_report output).
+  std::string to_text() const;
+  void to_text(std::ostream& os) const;
+
+  /// One JSON object, keys fixed, numbers rendered with %.12g.
+  std::string to_json() const;
+  void to_json(std::ostream& os) const;
+};
+
+}  // namespace dn

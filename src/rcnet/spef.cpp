@@ -175,7 +175,10 @@ struct RawNet {
 
 }  // namespace
 
-CoupledNet read_spef(std::istream& is) {
+namespace {
+
+// The throwing parser core; the public entry points wrap it.
+CoupledNet parse_spef(std::istream& is) {
   Tokenizer tz(is);
   tz.expect("*SPEF");
   if (tz.next() != "\"dnoise-subset-1\"")
@@ -303,17 +306,35 @@ CoupledNet read_spef(std::istream& is) {
   return out;
 }
 
+}  // namespace
+
+StatusOr<CoupledNet> try_read_spef(std::istream& is) {
+  try {
+    return parse_spef(is);
+  } catch (const std::exception& e) {
+    return Status::InvalidArgument(e.what());
+  }
+}
+
+StatusOr<CoupledNet> try_read_spef_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return Status::NotFound("spef: cannot open '" + path + "'");
+  return try_read_spef(f);
+}
+
+CoupledNet read_spef(std::istream& is) { return parse_spef(is); }
+
+CoupledNet read_spef_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("spef: cannot open '" + path + "'");
+  return parse_spef(f);
+}
+
 void write_spef_file(const std::string& path, const CoupledNet& net,
                      const std::string& design) {
   std::ofstream f(path);
   if (!f) throw std::runtime_error("spef: cannot open '" + path + "' for write");
   write_spef(f, net, design);
-}
-
-CoupledNet read_spef_file(const std::string& path) {
-  std::ifstream f(path);
-  if (!f) throw std::runtime_error("spef: cannot open '" + path + "'");
-  return read_spef(f);
 }
 
 }  // namespace dn

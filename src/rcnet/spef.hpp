@@ -24,6 +24,7 @@
 #include <string>
 
 #include "rcnet/net.hpp"
+#include "util/status.hpp"
 
 namespace dn {
 
@@ -31,13 +32,19 @@ namespace dn {
 void write_spef(std::ostream& os, const CoupledNet& net,
                 const std::string& design = "dnoise");
 
-/// Parses a dnoise-subset SPEF stream. Throws std::runtime_error with a
-/// line-ish context message on malformed input.
-CoupledNet read_spef(std::istream& is);
+/// Parses a dnoise-subset SPEF stream. Malformed input comes back as
+/// kInvalidArgument with a context message — never an exception — so a
+/// batch run can record the bad deck and keep going.
+StatusOr<CoupledNet> try_read_spef(std::istream& is);
 
-/// File convenience wrappers.
+/// File variant: kNotFound when the file cannot be opened.
+StatusOr<CoupledNet> try_read_spef_file(const std::string& path);
+
+/// Legacy throwing wrappers (std::runtime_error on any failure).
+CoupledNet read_spef(std::istream& is);
+CoupledNet read_spef_file(const std::string& path);
+
 void write_spef_file(const std::string& path, const CoupledNet& net,
                      const std::string& design = "dnoise");
-CoupledNet read_spef_file(const std::string& path);
 
 }  // namespace dn

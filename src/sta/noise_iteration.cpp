@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/composite_pulse.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dn {
 
@@ -39,13 +40,19 @@ NoiseIterationResult iterate_windows_with_noise(
   NoiseIterationResult out;
   out.extra_delay.assign(static_cast<std::size_t>(graph.num_nets()), 0.0);
 
+  // Within one pass every site analysis is independent: it reads the
+  // previous pass's windows/extra delays and writes only its own victim's
+  // slot (duplicate victims are rejected above). Fan the sites across the
+  // pool each pass; the convergence reduction stays sequential so the
+  // result is identical for any job count.
+  ThreadPool pool(ThreadPool::resolve_jobs(opts.jobs));
+
   for (int pass = 1; pass <= opts.max_iterations; ++pass) {
     out.iterations = pass;
     out.windows = graph.compute_windows(out.extra_delay);
 
-    double max_change = 0.0;
-    std::vector<double> next = out.extra_delay;
-    for (std::size_t i = 0; i < sites.size(); ++i) {
+    std::vector<double> site_extra(sites.size(), 0.0);
+    pool.parallel_for(sites.size(), [&](std::size_t i) {
       const auto& site = sites[i];
       auto& eng = *engines[i];
       const std::size_t vi = static_cast<std::size_t>(site.victim_net);
@@ -69,9 +76,16 @@ NoiseIterationResult iterate_windows_with_noise(
       a.search.window_min = peak_ref + lo;
       a.search.window_max = peak_ref + hi;
       const DelayNoiseResult r = analyze_delay_noise(eng, a);
-      const double extra = std::max(r.delay_noise(), 0.0);
-      max_change = std::max(max_change, std::abs(extra - out.extra_delay[vi]));
-      next[vi] = extra;
+      site_extra[i] = std::max(r.delay_noise(), 0.0);
+    });
+
+    double max_change = 0.0;
+    std::vector<double> next = out.extra_delay;
+    for (std::size_t i = 0; i < sites.size(); ++i) {
+      const std::size_t vi = static_cast<std::size_t>(sites[i].victim_net);
+      max_change =
+          std::max(max_change, std::abs(site_extra[i] - out.extra_delay[vi]));
+      next[vi] = site_extra[i];
     }
     out.extra_delay = std::move(next);
     out.max_extra_history.push_back(

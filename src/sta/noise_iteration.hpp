@@ -38,6 +38,11 @@ struct NoiseIterationOptions {
   double tol = 0.5e-12;            // Convergence on extra delays [s].
   DelayNoiseOptions analysis{};    // Per-site analysis configuration.
   SuperpositionOptions engine{};   // Shared engine time frame.
+  /// Worker threads for the per-pass site analyses (each site is
+  /// independent within a pass: it reads the previous pass's windows and
+  /// writes only its own victim's extra delay). 0 = one per hardware
+  /// thread; 1 = sequential. Results are identical for any value.
+  int jobs = 1;
 };
 
 struct NoiseIterationResult {

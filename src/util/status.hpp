@@ -1,0 +1,99 @@
+// Status / StatusOr<T>: exception-free error propagation for the public
+// entry points.
+//
+// The batch engine analyzes millions of nets per chip; one malformed SPEF
+// block or one non-converging characterization must be *recorded* and
+// skipped, not allowed to unwind the whole run. Public APIs therefore
+// return Status (or StatusOr<T>) and the legacy throwing entry points are
+// kept as thin wrappers (`value_or_throw`) for existing call sites.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace dn {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,     // Malformed input (bad SPEF, inconsistent net).
+  kFailedPrecondition,  // Input valid but unusable (missing table, bad cfg).
+  kInternal,            // Analysis step failed (solver, characterization).
+  kNotFound,            // File or entity missing.
+};
+
+const char* status_code_name(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "<code>: <message>" (or "OK").
+  std::string to_string() const;
+
+  /// Throws std::runtime_error when not OK — the bridge back into the
+  /// legacy throwing API surface.
+  void throw_if_error() const {
+    if (!ok()) throw std::runtime_error(to_string());
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A value or the Status explaining its absence.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design.
+  StatusOr(Status status) : status_(std::move(status)) {
+    if (status_.ok())
+      status_ = Status::Internal("StatusOr constructed from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return value_.value(); }
+  T& value() & { return value_.value(); }
+  T&& value() && { return std::move(value_).value(); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+  /// Legacy bridge: the value, or std::runtime_error with the status text.
+  T value_or_throw() && {
+    status_.throw_if_error();
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;  // OK iff value_ holds.
+  std::optional<T> value_;
+};
+
+}  // namespace dn

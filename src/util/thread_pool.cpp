@@ -1,0 +1,101 @@
+#include "util/thread_pool.hpp"
+
+namespace dn {
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = threads > 1 ? threads : 0;
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+int ThreadPool::resolve_jobs(int jobs) {
+  if (jobs > 0) return jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+void ThreadPool::run_items(Batch& b) {
+  while (true) {
+    const std::size_t i = b.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= b.n) break;
+    try {
+      (*b.fn)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(b.error_mu);
+      if (!b.error) b.error = std::current_exception();
+    }
+    if (b.done.fetch_add(1, std::memory_order_acq_rel) + 1 == b.n) {
+      // Take/release the pool mutex so the notify cannot race between the
+      // waiter's predicate check and its wait.
+      { std::lock_guard<std::mutex> lk(mu_); }
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  while (true) {
+    Batch* b = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk,
+                    [&] { return stop_ || (batch_ && generation_ != seen); });
+      if (stop_) return;
+      seen = generation_;
+      b = batch_;
+      ++active_;
+    }
+    run_items(*b);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      --active_;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+
+  Batch b;
+  b.n = n;
+  b.fn = &fn;
+
+  if (workers_.empty()) {
+    run_items(b);  // Inline mode: the ticket loop, no threads involved.
+  } else {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      // One batch at a time; a concurrent caller queues here.
+      done_cv_.wait(lk, [&] { return batch_ == nullptr && active_ == 0; });
+      batch_ = &b;
+      ++generation_;
+    }
+    work_cv_.notify_all();
+    run_items(b);  // The caller is a worker too.
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      // b lives on this stack frame: wait until every worker has both
+      // finished its items AND left run_items before tearing it down.
+      done_cv_.wait(lk, [&] {
+        return b.done.load(std::memory_order_acquire) == b.n && active_ == 0;
+      });
+      batch_ = nullptr;
+    }
+  }
+
+  if (b.error) std::rethrow_exception(b.error);
+}
+
+}  // namespace dn

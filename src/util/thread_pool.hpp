@@ -1,0 +1,68 @@
+// Minimal persistent worker pool for the batch analysis engine.
+//
+// Design goals, in order: determinism of the *work* (the pool only decides
+// WHO runs an item, never what the item computes), dynamic load balancing
+// (an atomic ticket counter hands out items one by one, so a worker stuck
+// on a 40-aggressor monster net does not serialize the rest of the chip),
+// and graceful degradation (0/1 workers run everything inline on the
+// caller thread — no threads, no locks — which is also the reference
+// ordering the determinism tests compare against).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dn {
+
+class ThreadPool {
+ public:
+  /// `threads` <= 1 creates no worker threads (inline execution).
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker threads owned by the pool (0 means inline mode).
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Runs fn(i) for i in [0, n), distributing items over the workers plus
+  /// the calling thread via an atomic ticket counter. Blocks until every
+  /// item completed. If any invocation throws, the first exception (in
+  /// completion order) is rethrown here after all workers drained.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// `jobs` resolved against the machine: 0 -> hardware_concurrency.
+  static int resolve_jobs(int jobs);
+
+ private:
+  struct Batch {
+    std::size_t n = 0;
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::exception_ptr error;  // First error; guarded by error_mu.
+    std::mutex error_mu;
+  };
+
+  void worker_loop();
+  void run_items(Batch& b);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // Workers wait for a batch.
+  std::condition_variable done_cv_;   // parallel_for waits for completion.
+  Batch* batch_ = nullptr;            // Current batch (one at a time).
+  std::uint64_t generation_ = 0;      // Bumped per batch so workers re-wake.
+  int active_ = 0;                    // Workers currently inside run_items.
+  bool stop_ = false;
+};
+
+}  // namespace dn

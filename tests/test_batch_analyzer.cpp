@@ -1,0 +1,351 @@
+// Batch engine, thread pool, shared characterization cache, and the
+// Status-based error paths (clarinet/batch_analyzer.*, util/thread_pool.*,
+// clarinet/characterization_cache.*, util/status.*).
+#include "clarinet/batch_analyzer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "rcnet/random_nets.hpp"
+#include "rcnet/spef.hpp"
+#include "util/thread_pool.hpp"
+#include "util/units.hpp"
+
+namespace dn {
+namespace {
+
+using namespace dn::units;
+
+AnalyzerConfig fast_config() {
+  AnalyzerConfig c;
+  c.table_spec.search.coarse_points = 17;
+  c.table_spec.search.fine_points = 9;
+  c.table_spec.search.dt = 2 * ps;
+  c.analysis.search.coarse_points = 17;
+  c.analysis.search.fine_points = 9;
+  c.analysis.search.dt = 2 * ps;
+  return c;
+}
+
+std::vector<CoupledNet> random_population(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<CoupledNet> nets;
+  nets.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) nets.push_back(random_coupled_net(rng));
+  return nets;
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPool, RunsEveryItemExactlyOnce) {
+  for (const int jobs : {1, 2, 8}) {
+    ThreadPool pool(jobs);
+    std::vector<std::atomic<int>> hits(257);
+    pool.parallel_for(hits.size(),
+                      [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1) << "jobs=" << jobs;
+  }
+}
+
+TEST(ThreadPool, InlineModeCreatesNoThreads) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 0);
+  const auto caller = std::this_thread::get_id();
+  pool.parallel_for(4, [&](std::size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  for (const int jobs : {1, 4}) {
+    ThreadPool pool(jobs);
+    EXPECT_THROW(pool.parallel_for(16,
+                                   [&](std::size_t i) {
+                                     if (i == 7)
+                                       throw std::runtime_error("boom");
+                                   }),
+                 std::runtime_error)
+        << "jobs=" << jobs;
+    // Pool stays usable after an exception.
+    std::atomic<int> count{0};
+    pool.parallel_for(8, [&](std::size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 8);
+  }
+}
+
+TEST(ThreadPool, BackToBackBatches) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<long> sum{0};
+    pool.parallel_for(100, [&](std::size_t i) {
+      sum.fetch_add(static_cast<long>(i));
+    });
+    EXPECT_EQ(sum.load(), 4950);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CharacterizationCache under contention
+// ---------------------------------------------------------------------------
+
+TEST(CharacterizationCache, HammeredFromManyThreadsCachesEachKeyOnce) {
+  CharacterizationCache cache(fast_config().table_spec);
+
+  // 6 distinct receiver conditions: 3 sizes x 2 victim directions.
+  const std::vector<double> sizes{1.0, 2.0, 4.0};
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 25;
+
+  std::vector<std::vector<const AlignmentTable*>> seen(
+      kThreads, std::vector<const AlignmentTable*>(sizes.size() * 2, nullptr));
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        for (std::size_t s = 0; s < sizes.size(); ++s) {
+          for (const bool rising : {false, true}) {
+            GateParams rcv;
+            rcv.size = sizes[s];
+            const AlignmentTable* table = cache.table_for(rcv, rising);
+            ASSERT_NE(table, nullptr);
+            auto& slot = seen[static_cast<std::size_t>(t)]
+                             [2 * s + (rising ? 1 : 0)];
+            if (slot == nullptr) slot = table;
+            // Stable pointer: later lookups (and insertions of other
+            // keys) never move it.
+            EXPECT_EQ(slot, table);
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(cache.tables_cached(), sizes.size() * 2);
+  // Exactly one characterization per distinct condition, no matter the
+  // contention; everything else was a hit.
+  EXPECT_EQ(cache.misses(), sizes.size() * 2);
+  EXPECT_EQ(cache.hits() + cache.misses(),
+            static_cast<std::uint64_t>(kThreads) * kRounds * sizes.size() * 2);
+  // All threads resolved each key to the same table object.
+  for (int t = 1; t < kThreads; ++t)
+    EXPECT_EQ(seen[static_cast<std::size_t>(t)], seen[0]);
+}
+
+// ---------------------------------------------------------------------------
+// BatchAnalyzer
+// ---------------------------------------------------------------------------
+
+TEST(BatchAnalyzer, BitIdenticalToSequentialAnalyzer) {
+  const auto nets = random_population(10, 20010618);
+
+  // Reference: the plain sequential front end, fresh cache.
+  NoiseAnalyzer seq(fast_config());
+  std::vector<DelayNoiseResult> expected;
+  expected.reserve(nets.size());
+  for (const auto& net : nets) expected.push_back(seq.analyze(net));
+
+  BatchOptions opts;
+  opts.analyzer = fast_config();
+  opts.jobs = 4;
+  BatchAnalyzer batch(opts);
+  const BatchResult got = batch.analyze(nets);
+
+  ASSERT_EQ(got.nets.size(), nets.size());
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    ASSERT_TRUE(got.nets[i].status.ok()) << got.nets[i].status.to_string();
+    const DelayNoiseResult& a = expected[i];
+    const DelayNoiseResult& b = got.nets[i].result;
+    // Bit-identical, not approximately equal: the batch engine must not
+    // perturb the numerics, only the scheduling.
+    EXPECT_EQ(a.nominal_t50, b.nominal_t50) << "net " << i;
+    EXPECT_EQ(a.noisy_t50, b.noisy_t50) << "net " << i;
+    EXPECT_EQ(a.nominal_input_t50, b.nominal_input_t50) << "net " << i;
+    EXPECT_EQ(a.noisy_input_t50, b.noisy_input_t50) << "net " << i;
+    EXPECT_EQ(a.rth, b.rth) << "net " << i;
+    EXPECT_EQ(a.holding_r, b.holding_r) << "net " << i;
+    EXPECT_EQ(a.rtr_iterations, b.rtr_iterations) << "net " << i;
+    EXPECT_EQ(a.alignment.t_peak, b.alignment.t_peak) << "net " << i;
+    EXPECT_EQ(a.alignment.align_voltage, b.alignment.align_voltage)
+        << "net " << i;
+    EXPECT_EQ(a.composite.params.height, b.composite.params.height)
+        << "net " << i;
+    EXPECT_EQ(a.composite.params.width, b.composite.params.width)
+        << "net " << i;
+  }
+  EXPECT_EQ(batch.cache()->tables_cached(), seq.tables_cached());
+}
+
+TEST(BatchAnalyzer, OutputByteIdenticalAcrossJobCounts) {
+  const auto nets = random_population(8, 424242);
+  std::string ref_text, ref_json;
+  for (const int jobs : {1, 3, 8}) {
+    BatchOptions opts;
+    opts.analyzer = fast_config();
+    opts.jobs = jobs;
+    opts.top_k = 3;
+    BatchAnalyzer engine(opts);
+    const BatchResult r = engine.analyze(nets);
+    if (ref_text.empty()) {
+      ref_text = r.to_text();
+      ref_json = r.to_json();
+      EXPECT_EQ(r.worst.size(), 3u);
+    } else {
+      EXPECT_EQ(r.to_text(), ref_text) << "jobs=" << jobs;
+      EXPECT_EQ(r.to_json(), ref_json) << "jobs=" << jobs;
+    }
+  }
+}
+
+TEST(BatchAnalyzer, RecordsPerNetFailuresAndKeepsGoing) {
+  auto nets = random_population(4, 7);
+  CoupledNet bad = example_coupled_net(1);
+  bad.couplings.push_back({99, 0, 0, 1e-15});  // Aggressor 99 doesn't exist.
+  nets.insert(nets.begin() + 1, bad);
+
+  BatchOptions opts;
+  opts.analyzer = fast_config();
+  opts.jobs = 2;
+  BatchAnalyzer engine(opts);
+  const BatchResult r = engine.analyze(nets);
+
+  ASSERT_EQ(r.nets.size(), 5u);
+  EXPECT_FALSE(r.nets[1].status.ok());
+  EXPECT_EQ(r.nets[1].status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.stats.failed, 1u);
+  EXPECT_EQ(r.stats.analyzed, 4u);
+  for (const std::size_t w : r.worst) EXPECT_NE(w, 1u);  // Failed net unranked.
+  EXPECT_NE(r.to_text().find("FAILED"), std::string::npos);
+}
+
+TEST(BatchAnalyzer, WorstKRanksByCombinedDelayNoise) {
+  const auto nets = random_population(6, 99);
+  BatchOptions opts;
+  opts.analyzer = fast_config();
+  opts.jobs = 2;
+  opts.top_k = 6;
+  BatchAnalyzer engine(opts);
+  const BatchResult r = engine.analyze(nets);
+  ASSERT_EQ(r.worst.size(), 6u);
+  for (std::size_t i = 1; i < r.worst.size(); ++i)
+    EXPECT_GE(r.nets[r.worst[i - 1]].result.delay_noise(),
+              r.nets[r.worst[i]].result.delay_noise());
+}
+
+// ---------------------------------------------------------------------------
+// Status error paths
+// ---------------------------------------------------------------------------
+
+TEST(Status, SpefMalformedInputComesBackAsStatus) {
+  std::istringstream garbage("*SPEF \"dnoise-subset-1\"\n*D_NET v *VICTIM\n"
+                             "*CAP\nv:0 not-a-number\n*END\n");
+  const StatusOr<CoupledNet> r = try_read_spef(garbage);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("spef"), std::string::npos);
+
+  std::istringstream wrong_dialect("*SPEF \"other\"\n");
+  EXPECT_EQ(try_read_spef(wrong_dialect).status().code(),
+            StatusCode::kInvalidArgument);
+
+  EXPECT_EQ(try_read_spef_file("/nonexistent/x.spef").status().code(),
+            StatusCode::kNotFound);
+
+  // Legacy wrappers still throw for old call sites.
+  std::istringstream garbage2("*SPEF \"dnoise-subset-1\"\n*BOGUS\n");
+  EXPECT_THROW(read_spef(garbage2), std::runtime_error);
+  EXPECT_THROW(read_spef_file("/nonexistent/x.spef"), std::runtime_error);
+}
+
+TEST(Status, SpefRoundTripStillWorksThroughStatusApi) {
+  const CoupledNet net = example_coupled_net(2);
+  std::ostringstream os;
+  write_spef(os, net);
+  std::istringstream is(os.str());
+  const StatusOr<CoupledNet> back = try_read_spef(is);
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  EXPECT_EQ(back->aggressors.size(), net.aggressors.size());
+  EXPECT_NEAR(back->total_coupling_cap(), net.total_coupling_cap(), 1e-21);
+}
+
+TEST(Status, AnalyzerReturnsStatusInsteadOfThrowing) {
+  NoiseAnalyzer analyzer(fast_config());
+  CoupledNet bad = example_coupled_net(1);
+  bad.couplings.push_back({42, 0, 0, 1e-15});
+  const StatusOr<DelayNoiseResult> r = analyzer.try_analyze(bad);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_THROW(analyzer.analyze(bad), std::runtime_error);  // Legacy wrapper.
+}
+
+TEST(Status, BasicsAndToString) {
+  EXPECT_TRUE(Status::Ok().ok());
+  EXPECT_EQ(Status::Ok().to_string(), "OK");
+  const Status s = Status::InvalidArgument("bad deck");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.to_string(), "INVALID_ARGUMENT: bad deck");
+  EXPECT_THROW(s.throw_if_error(), std::runtime_error);
+  const StatusOr<int> v = 42;
+  EXPECT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+// ---------------------------------------------------------------------------
+// Structured report and the shared analyzer surface
+// ---------------------------------------------------------------------------
+
+TEST(DelayNoiseReport, TextMatchesLegacyPrintReport) {
+  NoiseAnalyzer analyzer(fast_config());
+  const CoupledNet net = example_coupled_net(1);
+  const DelayNoiseResult r = analyzer.analyze(net);
+  std::ostringstream legacy;
+  analyzer.print_report(legacy, net, r);
+  EXPECT_EQ(analyzer.report(net, r).to_text(), legacy.str());
+}
+
+TEST(DelayNoiseReport, JsonCarriesTheKeyFields) {
+  NoiseAnalyzer analyzer(fast_config());
+  const CoupledNet net = example_coupled_net(1);
+  const DelayNoiseResult r = analyzer.analyze(net);
+  const std::string json = analyzer.report(net, r, "n1").to_json();
+  for (const char* key :
+       {"\"net\":\"n1\"", "\"victim_driver\":\"INV\"", "\"rth_ohm\":",
+        "\"holding_r_ohm\":", "\"pulse_height_v\":", "\"align_voltage_v\":",
+        "\"input_delay_noise_ps\":", "\"delay_noise_ps\":"})
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(NoiseAnalyzer, SharedCacheAndStableTablePointers) {
+  auto cache =
+      std::make_shared<CharacterizationCache>(fast_config().table_spec);
+  const NoiseAnalyzer a(fast_config(), cache);
+  const NoiseAnalyzer b(fast_config(), cache);
+
+  const CoupledNet net = example_coupled_net(1);
+  const AlignmentTable* t1 =
+      a.table_for(net.victim.receiver, net.victim.output_rising);
+  a.analyze(net);
+  b.analyze(net);
+  EXPECT_EQ(cache->tables_cached(), 1u);  // Shared: characterized once.
+
+  // Insertions of new keys never invalidate earlier pointers.
+  GateParams other = net.victim.receiver;
+  other.size = 8.0;
+  b.table_for(other, true);
+  b.table_for(other, false);
+  EXPECT_EQ(cache->tables_cached(), 3u);
+  EXPECT_EQ(a.table_for(net.victim.receiver, net.victim.output_rising), t1);
+}
+
+}  // namespace
+}  // namespace dn

@@ -1,8 +1,8 @@
-// dnoise_cli — command-line delay/functional noise analysis of a coupled
-// net described in the SPEF-subset format (see rcnet/spef.hpp for the
+// dnoise_cli — command-line delay/functional noise analysis of coupled
+// nets described in the SPEF-subset format (see rcnet/spef.hpp for the
 // grammar; examples/spef_flow generates decks).
 //
-// Usage:
+// Single-net mode:
 //   dnoise_cli <file.spef> [options]
 //     --exhaustive       exhaustive alignment search instead of the
 //                        8-point prediction tables
@@ -10,16 +10,29 @@
 //     --functional       also run the functional (static victim) check
 //     --golden           cross-check against the full nonlinear simulation
 //     --csv              emit a single CSV result row instead of a report
+//     --json             emit the report as one JSON object
+//
+// Batch mode (the full-chip engine):
+//   dnoise_cli --batch <file.spef>... [--jobs N] [--top K] [--json]
+//   dnoise_cli --batch --random N [--seed S] [--jobs N] [--top K] [--json]
+//     Fans the nets across N workers sharing one characterization cache.
+//     Per-net failures (unreadable/malformed decks, solver errors) are
+//     recorded and the run continues. stdout is byte-identical for any
+//     --jobs value; throughput/cache stats go to stderr.
+//
+// Screening mode:
+//   dnoise_cli --screen <file.spef>... (rank by severity)
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
-#include "clarinet/analyzer.hpp"
+#include "clarinet/batch_analyzer.hpp"
+#include "clarinet/screening.hpp"
 #include "core/baselines.hpp"
 #include "core/functional_noise.hpp"
-#include "clarinet/screening.hpp"
+#include "rcnet/random_nets.hpp"
 #include "rcnet/spef.hpp"
 #include "util/units.hpp"
 
@@ -29,35 +42,59 @@ using namespace dn::units;
 namespace {
 
 bool has_flag(int argc, char** argv, const char* name) {
-  for (int i = 2; i < argc; ++i)
+  for (int i = 1; i < argc; ++i)
     if (std::strcmp(argv[i], name) == 0) return true;
   return false;
 }
 
+int int_flag(int argc, char** argv, const char* name, int fallback) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], name) == 0) return std::atoi(argv[i + 1]);
+  return fallback;
+}
+
+/// Positional (non-flag) arguments, skipping the values of flags that
+/// take one.
+std::vector<std::string> positional_args(int argc, char** argv) {
+  std::vector<std::string> out;
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] == '-') {
+      if (std::strcmp(argv[i], "--jobs") == 0 ||
+          std::strcmp(argv[i], "--top") == 0 ||
+          std::strcmp(argv[i], "--random") == 0 ||
+          std::strcmp(argv[i], "--seed") == 0)
+        ++i;  // Skip the flag's value.
+      continue;
+    }
+    out.emplace_back(argv[i]);
+  }
+  return out;
+}
+
 int usage() {
-  std::fprintf(stderr,
-               "usage: dnoise_cli <file.spef> [--exhaustive] [--thevenin] "
-               "[--functional] [--golden] [--csv]\n"
-               "       dnoise_cli --screen <file.spef>... (rank by severity)\n");
+  std::fprintf(
+      stderr,
+      "usage: dnoise_cli <file.spef> [--exhaustive] [--thevenin]\n"
+      "                  [--functional] [--golden] [--csv] [--json]\n"
+      "       dnoise_cli --batch <file.spef>... [--jobs N] [--top K] [--json]\n"
+      "       dnoise_cli --batch --random N [--seed S] [--jobs N] [--top K]\n"
+      "       dnoise_cli --screen <file.spef>... (rank by severity)\n");
   return 2;
 }
 
-}  // namespace
-
 int run_screening(int argc, char** argv) {
-  std::vector<std::string> files;
-  for (int i = 1; i < argc; ++i)
-    if (argv[i][0] != '-') files.emplace_back(argv[i]);
+  const std::vector<std::string> files = positional_args(argc, argv);
   if (files.empty()) return usage();
 
   std::vector<CoupledNet> nets;
   for (const auto& f : files) {
-    try {
-      nets.push_back(read_spef_file(f));
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "error reading %s: %s\n", f.c_str(), e.what());
+    StatusOr<CoupledNet> net = try_read_spef_file(f);
+    if (!net.ok()) {
+      std::fprintf(stderr, "error reading %s: %s\n", f.c_str(),
+                   net.status().to_string().c_str());
       return 1;
     }
+    nets.push_back(std::move(*net));
   }
   const auto order = rank_by_severity(nets);
   std::printf("%-40s %12s %12s\n", "file (most severe first)", "est_noise_V",
@@ -70,39 +107,108 @@ int run_screening(int argc, char** argv) {
   return 0;
 }
 
+int run_batch(int argc, char** argv) {
+  BatchOptions opts;
+  opts.jobs = int_flag(argc, argv, "--jobs", 0);
+  opts.top_k = int_flag(argc, argv, "--top", 10);
+  opts.analyzer.use_prediction_tables = !has_flag(argc, argv, "--exhaustive");
+  opts.analyzer.analysis.use_transient_holding =
+      !has_flag(argc, argv, "--thevenin");
+
+  std::vector<CoupledNet> nets;
+  std::vector<std::string> names;
+  std::vector<BatchNetResult> load_failures;
+
+  const int n_random = int_flag(argc, argv, "--random", 0);
+  if (n_random > 0) {
+    Rng rng(static_cast<std::uint64_t>(int_flag(argc, argv, "--seed", 1)));
+    for (int i = 0; i < n_random; ++i) {
+      nets.push_back(random_coupled_net(rng));
+      names.push_back("random" + std::to_string(i));
+    }
+  } else {
+    const std::vector<std::string> files = positional_args(argc, argv);
+    if (files.empty()) return usage();
+    for (const auto& f : files) {
+      StatusOr<CoupledNet> net = try_read_spef_file(f);
+      if (net.ok()) {
+        nets.push_back(std::move(*net));
+        names.push_back(f);
+      } else {
+        // Record and continue — one bad deck must not kill the batch.
+        BatchNetResult fail;
+        fail.name = f;
+        fail.status = net.status();
+        load_failures.push_back(std::move(fail));
+      }
+    }
+  }
+
+  BatchAnalyzer engine(opts);
+  BatchResult result = engine.analyze(nets, names);
+
+  // Splice load failures into the accounting (after the analyzed nets, in
+  // input order — still deterministic).
+  for (auto& fail : load_failures) {
+    fail.index = result.nets.size();
+    result.nets.push_back(std::move(fail));
+    ++result.stats.total;
+    ++result.stats.failed;
+  }
+
+  if (has_flag(argc, argv, "--json")) {
+    result.write_json(std::cout);
+    std::cout << "\n";
+  } else {
+    result.write_text(std::cout);
+  }
+  std::fprintf(stderr, "%s\n", result.stats_text().c_str());
+  return result.stats.analyzed > 0 || result.stats.total == 0 ? 0 : 1;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i)
-    if (std::strcmp(argv[i], "--screen") == 0) return run_screening(argc, argv);
+  if (has_flag(argc, argv, "--batch")) return run_batch(argc, argv);
+  if (has_flag(argc, argv, "--screen")) return run_screening(argc, argv);
   if (argc < 2 || argv[1][0] == '-') return usage();
 
-  CoupledNet net;
-  try {
-    net = read_spef_file(argv[1]);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
+  StatusOr<CoupledNet> loaded = try_read_spef_file(argv[1]);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n", loaded.status().to_string().c_str());
     return 1;
   }
+  const CoupledNet net = std::move(*loaded);
 
   AnalyzerConfig cfg;
   cfg.use_prediction_tables = !has_flag(argc, argv, "--exhaustive");
   cfg.analysis.use_transient_holding = !has_flag(argc, argv, "--thevenin");
   NoiseAnalyzer analyzer(cfg);
 
+  StatusOr<DelayNoiseResult> analyzed = analyzer.try_analyze(net);
+  if (!analyzed.ok()) {
+    std::fprintf(stderr, "analysis error: %s\n",
+                 analyzed.status().to_string().c_str());
+    return 1;
+  }
+  const DelayNoiseResult& r = *analyzed;
+
+  if (has_flag(argc, argv, "--csv")) {
+    std::printf("file,aggressors,coupling_fF,rth_ohm,holding_ohm,"
+                "pulse_V,pulse_ps,input_dnoise_ps,combined_dnoise_ps\n");
+    std::printf("%s,%zu,%.3f,%.1f,%.1f,%.4f,%.1f,%.2f,%.2f\n", argv[1],
+                net.aggressors.size(), net.total_coupling_cap() / fF, r.rth,
+                r.holding_r, r.composite.params.height,
+                r.composite.params.width / ps, r.input_delay_noise() / ps,
+                r.delay_noise() / ps);
+  } else if (has_flag(argc, argv, "--json")) {
+    analyzer.report(net, r, argv[1]).to_json(std::cout);
+    std::cout << "\n";
+  } else {
+    analyzer.print_report(std::cout, net, r);
+  }
+
   try {
-    const DelayNoiseResult r = analyzer.analyze(net);
-
-    if (has_flag(argc, argv, "--csv")) {
-      std::printf("file,aggressors,coupling_fF,rth_ohm,holding_ohm,"
-                  "pulse_V,pulse_ps,input_dnoise_ps,combined_dnoise_ps\n");
-      std::printf("%s,%zu,%.3f,%.1f,%.1f,%.4f,%.1f,%.2f,%.2f\n", argv[1],
-                  net.aggressors.size(), net.total_coupling_cap() / fF, r.rth,
-                  r.holding_r, r.composite.params.height,
-                  r.composite.params.width / ps, r.input_delay_noise() / ps,
-                  r.delay_noise() / ps);
-    } else {
-      analyzer.print_report(std::cout, net, r);
-    }
-
     if (has_flag(argc, argv, "--golden")) {
       const GoldenResult g = golden_nonlinear(net, absolute_shifts(r));
       const double gd = g.delay_noise();
