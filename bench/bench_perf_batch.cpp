@@ -10,15 +10,23 @@
 //     >= 8 threads; the check is skipped, with a note, on smaller hosts
 //     since no scheduler can conjure cores that aren't there).
 //
+// Also emits a machine-readable result file (default BENCH_perf_batch.json)
+// with the per-job-count throughput table and a full pipeline metrics
+// snapshot from the dn::obs registry.
+//
 //   bench_perf_batch [--nets N] [--seed S] [--jobs J] [--top K]
+//                    [--out BENCH_perf_batch.json]
 #include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "clarinet/batch_analyzer.hpp"
+#include "util/metrics.hpp"
 
 using namespace dn;
 using namespace dn::units;
@@ -45,6 +53,8 @@ int main(int argc, char** argv) {
   const int seed = dn::bench::int_flag(argc, argv, "--seed", 1);
   const int max_jobs = dn::bench::int_flag(argc, argv, "--jobs", 8);
   const int top_k = dn::bench::int_flag(argc, argv, "--top", 10);
+  const std::string out_path =
+      dn::bench::str_flag(argc, argv, "--out", "BENCH_perf_batch.json");
 
   dn::bench::print_header(
       "perf: chip-level batch analysis engine",
@@ -61,11 +71,17 @@ int main(int argc, char** argv) {
   for (int j = 2; j < max_jobs; j *= 2) job_counts.push_back(j);
   if (max_jobs > 1) job_counts.push_back(max_jobs);
 
+  // Collect pipeline metrics across the whole sweep; the registry JSON
+  // snapshot lands in the result file alongside the throughput table.
+  obs::set_metrics_enabled(true);
+  obs::metrics().reset_all();
+
   std::printf("%6s %10s %10s %9s %11s %10s\n", "jobs", "time_s", "nets/s",
               "speedup", "tables", "hit_rate%");
   std::string ref_output;
   bool identical = true;
   double t_jobs1 = 0.0, t_last = 0.0;
+  std::ostringstream rows;
   for (const int jobs : job_counts) {
     BatchOptions opts;
     opts.analyzer = bench_config();
@@ -78,9 +94,16 @@ int main(int argc, char** argv) {
     const std::string out = r.to_json() + "\n" + r.to_text();
     if (ref_output.empty()) ref_output = out;
     else if (out != ref_output) identical = false;
+    const double speedup_j = t_jobs1 > 0 ? t_jobs1 / t_last : 0.0;
     std::printf("%6d %10.2f %10.1f %8.2fx %11zu %10.1f\n", jobs, t_last,
-                r.stats.nets_per_s, t_jobs1 > 0 ? t_jobs1 / t_last : 0.0,
-                r.stats.tables_cached, 100.0 * r.stats.cache_hit_rate());
+                r.stats.nets_per_s, speedup_j, r.stats.tables_cached,
+                100.0 * r.stats.cache_hit_rate());
+    if (rows.tellp() > 0) rows << ",";
+    rows << "{\"jobs\":" << jobs << ",\"time_s\":" << t_last
+         << ",\"nets_per_s\":" << r.stats.nets_per_s
+         << ",\"speedup\":" << speedup_j
+         << ",\"tables\":" << r.stats.tables_cached
+         << ",\"cache_hit_rate\":" << r.stats.cache_hit_rate() << "}";
   }
   std::printf("\n");
 
@@ -101,6 +124,19 @@ int main(int argc, char** argv) {
         "[SKIP] scaling criterion (>=3x at 8 jobs) needs >=8 hardware "
         "threads; this host has %u (measured %.2fx at %d jobs)\n",
         hw, speedup, max_jobs);
+  }
+
+  std::ofstream jf(out_path);
+  if (jf) {
+    jf << "{\"bench\":\"perf_batch\",\"nets\":" << n_nets
+       << ",\"seed\":" << seed << ",\"byte_identical\":"
+       << (identical ? "true" : "false") << ",\"runs\":[" << rows.str()
+       << "],\"metrics\":";
+    obs::metrics().write_json(jf);
+    jf << "}\n";
+    std::printf("wrote %s\n", out_path.c_str());
+  } else {
+    std::fprintf(stderr, "warning: cannot write %s\n", out_path.c_str());
   }
   return ok ? 0 : 1;
 }

@@ -22,6 +22,14 @@ inline int int_flag(int argc, char** argv, const char* name, int fallback) {
   return fallback;
 }
 
+/// Parses "--out path" style string flags; returns fallback when absent.
+inline std::string str_flag(int argc, char** argv, const char* name,
+                            const char* fallback) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  return fallback;
+}
+
 inline bool has_flag(int argc, char** argv, const char* name) {
   for (int i = 1; i < argc; ++i)
     if (std::strcmp(argv[i], name) == 0) return true;

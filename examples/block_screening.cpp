@@ -3,12 +3,17 @@
 // worst offenders — the triage a production noise tool performs before
 // spending simulation time.
 //
+// The triage is built into BatchAnalyzer: setting
+// BatchOptions::screen_threshold makes the batch engine run the
+// screening estimate first and skip the full analysis for every net
+// whose estimated delay noise falls below the threshold.
+//
 // Usage: block_screening [num_nets]
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 
-#include "clarinet/analyzer.hpp"
+#include "clarinet/batch_analyzer.hpp"
 #include "clarinet/screening.hpp"
 #include "rcnet/random_nets.hpp"
 #include "util/table.hpp"
@@ -19,41 +24,43 @@ using namespace dn::units;
 
 int main(int argc, char** argv) {
   const int n_nets = argc > 1 ? std::atoi(argv[1]) : 20;
-  const int analyze_top = 5;
+  const double threshold = 30 * ps;
 
   Rng rng(90210);
   std::vector<CoupledNet> nets;
   for (int i = 0; i < n_nets; ++i) nets.push_back(random_coupled_net(rng));
-  std::printf("block with %d coupled nets; screening...\n\n", n_nets);
+  std::printf("block with %d coupled nets; screening below %.0f ps...\n\n",
+              n_nets, threshold / ps);
 
+  BatchOptions opts;
+  opts.screen_threshold = threshold;
+  opts.top_k = 5;
+  BatchAnalyzer engine(opts);
+  const BatchResult res = engine.analyze(nets);
+
+  // Report in severity order of the cheap estimate, worst first.
   const auto order = rank_by_severity(nets);
 
   Table tbl({"rank", "net", "est_noise_V", "est_dN_ps", "full_dN_ps",
              "analyzed"});
-  NoiseAnalyzer analyzer;
-  double screened_total = 0.0, analyzed_total = 0.0;
   for (std::size_t rank = 0; rank < order.size(); ++rank) {
     const std::size_t i = order[rank];
-    const ScreeningEstimate est = screen_net(nets[i]);
-    double full = -1.0;
-    const bool analyze = rank < static_cast<std::size_t>(analyze_top);
-    if (analyze) {
-      full = analyzer.analyze(nets[i]).delay_noise();
-      analyzed_total += full;
-    }
-    screened_total += est.dn_est;
+    const StatusOr<ScreeningEstimate> est = try_screen_net(nets[i]);
+    const BatchNetResult& nr = res.nets[i];
+    const bool analyzed = nr.status.ok() && !nr.screened_out;
     tbl.add_row({Table::fmt(static_cast<double>(rank + 1)),
                  Table::fmt(static_cast<double>(i)),
-                 Table::fmt(est.vn_est, 4), Table::fmt(est.dn_est / ps, 4),
-                 analyze ? Table::fmt(full / ps, 4) : "-",
-                 analyze ? "yes" : "no"});
+                 est.ok() ? Table::fmt(est->vn_est, 4) : "?",
+                 est.ok() ? Table::fmt(est->dn_est / ps, 4) : "?",
+                 analyzed ? Table::fmt(nr.result.delay_noise() / ps, 4) : "-",
+                 analyzed ? "yes" : "no"});
   }
   tbl.print(std::cout);
 
-  std::printf("\nanalyzed the top %d of %d nets in full "
+  std::printf("\nanalyzed %zu of %d nets in full "
               "(%zu alignment tables characterized and cached);\n"
-              "the remaining %d were cleared by the screening estimate.\n",
-              analyze_top, n_nets, analyzer.tables_cached(),
-              n_nets - analyze_top);
+              "the remaining %zu were cleared by the screening estimate.\n",
+              res.stats.analyzed, n_nets, engine.cache()->tables_cached(),
+              res.stats.screened_out);
   return 0;
 }

@@ -59,7 +59,7 @@ int main() {
   for (double cc : {10 * fF, 25 * fF, 45 * fF}) {
     for (double slew : {120 * ps, 300 * ps}) {
       const CoupledNet lane = bus_lane(cc, slew);
-      const DelayNoiseResult r = analyzer.analyze(lane);
+      const DelayNoiseResult r = analyzer.try_analyze(lane).value();
       tbl.add_row_values({cc / fF, slew / ps, r.composite.params.height,
                           r.composite.params.width / ps, r.rth, r.holding_r,
                           r.input_delay_noise() / ps, r.delay_noise() / ps});
@@ -71,7 +71,7 @@ int main() {
 
   // Detailed report for the worst lane configuration.
   const CoupledNet worst = bus_lane(45 * fF, 300 * ps);
-  const DelayNoiseResult r = analyzer.analyze(worst);
+  const DelayNoiseResult r = analyzer.try_analyze(worst).value();
   std::printf("\n");
   analyzer.print_report(std::cout, worst, r);
   return 0;

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <iostream>
 #include <sstream>
+#include <utility>
 
 #include "clarinet/analyzer.hpp"
 #include "rcnet/random_nets.hpp"
@@ -21,7 +22,12 @@ int main(int argc, char** argv) {
   CoupledNet net;
   if (argc > 1) {
     std::printf("reading %s\n", argv[1]);
-    net = read_spef_file(argv[1]);
+    StatusOr<CoupledNet> parsed = try_read_spef_file(argv[1]);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "error: %s\n", parsed.status().to_string().c_str());
+      return 1;
+    }
+    net = *std::move(parsed);
   } else {
     // Generate a parasitic deck from a seeded random net and show it.
     Rng rng(42);
@@ -32,7 +38,7 @@ int main(int argc, char** argv) {
 
     // Round-trip through the parser, as an extraction handoff would.
     std::istringstream in(deck.str());
-    net = read_spef(in);
+    net = try_read_spef(in).value();
   }
 
   std::printf("net: victim %d segments, %zu aggressors, %.1f fF coupling\n\n",
@@ -40,7 +46,11 @@ int main(int argc, char** argv) {
               net.total_coupling_cap() / fF);
 
   NoiseAnalyzer analyzer;
-  const DelayNoiseResult r = analyzer.analyze(net);
-  analyzer.print_report(std::cout, net, r);
+  const StatusOr<DelayNoiseResult> r = analyzer.try_analyze(net);
+  if (!r.ok()) {
+    std::fprintf(stderr, "error: %s\n", r.status().to_string().c_str());
+    return 1;
+  }
+  analyzer.print_report(std::cout, net, *r);
   return 0;
 }

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Repo gate: warnings-as-errors build, the tier-1 ctest suite, and a
+# ThreadSanitizer pass over the batch engine (the one component with real
+# cross-thread sharing: the characterization cache and the worker pool).
+#
+# Usage: scripts/check.sh [--no-tsan]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 2)
+run_tsan=1
+[[ "${1:-}" == "--no-tsan" ]] && run_tsan=0
+
+echo "== build (DN_WERROR=ON) =="
+cmake -B build -S . -DDN_WERROR=ON >/dev/null
+cmake --build build -j "$jobs"
+
+echo "== tier-1 tests =="
+ctest --test-dir build -L tier1 --output-on-failure -j "$jobs"
+
+if [[ "$run_tsan" == 1 ]]; then
+  echo "== ThreadSanitizer: batch engine =="
+  cmake -B build-tsan -S . -DDN_SANITIZE=thread -DDN_WERROR=ON >/dev/null
+  cmake --build build-tsan -j "$jobs" --target test_batch_analyzer test_metrics
+  ./build-tsan/tests/test_batch_analyzer
+  ./build-tsan/tests/test_metrics
+fi
+
+echo "== all checks passed =="

@@ -3,6 +3,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "util/trace.hpp"
+
 namespace dn {
 
 NoiseAnalyzer::NoiseAnalyzer(AnalyzerConfig config)
@@ -24,9 +26,16 @@ const AlignmentTable* NoiseAnalyzer::table_for(const GateParams& receiver,
 
 StatusOr<DelayNoiseResult> NoiseAnalyzer::try_analyze(
     const CoupledNet& net) const {
+  static obs::Counter& c_ok = obs::metrics().counter("analyze.nets_ok");
+  static obs::Counter& c_failed =
+      obs::metrics().counter("analyze.nets_failed");
+  static obs::Histogram& h_seconds =
+      obs::metrics().histogram("stage.analyze.seconds");
+  obs::StageScope stage("net.analyze", "analyze", h_seconds);
   try {
     net.validate();
   } catch (const std::exception& e) {
+    c_failed.add();
     return Status::InvalidArgument(e.what());
   }
   try {
@@ -39,14 +48,19 @@ StatusOr<DelayNoiseResult> NoiseAnalyzer::try_analyze(
       opts.method = AlignmentMethod::Exhaustive;
       opts.table = nullptr;
     }
-    return analyze_delay_noise(eng, opts);
+    StatusOr<DelayNoiseResult> r = analyze_delay_noise(eng, opts);
+    c_ok.add();
+    return r;
   } catch (const std::exception& e) {
+    c_failed.add();
     return Status::Internal(e.what());
   }
 }
 
 DelayNoiseResult NoiseAnalyzer::analyze(const CoupledNet& net) const {
-  return try_analyze(net).value_or_throw();
+  StatusOr<DelayNoiseResult> r = try_analyze(net);
+  r.status().throw_if_error();
+  return std::move(*r);
 }
 
 DelayNoiseReport NoiseAnalyzer::report(const CoupledNet& net,

@@ -48,6 +48,7 @@ class NoiseAnalyzer {
   StatusOr<DelayNoiseResult> try_analyze(const CoupledNet& net) const;
 
   /// Legacy throwing wrapper around try_analyze().
+  DN_DEPRECATED("use try_analyze")
   DelayNoiseResult analyze(const CoupledNet& net) const;
 
   /// The cached 8-point table for a receiver type/size and victim

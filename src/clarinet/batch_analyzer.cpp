@@ -1,9 +1,12 @@
 #include "clarinet/batch_analyzer.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <ostream>
 #include <sstream>
+
+#include "util/trace.hpp"
 
 namespace dn {
 
@@ -15,31 +18,75 @@ BatchAnalyzer::BatchAnalyzer(BatchOptions opts)
 
 BatchResult BatchAnalyzer::analyze(const std::vector<CoupledNet>& nets,
                                    const std::vector<std::string>& names) {
+  static obs::Counter& c_runs = obs::metrics().counter("batch.runs");
+  static obs::Counter& c_ok = obs::metrics().counter("batch.nets_ok");
+  static obs::Counter& c_failed = obs::metrics().counter("batch.nets_failed");
+  static obs::Counter& c_screened =
+      obs::metrics().counter("batch.nets_screened");
+  static obs::Histogram& h_net =
+      obs::metrics().histogram("batch.net.seconds");
+  static obs::Gauge& g_depth = obs::metrics().gauge("batch.queue_depth");
+  static obs::Gauge& g_jobs = obs::metrics().gauge("batch.jobs");
+
+  obs::TraceSpan run_span("batch.run", "batch");
+  c_runs.add();
+  g_jobs.set(jobs_);
+
   const auto t0 = std::chrono::steady_clock::now();
   const std::uint64_t hits0 = cache()->hits();
   const std::uint64_t misses0 = cache()->misses();
 
+  const ScreeningOptions screening = opts_.screening();
+  const bool do_screen = screening.active();
+
   BatchResult out;
   out.nets.resize(nets.size());
+  // Items not yet finished — exported as the queue-depth gauge so a trace
+  // shows how the tail of a batch drains. Touched only when metrics are on.
+  std::atomic<std::size_t> remaining{nets.size()};
+
   pool_.parallel_for(nets.size(), [&](std::size_t i) {
     BatchNetResult& slot = out.nets[i];  // Exclusive: one writer per slot.
     slot.index = i;
     slot.name = i < names.size() ? names[i] : "net" + std::to_string(i);
-    StatusOr<DelayNoiseResult> r = analyzer_.try_analyze(nets[i]);
-    if (r.ok()) {
-      slot.result = std::move(*r);
-      slot.report = DelayNoiseReport::from(nets[i], slot.result, slot.name);
-    } else {
-      slot.status = r.status();
+    {
+      obs::ScopedLatency lat(h_net);
+      obs::TraceSpan span("batch.net", "batch", "net", slot.name);
+      bool skip = false;
+      if (do_screen) {
+        // Cheap deterministic triage; estimate failures fall through so
+        // the full analysis reports the authoritative Status.
+        StatusOr<ScreeningEstimate> est = try_screen_net(nets[i]);
+        if (est.ok() && !screening.passes(*est)) {
+          slot.screened_out = true;
+          slot.screen = *est;
+          c_screened.add();
+          skip = true;
+        }
+      }
+      if (!skip) {
+        StatusOr<DelayNoiseResult> r = analyzer_.try_analyze(nets[i]);
+        if (r.ok()) {
+          slot.result = std::move(*r);
+          slot.report = DelayNoiseReport::from(nets[i], slot.result, slot.name);
+          c_ok.add();
+        } else {
+          slot.status = r.status();
+          c_failed.add();
+        }
+      }
     }
+    if (obs::metrics_enabled())
+      g_depth.set(static_cast<double>(
+          remaining.fetch_sub(1, std::memory_order_relaxed) - 1));
   });
 
   // Worst-K by combined delay noise, ties broken by index so the ranking
-  // is stable across thread counts.
+  // is stable across thread counts. Screened-out nets never rank.
   std::vector<std::size_t> ok_idx;
   ok_idx.reserve(out.nets.size());
   for (const auto& nr : out.nets)
-    if (nr.status.ok()) ok_idx.push_back(nr.index);
+    if (nr.status.ok() && !nr.screened_out) ok_idx.push_back(nr.index);
   const std::size_t k = std::min<std::size_t>(
       ok_idx.size(), opts_.top_k > 0 ? static_cast<std::size_t>(opts_.top_k)
                                      : ok_idx.size());
@@ -56,9 +103,14 @@ BatchResult BatchAnalyzer::analyze(const std::vector<CoupledNet>& nets,
   auto& st = out.stats;
   st.total = out.nets.size();
   st.analyzed = 0;
-  for (const auto& nr : out.nets)
-    if (nr.status.ok()) ++st.analyzed;
-  st.failed = st.total - st.analyzed;
+  st.screened_out = 0;
+  for (const auto& nr : out.nets) {
+    if (nr.screened_out)
+      ++st.screened_out;
+    else if (nr.status.ok())
+      ++st.analyzed;
+  }
+  st.failed = st.total - st.analyzed - st.screened_out;
   st.jobs = jobs_;
   st.elapsed_s = std::chrono::duration<double>(
                      std::chrono::steady_clock::now() - t0)
@@ -74,10 +126,15 @@ BatchResult BatchAnalyzer::analyze(const std::vector<CoupledNet>& nets,
 void BatchResult::write_text(std::ostream& os) const {
   const auto saved = os.precision(6);
   os << "batch delay-noise analysis: " << stats.total << " nets, "
-     << stats.failed << " failed\n";
+     << stats.failed << " failed";
+  if (stats.screened_out)
+    os << ", " << stats.screened_out << " screened out";
+  os << "\n";
   for (const auto& nr : nets) {
     os << "  [" << nr.index << "] " << nr.name << ": ";
-    if (nr.status.ok()) {
+    if (nr.screened_out) {
+      os << "screened out (est " << nr.screen.dn_est * 1e12 << " ps)\n";
+    } else if (nr.status.ok()) {
       os << nr.report.delay_noise_ps << " ps combined ("
          << nr.report.input_delay_noise_ps << " ps interconnect, "
          << nr.report.num_aggressors << " aggressors)\n";
@@ -106,7 +163,12 @@ void BatchResult::write_json(std::ostream& os) const {
   for (std::size_t i = 0; i < nets.size(); ++i) {
     if (i) os << ",";
     const auto& nr = nets[i];
-    if (nr.status.ok()) {
+    if (nr.screened_out) {
+      const auto saved = os.precision(6);
+      os << "{\"net\":\"" << nr.name << "\",\"screened_out\":true,"
+         << "\"est_dnoise_ps\":" << nr.screen.dn_est * 1e12 << "}";
+      os.precision(saved);
+    } else if (nr.status.ok()) {
       nr.report.to_json(os);
     } else {
       os << "{\"net\":\"" << nr.name << "\",\"error\":\""
@@ -116,7 +178,9 @@ void BatchResult::write_json(std::ostream& os) const {
   os << "],\"worst\":[";
   for (std::size_t i = 0; i < worst.size(); ++i)
     os << (i ? "," : "") << worst[i];
-  os << "],\"failed\":" << stats.failed << "}";
+  os << "],\"failed\":" << stats.failed;
+  if (stats.screened_out) os << ",\"screened_out\":" << stats.screened_out;
+  os << "}";
 }
 
 std::string BatchResult::to_json() const {
@@ -133,6 +197,8 @@ std::string BatchResult::stats_text() const {
      << stats.tables_cached << " tables characterized, cache hit rate "
      << 100.0 * stats.cache_hit_rate() << "% (" << stats.cache_hits << " hits / "
      << stats.cache_misses << " misses)";
+  if (stats.screened_out)
+    os << ", " << stats.screened_out << " nets screened out";
   return os.str();
 }
 

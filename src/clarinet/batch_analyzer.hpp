@@ -26,29 +26,49 @@
 #include <vector>
 
 #include "clarinet/analyzer.hpp"
+#include "clarinet/screening.hpp"
 #include "util/thread_pool.hpp"
 
 namespace dn {
 
 struct BatchOptions {
+  // The embedded AnalyzerConfig is the ONE source of truth for
+  // engine/analysis/table options — batch adds only batch-level knobs.
   AnalyzerConfig analyzer{};
   int jobs = 0;    // Worker count; 0 = one per hardware thread.
   int top_k = 10;  // Size of the worst-nets ranking.
+  /// Screening filter: nets whose cheap moment-level estimated delay
+  /// noise (ScreeningEstimate::dn_est) falls below this threshold [s] are
+  /// recorded as screened-out and skip the full analysis — the
+  /// rank-and-filter triage, folded into the engine. Negative disables
+  /// (analyze everything). Deterministic: the estimate depends only on
+  /// the net.
+  double screen_threshold = -1.0;
+
+  /// The equivalent ScreeningOptions for the configured threshold.
+  ScreeningOptions screening() const {
+    ScreeningOptions s;
+    s.dn_est_min = screen_threshold;
+    return s;
+  }
 };
 
 /// Outcome for one net of the batch (slot `index` of the input vector).
 struct BatchNetResult {
   std::size_t index = 0;
   std::string name;
-  Status status;             // OK iff the net analyzed cleanly.
-  DelayNoiseResult result;   // Valid iff status.ok().
-  DelayNoiseReport report;   // Valid iff status.ok().
+  Status status;             // OK iff the net analyzed cleanly or was screened out.
+  bool screened_out = false;  // Skipped by BatchOptions::screen_threshold.
+  ScreeningEstimate screen;  // Valid iff screened_out.
+  DelayNoiseResult result;   // Valid iff status.ok() && !screened_out.
+  DelayNoiseReport report;   // Valid iff status.ok() && !screened_out.
 };
 
 struct BatchStats {
   std::size_t total = 0;
   std::size_t analyzed = 0;
   std::size_t failed = 0;
+  std::size_t screened_out = 0;
   int jobs = 1;
   double elapsed_s = 0.0;
   double nets_per_s = 0.0;

@@ -1,6 +1,26 @@
 #include "clarinet/characterization_cache.hpp"
 
+#include "util/trace.hpp"
+
 namespace dn {
+
+namespace {
+
+struct CacheMetrics {
+  obs::Counter& hits = obs::metrics().counter("cache.hits");
+  obs::Counter& misses = obs::metrics().counter("cache.misses");
+  obs::Counter& waits = obs::metrics().counter("cache.contention_waits");
+  obs::Counter& tables = obs::metrics().counter("characterize.tables");
+  obs::Histogram& seconds =
+      obs::metrics().histogram("stage.characterize.seconds");
+};
+
+CacheMetrics& cache_metrics() {
+  static CacheMetrics m;
+  return m;
+}
+
+}  // namespace
 
 CharacterizationCache::CharacterizationCache(AlignmentTableSpec spec)
     : spec_(std::move(spec)) {}
@@ -25,14 +45,30 @@ const AlignmentTable* CharacterizationCache::table_for(
   const Key key{receiver.type, receiver.size, receiver.vdd, victim_rising};
   Entry* entry = entry_for(key);
 
+  // `ready` distinguishes a clean hit from a hit that blocked on another
+  // thread's in-flight characterization (once-flag contention).
+  const bool was_ready = entry->ready.load(std::memory_order_acquire);
   bool characterized_here = false;
   std::call_once(entry->once, [&] {
+    obs::StageScope stage("cache.table", "characterize",
+                          cache_metrics().seconds);
     entry->table = std::make_unique<const AlignmentTable>(
         AlignmentTable::characterize(receiver, victim_rising, spec_));
+    entry->ready.store(true, std::memory_order_release);
     characterized_here = true;
   });
-  (characterized_here ? misses_ : hits_)
-      .fetch_add(1, std::memory_order_relaxed);
+  if (characterized_here) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    cache_metrics().misses.add();
+    cache_metrics().tables.add();
+  } else {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    cache_metrics().hits.add();
+    if (!was_ready) {
+      contention_waits_.fetch_add(1, std::memory_order_relaxed);
+      cache_metrics().waits.add();
+    }
+  }
   return entry->table.get();
 }
 

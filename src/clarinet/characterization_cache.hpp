@@ -55,6 +55,13 @@ class CharacterizationCache {
   std::uint64_t misses() const {
     return misses_.load(std::memory_order_relaxed);
   }
+  /// Hits that had to BLOCK on another thread's in-flight characterization
+  /// of the same key (once-flag contention) — the batch engine's main
+  /// cold-start serialization. Also exported as obs counter
+  /// "cache.contention_waits".
+  std::uint64_t contention_waits() const {
+    return contention_waits_.load(std::memory_order_relaxed);
+  }
 
   const AlignmentTableSpec& spec() const { return spec_; }
 
@@ -64,6 +71,7 @@ class CharacterizationCache {
   struct Entry {
     std::once_flag once;
     std::unique_ptr<const AlignmentTable> table;  // Set inside call_once.
+    std::atomic<bool> ready{false};  // Set after `table`, inside call_once.
   };
 
   Entry* entry_for(const Key& key);
@@ -73,6 +81,7 @@ class CharacterizationCache {
   std::map<Key, std::unique_ptr<Entry>> entries_;
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> contention_waits_{0};
 };
 
 }  // namespace dn

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "rcnet/elmore.hpp"
+#include "util/trace.hpp"
 
 namespace dn {
 
@@ -24,8 +25,15 @@ double drive_resistance_proxy(const GateParams& g, bool rising_output) {
 
 }  // namespace
 
-ScreeningEstimate screen_net(const CoupledNet& net) {
-  net.validate();
+namespace {
+
+/// Core estimator; assumes `net` already validated.
+ScreeningEstimate estimate_validated(const CoupledNet& net) {
+  static obs::Counter& c_nets = obs::metrics().counter("screen.nets");
+  static obs::Histogram& h_seconds =
+      obs::metrics().histogram("stage.screen.seconds");
+  obs::StageScope stage("screen.net", "screen", h_seconds);
+  c_nets.add();
   ScreeningEstimate est;
 
   const double vdd = net.victim.driver.vdd;
@@ -60,6 +68,22 @@ ScreeningEstimate screen_net(const CoupledNet& net) {
       net.victim.input_slew + r_drv * (cv + cc) + 2.0 * wire_tau;
   est.dn_est = est.vn_est / vdd * trans;
   return est;
+}
+
+}  // namespace
+
+StatusOr<ScreeningEstimate> try_screen_net(const CoupledNet& net) {
+  try {
+    net.validate();
+  } catch (const std::exception& e) {
+    return Status::InvalidArgument(e.what());
+  }
+  return estimate_validated(net);
+}
+
+ScreeningEstimate screen_net(const CoupledNet& net) {
+  net.validate();
+  return estimate_validated(net);
 }
 
 std::vector<std::size_t> rank_by_severity(

@@ -7,11 +7,18 @@
 //   aggressor edge rate to the victim's holding time constant,
 // and a delay-noise proxy  dN_est ~ vn_est * slew_at_sink / Vdd,
 // both computable from moments only (no simulation).
+//
+// API: try_screen_net() is the Status-based entry point (malformed nets
+// come back as kInvalidArgument, never an exception); ScreeningOptions
+// holds the skip thresholds. BatchAnalyzer folds the whole
+// rank -> filter -> analyze dance behind BatchOptions::screen_threshold,
+// so callers no longer hand-roll it.
 #pragma once
 
 #include <vector>
 
 #include "rcnet/net.hpp"
+#include "util/status.hpp"
 
 namespace dn {
 
@@ -21,8 +28,28 @@ struct ScreeningEstimate {
   double victim_tau = 0.0;  // Holding time constant proxy [s].
 };
 
+/// Skip thresholds for the cheap pre-analysis filter. A negative
+/// threshold is inactive; a net proceeds to full analysis when ANY active
+/// threshold is met (conservative: only nets below every active
+/// threshold are screened out).
+struct ScreeningOptions {
+  double dn_est_min = -1.0;  // Estimated delay noise [s] worth analyzing.
+  double vn_est_min = -1.0;  // Estimated noise peak [V] worth analyzing.
+
+  bool active() const { return dn_est_min >= 0.0 || vn_est_min >= 0.0; }
+  /// True when `est` clears the filter (net deserves full analysis).
+  bool passes(const ScreeningEstimate& est) const {
+    if (!active()) return true;
+    return (dn_est_min >= 0.0 && est.dn_est >= dn_est_min) ||
+           (vn_est_min >= 0.0 && est.vn_est >= vn_est_min);
+  }
+};
+
 /// Moment-level estimate for one coupled net (microseconds of work, no
-/// transient simulation).
+/// transient simulation). Malformed nets come back as kInvalidArgument.
+StatusOr<ScreeningEstimate> try_screen_net(const CoupledNet& net);
+
+/// Legacy estimate: throws std::invalid_argument on a malformed net.
 ScreeningEstimate screen_net(const CoupledNet& net);
 
 /// Indices of `nets` ordered most-severe-first by dn_est.

@@ -4,12 +4,19 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/metrics.hpp"
 #include "util/numeric.hpp"
 
 namespace dn {
 
 ReceiverEval evaluate_receiver(const GateParams& receiver, const Pwl& vin,
                                double cload, bool input_rising, double dt) {
+  // Alignment probes: every candidate alignment costs exactly one receiver
+  // evaluation, so this counter is the flow's "how many nonlinear sims did
+  // the search spend" figure.
+  static obs::Counter& c_evals =
+      obs::metrics().counter("alignment.receiver_evals");
+  c_evals.add();
   const bool out_rising =
       gate_inverts(receiver.type) ? !input_rising : input_rising;
   // Horizon: input end plus a settling tail sized to the load.

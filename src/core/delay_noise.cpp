@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/trace.hpp"
+
 namespace dn {
 
 const char* alignment_method_name(AlignmentMethod m) {
@@ -96,7 +98,12 @@ DelayNoiseResult analyze_delay_noise(const SuperpositionEngine& eng,
     if (!opts.use_transient_holding) break;
     std::vector<double> shifts = out.composite.shifts;
     for (double& s : shifts) s += out.alignment.shift;
-    const RtrResult rtr = compute_rtr(eng, shifts, opts.rtr);
+    static obs::Counter& c_rtr = obs::metrics().counter("rtr.iterations");
+    const RtrResult rtr = [&] {
+      obs::TraceSpan span("rtr.solve", "analyze");
+      return compute_rtr(eng, shifts, opts.rtr);
+    }();
+    c_rtr.add(static_cast<std::uint64_t>(std::max(rtr.iterations, 0)));
     out.rtr_iterations = rtr.iterations;  // Cost of the latest extraction.
     if (pass + 1 < iters) {
       out.holding_r = rtr.rtr;
@@ -129,6 +136,9 @@ DelayNoiseResult analyze_delay_noise(const SuperpositionEngine& eng,
     throw std::runtime_error("analyze_delay_noise: missing 50% crossings");
   out.nominal_input_t50 = *tn;
   out.noisy_input_t50 = *tz;
+  static obs::Histogram& h_rtr =
+      obs::metrics().histogram("rtr.iterations_per_net");
+  h_rtr.record(static_cast<double>(out.rtr_iterations));
   return out;
 }
 

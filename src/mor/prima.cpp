@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/trace.hpp"
+
 namespace dn {
 
 namespace {
@@ -25,6 +27,12 @@ Matrix from_columns(const std::vector<Vector>& cols, std::size_t n) {
 }  // namespace
 
 ReducedModel prima(const DescriptorSystem& full, int order) {
+  static obs::Counter& c_reductions =
+      obs::metrics().counter("prima.reductions");
+  static obs::Histogram& h_seconds =
+      obs::metrics().histogram("stage.reduce.seconds");
+  obs::StageScope stage("mor.prima", "reduce", h_seconds);
+  c_reductions.add();
   const std::size_t n = full.G.rows();
   if (full.G.cols() != n || full.C.rows() != n || full.C.cols() != n ||
       full.B.rows() != n || full.L.rows() != n)
@@ -97,6 +105,9 @@ std::vector<Pwl> simulate_descriptor(const DescriptorSystem& sys,
   if (u.size() != p)
     throw std::invalid_argument("simulate_descriptor: wrong input count");
   const int steps = spec.num_steps();
+  static obs::Counter& c_steps =
+      obs::metrics().counter("sim.descriptor.steps");
+  c_steps.add(static_cast<std::uint64_t>(steps));
 
   auto input_at = [&](double t) {
     Vector uu(p);

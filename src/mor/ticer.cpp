@@ -4,10 +4,17 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/trace.hpp"
+
 namespace dn {
 
 TicerResult ticer_reduce(const RcTree& tree, const std::vector<int>& keep,
                          const TicerOptions& opts) {
+  static obs::Counter& c_elim =
+      obs::metrics().counter("ticer.nodes_eliminated");
+  static obs::Histogram& h_seconds =
+      obs::metrics().histogram("stage.reduce.seconds");
+  obs::StageScope stage("mor.ticer", "reduce", h_seconds);
   tree.validate();
   const int n = tree.num_nodes;
 
@@ -84,6 +91,7 @@ TicerResult ticer_reduce(const RcTree& tree, const std::vector<int>& keep,
   // Compact into a fresh RcTree.
   TicerResult out;
   out.eliminated = eliminated;
+  c_elim.add(static_cast<std::uint64_t>(eliminated));
   out.node_map.assign(static_cast<std::size_t>(n), -1);
   int next = 0;
   for (int node = 0; node < n; ++node)

@@ -8,6 +8,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/trace.hpp"
+
 namespace dn {
 
 namespace {
@@ -309,9 +311,17 @@ CoupledNet parse_spef(std::istream& is) {
 }  // namespace
 
 StatusOr<CoupledNet> try_read_spef(std::istream& is) {
+  static obs::Counter& c_parsed = obs::metrics().counter("spef.nets_parsed");
+  static obs::Counter& c_errors = obs::metrics().counter("spef.parse_errors");
+  static obs::Histogram& h_seconds =
+      obs::metrics().histogram("stage.parse.seconds");
+  obs::StageScope stage("spef.parse", "parse", h_seconds);
   try {
-    return parse_spef(is);
+    StatusOr<CoupledNet> net = parse_spef(is);
+    c_parsed.add();
+    return net;
   } catch (const std::exception& e) {
+    c_errors.add();
     return Status::InvalidArgument(e.what());
   }
 }

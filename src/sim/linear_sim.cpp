@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/metrics.hpp"
+
 namespace dn {
 
 LinearSim::LinearSim(const Circuit& ckt) : ckt_(ckt), mna_(ckt) {
@@ -20,6 +22,8 @@ Vector LinearSim::dc_solve(double t) const {
 TransientResult LinearSim::run(const TransientSpec& spec) const {
   const int steps = spec.num_steps();
   const std::size_t dim = mna_.dim();
+  static obs::Counter& c_steps = obs::metrics().counter("sim.linear.steps");
+  c_steps.add(static_cast<std::uint64_t>(steps));
 
   // Trapezoidal:  (C/dt + G/2) x1 = (C/dt - G/2) x0 + (b0 + b1)/2.
   const Matrix a_lhs = mna_.C().scaled(1.0 / spec.dt) + mna_.G().scaled(0.5);

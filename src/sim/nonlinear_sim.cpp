@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "util/metrics.hpp"
+
 namespace dn {
 
 NonlinearSim::NonlinearSim(const Circuit& ckt, NewtonOptions opts)
@@ -88,6 +90,12 @@ TransientResult NonlinearSim::run(const TransientSpec& spec) const {
   const int steps = spec.num_steps();
   const std::size_t dim = mna_.dim();
   const std::size_t nv = mna_.num_node_vars();
+  static obs::Counter& c_steps =
+      obs::metrics().counter("sim.nonlinear.steps");
+  static obs::Counter& c_newton =
+      obs::metrics().counter("sim.nonlinear.newton_iters");
+  c_steps.add(static_cast<std::uint64_t>(steps));
+  std::uint64_t newton_iters = 0;
 
   Vector x0 = dc_solve(spec.t_start);
 
@@ -120,6 +128,7 @@ TransientResult NonlinearSim::run(const TransientSpec& spec) const {
     Vector x1 = x0;  // Previous point is an excellent predictor at small dt.
     bool converged = false;
     for (int it = 0; it < opts_.max_iterations; ++it) {
+      ++newton_iters;
       Vector f = mna_.G() * x1;
       Matrix jac = base_jac;
       stamp_devices(x1, f, nullptr);
@@ -162,6 +171,7 @@ TransientResult NonlinearSim::run(const TransientSpec& spec) const {
     b0 = std::move(b1);
     record(x0, static_cast<std::size_t>(k));
   }
+  c_newton.add(newton_iters);
   return result;
 }
 

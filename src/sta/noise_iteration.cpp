@@ -6,6 +6,7 @@
 
 #include "core/composite_pulse.hpp"
 #include "util/thread_pool.hpp"
+#include "util/trace.hpp"
 
 namespace dn {
 
@@ -47,7 +48,15 @@ NoiseIterationResult iterate_windows_with_noise(
   // result is identical for any job count.
   ThreadPool pool(ThreadPool::resolve_jobs(opts.jobs));
 
+  static obs::Counter& c_passes = obs::metrics().counter("sta.passes");
+  static obs::Histogram& h_pass =
+      obs::metrics().histogram("sta.pass.seconds");
+  static obs::Gauge& g_max_change =
+      obs::metrics().gauge("sta.last_max_change");
+
   for (int pass = 1; pass <= opts.max_iterations; ++pass) {
+    obs::StageScope stage("sta.pass", "sta", h_pass);
+    c_passes.add();
     out.iterations = pass;
     out.windows = graph.compute_windows(out.extra_delay);
 
@@ -92,6 +101,7 @@ NoiseIterationResult iterate_windows_with_noise(
         out.extra_delay.empty()
             ? 0.0
             : *std::max_element(out.extra_delay.begin(), out.extra_delay.end()));
+    g_max_change.set(max_change);  // Per-pass convergence progress.
     if (max_change < opts.tol) {
       out.converged = true;
       break;

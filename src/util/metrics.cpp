@@ -1,0 +1,257 @@
+#include "util/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace dn::obs {
+
+void set_metrics_enabled(bool on) noexcept {
+  detail::g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Counter
+
+std::uint64_t Counter::value() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Counter::reset() noexcept {
+  for (auto& s : shards_) s.v.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+namespace {
+
+/// Bucket index for a value; 0 is underflow, kBuckets-1 overflow.
+int bucket_of(double v) noexcept {
+  if (!(v >= Histogram::kMin)) return 0;  // Also catches NaN / negatives.
+  const int i = 1 + static_cast<int>(std::floor(
+                        std::log10(v / Histogram::kMin) *
+                        Histogram::kBucketsPerDecade));
+  return std::min(i, Histogram::kBuckets - 1);
+}
+
+/// CAS-min/max on an atomic double (relaxed; validity gated by nonempty_).
+void atomic_min(std::atomic<double>& a, double v) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+void atomic_max(std::atomic<double>& a, double v) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+double Histogram::bucket_floor(int i) noexcept {
+  if (i <= 0) return 0.0;
+  return kMin * std::pow(10.0, static_cast<double>(i - 1) / kBucketsPerDecade);
+}
+
+void Histogram::record(double v) noexcept {
+  if (!metrics_enabled()) return;
+  Shard& s = shards_[detail::shard_index()];
+  s.buckets[static_cast<std::size_t>(bucket_of(v))].fetch_add(
+      1, std::memory_order_relaxed);
+  s.sum.fetch_add(v, std::memory_order_relaxed);
+  atomic_min(min_, v);
+  atomic_max(max_, v);
+}
+
+Histogram::Snapshot Histogram::snapshot() const noexcept {
+  Snapshot out;
+  for (const auto& s : shards_) {
+    for (int b = 0; b < kBuckets; ++b)
+      out.buckets[static_cast<std::size_t>(b)] +=
+          s.buckets[static_cast<std::size_t>(b)].load(
+              std::memory_order_relaxed);
+    out.sum += s.sum.load(std::memory_order_relaxed);
+  }
+  for (const auto b : out.buckets) out.count += b;
+  if (out.count > 0) {
+    out.min = min_.load(std::memory_order_relaxed);
+    out.max = max_.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& s : shards_) {
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+    s.sum.store(0.0, std::memory_order_relaxed);
+  }
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+double Histogram::Snapshot::percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double target = p / 100.0 * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (int b = 0; b < Histogram::kBuckets; ++b) {
+    const std::uint64_t n = buckets[static_cast<std::size_t>(b)];
+    if (n == 0) continue;
+    if (static_cast<double>(seen + n) >= target) {
+      // Interpolate within the bucket, clamped to the observed range.
+      const double lo = std::max(Histogram::bucket_floor(b), min);
+      const double hi = std::min(
+          b + 1 < Histogram::kBuckets ? Histogram::bucket_floor(b + 1) : max,
+          max);
+      const double frac =
+          n ? (target - static_cast<double>(seen)) / static_cast<double>(n)
+            : 0.0;
+      return std::clamp(lo + frac * (hi - lo), min, max);
+    }
+    seen += n;
+  }
+  return max;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+MetricsRegistry& MetricsRegistry::instance() {
+  // Heap singleton: never destroyed, so metric references cached by
+  // static locals in hot functions outlive every other static.
+  static MetricsRegistry* reg = new MetricsRegistry();
+  return *reg;
+}
+
+MetricsRegistry& metrics() { return MetricsRegistry::instance(); }
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+namespace {
+
+void json_number(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "0";
+    return;
+  }
+  std::ostringstream tmp;
+  tmp.precision(12);
+  tmp << v;
+  os << tmp.str();
+}
+
+}  // namespace
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    os << (first ? "" : ",") << "\"" << name << "\":" << c->value();
+    first = false;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    os << (first ? "" : ",") << "\"" << name << "\":";
+    json_number(os, g->value());
+    first = false;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    const Histogram::Snapshot s = h->snapshot();
+    os << (first ? "" : ",") << "\"" << name << "\":{\"count\":" << s.count
+       << ",\"sum\":";
+    json_number(os, s.sum);
+    os << ",\"min\":";
+    json_number(os, s.min);
+    os << ",\"max\":";
+    json_number(os, s.max);
+    os << ",\"mean\":";
+    json_number(os, s.mean());
+    os << ",\"p50\":";
+    json_number(os, s.percentile(50));
+    os << ",\"p90\":";
+    json_number(os, s.percentile(90));
+    os << ",\"p99\":";
+    json_number(os, s.percentile(99));
+    os << "}";
+    first = false;
+  }
+  os << "}}";
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+void MetricsRegistry::write_summary(std::ostream& os) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  os << "== dnoise profile ==\n";
+  if (!counters_.empty()) {
+    os << "counters:\n";
+    for (const auto& [name, c] : counters_) {
+      const std::uint64_t v = c->value();
+      if (v) os << "  " << name << " = " << v << "\n";
+    }
+  }
+  if (!gauges_.empty()) {
+    os << "gauges:\n";
+    for (const auto& [name, g] : gauges_)
+      os << "  " << name << " = " << g->value() << "\n";
+  }
+  if (!histograms_.empty()) {
+    os << "latency/distributions (count, total, mean, p50/p90/p99):\n";
+    const auto saved = os.precision(4);
+    for (const auto& [name, h] : histograms_) {
+      const Histogram::Snapshot s = h->snapshot();
+      if (!s.count) continue;
+      os << "  " << name << ": n=" << s.count << " sum=" << s.sum
+         << " mean=" << s.mean() << " p50=" << s.percentile(50)
+         << " p90=" << s.percentile(90) << " p99=" << s.percentile(99)
+         << "\n";
+    }
+    os.precision(saved);
+  }
+}
+
+void MetricsRegistry::reset_all() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace dn::obs

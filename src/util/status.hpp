@@ -13,6 +13,17 @@
 #include <string>
 #include <utility>
 
+// The legacy throwing wrappers (NoiseAnalyzer::analyze, read_spef,
+// read_spef_file, StatusOr::value_or_throw) are deprecated in favor of
+// the try_* Status surface. Define DN_ALLOW_DEPRECATED before including
+// any dn header (or with -DDN_ALLOW_DEPRECATED) to silence the warnings
+// in code that has not migrated yet.
+#if defined(DN_ALLOW_DEPRECATED)
+#define DN_DEPRECATED(msg)
+#else
+#define DN_DEPRECATED(msg) [[deprecated(msg)]]
+#endif
+
 namespace dn {
 
 enum class StatusCode {
@@ -86,6 +97,7 @@ class [[nodiscard]] StatusOr {
   T* operator->() { return &*value_; }
 
   /// Legacy bridge: the value, or std::runtime_error with the status text.
+  DN_DEPRECATED("use ok()/status()/value() instead")
   T value_or_throw() && {
     status_.throw_if_error();
     return std::move(*value_);

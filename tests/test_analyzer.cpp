@@ -26,7 +26,7 @@ AnalyzerConfig fast_config() {
 
 TEST(NoiseAnalyzer, AnalyzeProducesDelayNoise) {
   NoiseAnalyzer analyzer(fast_config());
-  const DelayNoiseResult r = analyzer.analyze(example_coupled_net(1));
+  const DelayNoiseResult r = analyzer.try_analyze(example_coupled_net(1)).value();
   EXPECT_GT(r.delay_noise(), 10 * ps);
   EXPECT_GT(r.holding_r, 0.0);
 }
@@ -34,20 +34,21 @@ TEST(NoiseAnalyzer, AnalyzeProducesDelayNoise) {
 TEST(NoiseAnalyzer, TablesAreCachedPerReceiverCondition) {
   NoiseAnalyzer analyzer(fast_config());
   const CoupledNet net = example_coupled_net(1);
-  analyzer.analyze(net);
+  ASSERT_TRUE(analyzer.try_analyze(net).ok());
   EXPECT_EQ(analyzer.tables_cached(), 1u);
-  analyzer.analyze(net);  // Same receiver/direction: no new table.
+  // Same receiver/direction: no new table.
+  ASSERT_TRUE(analyzer.try_analyze(net).ok());
   EXPECT_EQ(analyzer.tables_cached(), 1u);
 
   CoupledNet other = example_coupled_net(1);
   other.victim.receiver.size = 4.0;  // New receiver condition.
-  analyzer.analyze(other);
+  ASSERT_TRUE(analyzer.try_analyze(other).ok());
   EXPECT_EQ(analyzer.tables_cached(), 2u);
 
   CoupledNet falling = example_coupled_net(1);
   falling.victim.output_rising = false;
   falling.aggressors[0].output_rising = true;
-  analyzer.analyze(falling);
+  ASSERT_TRUE(analyzer.try_analyze(falling).ok());
   EXPECT_EQ(analyzer.tables_cached(), 3u);
 }
 
@@ -58,8 +59,8 @@ TEST(NoiseAnalyzer, ExhaustiveModeDominatesPrediction) {
   ex_cfg.use_prediction_tables = false;
   NoiseAnalyzer ex(ex_cfg);
   const CoupledNet net = example_coupled_net(1);
-  const double d_pred = pred.analyze(net).delay_noise();
-  const double d_ex = ex.analyze(net).delay_noise();
+  const double d_pred = pred.try_analyze(net).value().delay_noise();
+  const double d_ex = ex.try_analyze(net).value().delay_noise();
   // The coarse-grid "exhaustive" search can be undercut by a few ps of
   // discretization; the prediction must not beat it by more than that.
   EXPECT_LE(d_pred, d_ex + 5 * ps);
@@ -69,7 +70,7 @@ TEST(NoiseAnalyzer, ExhaustiveModeDominatesPrediction) {
 TEST(NoiseAnalyzer, ReportMentionsKeyQuantities) {
   NoiseAnalyzer analyzer(fast_config());
   const CoupledNet net = example_coupled_net(1);
-  const DelayNoiseResult r = analyzer.analyze(net);
+  const DelayNoiseResult r = analyzer.try_analyze(net).value();
   std::ostringstream os;
   analyzer.print_report(os, net, r);
   const std::string text = os.str();
@@ -84,7 +85,7 @@ TEST(NoiseAnalyzer, WorksAcrossRandomPopulation) {
   Rng rng(31415);
   for (int i = 0; i < 5; ++i) {
     const CoupledNet net = random_coupled_net(rng);
-    const DelayNoiseResult r = analyzer.analyze(net);
+    const DelayNoiseResult r = analyzer.try_analyze(net).value();
     EXPECT_GE(r.delay_noise(), 0.0) << "net " << i;
     EXPECT_LT(r.delay_noise(), 2 * ns) << "net " << i;
   }

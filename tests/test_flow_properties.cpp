@@ -67,7 +67,9 @@ TEST_P(FlowProperty, SpefRoundTripPreservesAnalysis) {
   const CoupledNet net = random_coupled_net(rng);
   std::stringstream ss;
   write_spef(ss, net);
-  const CoupledNet back = read_spef(ss);
+  StatusOr<CoupledNet> parsed = try_read_spef(ss);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  const CoupledNet back = *std::move(parsed);
 
   SuperpositionEngine e1(net), e2(back);
   const DelayNoiseOptions opts = fast_exhaustive();

@@ -49,8 +49,9 @@ TEST(Spef, RoundTripExampleNet) {
   const CoupledNet net = example_coupled_net(2);
   std::stringstream ss;
   write_spef(ss, net, "example");
-  const CoupledNet back = read_spef(ss);
-  expect_nets_equal(net, back);
+  StatusOr<CoupledNet> back = try_read_spef(ss);
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  expect_nets_equal(net, *back);
 }
 
 TEST(Spef, RoundTripRandomNets) {
@@ -59,8 +60,9 @@ TEST(Spef, RoundTripRandomNets) {
     const CoupledNet net = random_coupled_net(rng);
     std::stringstream ss;
     write_spef(ss, net);
-    const CoupledNet back = read_spef(ss);
-    expect_nets_equal(net, back);
+    StatusOr<CoupledNet> back = try_read_spef(ss);
+    ASSERT_TRUE(back.ok()) << back.status().to_string();
+    expect_nets_equal(net, *back);
   }
 }
 
@@ -71,13 +73,16 @@ TEST(Spef, CommentsAndWhitespaceIgnored) {
   std::string text = ss.str();
   text.insert(text.find("*D_NET"), "// a comment line\n\n   \n");
   std::stringstream ss2(text);
-  const CoupledNet back = read_spef(ss2);
-  expect_nets_equal(net, back);
+  StatusOr<CoupledNet> back = try_read_spef(ss2);
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  expect_nets_equal(net, *back);
 }
 
 TEST(Spef, RejectsWrongDialect) {
   std::stringstream ss("*SPEF \"IEEE-1481\"\n");
-  EXPECT_THROW(read_spef(ss), std::runtime_error);
+  const StatusOr<CoupledNet> r = try_read_spef(ss);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(Spef, RejectsMissingVictim) {
@@ -86,7 +91,9 @@ TEST(Spef, RejectsMissingVictim) {
       "*D_NET agg0 *AGGRESSOR\n"
       "*DRIVER INV 1 100 FALL\n"
       "*SINK 1\n*CAP\nagg0:1 5\n*RES\nagg0:0 agg0:1 100\n*END\n");
-  EXPECT_THROW(read_spef(ss), std::runtime_error);
+  const StatusOr<CoupledNet> r = try_read_spef(ss);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(Spef, RejectsResistorSpanningNets) {
@@ -95,7 +102,9 @@ TEST(Spef, RejectsResistorSpanningNets) {
       "*D_NET victim *VICTIM\n"
       "*DRIVER INV 1 100 RISE\n*RECEIVER INV 2 10\n"
       "*SINK 1\n*CAP\nvictim:1 5\n*RES\nvictim:0 agg0:1 100\n*END\n");
-  EXPECT_THROW(read_spef(ss), std::runtime_error);
+  const StatusOr<CoupledNet> r = try_read_spef(ss);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(Spef, RejectsBadNodeRef) {
@@ -104,7 +113,9 @@ TEST(Spef, RejectsBadNodeRef) {
       "*D_NET victim *VICTIM\n"
       "*DRIVER INV 1 100 RISE\n*RECEIVER INV 2 10\n"
       "*SINK 1\n*CAP\nnocolon 5\n*END\n");
-  EXPECT_THROW(read_spef(ss), std::runtime_error);
+  const StatusOr<CoupledNet> r = try_read_spef(ss);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(Spef, RejectsUnknownGateType) {
@@ -112,16 +123,21 @@ TEST(Spef, RejectsUnknownGateType) {
       "*SPEF \"dnoise-subset-1\"\n"
       "*D_NET victim *VICTIM\n"
       "*DRIVER XOR3 1 100 RISE\n");
-  EXPECT_THROW(read_spef(ss), std::runtime_error);
+  const StatusOr<CoupledNet> r = try_read_spef(ss);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(Spef, FileRoundTrip) {
   const CoupledNet net = example_coupled_net(1);
   const std::string path = ::testing::TempDir() + "/dn_test.spef";
   write_spef_file(path, net);
-  const CoupledNet back = read_spef_file(path);
-  expect_nets_equal(net, back);
-  EXPECT_THROW(read_spef_file("/nonexistent/p.spef"), std::runtime_error);
+  StatusOr<CoupledNet> back = try_read_spef_file(path);
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  expect_nets_equal(net, *back);
+  const StatusOr<CoupledNet> missing = try_read_spef_file("/nonexistent/p.spef");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
 }
 
 }  // namespace

@@ -46,11 +46,14 @@ TEST_P(SpefFuzz, TokenDeletionNeverCrashes) {
       mutated.erase(mutated.begin() +
                     rng.uniform_int(0, static_cast<int>(mutated.size()) - 1));
     std::istringstream in(join(mutated));
-    try {
-      const CoupledNet parsed = read_spef(in);
-      parsed.validate();  // If it parsed, it must be a valid net.
-    } catch (const std::exception&) {
-      // Expected for most corruptions.
+    const StatusOr<CoupledNet> parsed = try_read_spef(in);
+    if (parsed.ok()) {
+      // If it parsed, validation may still reject it semantically; either
+      // way the parser must not crash or corrupt memory.
+      try {
+        parsed->validate();
+      } catch (const std::exception&) {
+      }
     }
   }
 }
@@ -70,10 +73,12 @@ TEST_P(SpefFuzz, TokenGarblingNeverCrashes) {
     mutated[static_cast<std::size_t>(idx)] =
         garbage[rng.uniform_int(0, 7)];
     std::istringstream in(join(mutated));
-    try {
-      const CoupledNet parsed = read_spef(in);
-      parsed.validate();
-    } catch (const std::exception&) {
+    const StatusOr<CoupledNet> parsed = try_read_spef(in);
+    if (parsed.ok()) {
+      try {
+        parsed->validate();
+      } catch (const std::exception&) {
+      }
     }
   }
 }
@@ -88,10 +93,7 @@ TEST_P(SpefFuzz, TruncationNeverCrashes) {
     const auto cut = static_cast<std::size_t>(
         rng.uniform_int(1, static_cast<int>(text.size())));
     std::istringstream in(text.substr(0, cut));
-    try {
-      read_spef(in);
-    } catch (const std::exception&) {
-    }
+    (void)try_read_spef(in);  // Must return a Status, never crash.
   }
 }
 

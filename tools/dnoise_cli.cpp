@@ -22,9 +22,16 @@
 //
 // Screening mode:
 //   dnoise_cli --screen <file.spef>... (rank by severity)
+//
+// Observability (any mode; see DESIGN.md §8):
+//   --profile              per-stage metrics summary on stderr
+//   --metrics-json <file>  full metrics registry as JSON
+//   --trace-out <file>     Chrome/Perfetto trace_event timeline JSON
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -34,6 +41,7 @@
 #include "core/functional_noise.hpp"
 #include "rcnet/random_nets.hpp"
 #include "rcnet/spef.hpp"
+#include "util/trace.hpp"
 #include "util/units.hpp"
 
 using namespace dn;
@@ -53,6 +61,19 @@ int int_flag(int argc, char** argv, const char* name, int fallback) {
   return fallback;
 }
 
+double double_flag(int argc, char** argv, const char* name, double fallback) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], name) == 0) return std::atof(argv[i + 1]);
+  return fallback;
+}
+
+const char* str_flag(int argc, char** argv, const char* name,
+                     const char* fallback) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  return fallback;
+}
+
 /// Positional (non-flag) arguments, skipping the values of flags that
 /// take one.
 std::vector<std::string> positional_args(int argc, char** argv) {
@@ -62,7 +83,10 @@ std::vector<std::string> positional_args(int argc, char** argv) {
       if (std::strcmp(argv[i], "--jobs") == 0 ||
           std::strcmp(argv[i], "--top") == 0 ||
           std::strcmp(argv[i], "--random") == 0 ||
-          std::strcmp(argv[i], "--seed") == 0)
+          std::strcmp(argv[i], "--seed") == 0 ||
+          std::strcmp(argv[i], "--screen-below") == 0 ||
+          std::strcmp(argv[i], "--metrics-json") == 0 ||
+          std::strcmp(argv[i], "--trace-out") == 0)
         ++i;  // Skip the flag's value.
       continue;
     }
@@ -77,9 +101,63 @@ int usage() {
       "usage: dnoise_cli <file.spef> [--exhaustive] [--thevenin]\n"
       "                  [--functional] [--golden] [--csv] [--json]\n"
       "       dnoise_cli --batch <file.spef>... [--jobs N] [--top K] [--json]\n"
+      "                  [--screen-below PS]\n"
       "       dnoise_cli --batch --random N [--seed S] [--jobs N] [--top K]\n"
-      "       dnoise_cli --screen <file.spef>... (rank by severity)\n");
+      "       dnoise_cli --screen <file.spef>... (rank by severity)\n"
+      "observability (any mode):\n"
+      "       [--profile] [--metrics-json FILE] [--trace-out FILE]\n");
   return 2;
+}
+
+/// Turns the observability subsystems on per the flags; returns whether
+/// any finalization output is owed.
+struct ObsFlags {
+  bool profile = false;
+  const char* metrics_json = nullptr;
+  const char* trace_out = nullptr;
+};
+
+ObsFlags setup_observability(int argc, char** argv) {
+  ObsFlags f;
+  f.profile = has_flag(argc, argv, "--profile");
+  f.metrics_json = str_flag(argc, argv, "--metrics-json", nullptr);
+  f.trace_out = str_flag(argc, argv, "--trace-out", nullptr);
+  if (f.profile || f.metrics_json) obs::set_metrics_enabled(true);
+  if (f.trace_out) obs::set_tracing_enabled(true);
+  return f;
+}
+
+/// Writes the owed observability outputs. Keeps batch stdout untouched:
+/// the profile goes to stderr, metrics/trace to their files.
+int finalize_observability(const ObsFlags& f) {
+  int rc = 0;
+  if (f.profile) {
+    std::ostringstream os;
+    obs::metrics().write_summary(os);
+    std::fputs(os.str().c_str(), stderr);
+  }
+  if (f.metrics_json) {
+    std::ofstream out(f.metrics_json);
+    if (out) {
+      obs::metrics().write_json(out);
+      out << "\n";
+    } else {
+      std::fprintf(stderr, "error: cannot write metrics to %s\n",
+                   f.metrics_json);
+      rc = 1;
+    }
+  }
+  if (f.trace_out) {
+    std::ofstream out(f.trace_out);
+    if (out) {
+      obs::TraceRecorder::instance().write_json(out);
+      out << "\n";
+    } else {
+      std::fprintf(stderr, "error: cannot write trace to %s\n", f.trace_out);
+      rc = 1;
+    }
+  }
+  return rc;
 }
 
 int run_screening(int argc, char** argv) {
@@ -100,9 +178,14 @@ int run_screening(int argc, char** argv) {
   std::printf("%-40s %12s %12s\n", "file (most severe first)", "est_noise_V",
               "est_dnoise_ps");
   for (const std::size_t i : order) {
-    const ScreeningEstimate est = screen_net(nets[i]);
-    std::printf("%-40s %12.4f %12.2f\n", files[i].c_str(), est.vn_est,
-                est.dn_est / ps);
+    StatusOr<ScreeningEstimate> est = try_screen_net(nets[i]);
+    if (!est.ok()) {
+      std::printf("%-40s %25s\n", files[i].c_str(),
+                  status_code_name(est.status().code()));
+      continue;
+    }
+    std::printf("%-40s %12.4f %12.2f\n", files[i].c_str(), est->vn_est,
+                est->dn_est / ps);
   }
   return 0;
 }
@@ -114,6 +197,10 @@ int run_batch(int argc, char** argv) {
   opts.analyzer.use_prediction_tables = !has_flag(argc, argv, "--exhaustive");
   opts.analyzer.analysis.use_transient_holding =
       !has_flag(argc, argv, "--thevenin");
+  // --screen-below PS: skip full analysis of nets whose moment-level
+  // estimated delay noise is below PS picoseconds.
+  const double screen_ps = double_flag(argc, argv, "--screen-below", -1.0);
+  if (screen_ps >= 0.0) opts.screen_threshold = screen_ps * ps;
 
   std::vector<CoupledNet> nets;
   std::vector<std::string> names;
@@ -166,13 +253,7 @@ int run_batch(int argc, char** argv) {
   return result.stats.analyzed > 0 || result.stats.total == 0 ? 0 : 1;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  if (has_flag(argc, argv, "--batch")) return run_batch(argc, argv);
-  if (has_flag(argc, argv, "--screen")) return run_screening(argc, argv);
-  if (argc < 2 || argv[1][0] == '-') return usage();
-
+int run_single(int argc, char** argv) {
   StatusOr<CoupledNet> loaded = try_read_spef_file(argv[1]);
   if (!loaded.ok()) {
     std::fprintf(stderr, "error: %s\n", loaded.status().to_string().c_str());
@@ -230,4 +311,22 @@ int main(int argc, char** argv) {
     return 1;
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ObsFlags obs_flags = setup_observability(argc, argv);
+  int rc;
+  if (has_flag(argc, argv, "--batch")) {
+    rc = run_batch(argc, argv);
+  } else if (has_flag(argc, argv, "--screen")) {
+    rc = run_screening(argc, argv);
+  } else if (argc < 2 || argv[1][0] == '-') {
+    return usage();
+  } else {
+    rc = run_single(argc, argv);
+  }
+  const int obs_rc = finalize_observability(obs_flags);
+  return rc ? rc : obs_rc;
 }
