@@ -1,15 +1,25 @@
 #!/usr/bin/env bash
-# Repo gate: warnings-as-errors build, the tier-1 ctest suite, and a
-# ThreadSanitizer pass over the batch engine (the one component with real
-# cross-thread sharing: the characterization cache and the worker pool).
+# Repo gate: warnings-as-errors build, the tier-1 ctest suite, an
+# ASan+UBSan pass over the solver/simulator core (the sparse LU and the
+# Newton restamp path are pointer-heavy index juggling — exactly what the
+# address sanitizer is for), and a ThreadSanitizer pass over the batch
+# engine (the one component with real cross-thread sharing: the
+# characterization cache and the worker pool).
 #
-# Usage: scripts/check.sh [--no-tsan]
+# Usage: scripts/check.sh [--no-asan] [--no-tsan]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 jobs=$(nproc 2>/dev/null || echo 2)
+run_asan=1
 run_tsan=1
-[[ "${1:-}" == "--no-tsan" ]] && run_tsan=0
+for arg in "$@"; do
+  case "$arg" in
+    --no-asan) run_asan=0 ;;
+    --no-tsan) run_tsan=0 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "== build (DN_WERROR=ON) =="
 cmake -B build -S . -DDN_WERROR=ON >/dev/null
@@ -17,6 +27,17 @@ cmake --build build -j "$jobs"
 
 echo "== tier-1 tests =="
 ctest --test-dir build -L tier1 --output-on-failure -j "$jobs"
+
+if [[ "$run_asan" == 1 ]]; then
+  echo "== Address+UB sanitizer: solver and simulator core =="
+  cmake -B build-asan -S . -DDN_SANITIZE=address,undefined -DDN_WERROR=ON >/dev/null
+  cmake --build build-asan -j "$jobs" \
+    --target test_matrix test_sparse test_linear_sim test_nonlinear_sim
+  ./build-asan/tests/test_matrix
+  ./build-asan/tests/test_sparse
+  ./build-asan/tests/test_linear_sim
+  ./build-asan/tests/test_nonlinear_sim
+fi
 
 if [[ "$run_tsan" == 1 ]]; then
   echo "== ThreadSanitizer: batch engine =="

@@ -32,7 +32,7 @@ CeffResult compute_ceff(const GateParams& driver, const Pwl& vin,
     ckt.add_vsource(src, kGround, m.source(t_stop));
     ckt.add_resistor(src, port, m.rth);
 
-    LinearSim sim(ckt);
+    LinearSim sim(ckt, opts.solver);
     const auto res = sim.run({0.0, t_stop, opts.sim_dt});
     const Pwl v_port = res.waveform(port);
 

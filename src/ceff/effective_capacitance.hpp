@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "ceff/thevenin.hpp"
+#include "matrix/solver.hpp"
 #include "rcnet/net.hpp"
 
 namespace dn {
@@ -26,6 +27,7 @@ struct CeffOptions {
   TheveninFitOptions fit{};
   double sim_dt = 1e-12;
   double sim_tail = 3e-9;      // Linear-sim horizon past the input end.
+  SolverOptions solver{};      // Backend for the inner linear sims.
 };
 
 struct CeffResult {

@@ -9,51 +9,39 @@ MnaSystem::MnaSystem(const Circuit& ckt, double gmin)
       n_nodes_(ckt.num_nodes()),
       n_vsrc_(ckt.vsources().size()) {
   const std::size_t nv = static_cast<std::size_t>(n_nodes_ - 1);
-  const std::size_t dim = nv + n_vsrc_;
-  g_ = Matrix(dim, dim);
-  c_ = Matrix(dim, dim);
+  dim_ = nv + n_vsrc_;
+  std::vector<Triplet> gt, ct;
+  gt.reserve(4 * ckt.resistors().size() + 3 * n_vsrc_ + nv);
+  ct.reserve(4 * (ckt.capacitors().size() + 4 * ckt.mosfets().size()));
 
   auto idx = [&](NodeId n) -> int {
     return n == kGround ? -1 : n - 1;  // Ground eliminated.
   };
+  auto stamp_pair = [&](std::vector<Triplet>& t, NodeId a, NodeId b, double v) {
+    const int ia = idx(a), ib = idx(b);
+    if (ia >= 0) t.push_back({static_cast<std::size_t>(ia),
+                              static_cast<std::size_t>(ia), v});
+    if (ib >= 0) t.push_back({static_cast<std::size_t>(ib),
+                              static_cast<std::size_t>(ib), v});
+    if (ia >= 0 && ib >= 0) {
+      t.push_back({static_cast<std::size_t>(ia), static_cast<std::size_t>(ib),
+                   -v});
+      t.push_back({static_cast<std::size_t>(ib), static_cast<std::size_t>(ia),
+                   -v});
+    }
+  };
 
   // Conductances.
-  for (const auto& r : ckt.resistors()) {
-    const double gval = 1.0 / r.r;
-    const int ia = idx(r.a), ib = idx(r.b);
-    if (ia >= 0) g_(ia, ia) += gval;
-    if (ib >= 0) g_(ib, ib) += gval;
-    if (ia >= 0 && ib >= 0) {
-      g_(ia, ib) -= gval;
-      g_(ib, ia) -= gval;
-    }
-  }
+  for (const auto& r : ckt.resistors()) stamp_pair(gt, r.a, r.b, 1.0 / r.r);
   // Capacitances.
-  for (const auto& c : ckt.capacitors()) {
-    const int ia = idx(c.a), ib = idx(c.b);
-    if (ia >= 0) c_(ia, ia) += c.c;
-    if (ib >= 0) c_(ib, ib) += c.c;
-    if (ia >= 0 && ib >= 0) {
-      c_(ia, ib) -= c.c;
-      c_(ib, ia) -= c.c;
-    }
-  }
+  for (const auto& c : ckt.capacitors()) stamp_pair(ct, c.a, c.b, c.c);
   // MOSFET device capacitances are linear and constant: stamp them here so
   // both simulators share one C matrix.
   for (const auto& m : ckt.mosfets()) {
-    auto stamp_cap = [&](NodeId a, NodeId b, double cv) {
-      const int ia = idx(a), ib = idx(b);
-      if (ia >= 0) c_(ia, ia) += cv;
-      if (ib >= 0) c_(ib, ib) += cv;
-      if (ia >= 0 && ib >= 0) {
-        c_(ia, ib) -= cv;
-        c_(ib, ia) -= cv;
-      }
-    };
-    stamp_cap(m.g, m.s, m.params.cgs());
-    stamp_cap(m.g, m.d, m.params.cgd());
-    stamp_cap(m.d, kGround, m.params.cdb());
-    stamp_cap(m.s, kGround, m.params.csb());
+    stamp_pair(ct, m.g, m.s, m.params.cgs());
+    stamp_pair(ct, m.g, m.d, m.params.cgd());
+    stamp_pair(ct, m.d, kGround, m.params.cdb());
+    stamp_pair(ct, m.s, kGround, m.params.csb());
   }
   // Voltage sources: branch current unknowns.
   for (std::size_t k = 0; k < n_vsrc_; ++k) {
@@ -61,16 +49,29 @@ MnaSystem::MnaSystem(const Circuit& ckt, double gmin)
     const int ip = idx(vs.pos), in = idx(vs.neg);
     const std::size_t br = nv + k;
     if (ip >= 0) {
-      g_(ip, br) += 1.0;
-      g_(br, ip) += 1.0;
+      gt.push_back({static_cast<std::size_t>(ip), br, 1.0});
+      gt.push_back({br, static_cast<std::size_t>(ip), 1.0});
     }
     if (in >= 0) {
-      g_(in, br) -= 1.0;
-      g_(br, in) -= 1.0;
+      gt.push_back({static_cast<std::size_t>(in), br, -1.0});
+      gt.push_back({br, static_cast<std::size_t>(in), -1.0});
     }
   }
   // Gmin from every node to ground.
-  for (std::size_t i = 0; i < nv; ++i) g_(i, i) += gmin;
+  for (std::size_t i = 0; i < nv; ++i) gt.push_back({i, i, gmin});
+
+  gs_ = SparseMatrix::from_triplets(dim_, dim_, gt);
+  cs_ = SparseMatrix::from_triplets(dim_, dim_, ct);
+}
+
+const Matrix& MnaSystem::G() const {
+  if (!g_dense_) g_dense_ = gs_.to_dense();
+  return *g_dense_;
+}
+
+const Matrix& MnaSystem::C() const {
+  if (!c_dense_) c_dense_ = cs_.to_dense();
+  return *c_dense_;
 }
 
 Vector MnaSystem::rhs(double t) const {

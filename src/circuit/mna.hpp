@@ -4,12 +4,19 @@
 //   unknowns x = [ v_1 .. v_{N-1} | i_vsrc_0 .. ]   (ground eliminated)
 // Linear R/C/V/I elements are stamped once here; MOSFETs are stamped per
 // Newton iteration by the nonlinear simulator on top of these matrices.
+//
+// Stamping goes into triplets and lands in CSR (Gs()/Cs()) — for the
+// paper's multi-thousand-node unreduced nets a dense G/C is O(n^2)
+// memory before any solve happens. Dense views (G()/C()) are
+// materialized lazily for small systems and legacy callers.
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "circuit/circuit.hpp"
 #include "matrix/dense.hpp"
+#include "matrix/sparse.hpp"
 
 namespace dn {
 
@@ -19,12 +26,18 @@ class MnaSystem {
   /// ground, regularizing DC solves of capacitively-floating nodes.
   explicit MnaSystem(const Circuit& ckt, double gmin = 1e-12);
 
-  std::size_t dim() const { return g_.rows(); }
+  std::size_t dim() const { return dim_; }
   std::size_t num_node_vars() const { return n_nodes_ - 1; }
   std::size_t num_vsources() const { return n_vsrc_; }
 
-  const Matrix& G() const { return g_; }
-  const Matrix& C() const { return c_; }
+  /// Sparse stamps — the primary storage.
+  const SparseMatrix& Gs() const { return gs_; }
+  const SparseMatrix& Cs() const { return cs_; }
+
+  /// Dense views, materialized on first use and cached. Not synchronized:
+  /// an MnaSystem is per-analysis state, never shared across threads.
+  const Matrix& G() const;
+  const Matrix& C() const;
 
   /// Right-hand side at time t (independent sources evaluated at t).
   Vector rhs(double t) const;
@@ -42,7 +55,9 @@ class MnaSystem {
   const Circuit& ckt_;
   int n_nodes_ = 0;
   std::size_t n_vsrc_ = 0;
-  Matrix g_, c_;
+  std::size_t dim_ = 0;
+  SparseMatrix gs_, cs_;
+  mutable std::optional<Matrix> g_dense_, c_dense_;
 };
 
 }  // namespace dn

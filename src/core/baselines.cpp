@@ -86,7 +86,9 @@ GoldenResult golden_nonlinear(const CoupledNet& net,
   for (const bool quiet : {true, false}) {
     GoldenProbes probes;
     const Circuit ckt = build_full(net, shifts, opts, quiet, &probes);
-    NonlinearSim sim(ckt);
+    NewtonOptions newton;
+    newton.solver = opts.solver;
+    NonlinearSim sim(ckt, newton);
     const auto res = sim.run(spec);
     const Pwl sink = res.waveform(probes.sink);
     const Pwl rout = res.waveform(probes.rcv_out);

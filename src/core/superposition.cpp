@@ -114,7 +114,7 @@ SuperpositionEngine::Waveforms SuperpositionEngine::run_aggressor(
                       vmap[static_cast<std::size_t>(cc.victim_node)], cc.c);
   }
 
-  LinearSim sim(ckt);
+  LinearSim sim(ckt, opts_.solver);
   const auto res = sim.run({0.0, opts_.horizon, opts_.dt});
   Waveforms w;
   w.at_root = res.waveform(vmap[0]);
@@ -150,7 +150,7 @@ SuperpositionEngine::Waveforms SuperpositionEngine::run_victim() const {
                       vmap[static_cast<std::size_t>(cc.victim_node)], cc.c);
   }
 
-  LinearSim sim(ckt);
+  LinearSim sim(ckt, opts_.solver);
   const auto res = sim.run({0.0, opts_.horizon, opts_.dt});
   Waveforms w;
   w.at_root = res.waveform(vmap[0]);

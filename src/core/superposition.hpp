@@ -30,6 +30,7 @@ struct SuperpositionOptions {
   double t_ref = 300e-12;   // Input-ramp start used for all reference sims [s].
   double horizon = 4e-9;    // Transient end time [s].
   CeffOptions ceff{};
+  SolverOptions solver{};   // Backend for the aggressor/victim sims.
 };
 
 class SuperpositionEngine {

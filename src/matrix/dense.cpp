@@ -74,9 +74,32 @@ double Matrix::norm() const {
   return std::sqrt(acc);
 }
 
-LuFactor::LuFactor(Matrix a) : lu_(std::move(a)), perm_(lu_.rows()) {
+StatusOr<LuFactor> LuFactor::make(Matrix a) {
+  LuFactor f;
+  f.lu_ = std::move(a);
+  Status s = f.factorize();
+  if (!s.ok()) return s;
+  return f;
+}
+
+LuFactor::LuFactor(Matrix a) {
+  lu_ = std::move(a);
   if (lu_.rows() != lu_.cols()) throw std::invalid_argument("LuFactor: not square");
+  factorize().throw_if_error();
+}
+
+Status LuFactor::refactor(const Matrix& a) {
+  if (a.rows() != lu_.rows() || a.cols() != lu_.cols())
+    return Status::InvalidArgument("LuFactor::refactor: shape mismatch");
+  lu_ = a;  // Same shape: reuses lu_'s existing storage, no allocation.
+  return factorize();
+}
+
+Status LuFactor::factorize() {
+  if (lu_.rows() != lu_.cols())
+    return Status::InvalidArgument("LuFactor: not square");
   const std::size_t n = lu_.rows();
+  perm_.resize(n);
   for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
   min_pivot_ = std::numeric_limits<double>::infinity();
 
@@ -92,7 +115,7 @@ LuFactor::LuFactor(Matrix a) : lu_(std::move(a)), perm_(lu_.rows()) {
       }
     }
     if (best == 0.0 || !std::isfinite(best))
-      throw std::runtime_error("LuFactor: singular matrix");
+      return Status::Internal("LuFactor: singular matrix");
     min_pivot_ = std::min(min_pivot_, best);
     if (piv != k) {
       std::swap(perm_[piv], perm_[k]);
@@ -106,6 +129,7 @@ LuFactor::LuFactor(Matrix a) : lu_(std::move(a)), perm_(lu_.rows()) {
       for (std::size_t j = k + 1; j < n; ++j) lu_(i, j) -= mult * lu_(k, j);
     }
   }
+  return Status::Ok();
 }
 
 Vector LuFactor::solve(std::span<const double> b) const {

@@ -11,6 +11,8 @@
 #include <span>
 #include <vector>
 
+#include "util/status.hpp"
+
 namespace dn {
 
 using Vector = std::vector<double>;
@@ -56,8 +58,21 @@ class Matrix {
 /// factorization for any number of right-hand sides.
 class LuFactor {
  public:
-  /// Factors A (throws std::runtime_error on numerical singularity).
+  /// Factors A. Non-square shapes come back as kInvalidArgument and
+  /// numerical singularity as kInternal — a singular MNA system is a
+  /// per-net analysis failure the batch engine records and skips.
+  static StatusOr<LuFactor> make(Matrix a);
+
+  /// Legacy throwing factorization (std::invalid_argument when not
+  /// square, std::runtime_error on singularity).
+  DN_DEPRECATED("use LuFactor::make")
   explicit LuFactor(Matrix a);
+
+  /// Numeric refactorization of a same-shaped matrix reusing this
+  /// factor's storage — the zero-allocation path for fixed-pattern
+  /// Newton restamps. Full re-pivoting each call (dense partial-pivot
+  /// LU has no symbolic phase worth caching).
+  Status refactor(const Matrix& a);
 
   std::size_t size() const { return lu_.rows(); }
 
@@ -72,6 +87,11 @@ class LuFactor {
   double min_pivot() const { return min_pivot_; }
 
  private:
+  LuFactor() = default;
+
+  /// Factors lu_ in place; perm_/min_pivot_ are (re)initialized.
+  Status factorize();
+
   Matrix lu_;
   std::vector<std::size_t> perm_;
   double min_pivot_ = 0.0;

@@ -1,0 +1,141 @@
+#include "matrix/solver.hpp"
+
+#include <utility>
+
+#include "util/metrics.hpp"
+
+namespace dn {
+
+namespace {
+
+// Registered once; references are stable for the process lifetime so the
+// hot path is one relaxed atomic load when metrics are off (DESIGN.md §8).
+struct SolverMetrics {
+  obs::Counter& dense_picked = obs::metrics().counter("solver.backend.dense");
+  obs::Counter& sparse_picked = obs::metrics().counter("solver.backend.sparse");
+  obs::Counter& refactors = obs::metrics().counter("solver.refactors");
+  obs::Counter& refactor_fallbacks =
+      obs::metrics().counter("solver.refactor_fallbacks");
+  obs::Histogram& factor_seconds =
+      obs::metrics().histogram("stage.solver_factor.seconds");
+  obs::Histogram& solve_seconds =
+      obs::metrics().histogram("stage.solver_solve.seconds");
+  obs::Histogram& nnz = obs::metrics().histogram("solver.sparse.nnz");
+  obs::Histogram& fill_ratio =
+      obs::metrics().histogram("solver.sparse.fill_ratio");
+};
+
+SolverMetrics& sm() {
+  static SolverMetrics m;
+  return m;
+}
+
+void densify_into(const SparseMatrix& a, Matrix& m) {
+  m.fill(0.0);
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+  const auto v = a.values();
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t p = rp[r]; p < rp[r + 1]; ++p) m(r, ci[p]) += v[p];
+}
+
+}  // namespace
+
+const char* solver_backend_name(SolverBackend b) {
+  switch (b) {
+    case SolverBackend::kAuto:
+      return "auto";
+    case SolverBackend::kDense:
+      return "dense";
+    case SolverBackend::kSparse:
+      return "sparse";
+  }
+  return "unknown";
+}
+
+StatusOr<SolverBackend> parse_solver_backend(const std::string& name) {
+  if (name == "auto") return SolverBackend::kAuto;
+  if (name == "dense") return SolverBackend::kDense;
+  if (name == "sparse") return SolverBackend::kSparse;
+  return Status::InvalidArgument("unknown solver backend '" + name +
+                                 "' (expected auto|dense|sparse)");
+}
+
+StatusOr<SystemSolver> SystemSolver::make(const SparseMatrix& a,
+                                          const SolverOptions& opts) {
+  if (a.rows() != a.cols())
+    return Status::InvalidArgument("SystemSolver: matrix not square");
+  SystemSolver s;
+  s.opts_ = opts;
+  s.backend_ = opts.backend;
+  if (s.backend_ == SolverBackend::kAuto)
+    s.backend_ = (a.rows() < opts.dense_max_dim ||
+                  a.density() > opts.density_threshold)
+                     ? SolverBackend::kDense
+                     : SolverBackend::kSparse;
+
+  obs::ScopedLatency lat(sm().factor_seconds);
+  if (s.backend_ == SolverBackend::kDense) {
+    sm().dense_picked.add();
+    s.dense_scratch_ = Matrix(a.rows(), a.cols());
+    densify_into(a, s.dense_scratch_);
+    auto f = LuFactor::make(s.dense_scratch_);
+    if (!f.ok()) return f.status();
+    s.dense_.emplace(std::move(*f));
+  } else {
+    sm().sparse_picked.add();
+    auto f = SparseLu::make(a, opts.sparse);
+    if (!f.ok()) return f.status();
+    if (obs::metrics_enabled()) {
+      sm().nnz.record(static_cast<double>(a.nnz()));
+      sm().fill_ratio.record(f->fill_ratio());
+    }
+    s.sparse_.emplace(std::move(*f));
+  }
+  return s;
+}
+
+Status SystemSolver::refactor(const SparseMatrix& a) {
+  sm().refactors.add();
+  obs::ScopedLatency lat(sm().factor_seconds);
+  if (backend_ == SolverBackend::kDense) {
+    if (!dense_) return Status::Internal("SystemSolver: not factored");
+    if (a.rows() != dense_scratch_.rows() || a.cols() != dense_scratch_.cols())
+      return Status::InvalidArgument("SystemSolver::refactor: shape mismatch");
+    densify_into(a, dense_scratch_);
+    return dense_->refactor(dense_scratch_);
+  }
+  if (!sparse_) return Status::Internal("SystemSolver: not factored");
+  Status s = sparse_->refactor(a);
+  if (s.ok()) return s;
+  // The replayed pivot sequence went bad for the new values: re-pivot
+  // from scratch (KLU-style fallback) before giving up.
+  sm().refactor_fallbacks.add();
+  auto f = SparseLu::make(a, opts_.sparse);
+  if (!f.ok()) return f.status();
+  *sparse_ = std::move(*f);
+  return Status::Ok();
+}
+
+Vector SystemSolver::solve(std::span<const double> b) const {
+  obs::ScopedLatency lat(sm().solve_seconds);
+  return dense_ ? dense_->solve(b) : sparse_->solve(b);
+}
+
+void SystemSolver::solve_in_place(Vector& x) const {
+  obs::ScopedLatency lat(sm().solve_seconds);
+  if (dense_)
+    dense_->solve_in_place(x);
+  else
+    sparse_->solve_in_place(x);
+}
+
+std::size_t SystemSolver::size() const {
+  return dense_ ? dense_->size() : sparse_ ? sparse_->size() : 0;
+}
+
+double SystemSolver::min_pivot() const {
+  return dense_ ? dense_->min_pivot() : sparse_ ? sparse_->min_pivot() : 0.0;
+}
+
+}  // namespace dn

@@ -1,0 +1,77 @@
+// SystemSolver: one factor/solve facade over dense LuFactor and SparseLu.
+//
+// The simulators and PRIMA never care which storage format backs a
+// factorization — they need factor-once/backsub-many and, for Newton,
+// cheap same-pattern refactorization. This facade picks the backend per
+// system (small or genuinely dense systems stay on the dense path, large
+// sparse MNA systems go to SparseLu) and callers can force either via
+// SolverOptions, which the CLI exposes as --solver.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "matrix/dense.hpp"
+#include "matrix/sparse.hpp"
+#include "util/status.hpp"
+
+namespace dn {
+
+enum class SolverBackend {
+  kAuto = 0,  // Pick per system by dimension and density.
+  kDense,
+  kSparse,
+};
+
+const char* solver_backend_name(SolverBackend b);
+/// Parses "auto" / "dense" / "sparse" (kInvalidArgument otherwise).
+StatusOr<SolverBackend> parse_solver_backend(const std::string& name);
+
+struct SolverOptions {
+  SolverBackend backend = SolverBackend::kAuto;
+  /// kAuto stays dense below this dimension: dense LU's constant factors
+  /// beat the sparse ordering + DFS overhead on small MNA systems.
+  std::size_t dense_max_dim = 96;
+  /// kAuto stays dense above this nnz/(n*n): fill-in would make the
+  /// sparse factors about as dense as the dense ones anyway.
+  double density_threshold = 0.25;
+  SparseLuOptions sparse{};
+};
+
+/// A factored linear system behind the backend chosen from SolverOptions.
+/// Instrumented with dn::obs metrics (factor/solve latency, backend
+/// counts, sparse nnz and fill-in) — visible via the CLI's --profile.
+class SystemSolver {
+ public:
+  /// Factors `a` with the backend resolved from `opts` (kAuto picks by
+  /// dimension/density). Singularity comes back as kInternal.
+  static StatusOr<SystemSolver> make(const SparseMatrix& a,
+                                     const SolverOptions& opts = {});
+
+  /// Refactors a matrix with the SAME pattern as the one given to make()
+  /// — numeric-only replay on the sparse path (falling back to a fresh
+  /// re-pivoting factorization if the replayed pivots go bad), a
+  /// zero-allocation dense refactorization otherwise.
+  Status refactor(const SparseMatrix& a);
+
+  Vector solve(std::span<const double> b) const;
+  void solve_in_place(Vector& x) const;
+
+  /// The resolved backend: kDense or kSparse, never kAuto.
+  SolverBackend backend() const { return backend_; }
+  std::size_t size() const;
+  double min_pivot() const;
+
+ private:
+  SystemSolver() = default;
+
+  SolverBackend backend_ = SolverBackend::kDense;
+  SolverOptions opts_{};
+  std::optional<LuFactor> dense_;
+  std::optional<SparseLu> sparse_;
+  Matrix dense_scratch_;  // Densification target reused across refactors.
+};
+
+}  // namespace dn

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "util/trace.hpp"
 
@@ -24,9 +25,30 @@ Matrix from_columns(const std::vector<Vector>& cols, std::size_t n) {
   return m;
 }
 
+/// Dense A * V computed one sparse matvec per basis column.
+Matrix sparse_times_dense(const SparseMatrix& a, const Matrix& v) {
+  Matrix out(a.rows(), v.cols());
+  Vector col(v.rows()), res(a.rows());
+  for (std::size_t j = 0; j < v.cols(); ++j) {
+    for (std::size_t i = 0; i < v.rows(); ++i) col[i] = v(i, j);
+    a.matvec(col, res);
+    for (std::size_t i = 0; i < a.rows(); ++i) out(i, j) = res[i];
+  }
+  return out;
+}
+
 }  // namespace
 
-ReducedModel prima(const DescriptorSystem& full, int order) {
+SparseDescriptorSystem descriptor_from_mna(const MnaSystem& mna, Matrix B,
+                                           Matrix L) {
+  if (B.rows() != mna.dim() || L.rows() != mna.dim())
+    throw std::invalid_argument("descriptor_from_mna: B/L row mismatch");
+  return SparseDescriptorSystem{mna.Gs(), mna.Cs(), std::move(B),
+                                std::move(L)};
+}
+
+ReducedModel prima(const SparseDescriptorSystem& full, int order,
+                   const SolverOptions& solver) {
   static obs::Counter& c_reductions =
       obs::metrics().counter("prima.reductions");
   static obs::Histogram& h_seconds =
@@ -39,7 +61,8 @@ ReducedModel prima(const DescriptorSystem& full, int order) {
     throw std::invalid_argument("prima: inconsistent system shapes");
   if (order < 1) throw std::invalid_argument("prima: order must be >= 1");
 
-  const LuFactor g_lu(full.G);
+  auto g_lu = SystemSolver::make(full.G, solver);
+  g_lu.status().throw_if_error();
   const std::size_t p = full.B.cols();
 
   // Krylov basis columns, orthonormalized by modified Gram-Schmidt.
@@ -67,7 +90,7 @@ ReducedModel prima(const DescriptorSystem& full, int order) {
   // Starting block: R = G^{-1} B.
   std::vector<Vector> block;
   for (std::size_t j = 0; j < p; ++j) {
-    Vector r = g_lu.solve(column(full.B, j));
+    Vector r = g_lu->solve(column(full.B, j));
     if (orthonormalize_and_add(r)) block.push_back(basis.back());
     if (static_cast<int>(basis.size()) >= order) break;
   }
@@ -77,7 +100,7 @@ ReducedModel prima(const DescriptorSystem& full, int order) {
     std::vector<Vector> next;
     for (const auto& qprev : block) {
       if (static_cast<int>(basis.size()) >= order) break;
-      Vector w = g_lu.solve(full.C * qprev);
+      Vector w = g_lu->solve(full.C * qprev);
       if (orthonormalize_and_add(w)) next.push_back(basis.back());
     }
     if (next.empty()) break;  // Krylov space exhausted.
@@ -89,19 +112,30 @@ ReducedModel prima(const DescriptorSystem& full, int order) {
   ReducedModel rm;
   rm.V = from_columns(basis, n);
   const Matrix vt = rm.V.transposed();
-  rm.sys.G = vt * (full.G * rm.V);
-  rm.sys.C = vt * (full.C * rm.V);
+  rm.sys.G = vt * sparse_times_dense(full.G, rm.V);
+  rm.sys.C = vt * sparse_times_dense(full.C, rm.V);
   rm.sys.B = vt * full.B;
   rm.sys.L = vt * full.L;
   return rm;
 }
 
-std::vector<Pwl> simulate_descriptor(const DescriptorSystem& sys,
+ReducedModel prima(const DescriptorSystem& full, int order) {
+  return prima(SparseDescriptorSystem{SparseMatrix::from_dense(full.G),
+                                      SparseMatrix::from_dense(full.C),
+                                      full.B, full.L},
+               order);
+}
+
+std::vector<Pwl> simulate_descriptor(const SparseDescriptorSystem& sys,
                                      const std::vector<Pwl>& u,
-                                     const TransientSpec& spec) {
+                                     const TransientSpec& spec,
+                                     const SolverOptions& solver) {
   const std::size_t n = sys.G.rows();
   const std::size_t p = sys.B.cols();
   const std::size_t q = sys.L.cols();
+  if (sys.G.cols() != n || sys.C.rows() != n || sys.C.cols() != n ||
+      sys.B.rows() != n || sys.L.rows() != n)
+    throw std::invalid_argument("simulate_descriptor: inconsistent shapes");
   if (u.size() != p)
     throw std::invalid_argument("simulate_descriptor: wrong input count");
   const int steps = spec.num_steps();
@@ -116,12 +150,16 @@ std::vector<Pwl> simulate_descriptor(const DescriptorSystem& sys,
   };
 
   // DC initial condition: G x0 = B u(0).
-  const LuFactor g_lu(sys.G);
-  Vector x = g_lu.solve(input_at(spec.t_start));
+  auto g_lu = SystemSolver::make(sys.G, solver);
+  g_lu.status().throw_if_error();
+  Vector x = g_lu->solve(input_at(spec.t_start));
 
-  const Matrix a_lhs = sys.C.scaled(1.0 / spec.dt) + sys.G.scaled(0.5);
-  const Matrix a_rhs = sys.C.scaled(1.0 / spec.dt) - sys.G.scaled(0.5);
-  const LuFactor lu(a_lhs);
+  const SparseMatrix a_lhs =
+      SparseMatrix::combine(1.0 / spec.dt, sys.C, 0.5, sys.G);
+  const SparseMatrix a_rhs =
+      SparseMatrix::combine(1.0 / spec.dt, sys.C, -0.5, sys.G);
+  auto lu = SystemSolver::make(a_lhs, solver);
+  lu.status().throw_if_error();
 
   std::vector<double> time(static_cast<std::size_t>(steps) + 1);
   for (int k = 0; k <= steps; ++k)
@@ -136,12 +174,13 @@ std::vector<Pwl> simulate_descriptor(const DescriptorSystem& sys,
   record(0);
 
   Vector b0 = input_at(spec.t_start);
+  Vector rhs(n, 0.0);
   for (int k = 1; k <= steps; ++k) {
     Vector b1 = input_at(spec.t_start + spec.dt * k);
-    Vector rhs = a_rhs * x;
+    a_rhs.matvec(x, rhs);
     for (std::size_t i = 0; i < n; ++i) rhs[i] += 0.5 * (b0[i] + b1[i]);
-    lu.solve_in_place(rhs);
-    x = std::move(rhs);
+    lu->solve_in_place(rhs);
+    std::swap(x, rhs);
     b0 = std::move(b1);
     record(static_cast<std::size_t>(k));
   }
@@ -150,6 +189,15 @@ std::vector<Pwl> simulate_descriptor(const DescriptorSystem& sys,
   out.reserve(q);
   for (std::size_t j = 0; j < q; ++j) out.emplace_back(time, std::move(ys[j]));
   return out;
+}
+
+std::vector<Pwl> simulate_descriptor(const DescriptorSystem& sys,
+                                     const std::vector<Pwl>& u,
+                                     const TransientSpec& spec) {
+  return simulate_descriptor(
+      SparseDescriptorSystem{SparseMatrix::from_dense(sys.G),
+                             SparseMatrix::from_dense(sys.C), sys.B, sys.L},
+      u, spec);
 }
 
 }  // namespace dn

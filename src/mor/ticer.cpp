@@ -39,13 +39,15 @@ TicerResult ticer_reduce(const RcTree& tree, const std::vector<int>& keep,
   for (const auto& c : tree.caps) cap[static_cast<std::size_t>(c.node)] += c.c;
   std::vector<char> alive(static_cast<std::size_t>(n), 1);
 
-  auto incident = [&](int node) {
-    std::vector<int> out;
-    for (std::size_t i = 0; i < res.size(); ++i)
-      if (res[i].alive && (res[i].a == node || res[i].b == node))
-        out.push_back(static_cast<int>(i));
-    return out;
-  };
+  // Adjacency: alive incident resistor indices per node, maintained under
+  // elimination so each candidate check is O(1) instead of an O(m) rescan
+  // of the whole resistor list per node per pass.
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < res.size(); ++i) {
+    adj[static_cast<std::size_t>(res[i].a)].push_back(static_cast<int>(i));
+    if (res[i].b != res[i].a)
+      adj[static_cast<std::size_t>(res[i].b)].push_back(static_cast<int>(i));
+  }
 
   const int internal = std::max(n - 2, 1);
   const int max_elim =
@@ -58,7 +60,7 @@ TicerResult ticer_reduce(const RcTree& tree, const std::vector<int>& keep,
     for (int node = 1; node < n; ++node) {
       const std::size_t ni = static_cast<std::size_t>(node);
       if (!alive[ni] || protected_[ni]) continue;
-      const auto inc = incident(node);
+      const auto& inc = adj[ni];
       if (inc.size() != 2) continue;  // Only series nodes keep tree-ness.
       Res& e1 = res[static_cast<std::size_t>(inc[0])];
       Res& e2 = res[static_cast<std::size_t>(inc[1])];
@@ -81,6 +83,12 @@ TicerResult ticer_reduce(const RcTree& tree, const std::vector<int>& keep,
       e1.b = v;
       e1.r = e1.r + e2.r;
       e2.alive = false;
+      // Maintain adjacency: e2 dies (drop it at v), the merged e1 now
+      // reaches v (it is already listed at u), and the node goes away.
+      auto& av = adj[static_cast<std::size_t>(v)];
+      av.erase(std::find(av.begin(), av.end(), inc[1]));
+      av.push_back(inc[0]);
+      adj[ni].clear();
       alive[ni] = 0;
       ++eliminated;
       progress = true;

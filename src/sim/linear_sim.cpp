@@ -1,12 +1,14 @@
 #include "sim/linear_sim.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "util/metrics.hpp"
 
 namespace dn {
 
-LinearSim::LinearSim(const Circuit& ckt) : ckt_(ckt), mna_(ckt) {
+LinearSim::LinearSim(const Circuit& ckt, SolverOptions solver)
+    : ckt_(ckt), mna_(ckt), solver_(solver) {
   if (!ckt.is_linear())
     throw std::invalid_argument(
         "LinearSim: circuit contains MOSFETs; use NonlinearSim");
@@ -15,8 +17,9 @@ LinearSim::LinearSim(const Circuit& ckt) : ckt_(ckt), mna_(ckt) {
 Vector LinearSim::dc_solve(double t) const {
   // At DC the capacitors are open: solve G x = b(t). gmin (stamped in the
   // MNA assembly) keeps capacitively-floating nodes well defined.
-  LuFactor lu(mna_.G());
-  return lu.solve(mna_.rhs(t));
+  auto lu = SystemSolver::make(mna_.Gs(), solver_);
+  lu.status().throw_if_error();
+  return lu->solve(mna_.rhs(t));
 }
 
 TransientResult LinearSim::run(const TransientSpec& spec) const {
@@ -26,9 +29,12 @@ TransientResult LinearSim::run(const TransientSpec& spec) const {
   c_steps.add(static_cast<std::uint64_t>(steps));
 
   // Trapezoidal:  (C/dt + G/2) x1 = (C/dt - G/2) x0 + (b0 + b1)/2.
-  const Matrix a_lhs = mna_.C().scaled(1.0 / spec.dt) + mna_.G().scaled(0.5);
-  const Matrix a_rhs = mna_.C().scaled(1.0 / spec.dt) - mna_.G().scaled(0.5);
-  const LuFactor lu(a_lhs);
+  const SparseMatrix a_lhs =
+      SparseMatrix::combine(1.0 / spec.dt, mna_.Cs(), 0.5, mna_.Gs());
+  const SparseMatrix a_rhs =
+      SparseMatrix::combine(1.0 / spec.dt, mna_.Cs(), -0.5, mna_.Gs());
+  auto lu = SystemSolver::make(a_lhs, solver_);
+  lu.status().throw_if_error();
 
   Vector x = dc_solve(spec.t_start);
 
@@ -44,13 +50,14 @@ TransientResult LinearSim::run(const TransientSpec& spec) const {
   record(0);
 
   Vector b0 = mna_.rhs(spec.t_start);
+  Vector rhs(dim, 0.0);
   for (int k = 1; k <= steps; ++k) {
     const double t1 = spec.t_start + spec.dt * k;
     Vector b1 = mna_.rhs(t1);
-    Vector rhs = a_rhs * x;
+    a_rhs.matvec(x, rhs);
     for (std::size_t i = 0; i < dim; ++i) rhs[i] += 0.5 * (b0[i] + b1[i]);
-    lu.solve_in_place(rhs);
-    x = std::move(rhs);
+    lu->solve_in_place(rhs);
+    std::swap(x, rhs);
     b0 = std::move(b1);
     record(static_cast<std::size_t>(k));
   }

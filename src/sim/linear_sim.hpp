@@ -7,6 +7,7 @@
 
 #include "circuit/circuit.hpp"
 #include "circuit/mna.hpp"
+#include "matrix/solver.hpp"
 #include "sim/transient.hpp"
 
 namespace dn {
@@ -14,7 +15,9 @@ namespace dn {
 class LinearSim {
  public:
   /// `ckt` must be linear (no MOSFETs) and must outlive the simulator.
-  explicit LinearSim(const Circuit& ckt);
+  /// `solver` picks the factorization backend (kAuto: by system
+  /// dimension/density — large unreduced nets go sparse).
+  explicit LinearSim(const Circuit& ckt, SolverOptions solver = {});
 
   /// Runs trapezoidal transient from the DC operating point at t_start.
   TransientResult run(const TransientSpec& spec) const;
@@ -27,6 +30,7 @@ class LinearSim {
  private:
   const Circuit& ckt_;
   MnaSystem mna_;
+  SolverOptions solver_;
 };
 
 }  // namespace dn

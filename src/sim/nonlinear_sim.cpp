@@ -10,58 +10,137 @@
 namespace dn {
 
 NonlinearSim::NonlinearSim(const Circuit& ckt, NewtonOptions opts)
-    : ckt_(ckt), mna_(ckt, opts.gmin), opts_(opts) {}
+    : ckt_(ckt), mna_(ckt, opts.gmin), opts_(opts) {
+  const std::size_t dim = mna_.dim();
 
-void NonlinearSim::stamp_devices(const Vector& x, Vector& inl, Matrix* jac) const {
-  for (const auto& m : ckt_.mosfets()) {
+  // Union Jacobian pattern: every G and C slot plus every MOSFET
+  // small-signal entry, registered as explicit zeros so Newton restamps
+  // only ever write values.
+  std::vector<Triplet> pt;
+  pt.reserve(mna_.Gs().nnz() + mna_.Cs().nnz() + 6 * ckt.mosfets().size());
+  auto add_pattern = [&pt](const SparseMatrix& m) {
+    const auto rp = m.row_ptr();
+    const auto ci = m.col_idx();
+    for (std::size_t r = 0; r < m.rows(); ++r)
+      for (std::size_t p = rp[r]; p < rp[r + 1]; ++p)
+        pt.push_back({r, ci[p], 0.0});
+  };
+  add_pattern(mna_.Gs());
+  add_pattern(mna_.Cs());
+  auto node_or = [this](NodeId n) -> std::ptrdiff_t {
+    return n == kGround ? -1 : static_cast<std::ptrdiff_t>(mna_.node_index(n));
+  };
+  for (const auto& m : ckt.mosfets()) {
+    const std::ptrdiff_t d = node_or(m.d), g = node_or(m.g), s = node_or(m.s);
+    const std::ptrdiff_t pairs[6][2] = {{d, d}, {d, g}, {d, s},
+                                        {s, d}, {s, g}, {s, s}};
+    for (const auto& pr : pairs)
+      if (pr[0] >= 0 && pr[1] >= 0)
+        pt.push_back({static_cast<std::size_t>(pr[0]),
+                      static_cast<std::size_t>(pr[1]), 0.0});
+  }
+  jac_ = SparseMatrix::from_triplets(dim, dim, pt);
+
+  auto build_map = [this](const SparseMatrix& m,
+                          std::vector<std::ptrdiff_t>& map) {
+    map.clear();
+    map.reserve(m.nnz());
+    const auto rp = m.row_ptr();
+    const auto ci = m.col_idx();
+    for (std::size_t r = 0; r < m.rows(); ++r)
+      for (std::size_t p = rp[r]; p < rp[r + 1]; ++p)
+        map.push_back(jac_.value_index(r, ci[p]));
+  };
+  build_map(mna_.Gs(), g_map_);
+  build_map(mna_.Cs(), c_map_);
+  node_diag_.resize(mna_.num_node_vars());
+  for (std::size_t i = 0; i < node_diag_.size(); ++i)
+    node_diag_[i] = jac_.value_index(i, i);  // Present: gmin stamps them.
+  dev_slots_.reserve(ckt.mosfets().size());
+  for (const auto& m : ckt.mosfets()) {
+    const std::ptrdiff_t d = node_or(m.d), g = node_or(m.g), s = node_or(m.s);
+    auto slot = [this](std::ptrdiff_t r, std::ptrdiff_t c) -> std::ptrdiff_t {
+      return (r >= 0 && c >= 0) ? jac_.value_index(static_cast<std::size_t>(r),
+                                                   static_cast<std::size_t>(c))
+                                : -1;
+    };
+    dev_slots_.push_back({slot(d, d), slot(d, g), slot(d, s),
+                          slot(s, d), slot(s, g), slot(s, s)});
+  }
+
+  base_vals_.assign(jac_.nnz(), 0.0);
+  f_.assign(dim, 0.0);
+  f0_.assign(dim, 0.0);
+  dx_.assign(dim, 0.0);
+  cx0_.assign(dim, 0.0);
+  cx1_.assign(dim, 0.0);
+}
+
+void NonlinearSim::stamp_devices(const Vector& x, Vector* inl,
+                                 double jac_scale) const {
+  auto jv = jac_.values();
+  const auto& mosfets = ckt_.mosfets();
+  for (std::size_t mi = 0; mi < mosfets.size(); ++mi) {
+    const auto& m = mosfets[mi];
     const double vd = mna_.node_voltage(x, m.d);
     const double vg = mna_.node_voltage(x, m.g);
     const double vs = mna_.node_voltage(x, m.s);
     const MosfetEval e = mosfet_eval(m.params, vd, vg, vs);
     const double dvs = -(e.gm + e.gds);  // dId/dVs.
 
-    const int id_d = (m.d == kGround) ? -1 : static_cast<int>(mna_.node_index(m.d));
-    const int id_g = (m.g == kGround) ? -1 : static_cast<int>(mna_.node_index(m.g));
-    const int id_s = (m.s == kGround) ? -1 : static_cast<int>(mna_.node_index(m.s));
-
     // Current id flows drain -> source: out of node d, into node s.
-    if (id_d >= 0) inl[static_cast<std::size_t>(id_d)] += e.id;
-    if (id_s >= 0) inl[static_cast<std::size_t>(id_s)] -= e.id;
-
-    if (jac) {
-      auto add = [&](int row, int col, double v) {
-        if (row >= 0 && col >= 0)
-          (*jac)(static_cast<std::size_t>(row), static_cast<std::size_t>(col)) += v;
-      };
-      add(id_d, id_d, e.gds);
-      add(id_d, id_g, e.gm);
-      add(id_d, id_s, dvs);
-      add(id_s, id_d, -e.gds);
-      add(id_s, id_g, -e.gm);
-      add(id_s, id_s, -dvs);
+    if (inl) {
+      if (m.d != kGround) (*inl)[mna_.node_index(m.d)] += e.id;
+      if (m.s != kGround) (*inl)[mna_.node_index(m.s)] -= e.id;
+    }
+    if (jac_scale != 0.0) {
+      const auto& slots = dev_slots_[mi];
+      const double vals[6] = {e.gds, e.gm, dvs, -e.gds, -e.gm, -dvs};
+      for (int i = 0; i < 6; ++i)
+        if (slots[static_cast<std::size_t>(i)] >= 0)
+          jv[static_cast<std::size_t>(slots[static_cast<std::size_t>(i)])] +=
+              jac_scale * vals[i];
     }
   }
+}
+
+void NonlinearSim::factor_jacobian() const {
+  if (solver_) {
+    // Numeric-only refactor (SystemSolver re-pivots internally if the
+    // replayed pivot sequence fails for the new values).
+    solver_->refactor(jac_).throw_if_error();
+    return;
+  }
+  auto s = SystemSolver::make(jac_, opts_.solver);
+  s.status().throw_if_error();
+  solver_.emplace(std::move(*s));
 }
 
 bool NonlinearSim::newton_dc(Vector& x, const Vector& b, double g_extra) const {
   const std::size_t dim = mna_.dim();
   const std::size_t nv = mna_.num_node_vars();
+  const auto gvals = mna_.Gs().values();
   for (int it = 0; it < opts_.max_iterations; ++it) {
     // Residual F = G x + i_nl(x) + g_extra * v - b.
-    Vector f = mna_.G() * x;
-    for (std::size_t i = 0; i < nv; ++i) f[i] += g_extra * x[i];
-    for (std::size_t i = 0; i < dim; ++i) f[i] -= b[i];
-    Matrix jac = mna_.G();
-    for (std::size_t i = 0; i < nv; ++i) jac(i, i) += g_extra;
-    stamp_devices(x, f, &jac);
+    mna_.Gs().matvec(x, f_);
+    for (std::size_t i = 0; i < nv; ++i) f_[i] += g_extra * x[i];
+    for (std::size_t i = 0; i < dim; ++i) f_[i] -= b[i];
+    // Jacobian = G + g_extra on node diagonals + device conductances.
+    auto jv = jac_.values();
+    std::fill(jv.begin(), jv.end(), 0.0);
+    for (std::size_t i = 0; i < gvals.size(); ++i)
+      jv[static_cast<std::size_t>(g_map_[i])] += gvals[i];
+    for (std::size_t i = 0; i < nv; ++i)
+      jv[static_cast<std::size_t>(node_diag_[i])] += g_extra;
+    stamp_devices(x, &f_, 1.0);
 
-    LuFactor lu(std::move(jac));
-    Vector dx = f;
-    lu.solve_in_place(dx);
+    factor_jacobian();
+    dx_ = f_;
+    solver_->solve_in_place(dx_);
 
     double max_dv = 0.0;
     for (std::size_t i = 0; i < dim; ++i) {
-      double step = dx[i];
+      double step = dx_[i];
       if (i < nv) {
         step = std::clamp(step, -opts_.v_limit, opts_.v_limit);
         max_dv = std::max(max_dv, std::abs(step));
@@ -113,46 +192,47 @@ TransientResult NonlinearSim::run(const TransientSpec& spec) const {
   //   F(x1) = C (x1 - x0)/dt + (G x1 + i(x1))/2 + (G x0 + i(x0))/2
   //           - (b0 + b1)/2
   // The base Jacobian C/dt + G/2 is constant; device conductances add 0.5x.
-  const Matrix base_jac = mna_.C().scaled(1.0 / spec.dt) + mna_.G().scaled(0.5);
+  const double inv_dt = 1.0 / spec.dt;
+  const auto gvals = mna_.Gs().values();
+  const auto cvals = mna_.Cs().values();
+  std::fill(base_vals_.begin(), base_vals_.end(), 0.0);
+  for (std::size_t i = 0; i < gvals.size(); ++i)
+    base_vals_[static_cast<std::size_t>(g_map_[i])] += 0.5 * gvals[i];
+  for (std::size_t i = 0; i < cvals.size(); ++i)
+    base_vals_[static_cast<std::size_t>(c_map_[i])] += inv_dt * cvals[i];
 
   Vector b0 = mna_.rhs(spec.t_start);
-  // hist = -C x0/dt + (G x0 + i(x0))/2 recomputed each step.
   for (int k = 1; k <= steps; ++k) {
     const double t1 = spec.t_start + spec.dt * k;
     Vector b1 = mna_.rhs(t1);
 
-    Vector f0 = mna_.G() * x0;  // G x0 + i(x0)
-    stamp_devices(x0, f0, nullptr);
-    const Vector cx0 = mna_.C() * x0;
+    mna_.Gs().matvec(x0, f0_);  // f0_ = G x0 + i(x0)
+    stamp_devices(x0, &f0_, 0.0);
+    mna_.Cs().matvec(x0, cx0_);
 
     Vector x1 = x0;  // Previous point is an excellent predictor at small dt.
     bool converged = false;
     for (int it = 0; it < opts_.max_iterations; ++it) {
       ++newton_iters;
-      Vector f = mna_.G() * x1;
-      Matrix jac = base_jac;
-      stamp_devices(x1, f, nullptr);
-      // f currently holds G x1 + i(x1); build the full residual.
-      const Vector cx1 = mna_.C() * x1;
+      // Restamp values over the fixed pattern: base + 0.5 * device
+      // Jacobian, while the same device evaluation feeds the residual.
+      auto jv = jac_.values();
+      std::copy(base_vals_.begin(), base_vals_.end(), jv.begin());
+      mna_.Gs().matvec(x1, f_);
+      stamp_devices(x1, &f_, 0.5);
+      mna_.Cs().matvec(x1, cx1_);
+      // f_ currently holds G x1 + i(x1); build the full residual.
       for (std::size_t i = 0; i < dim; ++i)
-        f[i] = (cx1[i] - cx0[i]) / spec.dt + 0.5 * f[i] + 0.5 * f0[i] -
-               0.5 * (b0[i] + b1[i]);
-      // Device Jacobian enters with the trapezoidal 1/2 factor.
-      {
-        Matrix dev_jac(dim, dim);
-        Vector dummy(dim, 0.0);
-        stamp_devices(x1, dummy, &dev_jac);
-        for (std::size_t r = 0; r < dim; ++r)
-          for (std::size_t c = 0; c < dim; ++c)
-            jac(r, c) += 0.5 * dev_jac(r, c);
-      }
-      LuFactor lu(std::move(jac));
-      Vector dx = f;
-      lu.solve_in_place(dx);
+        f_[i] = (cx1_[i] - cx0_[i]) * inv_dt + 0.5 * f_[i] + 0.5 * f0_[i] -
+                0.5 * (b0[i] + b1[i]);
+
+      factor_jacobian();
+      dx_ = f_;
+      solver_->solve_in_place(dx_);
 
       double max_dv = 0.0;
       for (std::size_t i = 0; i < dim; ++i) {
-        double step = dx[i];
+        double step = dx_[i];
         if (i < nv) {
           step = std::clamp(step, -opts_.v_limit, opts_.v_limit);
           max_dv = std::max(max_dv, std::abs(step));

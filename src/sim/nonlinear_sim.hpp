@@ -5,10 +5,21 @@
 // single-driver simulations used to extract the transient holding
 // resistance (paper §2, Figure 4), and the nonlinear receiver simulations
 // behind the alignment pre-characterization (paper §3.2).
+//
+// The Jacobian pattern is fixed across all Newton iterations (union of
+// the G/C stamps and every MOSFET small-signal entry), so each iteration
+// restamps VALUES into one reused sparse scratch and numerically
+// refactors — no per-iteration matrix allocation or symbolic work.
 #pragma once
+
+#include <array>
+#include <cstddef>
+#include <optional>
+#include <vector>
 
 #include "circuit/circuit.hpp"
 #include "circuit/mna.hpp"
+#include "matrix/solver.hpp"
 #include "sim/transient.hpp"
 
 namespace dn {
@@ -18,6 +29,7 @@ struct NewtonOptions {
   double v_tol = 1e-9;        // Convergence: max |delta V| [V].
   double v_limit = 0.5;       // Per-iteration node-voltage step clamp [V].
   double gmin = 1e-12;        // Baseline gmin (also in MnaSystem).
+  SolverOptions solver{};     // Backend for the Newton linear solves.
 };
 
 class NonlinearSim {
@@ -36,17 +48,32 @@ class NonlinearSim {
 
  private:
   /// Adds MOSFET companion-model contributions at state x:
-  ///   inl  += device currents flowing out of each node
-  ///   jac  += d(inl)/dx   (only when jac != nullptr)
-  void stamp_devices(const Vector& x, Vector& inl, Matrix* jac) const;
+  ///   *inl += device currents flowing out of each node (when inl != nullptr)
+  ///   jac_ += jac_scale * d(i_nl)/dx  (when jac_scale != 0)
+  /// One device evaluation feeds both.
+  void stamp_devices(const Vector& x, Vector* inl, double jac_scale) const;
 
   /// Solves G x + i_nl(x) = b with an extra `g_extra` to ground on every
   /// node row. Returns true on convergence; x is input guess and output.
   bool newton_dc(Vector& x, const Vector& b, double g_extra) const;
 
+  /// Factors jac_ through the backend; after the first call only the
+  /// numeric phase reruns (the pattern never changes).
+  void factor_jacobian() const;
+
   const Circuit& ckt_;
   MnaSystem mna_;
   NewtonOptions opts_;
+
+  // Fixed-pattern Newton workspace, built once in the constructor and
+  // reused by every solve. A NonlinearSim is per-thread state (the flow
+  // constructs one per analysis); the mutable scratch is not synchronized.
+  mutable SparseMatrix jac_;                    // Union-pattern scratch.
+  std::vector<std::ptrdiff_t> g_map_, c_map_;   // Gs/Cs slot -> jac_ slot.
+  std::vector<std::ptrdiff_t> node_diag_;       // Node diagonal slots.
+  std::vector<std::array<std::ptrdiff_t, 6>> dev_slots_;  // Per-MOSFET.
+  mutable std::optional<SystemSolver> solver_;
+  mutable Vector base_vals_, f_, f0_, dx_, cx0_, cx1_;
 };
 
 }  // namespace dn

@@ -4,6 +4,7 @@
 
 #include "clarinet/analyzer.hpp"
 #include "core/baselines.hpp"
+#include "matrix/solver.hpp"
 #include "rcnet/random_nets.hpp"
 #include "rcnet/spef.hpp"
 #include "util/units.hpp"
@@ -90,6 +91,41 @@ TEST_P(FlowProperty, WindowedNeverExceedsUnconstrained) {
   boxed.search.window_max = r_free.alignment.t_peak - 200 * ps;
   const DelayNoiseResult r_boxed = analyze_delay_noise(eng, boxed);
   EXPECT_LE(r_boxed.delay_noise(), r_free.delay_noise() + 2 * ps);
+}
+
+TEST_P(FlowProperty, BackendEquivalence) {
+  Rng rng(GetParam());
+  const CoupledNet net = random_coupled_net(rng);
+
+  // The same analysis through the dense and the sparse linear-solver
+  // backends must be interchangeable: identical report text, waveforms
+  // matching to far below any physically meaningful voltage.
+  auto run = [&](SolverBackend backend) {
+    AnalyzerConfig cfg;
+    cfg.analysis = fast_exhaustive();
+    cfg.use_prediction_tables = false;
+    cfg.engine.solver.backend = backend;
+    cfg.engine.ceff.solver.backend = backend;
+    NoiseAnalyzer an(cfg);
+    StatusOr<DelayNoiseResult> r = an.try_analyze(net);
+    EXPECT_TRUE(r.ok()) << r.status().to_string();
+    std::string text;
+    if (r.ok()) text = an.report(net, *r, "equiv").to_text();
+    return std::make_pair(std::move(r), std::move(text));
+  };
+
+  auto [rd, text_dense] = run(SolverBackend::kDense);
+  auto [rs, text_sparse] = run(SolverBackend::kSparse);
+  ASSERT_TRUE(rd.ok() && rs.ok());
+  EXPECT_EQ(text_dense, text_sparse);
+
+  const Pwl& wd = rd->noiseless_sink;
+  const Pwl& ws = rs->noiseless_sink;
+  const double t0 = wd.times().front(), t1 = wd.t_end();
+  for (int k = 0; k <= 200; ++k) {
+    const double t = t0 + (t1 - t0) * k / 200.0;
+    EXPECT_NEAR(wd.at(t), ws.at(t), 1e-9);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FlowProperty,

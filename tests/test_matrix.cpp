@@ -1,4 +1,5 @@
 // Unit tests for dense matrices and LU factorization (matrix/dense.*).
+#define DN_ALLOW_DEPRECATED  // The legacy throwing LuFactor ctor is covered.
 #include "matrix/dense.hpp"
 
 #include <gtest/gtest.h>
@@ -53,8 +54,9 @@ TEST(Lu, SolvesKnownSystem) {
   a(0, 1) = 1;
   a(1, 0) = 1;
   a(1, 1) = 3;
-  LuFactor lu(a);
-  const Vector x = lu.solve(Vector{3.0, 5.0});
+  auto lu = LuFactor::make(a);
+  ASSERT_TRUE(lu.ok());
+  const Vector x = lu->solve(Vector{3.0, 5.0});
   EXPECT_NEAR(x[0], 0.8, 1e-12);
   EXPECT_NEAR(x[1], 1.4, 1e-12);
 }
@@ -66,8 +68,9 @@ TEST(Lu, RequiresPivoting) {
   a(0, 1) = 1;
   a(1, 0) = 1;
   a(1, 1) = 0;
-  LuFactor lu(a);
-  const Vector x = lu.solve(Vector{2.0, 3.0});
+  auto lu = LuFactor::make(a);
+  ASSERT_TRUE(lu.ok());
+  const Vector x = lu->solve(Vector{2.0, 3.0});
   EXPECT_NEAR(x[0], 3.0, 1e-12);
   EXPECT_NEAR(x[1], 2.0, 1e-12);
 }
@@ -78,6 +81,10 @@ TEST(Lu, SingularThrows) {
   a(0, 1) = 2;
   a(1, 0) = 2;
   a(1, 1) = 4;
+  auto lu = LuFactor::make(a);
+  ASSERT_FALSE(lu.ok());
+  EXPECT_EQ(lu.status().code(), StatusCode::kInternal);
+  // The deprecated throwing ctor maps the same failure to runtime_error.
   EXPECT_THROW(LuFactor{a}, std::runtime_error);
 }
 
@@ -94,14 +101,43 @@ TEST(Lu, RandomRoundTrip) {
     Vector x(n);
     for (auto& v : x) v = rng.uniform(-10, 10);
     const Vector b = a * x;
-    LuFactor lu(a);
-    const Vector got = lu.solve(b);
+    auto lu = LuFactor::make(a);
+    ASSERT_TRUE(lu.ok());
+    const Vector got = lu->solve(b);
     for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(got[i], x[i], 1e-8);
   }
 }
 
 TEST(Lu, NotSquareThrows) {
   EXPECT_THROW(LuFactor{Matrix(2, 3)}, std::invalid_argument);
+  auto lu = LuFactor::make(Matrix(2, 3));
+  ASSERT_FALSE(lu.ok());
+  EXPECT_EQ(lu.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Lu, RefactorReusesStorage) {
+  Matrix a(2, 2);
+  a(0, 0) = 2;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 3;
+  auto lu = LuFactor::make(a);
+  ASSERT_TRUE(lu.ok());
+
+  Matrix a2 = a;
+  a2(0, 0) = 4;  // New values, same shape.
+  ASSERT_TRUE(lu->refactor(a2).ok());
+  const Vector x = lu->solve(Vector{5.0, 4.0});
+  EXPECT_NEAR(4.0 * x[0] + x[1], 5.0, 1e-12);
+  EXPECT_NEAR(x[0] + 3.0 * x[1], 4.0, 1e-12);
+
+  EXPECT_EQ(lu->refactor(Matrix(3, 3)).code(), StatusCode::kInvalidArgument);
+  Matrix sing(2, 2);
+  sing(0, 0) = 1;
+  sing(0, 1) = 2;
+  sing(1, 0) = 2;
+  sing(1, 1) = 4;
+  EXPECT_EQ(lu->refactor(sing).code(), StatusCode::kInternal);
 }
 
 TEST(VectorOps, DotNormAxpyScale) {

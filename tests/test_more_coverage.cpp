@@ -145,8 +145,9 @@ TEST(MnaCorner, VSourceBranchCurrentSigns) {
   const int v2 = ckt.add_vsource(b, kGround, Pwl::constant(1.0));
   ckt.add_resistor(a, b, 1 * kOhm);
   MnaSystem mna(ckt);
-  LuFactor lu(mna.G());
-  const Vector x = lu.solve(mna.rhs(0.0));
+  auto lu = LuFactor::make(mna.G());
+  ASSERT_TRUE(lu.ok());
+  const Vector x = lu->solve(mna.rhs(0.0));
   // 1 mA flows a -> b; source 1 supplies it (current out of + terminal,
   // so the branch unknown is -1 mA), source 2 absorbs it.
   EXPECT_NEAR(x[mna.vsource_index(v1)], -1 * mA, 1e-6);

@@ -63,7 +63,9 @@ TEST(Prima, DcGainIsPreservedExactly) {
   const DescriptorSystem sys = rc_line_system(10, 1 * kOhm, 100 * fF, 700.0,
                                               ckt, nullptr);
   // Full DC: y = L^T G^{-1} B.
-  LuFactor full_lu(sys.G);
+  auto full_lu_or = LuFactor::make(sys.G);
+  ASSERT_TRUE(full_lu_or.ok());
+  const LuFactor& full_lu = *full_lu_or;
   Vector b(sys.G.rows());
   for (std::size_t i = 0; i < b.size(); ++i) b[i] = sys.B(i, 0);
   const Vector x_full = full_lu.solve(b);
@@ -71,7 +73,9 @@ TEST(Prima, DcGainIsPreservedExactly) {
   for (std::size_t i = 0; i < x_full.size(); ++i) y_full += sys.L(i, 0) * x_full[i];
 
   const ReducedModel rm = prima(sys, 3);
-  LuFactor red_lu(rm.sys.G);
+  auto red_lu_or = LuFactor::make(rm.sys.G);
+  ASSERT_TRUE(red_lu_or.ok());
+  const LuFactor& red_lu = *red_lu_or;
   Vector br(rm.sys.B.rows());
   for (std::size_t i = 0; i < br.size(); ++i) br[i] = rm.sys.B(i, 0);
   const Vector x_red = red_lu.solve(br);

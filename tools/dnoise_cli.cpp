@@ -37,6 +37,7 @@
 
 #include "clarinet/batch_analyzer.hpp"
 #include "clarinet/screening.hpp"
+#include "matrix/solver.hpp"
 #include "core/baselines.hpp"
 #include "core/functional_noise.hpp"
 #include "rcnet/random_nets.hpp"
@@ -85,6 +86,7 @@ std::vector<std::string> positional_args(int argc, char** argv) {
           std::strcmp(argv[i], "--random") == 0 ||
           std::strcmp(argv[i], "--seed") == 0 ||
           std::strcmp(argv[i], "--screen-below") == 0 ||
+          std::strcmp(argv[i], "--solver") == 0 ||
           std::strcmp(argv[i], "--metrics-json") == 0 ||
           std::strcmp(argv[i], "--trace-out") == 0)
         ++i;  // Skip the flag's value.
@@ -104,6 +106,8 @@ int usage() {
       "                  [--screen-below PS]\n"
       "       dnoise_cli --batch --random N [--seed S] [--jobs N] [--top K]\n"
       "       dnoise_cli --screen <file.spef>... (rank by severity)\n"
+      "solver (single and batch modes):\n"
+      "       [--solver auto|dense|sparse]  linear-solver backend\n"
       "observability (any mode):\n"
       "       [--profile] [--metrics-json FILE] [--trace-out FILE]\n");
   return 2;
@@ -116,6 +120,22 @@ struct ObsFlags {
   const char* metrics_json = nullptr;
   const char* trace_out = nullptr;
 };
+
+/// Applies --solver auto|dense|sparse to every solver knob the analyzer
+/// exposes (superposition sims and the Ceff inner sims). Returns false
+/// (after printing the error) on an unknown backend name.
+bool apply_solver_flag(int argc, char** argv, AnalyzerConfig& cfg) {
+  const char* name = str_flag(argc, argv, "--solver", nullptr);
+  if (!name) return true;
+  StatusOr<SolverBackend> backend = parse_solver_backend(name);
+  if (!backend.ok()) {
+    std::fprintf(stderr, "error: %s\n", backend.status().to_string().c_str());
+    return false;
+  }
+  cfg.engine.solver.backend = *backend;
+  cfg.engine.ceff.solver.backend = *backend;
+  return true;
+}
 
 ObsFlags setup_observability(int argc, char** argv) {
   ObsFlags f;
@@ -197,6 +217,7 @@ int run_batch(int argc, char** argv) {
   opts.analyzer.use_prediction_tables = !has_flag(argc, argv, "--exhaustive");
   opts.analyzer.analysis.use_transient_holding =
       !has_flag(argc, argv, "--thevenin");
+  if (!apply_solver_flag(argc, argv, opts.analyzer)) return 2;
   // --screen-below PS: skip full analysis of nets whose moment-level
   // estimated delay noise is below PS picoseconds.
   const double screen_ps = double_flag(argc, argv, "--screen-below", -1.0);
@@ -264,6 +285,7 @@ int run_single(int argc, char** argv) {
   AnalyzerConfig cfg;
   cfg.use_prediction_tables = !has_flag(argc, argv, "--exhaustive");
   cfg.analysis.use_transient_holding = !has_flag(argc, argv, "--thevenin");
+  if (!apply_solver_flag(argc, argv, cfg)) return 2;
   NoiseAnalyzer analyzer(cfg);
 
   StatusOr<DelayNoiseResult> analyzed = analyzer.try_analyze(net);
