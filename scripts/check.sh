@@ -2,21 +2,28 @@
 # Repo gate: warnings-as-errors build, the tier-1 ctest suite, an
 # ASan+UBSan pass over the solver/simulator core (the sparse LU and the
 # Newton restamp path are pointer-heavy index juggling — exactly what the
-# address sanitizer is for), and a ThreadSanitizer pass over the batch
+# address sanitizer is for), a ThreadSanitizer pass over the batch
 # engine (the one component with real cross-thread sharing: the
-# characterization cache and the worker pool).
+# characterization cache and the worker pool), a fuzz smoke stage over
+# the SPEF parser, and a chaos stage that runs a batch under injected
+# faults at every site and demands degraded-not-crashed, job-count-
+# independent output (DESIGN.md §10).
 #
-# Usage: scripts/check.sh [--no-asan] [--no-tsan]
+# Usage: scripts/check.sh [--no-asan] [--no-tsan] [--no-fuzz] [--no-chaos]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 jobs=$(nproc 2>/dev/null || echo 2)
 run_asan=1
 run_tsan=1
+run_fuzz=1
+run_chaos=1
 for arg in "$@"; do
   case "$arg" in
     --no-asan) run_asan=0 ;;
     --no-tsan) run_tsan=0 ;;
+    --no-fuzz) run_fuzz=0 ;;
+    --no-chaos) run_chaos=0 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -42,9 +49,51 @@ fi
 if [[ "$run_tsan" == 1 ]]; then
   echo "== ThreadSanitizer: batch engine =="
   cmake -B build-tsan -S . -DDN_SANITIZE=thread -DDN_WERROR=ON >/dev/null
-  cmake --build build-tsan -j "$jobs" --target test_batch_analyzer test_metrics
+  cmake --build build-tsan -j "$jobs" \
+    --target test_batch_analyzer test_metrics test_fault_tolerance
   ./build-tsan/tests/test_batch_analyzer
   ./build-tsan/tests/test_metrics
+  ./build-tsan/tests/test_fault_tolerance
+fi
+
+if [[ "$run_fuzz" == 1 ]]; then
+  echo "== fuzz smoke: SPEF parser (~30 s budget) =="
+  # The standalone driver is deterministic: the seed corpus plus a fixed
+  # mutation seed. Iteration count sized to finish well inside 30 s.
+  timeout 30 ./build/tools/fuzz_spef tests/corpus/spef --iters 40000 --seed 1
+fi
+
+if [[ "$run_chaos" == 1 ]]; then
+  echo "== chaos: injected faults must degrade, not crash =="
+  # A batch over SPEF decks so all five sites are live: parse (deck
+  # load), cache/factor/newton (analysis), task (worker boundary). The
+  # decks are distinct variants (the parse probe keys on deck content).
+  # Three seeds x one mixed spec. Demands per seed: exit 0 (isolation
+  # kept at least one net analyzable) and stdout byte-identical between
+  # --jobs 1 and --jobs 8 (the injection hashes stable identities, never
+  # the schedule).
+  chaosdir=build/chaos-decks
+  mkdir -p "$chaosdir"
+  rm -f "$chaosdir"/*.spef
+  for i in 1 2 3 4 5 6 7 8; do
+    { head -1 tests/corpus/spef/minimal.spef
+      echo "*DESIGN chaos$i"
+      tail -n +2 tests/corpus/spef/minimal.spef
+    } > "$chaosdir/net$i.spef"
+  done
+  chaos_args=(--batch "$chaosdir"/net*.spef --top 5 --solver sparse
+              --max-retries 2 --inject-faults
+              parse:0.25,cache:0.4,factor:0.4,newton:0.02,task:0.3)
+  for fault_seed in 1 2 3; do
+    out1=$(./build/tools/dnoise_cli "${chaos_args[@]}" --fault-seed "$fault_seed" --jobs 1 2>/dev/null)
+    out8=$(./build/tools/dnoise_cli "${chaos_args[@]}" --fault-seed "$fault_seed" --jobs 8 2>/dev/null)
+    if [[ "$out1" != "$out8" ]]; then
+      echo "chaos: output differs between --jobs 1 and --jobs 8 (seed $fault_seed)" >&2
+      diff <(printf '%s\n' "$out1") <(printf '%s\n' "$out8") >&2 || true
+      exit 1
+    fi
+    echo "chaos seed $fault_seed: $(printf '%s\n' "$out1" | head -1)"
+  done
 fi
 
 echo "== all checks passed =="

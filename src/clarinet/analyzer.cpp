@@ -38,22 +38,47 @@ StatusOr<DelayNoiseResult> NoiseAnalyzer::try_analyze(
     c_failed.add();
     return Status::InvalidArgument(e.what());
   }
+  // Every degradation-ladder step taken below (engine, characterization,
+  // solver, rtr) lands in this log and travels with the result.
+  degrade::ScopedLog degrade_log;
   try {
-    SuperpositionEngine eng(net, config_.engine);
     DelayNoiseOptions opts = config_.analysis;
+    SuperpositionOptions eng_opts = config_.engine;
+    // The ladder policy gates each rung wherever it lives.
+    eng_opts.solver.allow_dense_fallback = opts.degrade.sparse_to_dense;
+    eng_opts.mor_fallback = opts.degrade.mor_to_unreduced;
+    SuperpositionEngine eng(net, eng_opts);
     if (config_.use_prediction_tables) {
       opts.method = AlignmentMethod::Predicted;
-      opts.table = table_for(net.victim.receiver, net.victim.output_rising);
+      auto table = cache_->try_table_for(net.victim.receiver,
+                                         net.victim.output_rising);
+      if (table.ok()) {
+        opts.table = *table;
+      } else if (opts.degrade.table_to_vdd2) {
+        // Degradation ladder: characterization failed -> the method of
+        // [5] (peak aligned near the Vdd/2 crossing), which needs no
+        // table. Loses the predicted-alignment accuracy, keeps the net.
+        degrade::record(DegradeKind::kTableToVdd2,
+                        "alignment-table characterization failed (" +
+                            table.status().message() +
+                            "); using receiver-input-peak alignment");
+        opts.method = AlignmentMethod::ReceiverInputPeak;
+        opts.table = nullptr;
+      } else {
+        c_failed.add();
+        return table.status();
+      }
     } else {
       opts.method = AlignmentMethod::Exhaustive;
       opts.table = nullptr;
     }
-    StatusOr<DelayNoiseResult> r = analyze_delay_noise(eng, opts);
+    DelayNoiseResult r = analyze_delay_noise(eng, opts);
+    r.degradations = dedup_degradations(degrade_log.take());
     c_ok.add();
     return r;
   } catch (const std::exception& e) {
     c_failed.add();
-    return Status::Internal(e.what());
+    return status_from_exception(e);
   }
 }
 

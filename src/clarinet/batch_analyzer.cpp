@@ -5,10 +5,23 @@
 #include <chrono>
 #include <ostream>
 #include <sstream>
+#include <thread>
 
+#include "util/deadline.hpp"
+#include "util/fault_injection.hpp"
 #include "util/trace.hpp"
 
 namespace dn {
+
+const char* analysis_outcome_name(AnalysisOutcome o) {
+  switch (o) {
+    case AnalysisOutcome::kOk: return "ok";
+    case AnalysisOutcome::kDegraded: return "degraded";
+    case AnalysisOutcome::kFailed: return "failed";
+    case AnalysisOutcome::kScreened: return "screened";
+  }
+  return "?";
+}
 
 BatchAnalyzer::BatchAnalyzer(BatchOptions opts)
     : opts_(std::move(opts)),
@@ -23,6 +36,9 @@ BatchResult BatchAnalyzer::analyze(const std::vector<CoupledNet>& nets,
   static obs::Counter& c_failed = obs::metrics().counter("batch.nets_failed");
   static obs::Counter& c_screened =
       obs::metrics().counter("batch.nets_screened");
+  static obs::Counter& c_degraded =
+      obs::metrics().counter("batch.nets_degraded");
+  static obs::Counter& c_retries = obs::metrics().counter("batch.retries");
   static obs::Histogram& h_net =
       obs::metrics().histogram("batch.net.seconds");
   static obs::Gauge& g_depth = obs::metrics().gauge("batch.queue_depth");
@@ -45,7 +61,16 @@ BatchResult BatchAnalyzer::analyze(const std::vector<CoupledNet>& nets,
   // shows how the tail of a batch drains. Touched only when metrics are on.
   std::atomic<std::size_t> remaining{nets.size()};
 
+  // One shared deadline for the whole batch; every worker installs it so
+  // the step loops deep inside each net's analysis poll it.
+  const Deadline deadline = opts_.deadline_ms > 0
+                                ? Deadline::after(opts_.deadline_ms * 1e-3)
+                                : Deadline();
+  const int max_attempts = 1 + std::max(opts_.max_retries, 0);
+  std::atomic<std::uint64_t> retries_total{0};
+
   pool_.parallel_for(nets.size(), [&](std::size_t i) {
+    ScopedDeadline scoped_deadline(deadline);
     BatchNetResult& slot = out.nets[i];  // Exclusive: one writer per slot.
     slot.index = i;
     slot.name = i < names.size() ? names[i] : "net" + std::to_string(i);
@@ -60,18 +85,66 @@ BatchResult BatchAnalyzer::analyze(const std::vector<CoupledNet>& nets,
         if (est.ok() && !screening.passes(*est)) {
           slot.screened_out = true;
           slot.screen = *est;
+          slot.outcome = AnalysisOutcome::kScreened;
           c_screened.add();
           skip = true;
         }
       }
+      if (!skip && deadline.expired()) {
+        // Fail fast: do not start work the budget cannot pay for.
+        slot.status = deadline.check("batch worker");
+        slot.outcome = AnalysisOutcome::kFailed;
+        c_failed.add();
+        skip = true;
+      }
       if (!skip) {
-        StatusOr<DelayNoiseResult> r = analyzer_.try_analyze(nets[i]);
-        if (r.ok()) {
-          slot.result = std::move(*r);
-          slot.report = DelayNoiseReport::from(nets[i], slot.result, slot.name);
+        for (int attempt = 0; attempt < max_attempts; ++attempt) {
+          slot.attempts = attempt + 1;
+          if (attempt > 0) {
+            retries_total.fetch_add(1, std::memory_order_relaxed);
+            c_retries.add();
+            // Exponential backoff. Transient failures are typically
+            // resource contention; yielding the core briefly is the fix.
+            const double ms =
+                opts_.retry_backoff_ms * static_cast<double>(1 << (attempt - 1));
+            if (ms > 0)
+              std::this_thread::sleep_for(std::chrono::duration<double,
+                                                                std::milli>(ms));
+          }
+          // Deterministic identity of this attempt: every fault probe
+          // (factor, newton) inside the net's analysis is keyed to
+          // (net index, attempt), never to the thread or schedule.
+          const std::uint64_t attempt_key =
+              fault::mix64(static_cast<std::uint64_t>(i) + 1) ^
+              fault::mix64(static_cast<std::uint64_t>(attempt) << 32);
+          fault::ScopedContext fault_ctx(attempt_key);
+          // Task-boundary probe: a retryable infrastructure failure
+          // (worker eviction, resource exhaustion) before any analysis.
+          if (fault::should_fail(fault::Site::kTask, attempt_key)) {
+            slot.status =
+                Status::Unavailable("injected fault: batch worker task");
+          } else {
+            StatusOr<DelayNoiseResult> r = analyzer_.try_analyze(nets[i]);
+            if (r.ok()) {
+              slot.status = Status::Ok();
+              slot.result = std::move(*r);
+              slot.report =
+                  DelayNoiseReport::from(nets[i], slot.result, slot.name);
+            } else {
+              slot.status = r.status();
+            }
+          }
+          if (slot.status.ok() || !slot.status.is_transient()) break;
+          if (deadline.expired()) break;  // No budget left for retries.
+        }
+        if (slot.status.ok()) {
+          slot.outcome = slot.result.degradations.empty()
+                             ? AnalysisOutcome::kOk
+                             : AnalysisOutcome::kDegraded;
+          if (slot.outcome == AnalysisOutcome::kDegraded) c_degraded.add();
           c_ok.add();
         } else {
-          slot.status = r.status();
+          slot.outcome = AnalysisOutcome::kFailed;
           c_failed.add();
         }
       }
@@ -104,13 +177,17 @@ BatchResult BatchAnalyzer::analyze(const std::vector<CoupledNet>& nets,
   st.total = out.nets.size();
   st.analyzed = 0;
   st.screened_out = 0;
+  st.degraded = 0;
   for (const auto& nr : out.nets) {
-    if (nr.screened_out)
+    if (nr.screened_out) {
       ++st.screened_out;
-    else if (nr.status.ok())
+    } else if (nr.status.ok()) {
       ++st.analyzed;
+      if (nr.outcome == AnalysisOutcome::kDegraded) ++st.degraded;
+    }
   }
   st.failed = st.total - st.analyzed - st.screened_out;
+  st.retries = retries_total.load(std::memory_order_relaxed);
   st.jobs = jobs_;
   st.elapsed_s = std::chrono::duration<double>(
                      std::chrono::steady_clock::now() - t0)
@@ -127,8 +204,10 @@ void BatchResult::write_text(std::ostream& os) const {
   const auto saved = os.precision(6);
   os << "batch delay-noise analysis: " << stats.total << " nets, "
      << stats.failed << " failed";
+  if (stats.degraded) os << ", " << stats.degraded << " degraded";
   if (stats.screened_out)
     os << ", " << stats.screened_out << " screened out";
+  if (stats.retries) os << ", " << stats.retries << " retries";
   os << "\n";
   for (const auto& nr : nets) {
     os << "  [" << nr.index << "] " << nr.name << ": ";
@@ -137,7 +216,15 @@ void BatchResult::write_text(std::ostream& os) const {
     } else if (nr.status.ok()) {
       os << nr.report.delay_noise_ps << " ps combined ("
          << nr.report.input_delay_noise_ps << " ps interconnect, "
-         << nr.report.num_aggressors << " aggressors)\n";
+         << nr.report.num_aggressors << " aggressors)";
+      if (!nr.report.degradations.empty()) {
+        os << " DEGRADED [";
+        for (std::size_t d = 0; d < nr.report.degradations.size(); ++d)
+          os << (d ? "," : "")
+             << degrade_kind_name(nr.report.degradations[d].kind);
+        os << "]";
+      }
+      os << "\n";
     } else {
       os << "FAILED " << nr.status.to_string() << "\n";
     }
@@ -172,14 +259,18 @@ void BatchResult::write_json(std::ostream& os) const {
       nr.report.to_json(os);
     } else {
       os << "{\"net\":\"" << nr.name << "\",\"error\":\""
-         << status_code_name(nr.status.code()) << "\"}";
+         << status_code_name(nr.status.code()) << "\"";
+      if (nr.attempts > 1) os << ",\"attempts\":" << nr.attempts;
+      os << "}";
     }
   }
   os << "],\"worst\":[";
   for (std::size_t i = 0; i < worst.size(); ++i)
     os << (i ? "," : "") << worst[i];
   os << "],\"failed\":" << stats.failed;
+  if (stats.degraded) os << ",\"degraded\":" << stats.degraded;
   if (stats.screened_out) os << ",\"screened_out\":" << stats.screened_out;
+  if (stats.retries) os << ",\"retries\":" << stats.retries;
   os << "}";
 }
 

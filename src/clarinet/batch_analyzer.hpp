@@ -51,7 +51,34 @@ struct BatchOptions {
     s.dn_est_min = screen_threshold;
     return s;
   }
+
+  /// Per-net retry budget for TRANSIENT failures (Status::is_transient(),
+  /// i.e. kUnavailable): a failing net is re-analyzed up to this many
+  /// extra times before being recorded as failed. Non-transient failures
+  /// (bad input, solver breakdown past the ladder) never retry — the
+  /// same input would fail the same way. 0 disables.
+  int max_retries = 0;
+  /// Base exponential backoff between retries [ms]: attempt r sleeps
+  /// retry_backoff_ms * 2^r. Kept tiny by default; the point is yielding
+  /// the core, not politeness to a remote service.
+  double retry_backoff_ms = 1.0;
+  /// Wall-clock budget for the whole batch [ms]; <= 0 = unlimited. Every
+  /// worker installs the shared deadline: nets in flight when it expires
+  /// record kDeadlineExceeded (their step loops poll it), and nets not
+  /// yet started fail fast without running. A run with a deadline is NOT
+  /// byte-deterministic — which nets complete depends on wall clock.
+  double deadline_ms = -1.0;
 };
+
+/// How one net's analysis concluded.
+enum class AnalysisOutcome {
+  kOk = 0,    // Clean analysis, no ladder steps.
+  kDegraded,  // Analyzed, but at least one degradation rung was taken.
+  kFailed,    // No result; BatchNetResult::status explains.
+  kScreened,  // Skipped by the screening threshold.
+};
+
+const char* analysis_outcome_name(AnalysisOutcome o);
 
 /// Outcome for one net of the batch (slot `index` of the input vector).
 struct BatchNetResult {
@@ -62,13 +89,17 @@ struct BatchNetResult {
   ScreeningEstimate screen;  // Valid iff screened_out.
   DelayNoiseResult result;   // Valid iff status.ok() && !screened_out.
   DelayNoiseReport report;   // Valid iff status.ok() && !screened_out.
+  AnalysisOutcome outcome = AnalysisOutcome::kOk;
+  int attempts = 1;          // 1 + retries actually consumed.
 };
 
 struct BatchStats {
   std::size_t total = 0;
-  std::size_t analyzed = 0;
+  std::size_t analyzed = 0;   // Includes degraded nets: they have results.
   std::size_t failed = 0;
   std::size_t screened_out = 0;
+  std::size_t degraded = 0;   // Subset of `analyzed`.
+  std::uint64_t retries = 0;  // Extra attempts consumed across all nets.
   int jobs = 1;
   double elapsed_s = 0.0;
   double nets_per_s = 0.0;

@@ -1,5 +1,9 @@
 #include "clarinet/characterization_cache.hpp"
 
+#include <bit>
+
+#include "util/deadline.hpp"
+#include "util/fault_injection.hpp"
 #include "util/trace.hpp"
 
 namespace dn {
@@ -40,7 +44,7 @@ CharacterizationCache::Entry* CharacterizationCache::entry_for(const Key& key) {
   return it->second.get();
 }
 
-const AlignmentTable* CharacterizationCache::table_for(
+StatusOr<const AlignmentTable*> CharacterizationCache::try_table_for(
     const GateParams& receiver, bool victim_rising) {
   const Key key{receiver.type, receiver.size, receiver.vdd, victim_rising};
   Entry* entry = entry_for(key);
@@ -50,17 +54,38 @@ const AlignmentTable* CharacterizationCache::table_for(
   const bool was_ready = entry->ready.load(std::memory_order_acquire);
   bool characterized_here = false;
   std::call_once(entry->once, [&] {
+    characterized_here = true;
+    // The fill produces SHARED state: its outcome must be a function of
+    // the cache key alone, never of which net's worker got here first.
+    // So it runs under its own fault-injection context (keyed by the
+    // key), shielded from the calling net's deadline (one net's budget
+    // must not poison the entry for every later net), and any failure is
+    // caught into the entry so call_once completes and every future
+    // lookup observes the identical status.
+    const std::uint64_t key_hash =
+        fault::mix64(static_cast<std::uint64_t>(receiver.type)) ^
+        fault::mix64(std::bit_cast<std::uint64_t>(receiver.size)) ^
+        fault::mix64(std::bit_cast<std::uint64_t>(receiver.vdd)) ^
+        fault::mix64(victim_rising ? 1 : 2);
+    fault::ScopedContext fault_ctx(key_hash);
+    ScopedDeadline no_deadline{Deadline{}};
     obs::StageScope stage("cache.table", "characterize",
                           cache_metrics().seconds);
-    entry->table = std::make_unique<const AlignmentTable>(
-        AlignmentTable::characterize(receiver, victim_rising, spec_));
+    try {
+      if (fault::should_fail(fault::Site::kCacheFill, key_hash))
+        throw std::runtime_error(
+            "injected fault: alignment-table characterization");
+      entry->table = std::make_unique<const AlignmentTable>(
+          AlignmentTable::characterize(receiver, victim_rising, spec_));
+    } catch (const std::exception& e) {
+      entry->status = status_from_exception(e);
+    }
     entry->ready.store(true, std::memory_order_release);
-    characterized_here = true;
   });
   if (characterized_here) {
     misses_.fetch_add(1, std::memory_order_relaxed);
     cache_metrics().misses.add();
-    cache_metrics().tables.add();
+    if (entry->table) cache_metrics().tables.add();
   } else {
     hits_.fetch_add(1, std::memory_order_relaxed);
     cache_metrics().hits.add();
@@ -69,7 +94,15 @@ const AlignmentTable* CharacterizationCache::table_for(
       cache_metrics().waits.add();
     }
   }
-  return entry->table.get();
+  if (entry->table) return entry->table.get();
+  return entry->status;
+}
+
+const AlignmentTable* CharacterizationCache::table_for(
+    const GateParams& receiver, bool victim_rising) {
+  auto table = try_table_for(receiver, victim_rising);
+  table.status().throw_if_error();
+  return *table;
 }
 
 std::size_t CharacterizationCache::tables_cached() const {

@@ -28,6 +28,7 @@
 #include <tuple>
 
 #include "core/alignment_table.hpp"
+#include "util/status.hpp"
 
 namespace dn {
 
@@ -42,6 +43,18 @@ class CharacterizationCache {
   /// The 8-point table for a receiver condition, characterizing it on
   /// first use. The pointer is stable: it is never invalidated by later
   /// insertions and remains valid for the cache's lifetime. Thread-safe.
+  ///
+  /// A characterization that FAILS is cached too: call_once still
+  /// completes, the entry stores the failure Status, and every lookup of
+  /// that key — on any thread, in any order — observes the identical
+  /// status. The fill runs under its own fault-injection context (keyed
+  /// by the cache key) and shielded from the calling net's deadline, so
+  /// a shared entry's outcome is a function of the key alone, never of
+  /// which net's worker happened to fill it first.
+  StatusOr<const AlignmentTable*> try_table_for(const GateParams& receiver,
+                                                bool victim_rising);
+
+  /// Throwing wrapper around try_table_for.
   const AlignmentTable* table_for(const GateParams& receiver,
                                   bool victim_rising);
 
@@ -71,6 +84,7 @@ class CharacterizationCache {
   struct Entry {
     std::once_flag once;
     std::unique_ptr<const AlignmentTable> table;  // Set inside call_once.
+    Status status;  // Failure cause when the fill failed (table == null).
     std::atomic<bool> ready{false};  // Set after `table`, inside call_once.
   };
 

@@ -28,6 +28,7 @@ DelayNoiseReport DelayNoiseReport::from(const CoupledNet& net,
   rep.align_voltage_v = r.alignment.align_voltage;
   rep.input_delay_noise_ps = r.input_delay_noise() / ps;
   rep.delay_noise_ps = r.delay_noise() / ps;
+  rep.degradations = r.degradations;
   return rep;
 }
 
@@ -50,6 +51,11 @@ void DelayNoiseReport::to_text(std::ostream& os) const {
   os << "  interconnect delay noise: " << input_delay_noise_ps << " ps\n";
   os << "  combined (receiver output) delay noise: " << delay_noise_ps
      << " ps\n";
+  for (const auto& d : degradations) {
+    os << "  degraded: " << degrade_kind_name(d.kind);
+    if (d.count > 1) os << " (x" << d.count << ")";
+    os << ": " << d.detail << "\n";
+  }
 }
 
 std::string DelayNoiseReport::to_text() const {
@@ -97,7 +103,20 @@ void DelayNoiseReport::to_json(std::ostream& os) const {
      << ",\"peak_time_ps\":" << peak_time_ps
      << ",\"align_voltage_v\":" << align_voltage_v
      << ",\"input_delay_noise_ps\":" << input_delay_noise_ps
-     << ",\"delay_noise_ps\":" << delay_noise_ps << "}";
+     << ",\"delay_noise_ps\":" << delay_noise_ps;
+  if (!degradations.empty()) {
+    os << ",\"degradations\":[";
+    for (std::size_t i = 0; i < degradations.size(); ++i) {
+      if (i) os << ",";
+      os << "{\"kind\":\"" << degrade_kind_name(degradations[i].kind)
+         << "\",\"detail\":";
+      json_string(os, degradations[i].detail);
+      if (degradations[i].count > 1) os << ",\"count\":" << degradations[i].count;
+      os << "}";
+    }
+    os << "]";
+  }
+  os << "}";
   os.precision(saved);
 }
 

@@ -9,6 +9,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "core/delay_noise.hpp"
 
@@ -39,6 +40,12 @@ struct DelayNoiseReport {
   // The answer.
   double input_delay_noise_ps = 0.0;
   double delay_noise_ps = 0.0;
+
+  // Degradation-ladder steps taken for this net (DESIGN.md §10). Empty
+  // on the clean path; when empty, to_text()/to_json() render exactly
+  // the classic output, so clean reports stay byte-identical.
+  std::vector<Degradation> degradations;
+  bool degraded() const { return !degradations.empty(); }
 
   /// Extracts every field from a net + its analysis result.
   static DelayNoiseReport from(const CoupledNet& net, const DelayNoiseResult& r,

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/deadline.hpp"
 #include "util/metrics.hpp"
 #include "util/numeric.hpp"
 
@@ -118,6 +119,7 @@ AlignmentResult exhaustive_extremum_alignment(
   double best_t = coarse.front();
   double best_d = -1e300;
   for (double t : coarse) {
+    deadline_checkpoint("alignment search");
     const double d = eval(t);
     if (d > best_d) {
       best_d = d;
@@ -135,6 +137,7 @@ AlignmentResult exhaustive_extremum_alignment(
   }
   const auto fine = linspace(flo, fhi, std::max(opts.fine_points, 5));
   for (double t : fine) {
+    deadline_checkpoint("alignment search");
     const double d = eval(t);
     if (d > best_d) {
       best_d = d;

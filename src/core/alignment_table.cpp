@@ -6,6 +6,7 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "util/deadline.hpp"
 #include "util/numeric.hpp"
 
 namespace dn {
@@ -37,6 +38,7 @@ AlignmentTable AlignmentTable::characterize(const GateParams& receiver,
                          : Pwl::ramp(t_start, slews[si], vdd, 0.0);
     for (int wi = 0; wi < 2; ++wi) {
       for (int hi = 0; hi < 2; ++hi) {
+        deadline_checkpoint("AlignmentTable::characterize");
         // Delay-increasing noise opposes the transition direction.
         const double h = victim_rising ? -heights[hi] : heights[hi];
         const Pwl pulse = triangle_pulse(h, widths[wi], t_start);

@@ -99,10 +99,31 @@ DelayNoiseResult analyze_delay_noise(const SuperpositionEngine& eng,
     std::vector<double> shifts = out.composite.shifts;
     for (double& s : shifts) s += out.alignment.shift;
     static obs::Counter& c_rtr = obs::metrics().counter("rtr.iterations");
-    const RtrResult rtr = [&] {
+    RtrResult rtr;
+    try {
       obs::TraceSpan span("rtr.solve", "analyze");
-      return compute_rtr(eng, shifts, opts.rtr);
-    }();
+      rtr = compute_rtr(eng, shifts, opts.rtr);
+    } catch (const DeadlineError&) {
+      throw;  // A cancelled run must not silently degrade.
+    } catch (const std::exception& e) {
+      if (!opts.degrade.rtr_to_rth) throw;
+      // Degradation ladder: Rtr extraction failed (Newton divergence in
+      // the nonlinear driver sims) -> hold the victim with the aggregate
+      // Rth. Pessimistic for delay noise but always available.
+      degrade::record(DegradeKind::kRtrToRth,
+                      std::string("rtr extraction failed (") + e.what() +
+                          "); holding victim with aggregate Rth");
+      out.holding_r = out.rth;
+      if (pass > 0) {
+        // Earlier passes moved the composite/alignment off the Rth
+        // operating point; recompute them at the fallback resistance.
+        out.composite = align_aggressor_peaks(eng, out.holding_r);
+        out.alignment = choose_alignment(opts, out.noiseless_sink,
+                                         out.composite.at_sink, rcv, rcv_load,
+                                         rising);
+      }
+      break;
+    }
     c_rtr.add(static_cast<std::uint64_t>(std::max(rtr.iterations, 0)));
     out.rtr_iterations = rtr.iterations;  // Cost of the latest extraction.
     if (pass + 1 < iters) {

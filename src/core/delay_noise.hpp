@@ -16,6 +16,7 @@
 #include "core/composite_pulse.hpp"
 #include "core/holding_resistance.hpp"
 #include "core/superposition.hpp"
+#include "util/degradation.hpp"
 
 namespace dn {
 
@@ -34,6 +35,9 @@ struct DelayNoiseOptions {
   const AlignmentTable* table = nullptr;  // Required for Predicted.
   int model_alignment_iterations = 2;     // Outer fix-point passes.
   AlignmentSearchOptions search{};
+  /// Which degradation-ladder rungs (DESIGN.md §10) this analysis may
+  /// take. Recorded steps surface in DelayNoiseResult::degradations.
+  DegradePolicy degrade{};
 };
 
 struct DelayNoiseResult {
@@ -55,6 +59,12 @@ struct DelayNoiseResult {
   AlignmentResult alignment;     // Final composite-vs-victim alignment.
   Pwl noiseless_sink;
   Pwl noisy_sink;
+
+  /// Degradation-ladder steps taken for this net (empty on the clean
+  /// path). Filled by the Status boundary (NoiseAnalyzer::try_analyze)
+  /// from the ambient degrade log; a non-empty list marks the result as
+  /// "degraded" in batch reports.
+  std::vector<Degradation> degradations;
 };
 
 /// Analyzes the engine's coupled net. The engine's characterization is

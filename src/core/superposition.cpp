@@ -1,8 +1,10 @@
 #include "core/superposition.hpp"
 
 #include <stdexcept>
+#include <string>
 
 #include "sim/linear_sim.hpp"
+#include "util/degradation.hpp"
 
 namespace dn {
 
@@ -29,6 +31,19 @@ std::vector<std::pair<int, double>> grounded_couplings_for_aggressor(
 SuperpositionEngine::SuperpositionEngine(const CoupledNet& net,
                                          SuperpositionOptions opts)
     : net_(net), opts_(opts) {
+  if (opts_.prereduce) {
+    try {
+      net_ = reduce_coupled_net(net_, opts_.ticer);
+    } catch (const DeadlineError&) {
+      throw;  // A cancelled run must not silently degrade.
+    } catch (const std::exception& e) {
+      if (!opts_.mor_fallback) throw;
+      degrade::record(DegradeKind::kMorToUnreduced,
+                      std::string("ticer pre-reduction failed (") + e.what() +
+                          "); analyzing unreduced net");
+      net_ = net;
+    }
+  }
   net_.validate();
 
   // Victim driver: Ceff + Thevenin with coupling caps grounded.

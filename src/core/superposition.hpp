@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "ceff/effective_capacitance.hpp"
+#include "mor/ticer.hpp"
 #include "rcnet/net.hpp"
 
 namespace dn {
@@ -31,6 +32,16 @@ struct SuperpositionOptions {
   double horizon = 4e-9;    // Transient end time [s].
   CeffOptions ceff{};
   SolverOptions solver{};   // Backend for the aggressor/victim sims.
+  /// Opt-in TICER pre-reduction of all nets (victim and aggressors,
+  /// coupling nodes protected) before characterization. Off by default:
+  /// reduction perturbs the waveforms slightly, so the unreduced path
+  /// stays the reference.
+  bool prereduce = false;
+  TicerOptions ticer{};
+  /// Degradation-ladder rung (DESIGN.md §10): when pre-reduction fails,
+  /// analyze the unreduced net (recorded via dn::degrade) instead of
+  /// failing the whole net. Off turns that failure back into an error.
+  bool mor_fallback = true;
 };
 
 class SuperpositionEngine {

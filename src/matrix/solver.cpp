@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "util/degradation.hpp"
+#include "util/fault_injection.hpp"
 #include "util/metrics.hpp"
 
 namespace dn {
@@ -75,23 +77,34 @@ StatusOr<SystemSolver> SystemSolver::make(const SparseMatrix& a,
                      : SolverBackend::kSparse;
 
   obs::ScopedLatency lat(sm().factor_seconds);
-  if (s.backend_ == SolverBackend::kDense) {
-    sm().dense_picked.add();
-    s.dense_scratch_ = Matrix(a.rows(), a.cols());
-    densify_into(a, s.dense_scratch_);
-    auto f = LuFactor::make(s.dense_scratch_);
-    if (!f.ok()) return f.status();
-    s.dense_.emplace(std::move(*f));
-  } else {
+  if (s.backend_ == SolverBackend::kSparse) {
     sm().sparse_picked.add();
-    auto f = SparseLu::make(a, opts.sparse);
-    if (!f.ok()) return f.status();
-    if (obs::metrics_enabled()) {
-      sm().nnz.record(static_cast<double>(a.nnz()));
-      sm().fill_ratio.record(f->fill_ratio());
+    StatusOr<SparseLu> f =
+        fault::should_fail(fault::Site::kFactor)
+            ? StatusOr<SparseLu>(
+                  Status::Internal("injected fault: sparse factor"))
+            : SparseLu::make(a, opts.sparse);
+    if (f.ok()) {
+      if (obs::metrics_enabled()) {
+        sm().nnz.record(static_cast<double>(a.nnz()));
+        sm().fill_ratio.record(f->fill_ratio());
+      }
+      s.sparse_.emplace(std::move(*f));
+      return s;
     }
-    s.sparse_.emplace(std::move(*f));
+    if (!opts.allow_dense_fallback) return f.status();
+    // Degradation ladder: sparse pivot breakdown -> dense backend.
+    degrade::record(DegradeKind::kSparseToDense,
+                    "sparse factor failed (" + f.status().message() +
+                        "); forced dense backend");
+    s.backend_ = SolverBackend::kDense;
   }
+  sm().dense_picked.add();
+  s.dense_scratch_ = Matrix(a.rows(), a.cols());
+  densify_into(a, s.dense_scratch_);
+  auto f = LuFactor::make(s.dense_scratch_);
+  if (!f.ok()) return f.status();
+  s.dense_.emplace(std::move(*f));
   return s;
 }
 
@@ -106,14 +119,35 @@ Status SystemSolver::refactor(const SparseMatrix& a) {
     return dense_->refactor(dense_scratch_);
   }
   if (!sparse_) return Status::Internal("SystemSolver: not factored");
-  Status s = sparse_->refactor(a);
-  if (s.ok()) return s;
-  // The replayed pivot sequence went bad for the new values: re-pivot
-  // from scratch (KLU-style fallback) before giving up.
-  sm().refactor_fallbacks.add();
-  auto f = SparseLu::make(a, opts_.sparse);
+  Status s;
+  if (fault::should_fail(fault::Site::kFactor)) {
+    s = Status::Internal("injected fault: sparse refactor");
+  } else {
+    s = sparse_->refactor(a);
+    if (s.ok()) return s;
+    // The replayed pivot sequence went bad for the new values: re-pivot
+    // from scratch (KLU-style fallback) before giving up.
+    sm().refactor_fallbacks.add();
+    auto f = SparseLu::make(a, opts_.sparse);
+    if (f.ok()) {
+      *sparse_ = std::move(*f);
+      return Status::Ok();
+    }
+    s = f.status();
+  }
+  if (!opts_.allow_dense_fallback) return s;
+  // Degradation ladder: even re-pivoting failed -> densify and carry on
+  // with the dense backend for the remaining refactors.
+  degrade::record(DegradeKind::kSparseToDense,
+                  "sparse refactor failed (" + s.message() +
+                      "); forced dense backend");
+  dense_scratch_ = Matrix(a.rows(), a.cols());
+  densify_into(a, dense_scratch_);
+  auto f = LuFactor::make(dense_scratch_);
   if (!f.ok()) return f.status();
-  *sparse_ = std::move(*f);
+  dense_.emplace(std::move(*f));
+  sparse_.reset();
+  backend_ = SolverBackend::kDense;
   return Status::Ok();
 }
 

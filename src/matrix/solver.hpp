@@ -37,6 +37,12 @@ struct SolverOptions {
   /// kAuto stays dense above this nnz/(n*n): fill-in would make the
   /// sparse factors about as dense as the dense ones anyway.
   double density_threshold = 0.25;
+  /// Degradation-ladder rung (DESIGN.md §10): when a sparse
+  /// factorization or refactorization fails outright (pivot breakdown
+  /// even after re-pivoting), densify and retry on the dense backend
+  /// instead of failing the solve. Each fallback is recorded via
+  /// dn::degrade. Off turns sparse failure back into a hard error.
+  bool allow_dense_fallback = true;
   SparseLuOptions sparse{};
 };
 

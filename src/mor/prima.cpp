@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/deadline.hpp"
+#include "util/fault_injection.hpp"
 #include "util/trace.hpp"
 
 namespace dn {
@@ -61,6 +63,11 @@ ReducedModel prima(const SparseDescriptorSystem& full, int order,
     throw std::invalid_argument("prima: inconsistent system shapes");
   if (order < 1) throw std::invalid_argument("prima: order must be >= 1");
 
+  // Chaos probe: stands in for Krylov breakdown / singular G. Thrown up
+  // front so injected and real breakdowns exercise the same mor rung.
+  if (fault::should_fail(fault::Site::kFactor))
+    throw std::runtime_error("injected fault: prima breakdown");
+
   auto g_lu = SystemSolver::make(full.G, solver);
   g_lu.status().throw_if_error();
   const std::size_t p = full.B.cols();
@@ -97,6 +104,7 @@ ReducedModel prima(const SparseDescriptorSystem& full, int order,
 
   // Arnoldi blocks: W = G^{-1} C * (previous block).
   while (static_cast<int>(basis.size()) < order && !block.empty()) {
+    deadline_checkpoint("prima");
     std::vector<Vector> next;
     for (const auto& qprev : block) {
       if (static_cast<int>(basis.size()) >= order) break;
@@ -176,6 +184,7 @@ std::vector<Pwl> simulate_descriptor(const SparseDescriptorSystem& sys,
   Vector b0 = input_at(spec.t_start);
   Vector rhs(n, 0.0);
   for (int k = 1; k <= steps; ++k) {
+    deadline_checkpoint("simulate_descriptor");
     Vector b1 = input_at(spec.t_start + spec.dt * k);
     a_rhs.matvec(x, rhs);
     for (std::size_t i = 0; i < n; ++i) rhs[i] += 0.5 * (b0[i] + b1[i]);

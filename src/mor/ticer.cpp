@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/deadline.hpp"
+#include "util/fault_injection.hpp"
 #include "util/trace.hpp"
 
 namespace dn {
@@ -15,6 +17,10 @@ TicerResult ticer_reduce(const RcTree& tree, const std::vector<int>& keep,
   static obs::Histogram& h_seconds =
       obs::metrics().histogram("stage.reduce.seconds");
   obs::StageScope stage("mor.ticer", "reduce", h_seconds);
+  // Chaos probe: stands in for an elimination pass producing an invalid
+  // reduced net (validate() failure) so the mor rung can be exercised.
+  if (fault::should_fail(fault::Site::kFactor))
+    throw std::runtime_error("injected fault: ticer breakdown");
   tree.validate();
   const int n = tree.num_nodes;
 
@@ -56,6 +62,7 @@ TicerResult ticer_reduce(const RcTree& tree, const std::vector<int>& keep,
 
   bool progress = true;
   while (progress && eliminated < max_elim) {
+    deadline_checkpoint("ticer_reduce");
     progress = false;
     for (int node = 1; node < n; ++node) {
       const std::size_t ni = static_cast<std::size_t>(node);
@@ -118,6 +125,40 @@ TicerResult ticer_reduce(const RcTree& tree, const std::vector<int>& keep,
       out.reduced.caps.push_back({out.node_map[static_cast<std::size_t>(node)],
                                   cap[static_cast<std::size_t>(node)]});
   out.reduced.validate();
+  return out;
+}
+
+CoupledNet reduce_coupled_net(const CoupledNet& net, const TicerOptions& opts) {
+  CoupledNet out = net;
+
+  // Coupling attachment points must survive reduction on both sides.
+  std::vector<int> victim_keep;
+  std::vector<std::vector<int>> agg_keep(net.aggressors.size());
+  for (const auto& cc : net.couplings) {
+    victim_keep.push_back(cc.victim_node);
+    agg_keep[static_cast<std::size_t>(cc.aggressor)].push_back(
+        cc.aggressor_node);
+  }
+
+  const TicerResult vr = ticer_reduce(net.victim.net, victim_keep, opts);
+  out.victim.net = vr.reduced;
+  std::vector<TicerResult> ars;
+  ars.reserve(net.aggressors.size());
+  for (std::size_t j = 0; j < net.aggressors.size(); ++j) {
+    ars.push_back(ticer_reduce(net.aggressors[j].net, agg_keep[j], opts));
+    out.aggressors[j].net = ars.back().reduced;
+  }
+
+  for (auto& cc : out.couplings) {
+    cc.victim_node = vr.node_map[static_cast<std::size_t>(cc.victim_node)];
+    cc.aggressor_node =
+        ars[static_cast<std::size_t>(cc.aggressor)]
+            .node_map[static_cast<std::size_t>(cc.aggressor_node)];
+    if (cc.victim_node < 0 || cc.aggressor_node < 0)
+      throw std::runtime_error(
+          "reduce_coupled_net: coupling node eliminated despite keep list");
+  }
+  out.validate();
   return out;
 }
 

@@ -35,4 +35,12 @@ struct TicerResult {
 TicerResult ticer_reduce(const RcTree& tree, const std::vector<int>& keep = {},
                          const TicerOptions& opts = {});
 
+/// Reduces every net of a coupled net (victim and aggressors), protecting
+/// all coupling-cap attachment points, and remaps the couplings onto the
+/// reduced node numbering. Throws when any per-net reduction fails; the
+/// superposition engine's mor_to_unreduced rung catches that and analyzes
+/// the original net instead.
+CoupledNet reduce_coupled_net(const CoupledNet& net,
+                              const TicerOptions& opts = {});
+
 }  // namespace dn

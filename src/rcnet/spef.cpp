@@ -1,6 +1,7 @@
 #include "rcnet/spef.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <fstream>
 #include <map>
@@ -8,6 +9,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/fault_injection.hpp"
 #include "util/trace.hpp"
 
 namespace dn {
@@ -97,45 +99,106 @@ void write_spef(std::ostream& os, const CoupledNet& net,
 
 namespace {
 
+/// OOM guard: a node index names a slot of a dense num_nodes-sized
+/// allocation downstream, so one forged "victim:999999999999" token must
+/// not turn into gigabytes of zeros. Generous: real extracted nets in
+/// this subset stay below a few thousand nodes.
+constexpr int kMaxNodeIndex = 1000000;
+
+/// A token plus where it came from, so every parse error names the exact
+/// spot ("spef:12:7: ...") instead of making the user bisect the deck.
+struct Token {
+  std::string text;
+  int line = 0;  // 1-based.
+  int col = 0;   // 1-based.
+};
+
+[[noreturn]] void fail_at(int line, int col, const std::string& msg) {
+  throw std::runtime_error("spef:" + std::to_string(line) + ":" +
+                           std::to_string(col) + ": " + msg);
+}
+
+[[noreturn]] void fail_at(const Token& t, const std::string& msg) {
+  fail_at(t.line, t.col, msg);
+}
+
 struct Tokenizer {
   explicit Tokenizer(std::istream& is) {
     std::string line;
+    int lineno = 0;
     while (std::getline(is, line)) {
+      ++lineno;
       const auto slash = line.find("//");
       if (slash != std::string::npos) line.erase(slash);
-      std::istringstream ls(line);
-      std::string tok;
-      while (ls >> tok) tokens.push_back(tok);
+      std::size_t i = 0;
+      while (i < line.size()) {
+        while (i < line.size() &&
+               std::isspace(static_cast<unsigned char>(line[i])))
+          ++i;
+        const std::size_t start = i;
+        while (i < line.size() &&
+               !std::isspace(static_cast<unsigned char>(line[i])))
+          ++i;
+        if (i > start)
+          tokens.push_back({line.substr(start, i - start), lineno,
+                            static_cast<int>(start) + 1});
+      }
+      end_line = lineno;
+      end_col = static_cast<int>(line.size()) + 1;
     }
   }
   bool done() const { return pos >= tokens.size(); }
-  const std::string& peek() const {
-    if (done()) throw std::runtime_error("spef: unexpected end of input");
+  const Token& peek() const {
+    if (done()) fail_at(end_line, end_col, "unexpected end of input");
     return tokens[pos];
   }
-  std::string next() {
-    const std::string t = peek();
+  Token next() {
+    Token t = peek();
     ++pos;
     return t;
   }
   double next_number() {
-    const std::string t = next();
+    const Token t = next();
     try {
       std::size_t used = 0;
-      const double v = std::stod(t, &used);
-      if (used != t.size()) throw std::invalid_argument(t);
+      const double v = std::stod(t.text, &used);
+      if (used != t.text.size()) throw std::invalid_argument(t.text);
+      // stod accepts "inf"/"nan" spellings; a deck carrying them would
+      // poison every downstream solve, so reject at the gate.
+      if (!std::isfinite(v)) fail_at(t, "non-finite number '" + t.text + "'");
       return v;
-    } catch (const std::exception&) {
-      throw std::runtime_error("spef: expected a number, got '" + t + "'");
+    } catch (const std::out_of_range&) {
+      fail_at(t, "number out of range '" + t.text + "'");
+    } catch (const std::invalid_argument&) {
+      fail_at(t, "expected a number, got '" + t.text + "'");
     }
   }
-  void expect(const std::string& what) {
-    const std::string t = next();
-    if (t != what)
-      throw std::runtime_error("spef: expected '" + what + "', got '" + t + "'");
+  /// A bounded non-negative integer (node index, sink). Rejects the
+  /// floating-point spellings next_number() would accept: an index must
+  /// be digits only, and static_cast<int>(1e300) is UB we never reach.
+  int next_index() {
+    const Token t = next();
+    return parse_index(t, t.text);
   }
-  std::vector<std::string> tokens;
+  static int parse_index(const Token& at, const std::string& digits) {
+    if (digits.empty() || digits.size() > 7 ||
+        !std::all_of(digits.begin(), digits.end(), [](char c) {
+          return std::isdigit(static_cast<unsigned char>(c));
+        }))
+      fail_at(at, "bad node index '" + digits + "'");
+    const int v = std::stoi(digits);  // <= 7 digits: cannot overflow int.
+    if (v > kMaxNodeIndex) fail_at(at, "node index too large '" + digits + "'");
+    return v;
+  }
+  void expect(const std::string& what) {
+    const Token t = next();
+    if (t.text != what)
+      fail_at(t, "expected '" + what + "', got '" + t.text + "'");
+  }
+  std::vector<Token> tokens;
   std::size_t pos = 0;
+  int end_line = 0;
+  int end_col = 1;
 };
 
 struct NodeRef {
@@ -143,18 +206,13 @@ struct NodeRef {
   int idx;
 };
 
-NodeRef parse_node(const std::string& tok) {
-  const auto colon = tok.find(':');
-  if (colon == std::string::npos || colon == 0 || colon + 1 >= tok.size())
-    throw std::runtime_error("spef: bad node reference '" + tok + "'");
+NodeRef parse_node(const Token& tok) {
+  const auto colon = tok.text.find(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= tok.text.size())
+    fail_at(tok, "bad node reference '" + tok.text + "'");
   NodeRef r;
-  r.net = tok.substr(0, colon);
-  try {
-    r.idx = std::stoi(tok.substr(colon + 1));
-  } catch (const std::exception&) {
-    throw std::runtime_error("spef: bad node index in '" + tok + "'");
-  }
-  if (r.idx < 0) throw std::runtime_error("spef: negative node index");
+  r.net = tok.text.substr(0, colon);
+  r.idx = Tokenizer::parse_index(tok, tok.text.substr(colon + 1));
   return r;
 }
 
@@ -182,64 +240,78 @@ namespace {
 // The throwing parser core; the public entry points wrap it.
 CoupledNet parse_spef(std::istream& is) {
   Tokenizer tz(is);
+  // Chaos probe: a corrupted extraction deck. Keyed by a hash of the
+  // token stream so whether a given deck "corrupts" is a pure function
+  // of (spec, seed, content) — identical at any job count.
+  if (fault::enabled()) {
+    std::uint64_t key = 0;
+    for (const auto& t : tz.tokens)
+      for (const char c : t.text)
+        key = fault::mix64(key ^ static_cast<unsigned char>(c));
+    if (fault::should_fail(fault::Site::kSpefParse, key))
+      throw std::runtime_error("injected fault: corrupted spef deck");
+  }
   tz.expect("*SPEF");
-  if (tz.next() != "\"dnoise-subset-1\"")
-    throw std::runtime_error("spef: unsupported dialect");
+  {
+    const Token dialect = tz.next();
+    if (dialect.text != "\"dnoise-subset-1\"")
+      fail_at(dialect, "unsupported dialect");
+  }
   std::map<std::string, RawNet> nets;
   std::vector<std::string> order;
   std::vector<RawCoupling> couplings;
 
   while (!tz.done()) {
-    const std::string tok = tz.next();
-    if (tok == "*DESIGN") {
+    const Token tok = tz.next();
+    if (tok.text == "*DESIGN") {
       tz.next();
-    } else if (tok == "*T_UNIT" || tok == "*C_UNIT" || tok == "*R_UNIT") {
+    } else if (tok.text == "*T_UNIT" || tok.text == "*C_UNIT" ||
+               tok.text == "*R_UNIT") {
       tz.next_number();
       tz.next();
-    } else if (tok == "*D_NET") {
-      const std::string name = tz.next();
-      if (nets.count(name))
-        throw std::runtime_error("spef: duplicate net '" + name + "'");
+    } else if (tok.text == "*D_NET") {
+      const Token name_tok = tz.next();
+      const std::string& name = name_tok.text;
+      if (nets.count(name)) fail_at(name_tok, "duplicate net '" + name + "'");
       RawNet rn;
-      const std::string kind = tz.next();
-      if (kind == "*VICTIM") rn.is_victim = true;
-      else if (kind != "*AGGRESSOR")
-        throw std::runtime_error("spef: expected *VICTIM/*AGGRESSOR");
+      const Token kind = tz.next();
+      if (kind.text == "*VICTIM") rn.is_victim = true;
+      else if (kind.text != "*AGGRESSOR")
+        fail_at(kind, "expected *VICTIM/*AGGRESSOR");
 
       enum class Section { None, Cap, Res } section = Section::None;
       while (true) {
-        const std::string t = tz.next();
-        if (t == "*END") break;
-        if (t == "*DRIVER") {
-          rn.driver.type = parse_type(tz.next());
+        const Token t = tz.next();
+        if (t.text == "*END") break;
+        if (t.text == "*DRIVER") {
+          rn.driver.type = parse_type(tz.next().text);
           rn.driver.size = tz.next_number();
           rn.input_slew = tz.next_number() * kPs;
-          const std::string edge = tz.next();
-          if (edge == "RISE") rn.output_rising = true;
-          else if (edge == "FALL") rn.output_rising = false;
-          else throw std::runtime_error("spef: expected RISE/FALL");
-        } else if (t == "*RECEIVER") {
-          rn.receiver.type = parse_type(tz.next());
+          const Token edge = tz.next();
+          if (edge.text == "RISE") rn.output_rising = true;
+          else if (edge.text == "FALL") rn.output_rising = false;
+          else fail_at(edge, "expected RISE/FALL");
+        } else if (t.text == "*RECEIVER") {
+          rn.receiver.type = parse_type(tz.next().text);
           rn.receiver.size = tz.next_number();
           rn.receiver_load = tz.next_number() * kFf;
-        } else if (t == "*SINKLOAD") {
+        } else if (t.text == "*SINKLOAD") {
           rn.sink_load = tz.next_number() * kFf;
-        } else if (t == "*SINK") {
-          rn.tree.sink = static_cast<int>(tz.next_number());
-        } else if (t == "*CAP") {
+        } else if (t.text == "*SINK") {
+          rn.tree.sink = tz.next_index();
+        } else if (t.text == "*CAP") {
           section = Section::Cap;
-        } else if (t == "*RES") {
+        } else if (t.text == "*RES") {
           section = Section::Res;
         } else if (section == Section::Cap) {
           const NodeRef a = parse_node(t);
           // Either "<node> <fF>" or "<node> <node> <fF>" (coupling).
-          if (tz.peek().find(':') != std::string::npos) {
+          if (tz.peek().text.find(':') != std::string::npos) {
             const NodeRef b = parse_node(tz.next());
             couplings.push_back({a, b, tz.next_number() * kFf});
           } else {
             const double c = tz.next_number() * kFf;
-            if (a.net != name)
-              throw std::runtime_error("spef: grounded cap on foreign net");
+            if (a.net != name) fail_at(t, "grounded cap on foreign net");
             rn.tree.caps.push_back({a.idx, c});
             rn.max_node = std::max(rn.max_node, a.idx);
           }
@@ -247,11 +319,11 @@ CoupledNet parse_spef(std::istream& is) {
           const NodeRef a = parse_node(t);
           const NodeRef b = parse_node(tz.next());
           if (a.net != name || b.net != name)
-            throw std::runtime_error("spef: resistor spans nets");
+            fail_at(t, "resistor spans nets");
           rn.tree.res.push_back({a.idx, b.idx, tz.next_number()});
           rn.max_node = std::max({rn.max_node, a.idx, b.idx});
         } else {
-          throw std::runtime_error("spef: unexpected token '" + t + "'");
+          fail_at(t, "unexpected token '" + t.text + "'");
         }
       }
       rn.max_node = std::max(rn.max_node, rn.tree.sink);
@@ -259,7 +331,7 @@ CoupledNet parse_spef(std::istream& is) {
       nets.emplace(name, std::move(rn));
       order.push_back(name);
     } else {
-      throw std::runtime_error("spef: unexpected top-level token '" + tok + "'");
+      fail_at(tok, "unexpected top-level token '" + tok.text + "'");
     }
   }
 

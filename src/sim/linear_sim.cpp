@@ -1,9 +1,12 @@
 #include "sim/linear_sim.hpp"
 
 #include <stdexcept>
+#include <string>
 #include <utility>
 
+#include "util/deadline.hpp"
 #include "util/metrics.hpp"
+#include "util/numeric.hpp"
 
 namespace dn {
 
@@ -52,12 +55,16 @@ TransientResult LinearSim::run(const TransientSpec& spec) const {
   Vector b0 = mna_.rhs(spec.t_start);
   Vector rhs(dim, 0.0);
   for (int k = 1; k <= steps; ++k) {
+    deadline_checkpoint("LinearSim::run");
     const double t1 = spec.t_start + spec.dt * k;
     Vector b1 = mna_.rhs(t1);
     a_rhs.matvec(x, rhs);
     for (std::size_t i = 0; i < dim; ++i) rhs[i] += 0.5 * (b0[i] + b1[i]);
     lu->solve_in_place(rhs);
     std::swap(x, rhs);
+    if (!all_finite(x))
+      throw NumericError("LinearSim: non-finite solution at t = " +
+                         std::to_string(t1));
     b0 = std::move(b1);
     record(static_cast<std::size_t>(k));
   }

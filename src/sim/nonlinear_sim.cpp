@@ -5,7 +5,10 @@
 #include <stdexcept>
 #include <string>
 
+#include "util/deadline.hpp"
+#include "util/fault_injection.hpp"
 #include "util/metrics.hpp"
+#include "util/numeric.hpp"
 
 namespace dn {
 
@@ -121,6 +124,7 @@ bool NonlinearSim::newton_dc(Vector& x, const Vector& b, double g_extra) const {
   const std::size_t nv = mna_.num_node_vars();
   const auto gvals = mna_.Gs().values();
   for (int it = 0; it < opts_.max_iterations; ++it) {
+    deadline_checkpoint("NonlinearSim::newton_dc");
     // Residual F = G x + i_nl(x) + g_extra * v - b.
     mna_.Gs().matvec(x, f_);
     for (std::size_t i = 0; i < nv; ++i) f_[i] += g_extra * x[i];
@@ -158,10 +162,12 @@ Vector NonlinearSim::dc_solve(double t) const {
   // gmin stepping: relax from a heavily grounded problem to the real one.
   for (double g = 1e-2; g >= 1e-13; g /= 10.0) {
     if (!newton_dc(x, b, g) && g < 1e-11)
-      throw std::runtime_error("NonlinearSim: DC gmin stepping diverged");
+      throw ConvergenceError("NonlinearSim: DC gmin stepping diverged");
   }
   if (!newton_dc(x, b, 0.0))
-    throw std::runtime_error("NonlinearSim: DC operating point did not converge");
+    throw ConvergenceError("NonlinearSim: DC operating point did not converge");
+  if (!all_finite(x))
+    throw NumericError("NonlinearSim: non-finite DC operating point");
   return x;
 }
 
@@ -175,6 +181,13 @@ TransientResult NonlinearSim::run(const TransientSpec& spec) const {
       obs::metrics().counter("sim.nonlinear.newton_iters");
   c_steps.add(static_cast<std::uint64_t>(steps));
   std::uint64_t newton_iters = 0;
+
+  // Chaos probe: a deterministic stand-in for the Newton divergences a
+  // production corner would hit (bad initial conditions, device-model
+  // discontinuities). Thrown before any work so an injected run and a
+  // real divergence take the same recovery path.
+  if (fault::should_fail(fault::Site::kNewton))
+    throw ConvergenceError("injected fault: Newton divergence");
 
   Vector x0 = dc_solve(spec.t_start);
 
@@ -203,6 +216,7 @@ TransientResult NonlinearSim::run(const TransientSpec& spec) const {
 
   Vector b0 = mna_.rhs(spec.t_start);
   for (int k = 1; k <= steps; ++k) {
+    deadline_checkpoint("NonlinearSim::run");
     const double t1 = spec.t_start + spec.dt * k;
     Vector b1 = mna_.rhs(t1);
 
@@ -245,8 +259,11 @@ TransientResult NonlinearSim::run(const TransientSpec& spec) const {
       }
     }
     if (!converged)
-      throw std::runtime_error("NonlinearSim: Newton diverged at t = " +
-                               std::to_string(t1));
+      throw ConvergenceError("NonlinearSim: Newton diverged at t = " +
+                             std::to_string(t1));
+    if (!all_finite(x1))
+      throw NumericError("NonlinearSim: non-finite solution at t = " +
+                         std::to_string(t1));
     x0 = std::move(x1);
     b0 = std::move(b1);
     record(x0, static_cast<std::size_t>(k));

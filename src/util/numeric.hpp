@@ -4,6 +4,7 @@
 // hand-roll; everything else goes through matrix/ or waveform/.
 #pragma once
 
+#include <cmath>
 #include <functional>
 #include <optional>
 #include <span>
@@ -13,6 +14,15 @@ namespace dn {
 
 /// Relative/absolute comparison helper: |a-b| <= atol + rtol*max(|a|,|b|).
 bool almost_equal(double a, double b, double rtol = 1e-9, double atol = 1e-12);
+
+/// True when every element is finite (no NaN/Inf). The simulators guard
+/// each accepted step with this so numerical blow-ups surface as
+/// kNumericError instead of propagating garbage into the report.
+inline bool all_finite(std::span<const double> xs) noexcept {
+  for (const double x : xs)
+    if (!std::isfinite(x)) return false;
+  return true;
+}
 
 /// Linear interpolation of y(x) through two points.
 double lerp(double x0, double y0, double x1, double y1, double x);

@@ -9,8 +9,23 @@ const char* status_code_name(StatusCode code) {
     case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
     case StatusCode::kInternal: return "INTERNAL";
     case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kNumericError: return "NUMERIC_ERROR";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
   }
   return "UNKNOWN";
+}
+
+Status status_from_exception(const std::exception& e) {
+  if (dynamic_cast<const DeadlineError*>(&e))
+    return Status::DeadlineExceeded(e.what());
+  if (dynamic_cast<const NumericError*>(&e))
+    return Status::NumericFailure(e.what());
+  if (dynamic_cast<const TransientError*>(&e))
+    return Status::Unavailable(e.what());
+  if (dynamic_cast<const std::invalid_argument*>(&e))
+    return Status::InvalidArgument(e.what());
+  return Status::Internal(e.what());
 }
 
 std::string Status::to_string() const {

@@ -32,9 +32,41 @@ enum class StatusCode {
   kFailedPrecondition,  // Input valid but unusable (missing table, bad cfg).
   kInternal,            // Analysis step failed (solver, characterization).
   kNotFound,            // File or entity missing.
+  kDeadlineExceeded,    // Cancelled by a dn::Deadline (util/deadline.hpp).
+  kNumericError,        // Non-finite values detected (NaN/Inf node voltage).
+  kUnavailable,         // Transient failure; retrying may succeed.
 };
 
 const char* status_code_name(StatusCode code);
+
+// Typed failure exceptions for the layers that still unwind with throw
+// (the simulators and everything below them). The Status boundary
+// (NoiseAnalyzer::try_analyze and friends) maps each type onto its
+// StatusCode via status_from_exception(), so a NaN deep inside a Newton
+// solve surfaces as kNumericError rather than an anonymous kInternal.
+class NumericError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class DeadlineError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Retryable failure (injected task faults, resource exhaustion): the
+/// batch engine's retry budget applies only to these.
+class TransientError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Newton/fix-point non-convergence — the degradation ladder's trigger
+/// for falling back from Rtr to the aggregate Rth.
+class ConvergenceError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 class [[nodiscard]] Status {
  public:
@@ -55,8 +87,19 @@ class [[nodiscard]] Status {
   static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status NumericFailure(std::string msg) {
+    return Status(StatusCode::kNumericError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
+  /// Retryable: the batch engine's retry budget applies only to these.
+  bool is_transient() const { return code_ == StatusCode::kUnavailable; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
@@ -73,6 +116,12 @@ class [[nodiscard]] Status {
   StatusCode code_ = StatusCode::kOk;
   std::string message_;
 };
+
+/// Maps a caught exception onto the Status taxonomy: DeadlineError ->
+/// kDeadlineExceeded, NumericError -> kNumericError, TransientError ->
+/// kUnavailable, ConvergenceError and everything else -> kInternal
+/// (std::invalid_argument -> kInvalidArgument).
+Status status_from_exception(const std::exception& e);
 
 /// A value or the Status explaining its absence.
 template <typename T>

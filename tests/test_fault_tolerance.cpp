@@ -1,0 +1,484 @@
+// Fault-tolerance layer: deadlines/cancellation (util/deadline.*), the
+// deterministic fault-injection harness (util/fault_injection.*), the
+// degradation ladder (util/degradation.*, DESIGN.md §10), and the batch
+// engine's isolation/retry/outcome accounting under injected chaos.
+//
+// The two load-bearing properties:
+//   1. Injected faults at every site yield degraded-or-failed batch
+//      output — never a crash, never a poisoned cache entry that wedges
+//      the run.
+//   2. A chaos run is bit-for-bit reproducible: identical reports for a
+//      fixed fault seed at jobs=1 and jobs=8.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "clarinet/batch_analyzer.hpp"
+#include "rcnet/random_nets.hpp"
+#include "rcnet/spef.hpp"
+#include "util/deadline.hpp"
+#include "util/degradation.hpp"
+#include "util/fault_injection.hpp"
+#include "util/units.hpp"
+
+namespace dn {
+namespace {
+
+using namespace dn::units;
+
+/// Arms injection for one test body and guarantees disarm on exit, so a
+/// failing assertion cannot leak chaos into the next test.
+struct ScopedFaults {
+  ScopedFaults(const std::string& spec, std::uint64_t seed) {
+    StatusOr<fault::FaultSpec> parsed = fault::parse_fault_spec(spec);
+    if (!parsed.ok()) throw std::invalid_argument(parsed.status().to_string());
+    fault::install(*parsed, seed);
+  }
+  ~ScopedFaults() { fault::clear(); }
+};
+
+AnalyzerConfig fast_config() {
+  AnalyzerConfig c;
+  c.table_spec.search.coarse_points = 17;
+  c.table_spec.search.fine_points = 9;
+  c.table_spec.search.dt = 2 * ps;
+  c.analysis.search.coarse_points = 17;
+  c.analysis.search.fine_points = 9;
+  c.analysis.search.dt = 2 * ps;
+  return c;
+}
+
+std::vector<CoupledNet> random_population(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<CoupledNet> nets;
+  nets.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) nets.push_back(random_coupled_net(rng));
+  return nets;
+}
+
+// ---------------------------------------------------------------------------
+// Deadline
+// ---------------------------------------------------------------------------
+
+TEST(Deadline, DefaultNeverExpires) {
+  Deadline d;
+  EXPECT_TRUE(d.unlimited());
+  EXPECT_FALSE(d.expired());
+  EXPECT_TRUE(d.check("here").ok());
+  d.cancel();  // No-op on a non-cancellable deadline.
+  EXPECT_FALSE(d.expired());
+}
+
+TEST(Deadline, AfterExpires) {
+  const Deadline d = Deadline::after(-1.0);
+  EXPECT_TRUE(d.expired());
+  const Status s = d.check("unit test");
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(s.message().find("unit test"), std::string::npos);
+  EXPECT_FALSE(Deadline::after(60.0).expired());
+}
+
+TEST(Deadline, CancellationReachesCopies) {
+  const Deadline d = Deadline::cancellable();
+  const Deadline copy = d;
+  EXPECT_FALSE(copy.expired());
+  d.cancel();
+  EXPECT_TRUE(copy.expired());
+}
+
+TEST(Deadline, CheckpointThrowsOnlyUnderExpiredScope) {
+  EXPECT_NO_THROW(deadline_checkpoint("outside any scope"));
+  {
+    ScopedDeadline live(Deadline::after(60.0));
+    EXPECT_NO_THROW(deadline_checkpoint("live scope"));
+    {
+      ScopedDeadline dead(Deadline::after(-1.0));
+      EXPECT_THROW(deadline_checkpoint("dead scope"), DeadlineError);
+    }
+    // Nesting restored: the outer (live) deadline governs again.
+    EXPECT_NO_THROW(deadline_checkpoint("restored scope"));
+  }
+  EXPECT_NO_THROW(deadline_checkpoint("after all scopes"));
+}
+
+TEST(Deadline, ExpiredBatchDeadlineFailsNetsWithDeadlineExceeded) {
+  BatchOptions opts;
+  opts.analyzer = fast_config();
+  opts.jobs = 2;
+  opts.deadline_ms = 1e-6;  // Expired before the first worker starts.
+  BatchAnalyzer engine(opts);
+  const auto nets = random_population(4, 11);
+  const BatchResult result = engine.analyze(nets);
+  ASSERT_EQ(result.nets.size(), 4u);
+  for (const auto& nr : result.nets) {
+    EXPECT_EQ(nr.outcome, AnalysisOutcome::kFailed);
+    EXPECT_EQ(nr.status.code(), StatusCode::kDeadlineExceeded);
+  }
+  EXPECT_EQ(result.stats.failed, 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Fault spec / deterministic decisions
+// ---------------------------------------------------------------------------
+
+TEST(FaultSpec, ParsesSitesRatesAndAll) {
+  const auto spec = fault::parse_fault_spec("newton:0.25,task");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_DOUBLE_EQ(spec->rate[static_cast<int>(fault::Site::kNewton)], 0.25);
+  EXPECT_DOUBLE_EQ(spec->rate[static_cast<int>(fault::Site::kTask)], 1.0);
+  EXPECT_DOUBLE_EQ(spec->rate[static_cast<int>(fault::Site::kFactor)], 0.0);
+
+  const auto all = fault::parse_fault_spec("all:0.5");
+  ASSERT_TRUE(all.ok());
+  for (const double r : all->rate) EXPECT_DOUBLE_EQ(r, 0.5);
+
+  EXPECT_FALSE(fault::parse_fault_spec("bogus:0.5").ok());
+  EXPECT_FALSE(fault::parse_fault_spec("newton:1.5").ok());
+  EXPECT_FALSE(fault::parse_fault_spec("newton:x").ok());
+  EXPECT_FALSE(fault::parse_fault_spec("").ok());
+}
+
+TEST(FaultInjection, DisabledProbesNeverFire) {
+  fault::clear();
+  EXPECT_FALSE(fault::enabled());
+  for (int i = 0; i < 1000; ++i)
+    EXPECT_FALSE(fault::should_fail(fault::Site::kNewton,
+                                    static_cast<std::uint64_t>(i)));
+}
+
+TEST(FaultInjection, KeyedDecisionsAreAPureFunctionOfSeedSiteKey) {
+  ScopedFaults faults("newton:0.5", 42);
+  std::vector<bool> first;
+  for (std::uint64_t k = 0; k < 256; ++k)
+    first.push_back(fault::should_fail(fault::Site::kNewton, k));
+  int fired = 0;
+  for (std::uint64_t k = 0; k < 256; ++k) {
+    EXPECT_EQ(fault::should_fail(fault::Site::kNewton, k), first[k]);
+    fired += first[k] ? 1 : 0;
+  }
+  // Rate 0.5 over 256 keys: both outcomes must occur.
+  EXPECT_GT(fired, 0);
+  EXPECT_LT(fired, 256);
+  // A different seed flips some decisions.
+  fault::install(*fault::parse_fault_spec("newton:0.5"), 43);
+  int diffs = 0;
+  for (std::uint64_t k = 0; k < 256; ++k)
+    diffs += fault::should_fail(fault::Site::kNewton, k) != first[k] ? 1 : 0;
+  EXPECT_GT(diffs, 0);
+}
+
+TEST(FaultInjection, ScopedContextMakesAmbientProbesReproducible) {
+  ScopedFaults faults("factor:0.5", 7);
+  std::vector<bool> a, b;
+  {
+    fault::ScopedContext ctx(1234);
+    for (int i = 0; i < 64; ++i) a.push_back(fault::should_fail(fault::Site::kFactor));
+  }
+  {
+    fault::ScopedContext ctx(1234);
+    for (int i = 0; i < 64; ++i) b.push_back(fault::should_fail(fault::Site::kFactor));
+  }
+  // Same context id -> the Nth probe decides identically; that is what
+  // detaches chaos runs from thread scheduling.
+  EXPECT_EQ(a, b);
+}
+
+// ---------------------------------------------------------------------------
+// Degradation ladder bookkeeping
+// ---------------------------------------------------------------------------
+
+TEST(Degradation, DedupCollapsesRepeatsPerKind) {
+  std::vector<Degradation> log;
+  for (int i = 0; i < 5; ++i)
+    log.push_back({DegradeKind::kSparseToDense, "pivot " + std::to_string(i)});
+  log.push_back({DegradeKind::kRtrToRth, "newton"});
+  const auto out = dedup_degradations(log);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].kind, DegradeKind::kSparseToDense);
+  EXPECT_EQ(out[0].count, 5);
+  EXPECT_EQ(out[0].detail, "pivot 0");  // First detail survives.
+  EXPECT_EQ(out[1].kind, DegradeKind::kRtrToRth);
+  EXPECT_EQ(out[1].count, 1);
+}
+
+TEST(Degradation, ScopedLogCapturesAndRestores) {
+  degrade::ScopedLog outer;
+  degrade::record(DegradeKind::kRtrToRth, "outer entry");
+  {
+    degrade::ScopedLog inner;
+    degrade::record(DegradeKind::kTableToVdd2, "inner entry");
+    const auto entries = inner.take();
+    ASSERT_EQ(entries.size(), 1u);
+    EXPECT_EQ(entries[0].kind, DegradeKind::kTableToVdd2);
+  }
+  degrade::record(DegradeKind::kSparseToDense, "outer again");
+  const auto entries = outer.take();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].kind, DegradeKind::kRtrToRth);
+  EXPECT_EQ(entries[1].kind, DegradeKind::kSparseToDense);
+}
+
+// ---------------------------------------------------------------------------
+// SPEF parse site + hardened parser
+// ---------------------------------------------------------------------------
+
+TEST(FaultSites, ParseSiteDegradesToStatusNotCrash) {
+  const std::string deck = [] {
+    Rng rng(5);
+    std::ostringstream os;
+    write_spef(os, random_coupled_net(rng));
+    return os.str();
+  }();
+  {
+    ScopedFaults faults("parse:1", 3);
+    std::istringstream is(deck);
+    const auto net = try_read_spef(is);
+    ASSERT_FALSE(net.ok());
+    EXPECT_EQ(net.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(net.status().message().find("injected"), std::string::npos);
+  }
+  // Disarmed, the same deck parses — the probe never corrupted state.
+  std::istringstream is(deck);
+  EXPECT_TRUE(try_read_spef(is).ok());
+}
+
+TEST(SpefHardening, ErrorsCarryLineAndColumn) {
+  std::istringstream is("*SPEF \"dnoise-subset-1\"\n*D_NET v *VICTIM\n*SINK x\n");
+  const auto net = try_read_spef(is);
+  ASSERT_FALSE(net.ok());
+  EXPECT_NE(net.status().message().find("spef:3:7"), std::string::npos)
+      << net.status().message();
+}
+
+TEST(SpefHardening, RejectsHugeIndicesNonFiniteAndTruncation) {
+  const char* bad[] = {
+      // Node index large enough to OOM a dense allocation downstream.
+      "*SPEF \"dnoise-subset-1\"\n*D_NET v *VICTIM\n*SINK 99999999999\n*END\n",
+      "*SPEF \"dnoise-subset-1\"\n*D_NET v *VICTIM\n*CAP\nv:2000001 1\n*END\n",
+      // Non-finite and overflowing numbers.
+      "*SPEF \"dnoise-subset-1\"\n*D_NET v *VICTIM\n*DRIVER INV nan 50 RISE\n",
+      "*SPEF \"dnoise-subset-1\"\n*D_NET v *VICTIM\n*DRIVER INV inf 50 RISE\n",
+      "*SPEF \"dnoise-subset-1\"\n*D_NET v *VICTIM\n*DRIVER INV 1e999 50 RISE\n",
+      // Truncations at assorted boundaries.
+      "",
+      "*SPEF",
+      "*SPEF \"dnoise-subset-1\"\n*D_NET",
+      "*SPEF \"dnoise-subset-1\"\n*D_NET v *VICTIM\n*CAP\nv:1",
+  };
+  for (const char* deck : bad) {
+    std::istringstream is(deck);
+    const auto net = try_read_spef(is);
+    EXPECT_FALSE(net.ok()) << "deck: " << deck;
+    EXPECT_EQ(net.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Batch chaos: every site degrades or fails, never crashes
+// ---------------------------------------------------------------------------
+
+BatchOptions chaos_options(int jobs) {
+  BatchOptions opts;
+  opts.analyzer = fast_config();
+  opts.jobs = jobs;
+  opts.top_k = 4;
+  return opts;
+}
+
+TEST(FaultSites, EverySiteYieldsDegradedOrFailedNeverCrash) {
+  const auto nets = random_population(6, 21);
+  const struct {
+    const char* spec;
+    SolverBackend backend;
+  } cases[] = {
+      {"cache:0.5", SolverBackend::kAuto},
+      {"factor:0.5", SolverBackend::kSparse},  // Sparse path hosts the probe.
+      {"newton:0.05", SolverBackend::kAuto},
+      {"task:0.5", SolverBackend::kAuto},
+      {"all:0.08", SolverBackend::kSparse},
+  };
+  for (const auto& c : cases) {
+    ScopedFaults faults(c.spec, 9);
+    BatchOptions opts = chaos_options(2);
+    opts.analyzer.engine.solver.backend = c.backend;
+    opts.analyzer.engine.ceff.solver.backend = c.backend;
+    BatchAnalyzer engine(opts);
+    const BatchResult result = engine.analyze(nets);
+    ASSERT_EQ(result.nets.size(), nets.size()) << c.spec;
+    for (const auto& nr : result.nets) {
+      // Every net concluded with a classified outcome and a coherent
+      // status/result pairing.
+      if (nr.status.ok()) {
+        EXPECT_TRUE(nr.outcome == AnalysisOutcome::kOk ||
+                    nr.outcome == AnalysisOutcome::kDegraded)
+            << c.spec;
+        if (nr.outcome == AnalysisOutcome::kDegraded) {
+          EXPECT_FALSE(nr.result.degradations.empty()) << c.spec;
+        }
+      } else {
+        EXPECT_EQ(nr.outcome, AnalysisOutcome::kFailed) << c.spec;
+      }
+    }
+    // Rendering a chaotic result must not throw either.
+    EXPECT_FALSE(result.to_text().empty()) << c.spec;
+    EXPECT_FALSE(result.to_json().empty()) << c.spec;
+  }
+}
+
+TEST(FaultSites, CacheFaultDegradesToVdd2Alignment) {
+  ScopedFaults faults("cache:1", 13);
+  BatchAnalyzer engine(chaos_options(2));
+  const auto nets = random_population(4, 23);
+  const BatchResult result = engine.analyze(nets);
+  std::size_t degraded = 0;
+  for (const auto& nr : result.nets) {
+    ASSERT_TRUE(nr.status.ok());
+    ASSERT_EQ(nr.outcome, AnalysisOutcome::kDegraded);
+    ASSERT_FALSE(nr.result.degradations.empty());
+    EXPECT_EQ(nr.result.degradations[0].kind, DegradeKind::kTableToVdd2);
+    ++degraded;
+  }
+  EXPECT_EQ(result.stats.degraded, degraded);
+  EXPECT_EQ(result.stats.failed, 0u);
+}
+
+TEST(FaultSites, CacheFaultWithPolicyOffFailsInsteadOfDegrading) {
+  ScopedFaults faults("cache:1", 13);
+  BatchOptions opts = chaos_options(1);
+  opts.analyzer.analysis.degrade.table_to_vdd2 = false;
+  BatchAnalyzer engine(opts);
+  const BatchResult result = engine.analyze(random_population(2, 23));
+  for (const auto& nr : result.nets) {
+    EXPECT_FALSE(nr.status.ok());
+    EXPECT_EQ(nr.outcome, AnalysisOutcome::kFailed);
+  }
+}
+
+TEST(FaultSites, FactorFaultFallsBackToDenseAndMatchesCleanResults) {
+  BatchOptions opts = chaos_options(2);
+  opts.analyzer.engine.solver.backend = SolverBackend::kSparse;
+  opts.analyzer.engine.ceff.solver.backend = SolverBackend::kSparse;
+  const auto nets = random_population(4, 29);
+
+  BatchResult clean = BatchAnalyzer(opts).analyze(nets);
+  BatchResult chaotic = [&] {
+    ScopedFaults faults("factor:1", 17);
+    return BatchAnalyzer(opts).analyze(nets);
+  }();
+
+  ASSERT_EQ(chaotic.nets.size(), clean.nets.size());
+  for (std::size_t i = 0; i < clean.nets.size(); ++i) {
+    ASSERT_TRUE(clean.nets[i].status.ok());
+    ASSERT_TRUE(chaotic.nets[i].status.ok());
+    EXPECT_EQ(chaotic.nets[i].outcome, AnalysisOutcome::kDegraded);
+    ASSERT_FALSE(chaotic.nets[i].result.degradations.empty());
+    EXPECT_EQ(chaotic.nets[i].result.degradations[0].kind,
+              DegradeKind::kSparseToDense);
+    // The dense fallback computes the same answer up to LU roundoff
+    // (different elimination order than the sparse path).
+    EXPECT_NEAR(chaotic.nets[i].result.delay_noise(),
+                clean.nets[i].result.delay_noise(),
+                1e-4 * ps + 1e-5 * std::abs(clean.nets[i].result.delay_noise()));
+  }
+}
+
+TEST(FaultSites, TransientTaskFaultsRetryAndRecover) {
+  ScopedFaults faults("task:0.5", 31);
+  const auto nets = random_population(8, 37);
+
+  BatchOptions no_retry = chaos_options(2);
+  const BatchResult without = BatchAnalyzer(no_retry).analyze(nets);
+
+  BatchOptions with_retry = chaos_options(2);
+  with_retry.max_retries = 4;
+  with_retry.retry_backoff_ms = 0.0;
+  const BatchResult with = BatchAnalyzer(with_retry).analyze(nets);
+
+  // Task faults are transient (kUnavailable): without retries some nets
+  // fail; with a retry budget the independent per-attempt draws recover
+  // them. Seeds chosen so both sides are non-trivial.
+  EXPECT_GT(without.stats.failed, 0u);
+  for (const auto& nr : without.nets)
+    if (!nr.status.ok()) {
+      EXPECT_TRUE(nr.status.is_transient());
+      EXPECT_EQ(nr.attempts, 1);
+    }
+  EXPECT_LT(with.stats.failed, without.stats.failed);
+  EXPECT_GT(with.stats.retries, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Chaos determinism across job counts
+// ---------------------------------------------------------------------------
+
+TEST(FaultDeterminism, IdenticalReportsForFixedSeedAtJobs1And8) {
+  const auto nets = random_population(10, 41);
+  const char* specs[] = {"all:0.15", "newton:0.05,task:0.4", "cache:0.6"};
+  for (const char* spec : specs) {
+    std::string text1, text8, json1, json8;
+    {
+      ScopedFaults faults(spec, 5);
+      BatchOptions opts = chaos_options(1);
+      opts.max_retries = 2;
+      opts.retry_backoff_ms = 0.0;
+      const BatchResult r = BatchAnalyzer(opts).analyze(nets);
+      text1 = r.to_text();
+      json1 = r.to_json();
+    }
+    {
+      ScopedFaults faults(spec, 5);
+      BatchOptions opts = chaos_options(8);
+      opts.max_retries = 2;
+      opts.retry_backoff_ms = 0.0;
+      const BatchResult r = BatchAnalyzer(opts).analyze(nets);
+      text8 = r.to_text();
+      json8 = r.to_json();
+    }
+    EXPECT_EQ(text1, text8) << spec;
+    EXPECT_EQ(json1, json8) << spec;
+  }
+}
+
+TEST(FaultDeterminism, ZeroRateSpecMatchesCleanRunByteForByte) {
+  const auto nets = random_population(6, 43);
+  std::string clean_text, clean_json;
+  {
+    const BatchResult r = BatchAnalyzer(chaos_options(2)).analyze(nets);
+    clean_text = r.to_text();
+    clean_json = r.to_json();
+  }
+  {
+    ScopedFaults faults("all:0", 1);
+    EXPECT_FALSE(fault::enabled());  // Zero rates disarm entirely.
+    const BatchResult r = BatchAnalyzer(chaos_options(2)).analyze(nets);
+    EXPECT_EQ(r.to_text(), clean_text);
+    EXPECT_EQ(r.to_json(), clean_json);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Status taxonomy
+// ---------------------------------------------------------------------------
+
+TEST(StatusTaxonomy, ExceptionMappingAndTransience) {
+  EXPECT_EQ(status_from_exception(DeadlineError("d")).code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(status_from_exception(NumericError("n")).code(),
+            StatusCode::kNumericError);
+  EXPECT_EQ(status_from_exception(TransientError("t")).code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(status_from_exception(std::invalid_argument("i")).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(status_from_exception(std::runtime_error("r")).code(),
+            StatusCode::kInternal);
+
+  EXPECT_TRUE(Status::Unavailable("busy").is_transient());
+  EXPECT_FALSE(Status::Internal("broken").is_transient());
+  EXPECT_FALSE(Status::DeadlineExceeded("late").is_transient());
+}
+
+}  // namespace
+}  // namespace dn

@@ -27,6 +27,18 @@
 //   --profile              per-stage metrics summary on stderr
 //   --metrics-json <file>  full metrics registry as JSON
 //   --trace-out <file>     Chrome/Perfetto trace_event timeline JSON
+//
+// Fault tolerance (see DESIGN.md §10):
+//   --deadline-ms MS       wall-clock budget (batch: whole run; single:
+//                          the one net); expired work reports
+//                          DEADLINE_EXCEEDED instead of hanging
+//   --max-retries N        batch: re-run transiently failed nets up to N times
+//   --prereduce            TICER-prereduce nets before analysis (exercises
+//                          the mor_to_unreduced rung on breakdown)
+//   --inject-faults SPEC   deterministic chaos testing: SPEC is
+//                          "site[:rate],..." with sites
+//                          parse|cache|factor|newton|task|all
+//   --fault-seed N         seed for the injection hash (default 1)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -42,6 +54,8 @@
 #include "core/functional_noise.hpp"
 #include "rcnet/random_nets.hpp"
 #include "rcnet/spef.hpp"
+#include "util/deadline.hpp"
+#include "util/fault_injection.hpp"
 #include "util/trace.hpp"
 #include "util/units.hpp"
 
@@ -88,7 +102,11 @@ std::vector<std::string> positional_args(int argc, char** argv) {
           std::strcmp(argv[i], "--screen-below") == 0 ||
           std::strcmp(argv[i], "--solver") == 0 ||
           std::strcmp(argv[i], "--metrics-json") == 0 ||
-          std::strcmp(argv[i], "--trace-out") == 0)
+          std::strcmp(argv[i], "--trace-out") == 0 ||
+          std::strcmp(argv[i], "--deadline-ms") == 0 ||
+          std::strcmp(argv[i], "--max-retries") == 0 ||
+          std::strcmp(argv[i], "--inject-faults") == 0 ||
+          std::strcmp(argv[i], "--fault-seed") == 0)
         ++i;  // Skip the flag's value.
       continue;
     }
@@ -109,7 +127,11 @@ int usage() {
       "solver (single and batch modes):\n"
       "       [--solver auto|dense|sparse]  linear-solver backend\n"
       "observability (any mode):\n"
-      "       [--profile] [--metrics-json FILE] [--trace-out FILE]\n");
+      "       [--profile] [--metrics-json FILE] [--trace-out FILE]\n"
+      "fault tolerance (see DESIGN.md §10):\n"
+      "       [--deadline-ms MS] [--max-retries N] [--prereduce]\n"
+      "       [--inject-faults site[:rate],...] [--fault-seed N]\n"
+      "       sites: parse|cache|factor|newton|task|all\n");
   return 2;
 }
 
@@ -222,6 +244,9 @@ int run_batch(int argc, char** argv) {
   // estimated delay noise is below PS picoseconds.
   const double screen_ps = double_flag(argc, argv, "--screen-below", -1.0);
   if (screen_ps >= 0.0) opts.screen_threshold = screen_ps * ps;
+  opts.deadline_ms = double_flag(argc, argv, "--deadline-ms", -1.0);
+  opts.max_retries = int_flag(argc, argv, "--max-retries", 0);
+  opts.analyzer.engine.prereduce = has_flag(argc, argv, "--prereduce");
 
   std::vector<CoupledNet> nets;
   std::vector<std::string> names;
@@ -285,8 +310,15 @@ int run_single(int argc, char** argv) {
   AnalyzerConfig cfg;
   cfg.use_prediction_tables = !has_flag(argc, argv, "--exhaustive");
   cfg.analysis.use_transient_holding = !has_flag(argc, argv, "--thevenin");
+  cfg.engine.prereduce = has_flag(argc, argv, "--prereduce");
   if (!apply_solver_flag(argc, argv, cfg)) return 2;
   NoiseAnalyzer analyzer(cfg);
+
+  // --deadline-ms bounds this one net's analysis; the step loops deep in
+  // the engine poll it and abort with DEADLINE_EXCEEDED.
+  const double deadline_ms = double_flag(argc, argv, "--deadline-ms", -1.0);
+  ScopedDeadline scoped_deadline(
+      deadline_ms > 0 ? Deadline::after(deadline_ms * 1e-3) : Deadline());
 
   StatusOr<DelayNoiseResult> analyzed = analyzer.try_analyze(net);
   if (!analyzed.ok()) {
@@ -339,6 +371,18 @@ int run_single(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   const ObsFlags obs_flags = setup_observability(argc, argv);
+  // Chaos harness: install the deterministic fault-injection config before
+  // any analysis runs. Probes key on stable identities (net index, cache
+  // key), so a fixed spec + seed reproduces bit-for-bit at any --jobs.
+  if (const char* spec_str = str_flag(argc, argv, "--inject-faults", nullptr)) {
+    StatusOr<fault::FaultSpec> spec = fault::parse_fault_spec(spec_str);
+    if (!spec.ok()) {
+      std::fprintf(stderr, "error: %s\n", spec.status().to_string().c_str());
+      return 2;
+    }
+    fault::install(*spec, static_cast<std::uint64_t>(
+                              int_flag(argc, argv, "--fault-seed", 1)));
+  }
   int rc;
   if (has_flag(argc, argv, "--batch")) {
     rc = run_batch(argc, argv);

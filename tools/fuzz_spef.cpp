@@ -1,0 +1,158 @@
+// fuzz_spef: robustness fuzzer for the SPEF-subset parser.
+//
+// The parser is the one component fed attacker-shaped input (extraction
+// decks from other tools, possibly truncated or corrupted in transit).
+// The contract under test: try_read_spef() returns a Status for ANY byte
+// sequence — it never crashes, never throws past the boundary, never
+// allocates unboundedly (the node-index cap), and never loops forever.
+//
+// Two build modes from one file:
+//   - LLVMFuzzerTestOneInput is the libFuzzer ABI; with a clang toolchain
+//     link with -fsanitize=fuzzer and no further changes.
+//   - Without libFuzzer (the default here: plain g++), the bundled main()
+//     is a standalone driver: it replays every file of a seed corpus,
+//     then runs a deterministic seeded mutation loop over the corpus.
+//     Same seed -> same byte streams -> reproducible failures.
+//
+// Usage (standalone):
+//   fuzz_spef <corpus-dir> [--iters N] [--seed S] [--max-len L]
+#include <cstdint>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "rcnet/spef.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  std::string text(reinterpret_cast<const char*>(data), size);
+  std::istringstream is(text);
+  const dn::StatusOr<dn::CoupledNet> net = dn::try_read_spef(is);
+  // Any outcome is fine; reaching here without UB/crash is the pass.
+  (void)net;
+  return 0;
+}
+
+#ifndef DN_FUZZ_LIBFUZZER
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+namespace {
+
+// Self-contained SplitMix64 so the driver's schedule is independent of
+// libstdc++'s distribution implementations (those may change between
+// releases; corpus reproducibility should not).
+struct Rng {
+  std::uint64_t state;
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  std::size_t below(std::size_t n) {
+    return n ? static_cast<std::size_t>(next() % n) : 0;
+  }
+};
+
+// One mutation step: classic byte-level operators. Structure-aware
+// mutation is unnecessary — the corpus seeds supply structure, and the
+// operators degrade it in all the ways transit corruption does.
+void mutate(std::string& s, Rng& rng, std::size_t max_len) {
+  switch (rng.below(6)) {
+    case 0:  // Flip a byte.
+      if (!s.empty()) s[rng.below(s.size())] = static_cast<char>(rng.next());
+      break;
+    case 1:  // Truncate.
+      if (!s.empty()) s.resize(rng.below(s.size()));
+      break;
+    case 2:  // Insert a random byte.
+      s.insert(s.begin() + static_cast<long>(rng.below(s.size() + 1)),
+               static_cast<char>(rng.next()));
+      break;
+    case 3: {  // Duplicate a slice (tests duplicate nets/sections).
+      if (s.empty()) break;
+      const std::size_t a = rng.below(s.size());
+      const std::size_t n = rng.below(s.size() - a) + 1;
+      s.insert(rng.below(s.size()), s.substr(a, n));
+      break;
+    }
+    case 4: {  // Replace a digit run with a huge number (overflow paths).
+      const std::size_t at = rng.below(s.size() + 1);
+      s.insert(at, "999999999999999999999");
+      break;
+    }
+    case 5: {  // Splice in a keyword-shaped token.
+      static const char* kTokens[] = {"*SINK",   "*CAP", "*RES",  "*END",
+                                      "*D_NET",  "nan",  "inf",   "-1",
+                                      "victim:", ":",    "1e309", ""};
+      const std::size_t at = rng.below(s.size() + 1);
+      s.insert(at, kTokens[rng.below(sizeof(kTokens) / sizeof(kTokens[0]))]);
+      break;
+    }
+  }
+  if (s.size() > max_len) s.resize(max_len);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* corpus_dir = nullptr;
+  long iters = 20000;
+  std::uint64_t seed = 1;
+  std::size_t max_len = 1 << 16;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--iters") == 0 && i + 1 < argc)
+      iters = std::atol(argv[++i]);
+    else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc)
+      seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    else if (std::strcmp(argv[i], "--max-len") == 0 && i + 1 < argc)
+      max_len = static_cast<std::size_t>(std::atol(argv[++i]));
+    else if (argv[i][0] != '-')
+      corpus_dir = argv[i];
+  }
+  if (!corpus_dir) {
+    std::fprintf(stderr,
+                 "usage: fuzz_spef <corpus-dir> [--iters N] [--seed S] "
+                 "[--max-len L]\n");
+    return 2;
+  }
+
+  std::vector<std::string> corpus;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(corpus_dir)) {
+    if (!entry.is_regular_file()) continue;
+    std::ifstream f(entry.path(), std::ios::binary);
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    corpus.push_back(ss.str());
+  }
+  if (corpus.empty()) {
+    std::fprintf(stderr, "fuzz_spef: empty corpus at %s\n", corpus_dir);
+    return 2;
+  }
+
+  // Phase 1: replay the seeds verbatim.
+  for (const auto& s : corpus)
+    LLVMFuzzerTestOneInput(
+        reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+
+  // Phase 2: deterministic mutation loop. Each iteration takes a random
+  // seed, applies a small stack of mutations, and feeds the parser.
+  Rng rng{seed};
+  for (long i = 0; i < iters; ++i) {
+    std::string input = corpus[rng.below(corpus.size())];
+    const std::size_t steps = 1 + rng.below(4);
+    for (std::size_t m = 0; m < steps; ++m) mutate(input, rng, max_len);
+    LLVMFuzzerTestOneInput(
+        reinterpret_cast<const std::uint8_t*>(input.data()), input.size());
+  }
+  std::printf("fuzz_spef: %zu seeds + %ld mutated inputs, no crash\n",
+              corpus.size(), iters);
+  return 0;
+}
+
+#endif  // DN_FUZZ_LIBFUZZER
