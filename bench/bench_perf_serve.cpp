@@ -1,0 +1,139 @@
+// bench_perf_serve — resident daemon: incremental re-analysis speedup.
+//
+// Loads a 200-net synthetic design into a server Session, runs one COLD
+// full analyze, then applies a single-net ECO edit (update_net) and
+// re-analyzes INCREMENTALLY: only the dirty closure (the edited net plus
+// the victims it couples to) is recomputed against the warm caches.
+// Checks (recorded in BENCH_perf_serve.json):
+//   - incremental re-analysis after a single-net edit is >= 10x faster
+//     than the cold full-batch run, and
+//   - the incrementally assembled report is byte-identical, for every
+//     net, to a cold full analyze of the same edited design.
+//
+//   bench_perf_serve [--nets N] [--neighbors K] [--seed S]
+//                    [--out BENCH_perf_serve.json]
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench_util.hpp"
+#include "server/session.hpp"
+#include "util/json.hpp"
+
+using namespace dn;
+using namespace dn::units;
+
+namespace {
+
+AnalysisConfig bench_config() {
+  // Same coarse-but-representative search grid as bench_perf_batch.
+  AnalysisConfig cfg;
+  AnalyzerConfig& c = cfg.batch.analyzer;
+  c.table_spec.search.coarse_points = 17;
+  c.table_spec.search.fine_points = 9;
+  c.table_spec.search.dt = 2 * ps;
+  c.analysis.search.coarse_points = 17;
+  c.analysis.search.fine_points = 9;
+  c.analysis.search.dt = 2 * ps;
+  return cfg;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// One request line against the session; dies on protocol failure (this
+/// is a bench, not a robustness test).
+json::Value must(server::Session& s, const std::string& line) {
+  json::Value resp = s.handle_line(line);
+  const json::Value* ok = resp.find("ok");
+  if (ok == nullptr || !ok->as_bool()) {
+    std::fprintf(stderr, "request failed: %s\n-> %s\n", line.c_str(),
+                 resp.dump().c_str());
+    std::exit(1);
+  }
+  return resp;
+}
+
+std::string report_bytes(const json::Value& resp) {
+  return resp.find("result")->find("report")->dump();
+}
+
+double reanalyzed(const json::Value& resp) {
+  return resp.find("result")->find("reanalyzed")->as_number();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int n_nets = dn::bench::int_flag(argc, argv, "--nets", 200);
+  const int neighbors = dn::bench::int_flag(argc, argv, "--neighbors", 2);
+  const int seed = dn::bench::int_flag(argc, argv, "--seed", 1);
+  const std::string out_path =
+      dn::bench::str_flag(argc, argv, "--out", "BENCH_perf_serve.json");
+
+  dn::bench::print_header(
+      "perf: resident daemon incremental re-analysis",
+      "single-net ECO re-analyzes >= 10x faster than a cold full run, "
+      "byte-identical reports");
+
+  std::ostringstream load;
+  load << "{\"verb\":\"load_design\",\"design\":{\"random\":{\"seed\":" << seed
+       << ",\"nets\":" << n_nets << ",\"neighbors\":" << neighbors << "}}}";
+  const std::string edit =
+      "{\"verb\":\"update_net\",\"net\":\"n" + std::to_string(n_nets / 2) +
+      "\",\"scale_c\":1.15}";
+
+  // Resident session: cold full analyze, then the ECO + incremental pass.
+  server::Session resident(bench_config());
+  must(resident, load.str());
+  auto t0 = std::chrono::steady_clock::now();
+  const json::Value cold = must(resident, "{\"verb\":\"analyze\"}");
+  const double t_cold = seconds_since(t0);
+
+  must(resident, edit);
+  t0 = std::chrono::steady_clock::now();
+  const json::Value incr = must(resident, "{\"verb\":\"analyze\"}");
+  const double t_incr = seconds_since(t0);
+
+  const double n_dirty = reanalyzed(incr);
+  const double speedup = t_incr > 0 ? t_cold / t_incr : 0.0;
+  std::printf("cold full analyze:   %6d nets in %8.3f s\n",
+              static_cast<int>(reanalyzed(cold)), t_cold);
+  std::printf("incremental analyze: %6d nets in %8.3f s  (%.1fx faster)\n\n",
+              static_cast<int>(n_dirty), t_incr, speedup);
+
+  // Reference: a FRESH session cold-analyzes the same edited design; the
+  // daemon's contract is byte-identical reports for every net.
+  server::Session fresh(bench_config());
+  must(fresh, load.str());
+  must(fresh, edit);
+  const json::Value reference = must(fresh, "{\"verb\":\"analyze\"}");
+  const bool identical = report_bytes(incr) == report_bytes(reference);
+
+  bool ok = dn::bench::check(
+      "incremental report byte-identical to cold run of edited design",
+      identical);
+  char label[96];
+  std::snprintf(label, sizeof label,
+                "incremental >= 10x faster than cold (measured %.1fx)",
+                speedup);
+  ok = dn::bench::check(label, speedup >= 10.0) && ok;
+
+  std::ofstream jf(out_path);
+  if (jf) {
+    jf << "{\"bench\":\"perf_serve\",\"nets\":" << n_nets
+       << ",\"neighbors\":" << neighbors << ",\"seed\":" << seed
+       << ",\"cold_s\":" << t_cold << ",\"incremental_s\":" << t_incr
+       << ",\"reanalyzed\":" << static_cast<int>(n_dirty)
+       << ",\"speedup\":" << speedup
+       << ",\"byte_identical\":" << (identical ? "true" : "false") << "}\n";
+    std::printf("wrote %s\n", out_path.c_str());
+  } else {
+    std::fprintf(stderr, "warning: cannot write %s\n", out_path.c_str());
+  }
+  return ok ? 0 : 1;
+}

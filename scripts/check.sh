@@ -50,10 +50,11 @@ if [[ "$run_tsan" == 1 ]]; then
   echo "== ThreadSanitizer: batch engine =="
   cmake -B build-tsan -S . -DDN_SANITIZE=thread -DDN_WERROR=ON >/dev/null
   cmake --build build-tsan -j "$jobs" \
-    --target test_batch_analyzer test_metrics test_fault_tolerance
+    --target test_batch_analyzer test_metrics test_fault_tolerance test_server
   ./build-tsan/tests/test_batch_analyzer
   ./build-tsan/tests/test_metrics
   ./build-tsan/tests/test_fault_tolerance
+  ./build-tsan/tests/test_server
 fi
 
 if [[ "$run_fuzz" == 1 ]]; then
@@ -95,5 +96,45 @@ if [[ "$run_chaos" == 1 ]]; then
     echo "chaos seed $fault_seed: $(printf '%s\n' "$out1" | head -1)"
   done
 fi
+
+echo "== server smoke: scripted NDJSON session against --serve =="
+# A pipelined session: load a design, analyze, apply an ECO, re-analyze
+# (must touch only the dirty closure), run one fault-injected request
+# (must degrade/fail cleanly, not crash), then shut down. The python
+# shim validates the protocol invariants — one response per request,
+# ids echoed in order, schema_version everywhere — and exits nonzero on
+# any violation, which fails this stage.
+printf '%s\n' \
+  '{"id":1,"verb":"ping"}' \
+  '{"id":2,"verb":"load_design","design":{"random":{"seed":7,"nets":10,"neighbors":2}}}' \
+  '{"id":3,"verb":"analyze"}' \
+  '{"id":4,"verb":"update_net","net":"n4","scale_c":1.3}' \
+  '{"id":5,"verb":"analyze"}' \
+  '{"id":6,"verb":"update_net","net":"n7","scale_c":1.2}' \
+  '{"id":7,"verb":"analyze","inject_faults":"newton:0.5,cache:0.5","fault_seed":3}' \
+  '{"id":8,"verb":"not_a_verb"}' \
+  '{"id":9,"verb":"stats"}' \
+  '{"id":10,"verb":"shutdown"}' \
+  | ./build/tools/dnoise_cli --serve --jobs 2 2>/dev/null \
+  > build/serve_smoke.ndjson
+python3 - build/serve_smoke.ndjson <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    resps = [json.loads(line) for line in f if line.strip()]
+assert len(resps) == 10, f"expected 10 responses, got {len(resps)}"
+for i, r in enumerate(resps, 1):
+    assert r["id"] == i, f"response order broken at {i}: {r}"
+    assert r["schema_version"] == 1, f"missing schema_version: {r}"
+ok = {i: r["ok"] for i, r in enumerate(resps, 1)}
+assert all(ok[i] for i in (1, 2, 3, 4, 5, 6, 9, 10)), f"unexpected failure: {ok}"
+# The fault-injected analyze must degrade or fail CLEANLY: either an ok
+# report (per-net failures recorded inside it) or a Status error.
+assert ok[7] or resps[6]["error"]["code"], resps[6]
+assert not ok[8] and resps[7]["error"]["code"] == "INVALID_ARGUMENT", resps[7]
+assert resps[4]["result"]["reanalyzed"] == 5, resps[4]["result"]["reanalyzed"]
+assert resps[8]["result"]["requests"] == 9, resps[8]["result"]
+print("server smoke: 10 responses, in order, dirty closure = 5 nets, "
+      "fault-injected request handled " + ("ok" if ok[7] else "as clean error"))
+PY
 
 echo "== all checks passed =="

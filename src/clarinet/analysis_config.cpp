@@ -1,0 +1,191 @@
+#include "clarinet/analysis_config.hpp"
+
+#include <sstream>
+
+#include "util/units.hpp"
+
+namespace dn {
+
+namespace {
+
+Status range_error(const char* key, const char* constraint) {
+  std::ostringstream os;
+  os << "config: " << key << " " << constraint;
+  return Status::InvalidArgument(os.str());
+}
+
+Status set_int(const json::Value& v, const char* what, int& out) {
+  StatusOr<int> r = v.require_int(what);
+  if (!r.ok()) return r.status();
+  out = *r;
+  return Status::Ok();
+}
+
+Status set_num(const json::Value& v, const char* what, double& out) {
+  StatusOr<double> r = v.require_number(what);
+  if (!r.ok()) return r.status();
+  out = *r;
+  return Status::Ok();
+}
+
+Status set_bool(const json::Value& v, const char* what, bool& out) {
+  StatusOr<bool> r = v.require_bool(what);
+  if (!r.ok()) return r.status();
+  out = *r;
+  return Status::Ok();
+}
+
+/// Applies ONE key to `cfg`. Shared by apply() so every entry point —
+/// CLI flags, `--config` files, server `config` requests — hits the same
+/// key names, types, and conversions.
+Status apply_key(AnalysisConfig& cfg, const std::string& key,
+                 const json::Value& v) {
+  using namespace dn::units;
+  BatchOptions& b = cfg.batch;
+  AnalyzerConfig& a = b.analyzer;
+  if (key == "jobs") return set_int(v, "jobs", b.jobs);
+  if (key == "top_k") return set_int(v, "top_k", b.top_k);
+  if (key == "screen_below_ps") {
+    double ps_v = 0;
+    Status s = set_num(v, "screen_below_ps", ps_v);
+    if (s.ok()) b.screen_threshold = ps_v < 0 ? -1.0 : ps_v * ps;
+    return s;
+  }
+  if (key == "screen_vn_below_v")
+    return set_num(v, "screen_vn_below_v", b.screen_vn_threshold);
+  if (key == "max_retries") return set_int(v, "max_retries", b.max_retries);
+  if (key == "retry_backoff_ms")
+    return set_num(v, "retry_backoff_ms", b.retry_backoff_ms);
+  if (key == "deadline_ms") return set_num(v, "deadline_ms", b.deadline_ms);
+  if (key == "exhaustive") {
+    bool exhaustive = false;
+    Status s = set_bool(v, "exhaustive", exhaustive);
+    if (s.ok()) a.use_prediction_tables = !exhaustive;
+    return s;
+  }
+  if (key == "thevenin") {
+    bool thevenin = false;
+    Status s = set_bool(v, "thevenin", thevenin);
+    if (s.ok()) a.analysis.use_transient_holding = !thevenin;
+    return s;
+  }
+  if (key == "prereduce") return set_bool(v, "prereduce", a.engine.prereduce);
+  if (key == "solver") {
+    StatusOr<std::string> name = v.require_string("solver");
+    if (!name.ok()) return name.status();
+    StatusOr<SolverBackend> backend = parse_solver_backend(*name);
+    if (!backend.ok()) return backend.status();
+    // One backend rules every sim: the superposition transients, the Ceff
+    // inner sims, and the Newton solves of the nonlinear reference.
+    a.engine.solver.backend = *backend;
+    a.engine.ceff.solver.backend = *backend;
+    a.engine.newton.solver.backend = *backend;
+    return Status::Ok();
+  }
+  if (key == "dt_ps") {
+    double dt_ps = 0;
+    Status s = set_num(v, "dt_ps", dt_ps);
+    if (s.ok()) a.engine.dt = dt_ps * ps;
+    return s;
+  }
+  if (key == "horizon_ns") {
+    double horizon_ns = 0;
+    Status s = set_num(v, "horizon_ns", horizon_ns);
+    if (s.ok()) a.engine.horizon = horizon_ns * ns;
+    return s;
+  }
+  if (key == "model_alignment_iterations")
+    return set_int(v, "model_alignment_iterations",
+                   a.analysis.model_alignment_iterations);
+  if (key == "rtr_max_iterations")
+    return set_int(v, "rtr_max_iterations", a.analysis.rtr.max_iterations);
+  if (key == "newton_max_iterations")
+    return set_int(v, "newton_max_iterations", a.engine.newton.max_iterations);
+  if (key == "newton_v_tol")
+    return set_num(v, "newton_v_tol", a.engine.newton.v_tol);
+  return Status::InvalidArgument("config: unknown key \"" + key + "\"");
+}
+
+}  // namespace
+
+Status AnalysisConfig::validate() const {
+  const BatchOptions& b = batch;
+  const AnalyzerConfig& a = b.analyzer;
+  if (b.jobs < 0) return range_error("jobs", "must be >= 0 (0 = auto)");
+  if (b.top_k < 0) return range_error("top_k", "must be >= 0");
+  if (b.max_retries < 0) return range_error("max_retries", "must be >= 0");
+  if (b.retry_backoff_ms < 0)
+    return range_error("retry_backoff_ms", "must be >= 0");
+  if (!(a.engine.dt > 0)) return range_error("dt_ps", "must be > 0");
+  if (!(a.engine.horizon > a.engine.dt))
+    return range_error("horizon_ns", "must exceed the time step dt_ps");
+  if (a.analysis.model_alignment_iterations < 1 ||
+      a.analysis.model_alignment_iterations > 16)
+    return range_error("model_alignment_iterations", "must be in [1, 16]");
+  if (a.analysis.rtr.max_iterations < 1)
+    return range_error("rtr_max_iterations", "must be >= 1");
+  if (a.engine.newton.max_iterations < 1)
+    return range_error("newton_max_iterations", "must be >= 1");
+  if (!(a.engine.newton.v_tol > 0))
+    return range_error("newton_v_tol", "must be > 0");
+  return Status::Ok();
+}
+
+Status AnalysisConfig::apply(const json::Value& v) {
+  if (!v.is_object())
+    return Status::InvalidArgument("config must be a JSON object, got " +
+                                   std::string(json::type_name(v.type())));
+  // Strong guarantee: stage the merge, validate, then commit.
+  AnalysisConfig staged = *this;
+  for (const auto& [key, value] : v.as_object()) {
+    Status s = apply_key(staged, key, value);
+    if (!s.ok()) return s;
+  }
+  Status s = staged.validate();
+  if (!s.ok()) return s;
+  *this = std::move(staged);
+  return Status::Ok();
+}
+
+StatusOr<AnalysisConfig> AnalysisConfig::from_json(const json::Value& v) {
+  AnalysisConfig cfg;
+  Status s = cfg.apply(v);
+  if (!s.ok()) return s;
+  return cfg;
+}
+
+StatusOr<AnalysisConfig> AnalysisConfig::from_json(std::string_view text) {
+  StatusOr<json::Value> v = json::parse(text);
+  if (!v.ok()) return v.status();
+  return from_json(*v);
+}
+
+json::Value AnalysisConfig::to_json() const {
+  using namespace dn::units;
+  const BatchOptions& b = batch;
+  const AnalyzerConfig& a = b.analyzer;
+  json::Object o;
+  o["jobs"] = b.jobs;
+  o["top_k"] = b.top_k;
+  o["screen_below_ps"] =
+      b.screen_threshold < 0 ? -1.0 : b.screen_threshold / ps;
+  o["screen_vn_below_v"] = b.screen_vn_threshold;
+  o["max_retries"] = b.max_retries;
+  o["retry_backoff_ms"] = b.retry_backoff_ms;
+  o["deadline_ms"] = b.deadline_ms;
+  o["exhaustive"] = !a.use_prediction_tables;
+  o["thevenin"] = !a.analysis.use_transient_holding;
+  o["prereduce"] = a.engine.prereduce;
+  o["solver"] = solver_backend_name(a.engine.solver.backend);
+  o["dt_ps"] = a.engine.dt / ps;
+  o["horizon_ns"] = a.engine.horizon / ns;
+  o["model_alignment_iterations"] = a.analysis.model_alignment_iterations;
+  o["rtr_max_iterations"] = a.analysis.rtr.max_iterations;
+  o["newton_max_iterations"] = a.engine.newton.max_iterations;
+  o["newton_v_tol"] = a.engine.newton.v_tol;
+  return json::Value(std::move(o));
+}
+
+std::string AnalysisConfig::to_json_text() const { return to_json().dump(); }
+
+}  // namespace dn

@@ -82,12 +82,6 @@ StatusOr<DelayNoiseResult> NoiseAnalyzer::try_analyze(
   }
 }
 
-DelayNoiseResult NoiseAnalyzer::analyze(const CoupledNet& net) const {
-  StatusOr<DelayNoiseResult> r = try_analyze(net);
-  r.status().throw_if_error();
-  return std::move(*r);
-}
-
 DelayNoiseReport NoiseAnalyzer::report(const CoupledNet& net,
                                        const DelayNoiseResult& r,
                                        std::string name) const {

@@ -47,10 +47,6 @@ class NoiseAnalyzer {
   /// kInvalidArgument, solver/characterization failures as kInternal.
   StatusOr<DelayNoiseResult> try_analyze(const CoupledNet& net) const;
 
-  /// Legacy throwing wrapper around try_analyze().
-  DN_DEPRECATED("use try_analyze")
-  DelayNoiseResult analyze(const CoupledNet& net) const;
-
   /// The cached 8-point table for a receiver type/size and victim
   /// direction (characterizing it on first use). The pointer is stable
   /// for the cache's lifetime.

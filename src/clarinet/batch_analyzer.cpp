@@ -29,6 +29,13 @@ BatchAnalyzer::BatchAnalyzer(BatchOptions opts)
       analyzer_(opts_.analyzer),
       pool_(jobs_) {}
 
+BatchAnalyzer::BatchAnalyzer(BatchOptions opts,
+                             std::shared_ptr<CharacterizationCache> cache)
+    : opts_(std::move(opts)),
+      jobs_(ThreadPool::resolve_jobs(opts_.jobs)),
+      analyzer_(opts_.analyzer, std::move(cache)),
+      pool_(jobs_) {}
+
 BatchResult BatchAnalyzer::analyze(const std::vector<CoupledNet>& nets,
                                    const std::vector<std::string>& names) {
   static obs::Counter& c_runs = obs::metrics().counter("batch.runs");
@@ -246,7 +253,7 @@ std::string BatchResult::to_text() const {
 }
 
 void BatchResult::write_json(std::ostream& os) const {
-  os << "{\"nets\":[";
+  os << "{\"schema_version\":" << kReportSchemaVersion << ",\"nets\":[";
   for (std::size_t i = 0; i < nets.size(); ++i) {
     if (i) os << ",";
     const auto& nr = nets[i];

@@ -44,11 +44,16 @@ struct BatchOptions {
   /// (analyze everything). Deterministic: the estimate depends only on
   /// the net.
   double screen_threshold = -1.0;
+  /// Companion noise-peak threshold [V] for the same filter (see
+  /// ScreeningOptions::passes for how multiple active thresholds
+  /// combine). Negative disables.
+  double screen_vn_threshold = -1.0;
 
-  /// The equivalent ScreeningOptions for the configured threshold.
+  /// The equivalent ScreeningOptions for the configured thresholds.
   ScreeningOptions screening() const {
     ScreeningOptions s;
     s.dn_est_min = screen_threshold;
+    s.vn_est_min = screen_vn_threshold;
     return s;
   }
 
@@ -134,6 +139,12 @@ struct BatchResult {
 class BatchAnalyzer {
  public:
   explicit BatchAnalyzer(BatchOptions opts = {});
+
+  /// Shares `cache` (must be non-null) instead of building a private one
+  /// — the resident server keeps one cache across every request so
+  /// tables characterized for request N are hits for request N+1.
+  BatchAnalyzer(BatchOptions opts,
+                std::shared_ptr<CharacterizationCache> cache);
 
   /// Analyzes every net; `names[i]` labels net i (defaults to "net<i>").
   BatchResult analyze(const std::vector<CoupledNet>& nets,

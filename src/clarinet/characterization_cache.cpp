@@ -1,7 +1,11 @@
 #include "clarinet/characterization_cache.hpp"
 
 #include <bit>
+#include <fstream>
+#include <optional>
+#include <sstream>
 
+#include "rcnet/net_hash.hpp"
 #include "util/deadline.hpp"
 #include "util/fault_injection.hpp"
 #include "util/trace.hpp"
@@ -108,6 +112,124 @@ const AlignmentTable* CharacterizationCache::table_for(
 std::size_t CharacterizationCache::tables_cached() const {
   std::shared_lock<std::shared_mutex> lk(mu_);
   return entries_.size();
+}
+
+namespace {
+
+constexpr const char* kCacheMagic = "dnoise-char-cache";
+constexpr int kCacheVersion = 1;
+
+bool spec_matches(const AlignmentTableSpec& a, const AlignmentTableSpec& b) {
+  // Only the fields the table record persists; search options are not
+  // part of the on-disk identity.
+  return a.slew_min == b.slew_min && a.slew_max == b.slew_max &&
+         a.width_min == b.width_min && a.width_max == b.width_max &&
+         a.height_min_frac == b.height_min_frac &&
+         a.height_max_frac == b.height_max_frac && a.min_load == b.min_load;
+}
+
+std::uint64_t payload_hash(const std::string& payload) {
+  HashStream h;
+  h.str(payload);
+  return h.digest();
+}
+
+}  // namespace
+
+Status CharacterizationCache::save(std::ostream& os) const {
+  // Snapshot the finished tables under the shared lock (pointers are
+  // stable, so serialization can run outside it — but entries are tiny
+  // text records, so simplicity wins: serialize inside).
+  std::ostringstream payload;
+  std::size_t count = 0;
+  {
+    std::shared_lock<std::shared_mutex> lk(mu_);
+    for (const auto& [key, entry] : entries_) {
+      if (!entry->ready.load(std::memory_order_acquire) || !entry->table)
+        continue;  // In-flight or failed: not worth persisting.
+      entry->table->save(payload);
+      ++count;
+    }
+  }
+  const std::string bytes = payload.str();
+  os << kCacheMagic << ' ' << kCacheVersion << ' ' << count << ' ' << std::hex
+     << payload_hash(bytes) << std::dec << '\n'
+     << bytes;
+  if (!os) return Status::Internal("characterization cache: write failed");
+  return Status::Ok();
+}
+
+Status CharacterizationCache::save_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os)
+    return Status::NotFound("characterization cache: cannot write " + path);
+  return save(os);
+}
+
+StatusOr<std::size_t> CharacterizationCache::load(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  std::size_t count = 0;
+  std::uint64_t stored_hash = 0;
+  is >> magic >> version >> count >> std::hex >> stored_hash >> std::dec;
+  if (!is || magic != kCacheMagic)
+    return Status::InvalidArgument(
+        "characterization cache: unrecognized file header");
+  if (version != kCacheVersion)
+    return Status::InvalidArgument(
+        "characterization cache: unsupported version " +
+        std::to_string(version));
+  is.ignore(1);  // The newline ending the header line.
+
+  // Content-hash validation: the ENTIRE payload must match the header's
+  // hash before any table is installed — a torn write or a hand-edited
+  // record rejects the file whole instead of half-loading.
+  std::ostringstream rest;
+  rest << is.rdbuf();
+  const std::string payload = rest.str();
+  if (payload_hash(payload) != stored_hash)
+    return Status::InvalidArgument(
+        "characterization cache: content hash mismatch (corrupt or "
+        "truncated file)");
+
+  std::istringstream records(payload);
+  std::size_t installed = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::optional<AlignmentTable> loaded;
+    try {
+      loaded.emplace(AlignmentTable::load(records));
+    } catch (const std::exception& e) {
+      // Corrupt records the hash check could not catch (it validates
+      // bytes, not semantics).
+      return Status::InvalidArgument(std::string("characterization cache: ") +
+                                     e.what());
+    }
+    if (!spec_matches(loaded->spec(), spec_))
+      return Status::FailedPrecondition(
+          "characterization cache: table spec differs from this cache's "
+          "spec");
+    const GateParams& receiver = loaded->receiver();
+    const Key key{receiver.type, receiver.size, receiver.vdd,
+                  loaded->victim_rising()};
+    Entry* entry = entry_for(key);
+    std::call_once(entry->once, [&] {
+      entry->table =
+          std::make_unique<const AlignmentTable>(std::move(*loaded));
+      entry->ready.store(true, std::memory_order_release);
+      ++installed;
+    });
+    // A key already characterized live keeps its live table: pointers
+    // handed out earlier must stay valid.
+  }
+  return installed;
+}
+
+StatusOr<std::size_t> CharacterizationCache::load_file(
+    const std::string& path) {
+  std::ifstream is(path);
+  if (!is)
+    return Status::NotFound("characterization cache: cannot read " + path);
+  return load(is);
 }
 
 }  // namespace dn

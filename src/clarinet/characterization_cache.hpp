@@ -21,10 +21,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <string>
 #include <tuple>
 
 #include "core/alignment_table.hpp"
@@ -77,6 +79,25 @@ class CharacterizationCache {
   }
 
   const AlignmentTableSpec& spec() const { return spec_; }
+
+  /// Disk persistence. save() writes every SUCCESSFULLY characterized
+  /// table (failures are cheap to rediscover and may be run-specific) in
+  /// deterministic key order, preceded by a header carrying an FNV-1a
+  /// hash of the payload bytes. load() verifies that content hash before
+  /// touching the cache — a truncated or hand-edited file is rejected
+  /// whole as kInvalidArgument — and rejects tables whose embedded spec
+  /// differs from this cache's spec (kFailedPrecondition): a table
+  /// characterized under different corners must never satisfy a lookup.
+  ///
+  /// Loaded tables are installed through the same per-entry call_once
+  /// discipline as live fills, so they are indistinguishable from tables
+  /// characterized this run: later lookups count as hits, pointers are
+  /// stable, and a key already characterized live keeps its live table.
+  /// Returns the number of tables actually installed.
+  Status save(std::ostream& os) const;
+  Status save_file(const std::string& path) const;
+  StatusOr<std::size_t> load(std::istream& is);
+  StatusOr<std::size_t> load_file(const std::string& path);
 
  private:
   using Key = std::tuple<GateType, double, double, bool>;

@@ -86,7 +86,7 @@ void json_string(std::ostream& os, const std::string& s) {
 
 void DelayNoiseReport::to_json(std::ostream& os) const {
   const auto saved = os.precision(12);
-  os << "{\"net\":";
+  os << "{\"schema_version\":" << kReportSchemaVersion << ",\"net\":";
   json_string(os, net_name);
   os << ",\"victim_driver\":";
   json_string(os, victim_driver);

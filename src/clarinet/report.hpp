@@ -15,6 +15,14 @@
 
 namespace dn {
 
+/// Version of every machine-readable JSON artifact this library emits:
+/// per-net reports, batch envelopes, and server protocol responses all
+/// carry "schema_version". Bump it when a field is renamed, removed, or
+/// changes meaning — adding fields is backward compatible and does not
+/// bump. tests/golden/report_schema.json pins the rendered bytes, so
+/// accidental drift fails CI instead of breaking downstream consumers.
+inline constexpr int kReportSchemaVersion = 1;
+
 struct DelayNoiseReport {
   std::string net_name;         // Optional caller-assigned label.
 

@@ -86,7 +86,7 @@ GoldenResult golden_nonlinear(const CoupledNet& net,
   for (const bool quiet : {true, false}) {
     GoldenProbes probes;
     const Circuit ckt = build_full(net, shifts, opts, quiet, &probes);
-    NewtonOptions newton;
+    NewtonOptions newton = opts.newton;
     newton.solver = opts.solver;
     NonlinearSim sim(ckt, newton);
     const auto res = sim.run(spec);

@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "mor/reduction_cache.hpp"
 #include "sim/linear_sim.hpp"
 #include "util/degradation.hpp"
 
@@ -33,7 +34,17 @@ SuperpositionEngine::SuperpositionEngine(const CoupledNet& net,
     : net_(net), opts_(opts) {
   if (opts_.prereduce) {
     try {
-      net_ = reduce_coupled_net(net_, opts_.ticer);
+      if (opts_.reduction_cache) {
+        // Resident path: shared, content-addressed reductions. A cached
+        // failure Status re-throws here so the ladder below treats cache
+        // and direct reduction identically.
+        StatusOr<std::shared_ptr<const CoupledNet>> reduced =
+            opts_.reduction_cache->try_reduce(net_, opts_.ticer);
+        reduced.status().throw_if_error();
+        net_ = **reduced;
+      } else {
+        net_ = reduce_coupled_net(net_, opts_.ticer);
+      }
     } catch (const DeadlineError&) {
       throw;  // A cancelled run must not silently degrade.
     } catch (const std::exception& e) {

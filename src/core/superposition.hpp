@@ -23,8 +23,11 @@
 #include "ceff/effective_capacitance.hpp"
 #include "mor/ticer.hpp"
 #include "rcnet/net.hpp"
+#include "sim/nonlinear_sim.hpp"
 
 namespace dn {
+
+class ReductionCache;
 
 struct SuperpositionOptions {
   double dt = 1e-12;        // Simulation step [s].
@@ -32,12 +35,21 @@ struct SuperpositionOptions {
   double horizon = 4e-9;    // Transient end time [s].
   CeffOptions ceff{};
   SolverOptions solver{};   // Backend for the aggressor/victim sims.
+  /// Newton controls for the nonlinear verification sims run in this
+  /// engine's time frame (golden_nonlinear); the solver backend is
+  /// overridden by `solver` so one --solver flag rules every sim.
+  NewtonOptions newton{};
   /// Opt-in TICER pre-reduction of all nets (victim and aggressors,
   /// coupling nodes protected) before characterization. Off by default:
   /// reduction perturbs the waveforms slightly, so the unreduced path
   /// stays the reference.
   bool prereduce = false;
   TicerOptions ticer{};
+  /// Optional shared reduction cache (mor/reduction_cache.hpp): when set,
+  /// pre-reductions are looked up by net-content hash instead of being
+  /// re-derived per engine. Non-owning — the cache must outlive every
+  /// engine configured with it (the server session owns one).
+  ReductionCache* reduction_cache = nullptr;
   /// Degradation-ladder rung (DESIGN.md §10): when pre-reduction fails,
   /// analyze the unreduced net (recorded via dn::degrade) instead of
   /// failing the whole net. Off turns that failure back into an error.

@@ -82,12 +82,6 @@ StatusOr<LuFactor> LuFactor::make(Matrix a) {
   return f;
 }
 
-LuFactor::LuFactor(Matrix a) {
-  lu_ = std::move(a);
-  if (lu_.rows() != lu_.cols()) throw std::invalid_argument("LuFactor: not square");
-  factorize().throw_if_error();
-}
-
 Status LuFactor::refactor(const Matrix& a) {
   if (a.rows() != lu_.rows() || a.cols() != lu_.cols())
     return Status::InvalidArgument("LuFactor::refactor: shape mismatch");

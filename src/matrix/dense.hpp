@@ -63,11 +63,6 @@ class LuFactor {
   /// per-net analysis failure the batch engine records and skips.
   static StatusOr<LuFactor> make(Matrix a);
 
-  /// Legacy throwing factorization (std::invalid_argument when not
-  /// square, std::runtime_error on singularity).
-  DN_DEPRECATED("use LuFactor::make")
-  explicit LuFactor(Matrix a);
-
   /// Numeric refactorization of a same-shaped matrix reusing this
   /// factor's storage — the zero-allocation path for fixed-pattern
   /// Newton restamps. Full re-pivoting each call (dense partial-pivot

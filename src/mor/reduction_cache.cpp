@@ -1,0 +1,73 @@
+#include "mor/reduction_cache.hpp"
+
+#include "rcnet/net_hash.hpp"
+#include "util/deadline.hpp"
+#include "util/metrics.hpp"
+
+namespace dn {
+
+namespace {
+
+std::uint64_t options_hash(const TicerOptions& opts) {
+  HashStream h;
+  h.f64(opts.tau_max);
+  h.f64(opts.max_elimination_fraction);
+  return h.digest();
+}
+
+}  // namespace
+
+ReductionCache::Entry* ReductionCache::entry_for(const Key& key) {
+  {
+    std::shared_lock<std::shared_mutex> lk(mu_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) return it->second.get();
+  }
+  std::unique_lock<std::shared_mutex> lk(mu_);
+  const auto [it, inserted] =
+      entries_.try_emplace(key, std::make_unique<Entry>());
+  (void)inserted;
+  return it->second.get();
+}
+
+StatusOr<std::shared_ptr<const CoupledNet>> ReductionCache::try_reduce(
+    const CoupledNet& net, const TicerOptions& opts) {
+  static obs::Counter& c_hits = obs::metrics().counter("reduction_cache.hits");
+  static obs::Counter& c_misses =
+      obs::metrics().counter("reduction_cache.misses");
+
+  const Key key{content_hash(net), options_hash(opts)};
+  Entry* entry = entry_for(key);
+
+  bool reduced_here = false;
+  std::call_once(entry->once, [&] {
+    reduced_here = true;
+    // Shared state: the fill must be a function of the key alone, so it
+    // is shielded from the calling net's deadline (one net's expired
+    // budget must not poison the entry for every later net) and any
+    // failure is caught into the entry.
+    ScopedDeadline no_deadline{Deadline{}};
+    try {
+      entry->reduced =
+          std::make_shared<const CoupledNet>(reduce_coupled_net(net, opts));
+    } catch (const std::exception& e) {
+      entry->status = status_from_exception(e);
+    }
+  });
+  if (reduced_here) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    c_misses.add();
+  } else {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    c_hits.add();
+  }
+  if (entry->reduced) return entry->reduced;
+  return entry->status;
+}
+
+std::size_t ReductionCache::size() const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  return entries_.size();
+}
+
+}  // namespace dn

@@ -1,0 +1,73 @@
+// Process-wide, thread-safe cache of TICER net reductions.
+//
+// Pre-reduction (SuperpositionOptions::prereduce) re-derives the same
+// reduced net every time a structurally identical CoupledNet is analyzed
+// — wasteful for a resident server, where the same design is re-analyzed
+// after every small edit. This cache keys reductions by the net's CONTENT
+// hash (rcnet/net_hash.hpp) plus the reduction options, so:
+//   - two structurally identical nets share one reduction,
+//   - an edited net hashes differently and never sees a stale reduction,
+//   - the cache needs no explicit invalidation — stale entries are simply
+//     never looked up again (and the maps stay small: a design edit
+//     replaces one key among thousands).
+//
+// Locking mirrors CharacterizationCache: a shared_mutex guards the map,
+// a per-entry once_flag serializes the two threads racing on one NEW key
+// while every other key sails through. Failures are cached too, and the
+// fill is shielded from the calling net's deadline so a shared entry's
+// outcome is a function of the key alone.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <utility>
+
+#include "mor/ticer.hpp"
+#include "rcnet/net.hpp"
+#include "util/status.hpp"
+
+namespace dn {
+
+class ReductionCache {
+ public:
+  ReductionCache() = default;
+  ReductionCache(const ReductionCache&) = delete;
+  ReductionCache& operator=(const ReductionCache&) = delete;
+
+  /// The TICER-reduced form of `net`, reducing on first use. The returned
+  /// net is shared and immutable; it stays valid for the cache's
+  /// lifetime. Thread-safe. A reduction that FAILS is cached as its
+  /// Status, so every lookup of that key observes the identical outcome.
+  StatusOr<std::shared_ptr<const CoupledNet>> try_reduce(
+      const CoupledNet& net, const TicerOptions& opts);
+
+  /// Number of distinct (net content, options) keys reduced so far.
+  std::size_t size() const;
+
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  using Key = std::pair<std::uint64_t, std::uint64_t>;  // (net, options).
+
+  struct Entry {
+    std::once_flag once;
+    std::shared_ptr<const CoupledNet> reduced;  // Set inside call_once.
+    Status status;  // Failure cause when the fill failed (reduced == null).
+  };
+
+  Entry* entry_for(const Key& key);
+
+  mutable std::shared_mutex mu_;
+  std::map<Key, std::unique_ptr<Entry>> entries_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace dn

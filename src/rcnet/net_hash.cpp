@@ -1,0 +1,51 @@
+#include "rcnet/net_hash.hpp"
+
+namespace dn {
+
+void hash_tree(HashStream& h, const RcTree& t) {
+  h.i32(t.num_nodes).i32(t.sink);
+  h.u64(t.res.size());
+  for (const NetRes& r : t.res) h.i32(r.a).i32(r.b).f64(r.r);
+  h.u64(t.caps.size());
+  for (const NetCap& c : t.caps) h.i32(c.node).f64(c.c);
+}
+
+void hash_gate(HashStream& h, const GateParams& g) {
+  h.i32(static_cast<int>(g.type)).f64(g.size).f64(g.vdd);
+  h.f64(g.wn_unit).f64(g.wp_unit);
+  for (const MosfetParams* p : {&g.nmos_proto, &g.pmos_proto})
+    h.i32(static_cast<int>(p->type))
+        .f64(p->w)
+        .f64(p->l)
+        .f64(p->vt)
+        .f64(p->kp)
+        .f64(p->lambda)
+        .f64(p->cg_per_m)
+        .f64(p->cj_per_m);
+}
+
+void hash_coupled_net(HashStream& h, const CoupledNet& net) {
+  hash_tree(h, net.victim.net);
+  hash_gate(h, net.victim.driver);
+  hash_gate(h, net.victim.receiver);
+  h.f64(net.victim.input_slew)
+      .boolean(net.victim.output_rising)
+      .f64(net.victim.receiver_load);
+  h.u64(net.aggressors.size());
+  for (const AggressorDesc& a : net.aggressors) {
+    hash_tree(h, a.net);
+    hash_gate(h, a.driver);
+    h.f64(a.input_slew).boolean(a.output_rising).f64(a.sink_load);
+  }
+  h.u64(net.couplings.size());
+  for (const Coupling& c : net.couplings)
+    h.i32(c.aggressor).i32(c.aggressor_node).i32(c.victim_node).f64(c.c);
+}
+
+std::uint64_t content_hash(const CoupledNet& net) {
+  HashStream h;
+  hash_coupled_net(h, net);
+  return h.digest();
+}
+
+}  // namespace dn

@@ -404,14 +404,6 @@ StatusOr<CoupledNet> try_read_spef_file(const std::string& path) {
   return try_read_spef(f);
 }
 
-CoupledNet read_spef(std::istream& is) { return parse_spef(is); }
-
-CoupledNet read_spef_file(const std::string& path) {
-  std::ifstream f(path);
-  if (!f) throw std::runtime_error("spef: cannot open '" + path + "'");
-  return parse_spef(f);
-}
-
 void write_spef_file(const std::string& path, const CoupledNet& net,
                      const std::string& design) {
   std::ofstream f(path);

@@ -40,12 +40,6 @@ StatusOr<CoupledNet> try_read_spef(std::istream& is);
 /// File variant: kNotFound when the file cannot be opened.
 StatusOr<CoupledNet> try_read_spef_file(const std::string& path);
 
-/// Legacy throwing wrappers (std::runtime_error on any failure).
-DN_DEPRECATED("use try_read_spef")
-CoupledNet read_spef(std::istream& is);
-DN_DEPRECATED("use try_read_spef_file")
-CoupledNet read_spef_file(const std::string& path);
-
 void write_spef_file(const std::string& path, const CoupledNet& net,
                      const std::string& design = "dnoise");
 

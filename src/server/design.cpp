@@ -1,0 +1,235 @@
+#include "server/design.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+
+#include "rcnet/random_nets.hpp"
+#include "rcnet/spef.hpp"
+#include "util/rng.hpp"
+
+namespace dn::server {
+
+namespace {
+
+GateParams gate_of(GateType type, double size, double vdd) {
+  GateParams g;
+  g.type = type;
+  g.size = size;
+  g.vdd = vdd;
+  return g;
+}
+
+Status bad_index(int i, std::size_t n) {
+  return Status::InvalidArgument("design: net index " + std::to_string(i) +
+                                 " out of range (have " + std::to_string(n) +
+                                 " nets)");
+}
+
+}  // namespace
+
+Design Design::random(std::uint64_t seed, int num_nets, int neighbors) {
+  Design d;
+  Rng rng(seed);
+  const RandomNetConfig cfg{};
+
+  // Phase 1: the nets, sampled with the same parameter spread as
+  // random_coupled_net's victims. Two-phase generation keeps a net's
+  // parameters independent of the coupling topology.
+  d.nets_.reserve(static_cast<std::size_t>(num_nets));
+  for (int i = 0; i < num_nets; ++i) {
+    DesignNet n;
+    n.name = "n" + std::to_string(i);
+    const int seg = rng.uniform_int(cfg.min_segments, cfg.max_segments);
+    n.tree = make_line(seg, rng.log_uniform(cfg.r_total_min, cfg.r_total_max),
+                       rng.log_uniform(cfg.c_total_min, cfg.c_total_max));
+    n.driver = gate_of(
+        GateType::Inverter,
+        cfg.victim_sizes[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<int>(cfg.victim_sizes.size()) - 1))],
+        cfg.vdd);
+    n.receiver = gate_of(
+        GateType::Inverter,
+        cfg.receiver_sizes[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<int>(cfg.receiver_sizes.size()) - 1))],
+        cfg.vdd);
+    n.input_slew = rng.uniform(cfg.slew_min, cfg.slew_max);
+    n.output_rising = rng.chance(0.5);
+    n.receiver_load = rng.log_uniform(cfg.rcv_load_min, cfg.rcv_load_max);
+    n.sink_load = rng.uniform(2e-15, 8e-15);
+    n.is_victim = true;
+    d.nets_.push_back(std::move(n));
+  }
+
+  // Phase 2: ring couplings — net i to its `neighbors` successors, caps
+  // distributed along the overlap of interior nodes.
+  std::set<std::pair<int, int>> seen;
+  for (int i = 0; i < num_nets; ++i) {
+    for (int k = 1; k <= neighbors; ++k) {
+      const int j = (i + k) % num_nets;
+      if (j == i) continue;
+      const auto pair = std::minmax(i, j);
+      if (!seen.insert({pair.first, pair.second}).second) continue;
+      const double cc_pair =
+          d.nets_[static_cast<std::size_t>(i)].tree.total_cap() *
+          rng.uniform(0.2, 0.6);
+      const int seg_i = d.nets_[static_cast<std::size_t>(i)].tree.num_nodes - 1;
+      const int seg_j = d.nets_[static_cast<std::size_t>(j)].tree.num_nodes - 1;
+      const int overlap = std::max(1, std::min(seg_i, seg_j));
+      for (int t = 1; t <= overlap; ++t)
+        d.couplings_.push_back(
+            {pair.first, pair.second, t, t, cc_pair / overlap});
+    }
+  }
+  return d;
+}
+
+StatusOr<Design> Design::from_spef_files(
+    const std::vector<std::string>& paths) {
+  Design d;
+  for (const auto& path : paths) {
+    StatusOr<CoupledNet> loaded = try_read_spef_file(path);
+    if (!loaded.ok()) return loaded.status();
+    const CoupledNet& cn = *loaded;
+    const int base = static_cast<int>(d.nets_.size());
+
+    DesignNet victim;
+    victim.name = path;
+    victim.tree = cn.victim.net;
+    victim.driver = cn.victim.driver;
+    victim.receiver = cn.victim.receiver;
+    victim.input_slew = cn.victim.input_slew;
+    victim.output_rising = cn.victim.output_rising;
+    victim.receiver_load = cn.victim.receiver_load;
+    victim.is_victim = true;
+    d.nets_.push_back(std::move(victim));
+
+    for (std::size_t k = 0; k < cn.aggressors.size(); ++k) {
+      const AggressorDesc& agg = cn.aggressors[k];
+      DesignNet an;
+      an.name = path + "#a" + std::to_string(k);
+      an.tree = agg.net;
+      an.driver = agg.driver;
+      an.input_slew = agg.input_slew;
+      an.output_rising = agg.output_rising;
+      an.sink_load = agg.sink_load;
+      an.is_victim = false;  // Context only: never analyzed itself.
+      d.nets_.push_back(std::move(an));
+    }
+    for (const Coupling& cc : cn.couplings)
+      d.couplings_.push_back({base, base + 1 + cc.aggressor, cc.victim_node,
+                              cc.aggressor_node, cc.c});
+  }
+  return d;
+}
+
+StatusOr<int> Design::find(const std::string& name) const {
+  for (std::size_t i = 0; i < nets_.size(); ++i)
+    if (nets_[i].name == name) return static_cast<int>(i);
+  return Status::NotFound("design: no net named \"" + name + "\"");
+}
+
+std::vector<int> Design::victims() const {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < nets_.size(); ++i)
+    if (nets_[i].is_victim) out.push_back(static_cast<int>(i));
+  return out;
+}
+
+std::vector<int> Design::neighbors(int i) const {
+  std::vector<int> out;
+  for (const DesignCoupling& cc : couplings_) {
+    if (cc.a == i) out.push_back(cc.b);
+    if (cc.b == i) out.push_back(cc.a);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<int> Design::affected_victims(int i) const {
+  std::vector<int> out;
+  if (nets_[static_cast<std::size_t>(i)].is_victim) out.push_back(i);
+  for (const int j : neighbors(i))
+    if (nets_[static_cast<std::size_t>(j)].is_victim) out.push_back(j);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+StatusOr<CoupledNet> Design::coupled_view(int i) const {
+  if (i < 0 || static_cast<std::size_t>(i) >= nets_.size())
+    return bad_index(i, nets_.size());
+  const DesignNet& v = nets_[static_cast<std::size_t>(i)];
+
+  CoupledNet cn;
+  cn.victim.net = v.tree;
+  cn.victim.driver = v.driver;
+  cn.victim.receiver = v.receiver;
+  cn.victim.input_slew = v.input_slew;
+  cn.victim.output_rising = v.output_rising;
+  cn.victim.receiver_load = v.receiver_load;
+
+  const std::vector<int> nbrs = neighbors(i);
+  for (std::size_t k = 0; k < nbrs.size(); ++k) {
+    const DesignNet& an = nets_[static_cast<std::size_t>(nbrs[k])];
+    AggressorDesc agg;
+    agg.net = an.tree;
+    agg.driver = an.driver;
+    agg.input_slew = an.input_slew;
+    // Policy, not stored state: aggressors oppose the victim — the
+    // delay-increasing worst case.
+    agg.output_rising = !v.output_rising;
+    agg.sink_load = an.sink_load;
+    cn.aggressors.push_back(std::move(agg));
+  }
+  for (const DesignCoupling& cc : couplings_) {
+    int other = -1, victim_node = 0, aggressor_node = 0;
+    if (cc.a == i) {
+      other = cc.b;
+      victim_node = cc.a_node;
+      aggressor_node = cc.b_node;
+    } else if (cc.b == i) {
+      other = cc.a;
+      victim_node = cc.b_node;
+      aggressor_node = cc.a_node;
+    } else {
+      continue;
+    }
+    const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), other);
+    cn.couplings.push_back({static_cast<int>(it - nbrs.begin()),
+                            aggressor_node, victim_node, cc.c});
+  }
+  try {
+    cn.validate();
+  } catch (const std::exception& e) {
+    return Status::InvalidArgument("design: net \"" + v.name +
+                                   "\" has an inconsistent view: " + e.what());
+  }
+  return cn;
+}
+
+Status Design::scale_net(int i, double scale_r, double scale_c) {
+  if (i < 0 || static_cast<std::size_t>(i) >= nets_.size())
+    return bad_index(i, nets_.size());
+  if (!(std::isfinite(scale_r) && scale_r > 0) ||
+      !(std::isfinite(scale_c) && scale_c > 0))
+    return Status::InvalidArgument(
+        "design: scale factors must be finite and > 0");
+  RcTree& tree = nets_[static_cast<std::size_t>(i)].tree;
+  for (NetRes& r : tree.res) r.r *= scale_r;
+  for (NetCap& c : tree.caps) c.c *= scale_c;
+  return Status::Ok();
+}
+
+Status Design::set_driver_size(int i, double size) {
+  if (i < 0 || static_cast<std::size_t>(i) >= nets_.size())
+    return bad_index(i, nets_.size());
+  if (!(std::isfinite(size) && size > 0))
+    return Status::InvalidArgument("design: driver size must be > 0");
+  nets_[static_cast<std::size_t>(i)].driver.size = size;
+  return Status::Ok();
+}
+
+}  // namespace dn::server

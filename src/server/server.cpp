@@ -1,0 +1,158 @@
+#include "server/server.hpp"
+
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <thread>
+#include <utility>
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace dn::server {
+
+Server::Server(ServerOptions opts)
+    : opts_(std::move(opts)), session_(opts_.config) {}
+
+int Server::serve_stream(std::istream& in, std::ostream& out) {
+  struct Item {
+    std::string line;
+    Admission admission = Admission::kAccept;
+  };
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Item> queue;
+  bool input_done = false;
+
+  // The reader stamps admission AT ENQUEUE TIME: the verdict reflects
+  // the backlog the request actually joined, and shed markers ride the
+  // same queue as real work, keeping responses in request order.
+  std::thread reader([&] {
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        Item item;
+        item.line = std::move(line);
+        if (queue.size() >= opts_.queue_hard_limit)
+          item.admission = Admission::kShed;
+        else if (queue.size() >= opts_.queue_soft_limit)
+          item.admission = Admission::kDegrade;
+        queue.push_back(std::move(item));
+      }
+      cv.notify_one();
+      line.clear();
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      input_done = true;
+    }
+    cv.notify_one();
+  });
+
+  for (;;) {
+    Item item;
+    {
+      std::unique_lock<std::mutex> lk(mu);
+      cv.wait(lk, [&] { return input_done || !queue.empty(); });
+      if (queue.empty()) break;  // input_done and fully drained.
+      item = std::move(queue.front());
+      queue.pop_front();
+    }
+    const json::Value response =
+        session_.handle_line(item.line, item.admission);
+    response.dump(out);
+    out << "\n" << std::flush;
+  }
+  reader.join();
+  return out ? 0 : 1;
+}
+
+namespace {
+
+bool write_all(int fd, const std::string& text) {
+  std::size_t off = 0;
+  while (off < text.size()) {
+    const ssize_t n = ::write(fd, text.data() + off, text.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+int Server::serve_unix(const std::string& path) {
+  sockaddr_un addr{};
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "error: bad socket path (empty or > %zu bytes)\n",
+                 sizeof(addr.sun_path) - 1);
+    return 1;
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::fprintf(stderr, "error: socket: %s\n", std::strerror(errno));
+    return 1;
+  }
+  ::unlink(path.c_str());
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(fd, 4) != 0) {
+    std::fprintf(stderr, "error: bind/listen %s: %s\n", path.c_str(),
+                 std::strerror(errno));
+    ::close(fd);
+    return 1;
+  }
+
+  // One client at a time; the session (design, caches, results) stays
+  // warm across connections. Socket mode leans on the kernel socket
+  // buffer for backpressure, so requests run at full fidelity.
+  while (!session_.shutdown_requested()) {
+    const int cfd = ::accept(fd, nullptr, nullptr);
+    if (cfd < 0) {
+      if (errno == EINTR) continue;
+      std::fprintf(stderr, "error: accept: %s\n", std::strerror(errno));
+      break;
+    }
+    std::string buffer;
+    char chunk[4096];
+    bool client_open = true;
+    while (client_open) {
+      const ssize_t n = ::read(cfd, chunk, sizeof(chunk));
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        break;
+      }
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      std::size_t pos;
+      while ((pos = buffer.find('\n')) != std::string::npos) {
+        const std::string line = buffer.substr(0, pos);
+        buffer.erase(0, pos + 1);
+        if (line.empty()) continue;
+        const json::Value response = session_.handle_line(line);
+        if (!write_all(cfd, response.dump() + "\n")) {
+          client_open = false;
+          break;
+        }
+      }
+    }
+    ::close(cfd);
+  }
+  ::close(fd);
+  ::unlink(path.c_str());
+  return 0;
+}
+
+}  // namespace dn::server

@@ -1,0 +1,58 @@
+// Daemon transport: newline-delimited JSON over stdio or a Unix socket.
+//
+// Stream mode (dnoise_cli --serve) runs TWO threads:
+//   - a reader that pulls request lines off the input and stamps each
+//     with an admission verdict AT ENQUEUE TIME (depth < soft: accept;
+//     < hard: degrade; otherwise shed),
+//   - a worker (the calling thread) that executes requests strictly in
+//     arrival order against the resident Session.
+// Stamping at enqueue keeps the response stream in request order — a
+// shed marker travels through the same queue as the work it displaced.
+// The loop ends when input is exhausted; after a shutdown verb, every
+// remaining and subsequent request is answered kUnavailable without
+// executing, so a pipelined script always gets one response per line.
+//
+// Socket mode accepts one client at a time on a Unix-domain socket; the
+// Session persists ACROSS connections (that is the point of a resident
+// daemon: reconnect and the design, caches, and results are still warm).
+// A shutdown verb ends the accept loop and removes the socket file.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+#include "server/session.hpp"
+
+namespace dn::server {
+
+struct ServerOptions {
+  /// Queue depth at which analyze fidelity degrades (rtr_to_rth rung).
+  std::size_t queue_soft_limit = 8;
+  /// Queue depth past which requests are shed with kUnavailable.
+  std::size_t queue_hard_limit = 64;
+  AnalysisConfig config{};
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions opts = {});
+
+  /// Serves `in` to `out` until EOF. Returns the process exit code: 0
+  /// unless the transport itself failed (protocol errors are responses,
+  /// not exit codes).
+  int serve_stream(std::istream& in, std::ostream& out);
+
+  /// Binds `path` and serves one connection at a time until a shutdown
+  /// verb. Returns the process exit code.
+  int serve_unix(const std::string& path);
+
+  Session& session() { return session_; }
+  const ServerOptions& options() const { return opts_; }
+
+ private:
+  ServerOptions opts_;
+  Session session_;
+};
+
+}  // namespace dn::server

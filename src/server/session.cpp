@@ -1,0 +1,463 @@
+#include "server/session.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "clarinet/report.hpp"
+#include "util/fault_injection.hpp"
+#include "util/metrics.hpp"
+
+namespace dn::server {
+
+namespace {
+
+/// The config keys that change ANALYSIS RESULTS (as opposed to
+/// scheduling: jobs, retries, deadlines, ranking depth). A config change
+/// dirties every victim iff this fingerprint changes.
+std::string analysis_fingerprint(const AnalysisConfig& cfg) {
+  const json::Value all = cfg.to_json();
+  static constexpr const char* kKeys[] = {
+      "screen_below_ps",   "screen_vn_below_v",
+      "exhaustive",        "thevenin",
+      "prereduce",         "solver",
+      "dt_ps",             "horizon_ns",
+      "model_alignment_iterations", "rtr_max_iterations",
+      "newton_max_iterations",      "newton_v_tol"};
+  json::Object subset;
+  for (const char* key : kKeys)
+    if (const json::Value* v = all.find(key)) subset[key] = *v;
+  return json::Value(std::move(subset)).dump();
+}
+
+/// Clears a per-request fault spec on every exit path, including the
+/// throw-to-Status unwind in handle_line.
+struct FaultGuard {
+  bool active = false;
+  ~FaultGuard() {
+    if (active) fault::clear();
+  }
+};
+
+StatusOr<std::string> required_string(const json::Value& req, const char* key) {
+  const json::Value* v = req.find(key);
+  if (!v)
+    return Status::InvalidArgument(std::string("request missing \"") + key +
+                                   "\"");
+  return v->require_string(key);
+}
+
+}  // namespace
+
+Session::Session(AnalysisConfig cfg)
+    : cfg_(std::move(cfg)),
+      cache_(std::make_shared<CharacterizationCache>(
+          cfg_.batch.analyzer.table_spec)) {}
+
+json::Value Session::respond(const json::Value* id, Status status,
+                             json::Object result) const {
+  json::Object o;
+  o["schema_version"] = kReportSchemaVersion;
+  if (id) o["id"] = *id;
+  o["ok"] = status.ok();
+  if (status.ok()) {
+    o["result"] = json::Value(std::move(result));
+  } else {
+    json::Object err;
+    err["code"] = status_code_name(status.code());
+    err["message"] = status.message();
+    o["error"] = json::Value(std::move(err));
+  }
+  return json::Value(std::move(o));
+}
+
+json::Value Session::handle_line(const std::string& line,
+                                 Admission admission) {
+  ++requests_;
+  StatusOr<json::Value> parsed = json::parse(line);
+  if (!parsed.ok()) {
+    ++errors_;
+    return respond(nullptr, parsed.status(), {});
+  }
+  const json::Value* id = parsed->find("id");
+  if (shutdown_) {
+    // Post-shutdown drain: every remaining pipelined request still gets
+    // a response (kUnavailable, ordered) so clients never hang on a
+    // missing line.
+    ++errors_;
+    return respond(id, Status::Unavailable("server is shutting down"), {});
+  }
+  if (admission == Admission::kShed) {
+    ++shed_;
+    ++errors_;
+    return respond(id,
+                   Status::Unavailable(
+                       "server overloaded: request shed by admission control"),
+                   {});
+  }
+  if (admission == Admission::kDegrade) ++degraded_admission_;
+
+  Status status;
+  json::Object result;
+  const json::Value* verb_v = parsed->find("verb");
+  StatusOr<std::string> verb =
+      verb_v ? verb_v->require_string("verb")
+             : StatusOr<std::string>(
+                   Status::InvalidArgument("request missing \"verb\""));
+  if (!verb.ok()) {
+    status = verb.status();
+  } else {
+    // The Status boundary of the whole protocol: a handler bug or a
+    // throwing layer below must become a response, never kill the
+    // session.
+    try {
+      if (*verb == "ping") {
+        status = Status::Ok();
+      } else if (*verb == "load_design") {
+        status = verb_load_design(*parsed, result);
+      } else if (*verb == "update_net") {
+        status = verb_update_net(*parsed, result);
+      } else if (*verb == "update_driver") {
+        status = verb_update_driver(*parsed, result);
+      } else if (*verb == "analyze") {
+        status = verb_analyze(*parsed, result, admission);
+      } else if (*verb == "config") {
+        status = verb_config(*parsed, result);
+      } else if (*verb == "stats") {
+        status = verb_stats(result);
+      } else if (*verb == "save_cache") {
+        status = verb_save_cache(*parsed, result);
+      } else if (*verb == "load_cache") {
+        status = verb_load_cache(*parsed, result);
+      } else if (*verb == "shutdown") {
+        shutdown_ = true;
+        status = Status::Ok();
+      } else {
+        status =
+            Status::InvalidArgument("unknown verb \"" + *verb + "\"");
+      }
+    } catch (const std::exception& e) {
+      status = status_from_exception(e);
+    }
+  }
+  if (!status.ok()) ++errors_;
+  return respond(id, status, std::move(result));
+}
+
+void Session::rebind_design() {
+  victims_ = design_.victims();
+  slots_.assign(victims_.size(), BatchNetResult{});
+  dirty_.assign(victims_.size(), true);
+  has_design_ = true;
+}
+
+void Session::mark_all_dirty() {
+  std::fill(dirty_.begin(), dirty_.end(), true);
+}
+
+void Session::invalidate(int net_index, json::Object& result) {
+  json::Array names;
+  for (const int v : design_.affected_victims(net_index)) {
+    const auto it = std::lower_bound(victims_.begin(), victims_.end(), v);
+    if (it == victims_.end() || *it != v) continue;
+    dirty_[static_cast<std::size_t>(it - victims_.begin())] = true;
+    names.push_back(design_.net(v).name);
+  }
+  result["invalidated"] = std::move(names);
+}
+
+Status Session::verb_load_design(const json::Value& req,
+                                 json::Object& result) {
+  const json::Value* spec = req.find("design");
+  if (!spec || !spec->is_object())
+    return Status::InvalidArgument(
+        "load_design: missing \"design\" object");
+
+  if (const json::Value* random = spec->find("random")) {
+    std::uint64_t seed = 1;
+    int nets = 0, neighbors = 2;
+    if (const json::Value* v = random->find("seed")) {
+      StatusOr<int> r = v->require_int("seed");
+      if (!r.ok()) return r.status();
+      seed = static_cast<std::uint64_t>(*r);
+    }
+    if (const json::Value* v = random->find("nets")) {
+      StatusOr<int> r = v->require_int("nets");
+      if (!r.ok()) return r.status();
+      nets = *r;
+    }
+    if (const json::Value* v = random->find("neighbors")) {
+      StatusOr<int> r = v->require_int("neighbors");
+      if (!r.ok()) return r.status();
+      neighbors = *r;
+    }
+    if (nets < 1 || nets > 1000000)
+      return Status::InvalidArgument(
+          "load_design: random.nets must be in [1, 1000000]");
+    if (neighbors < 0 || neighbors >= nets)
+      return Status::InvalidArgument(
+          "load_design: random.neighbors must be in [0, nets)");
+    design_ = Design::random(seed, nets, neighbors);
+  } else if (const json::Value* files = spec->find("spef_files")) {
+    if (!files->is_array())
+      return Status::InvalidArgument(
+          "load_design: spef_files must be an array of paths");
+    std::vector<std::string> paths;
+    for (const json::Value& f : files->as_array()) {
+      StatusOr<std::string> p = f.require_string("spef_files entry");
+      if (!p.ok()) return p.status();
+      paths.push_back(std::move(*p));
+    }
+    StatusOr<Design> loaded = Design::from_spef_files(paths);
+    if (!loaded.ok()) return loaded.status();
+    design_ = std::move(*loaded);
+  } else {
+    return Status::InvalidArgument(
+        "load_design: design needs \"random\" or \"spef_files\"");
+  }
+
+  rebind_design();
+  result["nets"] = design_.num_nets();
+  result["victims"] = victims_.size();
+  result["couplings"] = design_.num_couplings();
+  return Status::Ok();
+}
+
+Status Session::verb_update_net(const json::Value& req,
+                                json::Object& result) {
+  if (!has_design_)
+    return Status::FailedPrecondition("update_net: no design loaded");
+  StatusOr<std::string> name = required_string(req, "net");
+  if (!name.ok()) return name.status();
+  StatusOr<int> idx = design_.find(*name);
+  if (!idx.ok()) return idx.status();
+
+  double scale_r = 1.0, scale_c = 1.0;
+  if (const json::Value* v = req.find("scale_r")) {
+    StatusOr<double> r = v->require_number("scale_r");
+    if (!r.ok()) return r.status();
+    scale_r = *r;
+  }
+  if (const json::Value* v = req.find("scale_c")) {
+    StatusOr<double> r = v->require_number("scale_c");
+    if (!r.ok()) return r.status();
+    scale_c = *r;
+  }
+  Status s = design_.scale_net(*idx, scale_r, scale_c);
+  if (!s.ok()) return s;
+  result["net"] = *name;
+  invalidate(*idx, result);
+  return Status::Ok();
+}
+
+Status Session::verb_update_driver(const json::Value& req,
+                                   json::Object& result) {
+  if (!has_design_)
+    return Status::FailedPrecondition("update_driver: no design loaded");
+  StatusOr<std::string> name = required_string(req, "net");
+  if (!name.ok()) return name.status();
+  StatusOr<int> idx = design_.find(*name);
+  if (!idx.ok()) return idx.status();
+
+  const json::Value* size_v = req.find("size");
+  if (!size_v)
+    return Status::InvalidArgument("update_driver: missing \"size\"");
+  StatusOr<double> size = size_v->require_number("size");
+  if (!size.ok()) return size.status();
+  Status s = design_.set_driver_size(*idx, *size);
+  if (!s.ok()) return s;
+  result["net"] = *name;
+  invalidate(*idx, result);
+  return Status::Ok();
+}
+
+Status Session::verb_analyze(const json::Value& req, json::Object& result,
+                             Admission admission) {
+  if (!has_design_)
+    return Status::FailedPrecondition("analyze: no design loaded");
+  const bool degraded = admission == Admission::kDegrade;
+
+  std::vector<std::size_t> dirty_idx;
+  for (std::size_t o = 0; o < dirty_.size(); ++o)
+    if (dirty_[o]) dirty_idx.push_back(o);
+
+  if (!dirty_idx.empty()) {
+    std::vector<CoupledNet> nets;
+    std::vector<std::string> names;
+    nets.reserve(dirty_idx.size());
+    for (const std::size_t o : dirty_idx) {
+      const int net_index = victims_[o];
+      StatusOr<CoupledNet> view = design_.coupled_view(net_index);
+      if (!view.ok()) return view.status();
+      nets.push_back(std::move(*view));
+      names.push_back(design_.net(net_index).name);
+    }
+
+    BatchOptions opts = cfg_.batch;
+    // The resident caches: tables survive in cache_, reductions are
+    // content-addressed so edited nets never see stale ones.
+    opts.analyzer.engine.reduction_cache = &reductions_;
+    if (degraded) {
+      // Soft-pressure rung: Thevenin holding instead of the Rtr
+      // iteration. The recomputed victims STAY dirty so full fidelity
+      // returns with the next unloaded analyze.
+      opts.analyzer.analysis.use_transient_holding = false;
+    }
+    if (const json::Value* dl = req.find("deadline_ms")) {
+      StatusOr<double> r = dl->require_number("deadline_ms");
+      if (!r.ok()) return r.status();
+      opts.deadline_ms = *r;
+    }
+    // Per-request deterministic chaos: install the spec for this run
+    // only (replacing any process-level spec; cleared after).
+    FaultGuard fault_guard;
+    if (const json::Value* fs = req.find("inject_faults")) {
+      StatusOr<std::string> spec_str = fs->require_string("inject_faults");
+      if (!spec_str.ok()) return spec_str.status();
+      StatusOr<fault::FaultSpec> spec = fault::parse_fault_spec(*spec_str);
+      if (!spec.ok()) return spec.status();
+      std::uint64_t seed = 1;
+      if (const json::Value* sv = req.find("fault_seed")) {
+        StatusOr<int> r = sv->require_int("fault_seed");
+        if (!r.ok()) return r.status();
+        seed = static_cast<std::uint64_t>(*r);
+      }
+      fault::install(*spec, seed);
+      fault_guard.active = true;
+    }
+
+    BatchAnalyzer engine(opts, cache_);
+    BatchResult br = engine.analyze(nets, names);
+
+    for (std::size_t p = 0; p < dirty_idx.size(); ++p) {
+      const std::size_t o = dirty_idx[p];
+      br.nets[p].index = o;
+      slots_[o] = std::move(br.nets[p]);
+      if (!degraded) dirty_[o] = false;
+    }
+    ++analyze_runs_;
+    nets_reanalyzed_ += dirty_idx.size();
+  }
+
+  // Assemble the FULL design's report from the stored slots — identical
+  // bytes whether the slots were just computed or carried over.
+  BatchResult assembled;
+  assembled.nets = slots_;
+  std::vector<std::size_t> ok_idx;
+  for (const BatchNetResult& nr : assembled.nets)
+    if (nr.status.ok() && !nr.screened_out) ok_idx.push_back(nr.index);
+  const std::size_t k = std::min<std::size_t>(
+      ok_idx.size(), cfg_.batch.top_k > 0
+                         ? static_cast<std::size_t>(cfg_.batch.top_k)
+                         : ok_idx.size());
+  std::partial_sort(ok_idx.begin(), ok_idx.begin() + static_cast<long>(k),
+                    ok_idx.end(), [&](std::size_t a, std::size_t b) {
+                      const double da = assembled.nets[a].result.delay_noise();
+                      const double db = assembled.nets[b].result.delay_noise();
+                      if (da != db) return da > db;
+                      return a < b;
+                    });
+  ok_idx.resize(k);
+  assembled.worst = std::move(ok_idx);
+  BatchStats& st = assembled.stats;
+  st.total = assembled.nets.size();
+  for (const BatchNetResult& nr : assembled.nets) {
+    if (nr.screened_out) {
+      ++st.screened_out;
+    } else if (nr.status.ok()) {
+      ++st.analyzed;
+      if (nr.outcome == AnalysisOutcome::kDegraded) ++st.degraded;
+    }
+    st.retries += static_cast<std::uint64_t>(nr.attempts > 1 ? nr.attempts - 1
+                                                             : 0);
+  }
+  st.failed = st.total - st.analyzed - st.screened_out;
+
+  StatusOr<json::Value> report = json::parse(assembled.to_json());
+  if (!report.ok())
+    return Status::Internal("analyze: batch report round-trip failed: " +
+                            report.status().message());
+  result["reanalyzed"] = dirty_idx.size();
+  if (degraded) result["admission_degraded"] = true;
+  result["report"] = *report;
+  return Status::Ok();
+}
+
+Status Session::verb_config(const json::Value& req, json::Object& result) {
+  if (const json::Value* set = req.find("set")) {
+    const std::string before = analysis_fingerprint(cfg_);
+    Status s = cfg_.apply(*set);
+    if (!s.ok()) return s;
+    // Scheduling keys (jobs, retries, top_k...) don't change results;
+    // analysis keys do — and stale slots must not masquerade as current.
+    if (analysis_fingerprint(cfg_) != before) mark_all_dirty();
+  }
+  result["config"] = cfg_.to_json();
+  return Status::Ok();
+}
+
+Status Session::verb_stats(json::Object& result) {
+  result["uptime_s"] = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start_)
+                           .count();
+  result["requests"] = requests_;
+  result["errors"] = errors_;
+  result["shed"] = shed_;
+  result["degraded_admission"] = degraded_admission_;
+  result["analyze_runs"] = analyze_runs_;
+  result["nets_reanalyzed"] = nets_reanalyzed_;
+  result["design_loaded"] = has_design_;
+  if (has_design_) {
+    result["nets"] = design_.num_nets();
+    result["victims"] = victims_.size();
+    result["couplings"] = design_.num_couplings();
+    std::size_t dirty = 0;
+    for (const bool d : dirty_) dirty += d ? 1 : 0;
+    result["dirty"] = dirty;
+  }
+  json::Object cache;
+  cache["tables"] = cache_->tables_cached();
+  cache["hits"] = cache_->hits();
+  cache["misses"] = cache_->misses();
+  cache["contention_waits"] = cache_->contention_waits();
+  result["characterization_cache"] = json::Value(std::move(cache));
+  json::Object red;
+  red["entries"] = reductions_.size();
+  red["hits"] = reductions_.hits();
+  red["misses"] = reductions_.misses();
+  result["reduction_cache"] = json::Value(std::move(red));
+  // The full dn::obs registry, when the process was started with
+  // metrics on (--profile/--metrics-json): the daemon's observability
+  // story is the same one batch mode has.
+  if (obs::metrics_enabled()) {
+    std::ostringstream os;
+    obs::metrics().write_json(os);
+    StatusOr<json::Value> metrics = json::parse(os.str());
+    if (metrics.ok()) result["metrics"] = *metrics;
+  }
+  return Status::Ok();
+}
+
+Status Session::verb_save_cache(const json::Value& req,
+                                json::Object& result) {
+  StatusOr<std::string> path = required_string(req, "path");
+  if (!path.ok()) return path.status();
+  Status s = cache_->save_file(*path);
+  if (!s.ok()) return s;
+  result["path"] = *path;
+  result["tables"] = cache_->tables_cached();
+  return Status::Ok();
+}
+
+Status Session::verb_load_cache(const json::Value& req,
+                                json::Object& result) {
+  StatusOr<std::string> path = required_string(req, "path");
+  if (!path.ok()) return path.status();
+  StatusOr<std::size_t> loaded = cache_->load_file(*path);
+  if (!loaded.ok()) return loaded.status();
+  result["path"] = *path;
+  result["tables_loaded"] = *loaded;
+  return Status::Ok();
+}
+
+}  // namespace dn::server

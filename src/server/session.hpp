@@ -1,0 +1,104 @@
+// Resident analysis session: the daemon's state and request handlers.
+//
+// One Session outlives every request (and, on the socket transport,
+// every connection): it owns the loaded Design, the shared
+// CharacterizationCache, the ReductionCache, the last per-victim
+// results, and the dirty set that makes re-analysis incremental.
+//
+// Incremental model (DESIGN.md §11): each victim's analysis depends only
+// on its own CoupledNet view — its tree/driver/receiver plus the trees
+// and drivers of the nets coupled to it. So an edit of net i invalidates
+// exactly Design::affected_victims(i): i itself and the victims i
+// appears in as an aggressor. `analyze` re-runs only dirty victims
+// through a BatchAnalyzer sharing the resident caches and splices the
+// fresh results into the stored slots; because per-net analysis is
+// deterministic, the assembled result is byte-identical to a cold full
+// run over the same design state.
+//
+// Protocol: one JSON object per request line; one JSON object per
+// response line, always carrying "schema_version", the echoed request
+// "id", and "ok". Verbs: ping, load_design, update_net, update_driver,
+// analyze, config, stats, save_cache, load_cache, shutdown. Malformed
+// input NEVER kills the session — it becomes an ok:false response with a
+// Status code name.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "clarinet/analysis_config.hpp"
+#include "mor/reduction_cache.hpp"
+#include "server/design.hpp"
+#include "util/json.hpp"
+
+namespace dn::server {
+
+/// Admission-controller verdict for one request, decided at ENQUEUE time
+/// (so responses keep request order):
+///   kAccept  — run at full fidelity.
+///   kDegrade — queue past the soft limit: analyze runs on the cheaper
+///              Thevenin-holding rung (rtr_to_rth) and the recomputed
+///              victims STAY dirty, so fidelity is restored by the next
+///              unloaded analyze.
+///   kShed    — queue past the hard limit: fail fast with kUnavailable
+///              (transient — clients may retry) without executing.
+enum class Admission { kAccept, kDegrade, kShed };
+
+class Session {
+ public:
+  explicit Session(AnalysisConfig cfg = {});
+
+  /// One request line -> one response object. Never throws.
+  json::Value handle_line(const std::string& line,
+                          Admission admission = Admission::kAccept);
+
+  /// True once a shutdown request has been handled.
+  bool shutdown_requested() const { return shutdown_; }
+
+  const AnalysisConfig& config() const { return cfg_; }
+
+ private:
+  json::Value respond(const json::Value* id, Status status,
+                      json::Object result) const;
+
+  Status verb_load_design(const json::Value& req, json::Object& result);
+  Status verb_update_net(const json::Value& req, json::Object& result);
+  Status verb_update_driver(const json::Value& req, json::Object& result);
+  Status verb_analyze(const json::Value& req, json::Object& result,
+                      Admission admission);
+  Status verb_config(const json::Value& req, json::Object& result);
+  Status verb_stats(json::Object& result);
+  Status verb_save_cache(const json::Value& req, json::Object& result);
+  Status verb_load_cache(const json::Value& req, json::Object& result);
+
+  /// Applies an edit's dirty closure for design net `net_index`.
+  void invalidate(int net_index, json::Object& result);
+  void mark_all_dirty();
+  /// Rebuilds victims_/slots_/dirty_ after a design (re)load.
+  void rebind_design();
+
+  AnalysisConfig cfg_;
+  std::shared_ptr<CharacterizationCache> cache_;
+  ReductionCache reductions_;
+
+  bool has_design_ = false;
+  Design design_;
+  std::vector<int> victims_;          // Ordinal -> design net index.
+  std::vector<BatchNetResult> slots_; // Last result per victim ordinal.
+  std::vector<bool> dirty_;           // Per victim ordinal.
+
+  bool shutdown_ = false;
+  std::uint64_t requests_ = 0;
+  std::uint64_t errors_ = 0;
+  std::uint64_t shed_ = 0;
+  std::uint64_t degraded_admission_ = 0;
+  std::uint64_t analyze_runs_ = 0;
+  std::uint64_t nets_reanalyzed_ = 0;
+  std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
+};
+
+}  // namespace dn::server

@@ -3,26 +3,19 @@
 //
 // The batch engine analyzes millions of nets per chip; one malformed SPEF
 // block or one non-converging characterization must be *recorded* and
-// skipped, not allowed to unwind the whole run. Public APIs therefore
-// return Status (or StatusOr<T>) and the legacy throwing entry points are
-// kept as thin wrappers (`value_or_throw`) for existing call sites.
+// skipped, not allowed to unwind the whole run. The try_*/StatusOr
+// surface is the ONLY public API: the legacy throwing wrappers
+// (NoiseAnalyzer::analyze, read_spef{,_file}, value_or_throw, the
+// LuFactor constructor) and their DN_ALLOW_DEPRECATED escape hatch were
+// deleted once every call site migrated. Exceptions remain an internal
+// mechanism below the Status boundary (the typed failure classes here),
+// never part of a public signature.
 #pragma once
 
 #include <optional>
 #include <stdexcept>
 #include <string>
 #include <utility>
-
-// The legacy throwing wrappers (NoiseAnalyzer::analyze, read_spef,
-// read_spef_file, StatusOr::value_or_throw) are deprecated in favor of
-// the try_* Status surface. Define DN_ALLOW_DEPRECATED before including
-// any dn header (or with -DDN_ALLOW_DEPRECATED) to silence the warnings
-// in code that has not migrated yet.
-#if defined(DN_ALLOW_DEPRECATED)
-#define DN_DEPRECATED(msg)
-#else
-#define DN_DEPRECATED(msg) [[deprecated(msg)]]
-#endif
 
 namespace dn {
 
@@ -144,13 +137,6 @@ class [[nodiscard]] StatusOr {
   T& operator*() & { return *value_; }
   const T* operator->() const { return &*value_; }
   T* operator->() { return &*value_; }
-
-  /// Legacy bridge: the value, or std::runtime_error with the status text.
-  DN_DEPRECATED("use ok()/status()/value() instead")
-  T value_or_throw() && {
-    status_.throw_if_error();
-    return std::move(*value_);
-  }
 
  private:
   Status status_;  // OK iff value_ holds.

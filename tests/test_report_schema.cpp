@@ -1,0 +1,78 @@
+// Golden-file pin of the versioned report JSON (clarinet/report.*).
+//
+// tests/golden/report_schema.json holds the exact bytes to_json() must
+// render for a fixed report, schema_version included. If this test fails
+// you changed the wire format: either restore the rendering, or — for a
+// deliberate schema change — bump kReportSchemaVersion and regenerate the
+// golden (run this binary with DN_UPDATE_GOLDEN=1).
+#include "clarinet/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace dn {
+namespace {
+
+/// A fully populated report with hand-picked values (nothing computed, so
+/// the bytes cannot drift with the engine).
+DelayNoiseReport fixed_report() {
+  DelayNoiseReport rep;
+  rep.net_name = "golden/net \"42\"";  // Exercises string escaping.
+  rep.victim_driver = "INV";
+  rep.victim_driver_size = 4.0;
+  rep.victim_segments = 7;
+  rep.victim_rising = false;
+  rep.num_aggressors = 3;
+  rep.coupling_total_ff = 55.25;
+  rep.rth_ohm = 812.5;
+  rep.holding_r_ohm = 431.0625;
+  rep.rtr_iterations = 3;
+  rep.pulse_height_v = 0.4375;
+  rep.pulse_width_ps = 118.046875;
+  rep.peak_time_ps = 901.5;
+  rep.align_voltage_v = 0.899999999999;  // %.12g edge.
+  rep.input_delay_noise_ps = 23.125;
+  rep.delay_noise_ps = 41.0078125;
+  Degradation d;
+  d.kind = DegradeKind::kRtrToRth;
+  d.detail = "deadline pressure";
+  d.count = 2;
+  rep.degradations.push_back(d);
+  return rep;
+}
+
+std::string golden_path() {
+  return std::string(DN_GOLDEN_DIR) + "/report_schema.json";
+}
+
+TEST(ReportSchema, JsonBytesMatchTheGoldenFile) {
+  const std::string rendered = fixed_report().to_json() + "\n";
+
+  if (std::getenv("DN_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path(), std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path();
+    out << rendered;
+    GTEST_SKIP() << "golden regenerated";
+  }
+
+  std::ifstream in(golden_path(), std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << golden_path()
+                         << " (regenerate with DN_UPDATE_GOLDEN=1)";
+  std::ostringstream all;
+  all << in.rdbuf();
+  EXPECT_EQ(all.str(), rendered);
+}
+
+TEST(ReportSchema, SchemaVersionIsTheLeadingKey) {
+  const std::string text = fixed_report().to_json();
+  const std::string expect = "{\"schema_version\":" +
+                             std::to_string(kReportSchemaVersion) + ",";
+  EXPECT_EQ(text.substr(0, expect.size()), expect);
+}
+
+}  // namespace
+}  // namespace dn

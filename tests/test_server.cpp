@@ -1,0 +1,428 @@
+// Resident analysis daemon tests (server/*): protocol envelope, the
+// incremental dirty-set engine, admission control, cache persistence,
+// and the cold-vs-incremental byte-identity contract from DESIGN.md §11.
+#include "server/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "clarinet/characterization_cache.hpp"
+#include "server/design.hpp"
+#include "server/server.hpp"
+#include "util/json.hpp"
+
+namespace dn::server {
+namespace {
+
+/// Sends one request line and returns the parsed response object.
+json::Value req(Session& s, const std::string& line,
+                Admission admission = Admission::kAccept) {
+  json::Value resp = s.handle_line(line, admission);
+  EXPECT_TRUE(resp.is_object()) << "response not an object for: " << line;
+  return resp;
+}
+
+bool ok(const json::Value& resp) {
+  const json::Value* v = resp.find("ok");
+  return v != nullptr && v->is_bool() && v->as_bool();
+}
+
+std::string error_code(const json::Value& resp) {
+  const json::Value* err = resp.find("error");
+  if (!err) return "";
+  const json::Value* code = err->find("code");
+  return code && code->is_string() ? code->as_string() : "";
+}
+
+const json::Value& result_of(const json::Value& resp) {
+  const json::Value* r = resp.find("result");
+  EXPECT_NE(r, nullptr);
+  return *r;
+}
+
+std::string load_line(int seed, int nets, int neighbors) {
+  std::ostringstream os;
+  os << "{\"verb\":\"load_design\",\"design\":{\"random\":{\"seed\":" << seed
+     << ",\"nets\":" << nets << ",\"neighbors\":" << neighbors << "}}}";
+  return os.str();
+}
+
+/// The report sub-object of an analyze response, re-serialized. Byte
+/// equality of these strings is the identity the daemon promises.
+std::string report_bytes(const json::Value& resp) {
+  const json::Value* rep = result_of(resp).find("report");
+  EXPECT_NE(rep, nullptr);
+  return rep ? rep->dump() : "";
+}
+
+TEST(ServerProtocol, PingEchoesIdAndCarriesSchemaVersion) {
+  Session s;
+  const json::Value resp = req(s, "{\"id\":42,\"verb\":\"ping\"}");
+  EXPECT_TRUE(ok(resp));
+  const json::Value* id = resp.find("id");
+  ASSERT_NE(id, nullptr);
+  EXPECT_EQ(id->as_number(), 42.0);
+  const json::Value* sv = resp.find("schema_version");
+  ASSERT_NE(sv, nullptr);
+  EXPECT_EQ(static_cast<int>(sv->as_number()), kReportSchemaVersion);
+}
+
+TEST(ServerProtocol, MalformedJsonIsAResponseNotACrash) {
+  Session s;
+  const json::Value resp = req(s, "{\"verb\": nope}");
+  EXPECT_FALSE(ok(resp));
+  EXPECT_EQ(error_code(resp), "INVALID_ARGUMENT");
+  // The session survives and still answers.
+  EXPECT_TRUE(ok(req(s, "{\"verb\":\"ping\"}")));
+}
+
+TEST(ServerProtocol, UnknownVerbAndMissingVerbAreInvalidArgument) {
+  Session s;
+  EXPECT_EQ(error_code(req(s, "{\"verb\":\"frobnicate\"}")),
+            "INVALID_ARGUMENT");
+  EXPECT_EQ(error_code(req(s, "{\"id\":1}")), "INVALID_ARGUMENT");
+  EXPECT_EQ(error_code(req(s, "[1,2,3]")), "INVALID_ARGUMENT");
+}
+
+TEST(ServerProtocol, AnalyzeBeforeLoadIsFailedPrecondition) {
+  Session s;
+  EXPECT_EQ(error_code(req(s, "{\"verb\":\"analyze\"}")),
+            "FAILED_PRECONDITION");
+  EXPECT_EQ(error_code(req(s, "{\"verb\":\"update_net\",\"net\":\"n0\"}")),
+            "FAILED_PRECONDITION");
+}
+
+TEST(ServerProtocol, ShutdownDrainsRemainingRequestsAsUnavailable) {
+  Session s;
+  EXPECT_TRUE(ok(req(s, "{\"verb\":\"shutdown\"}")));
+  EXPECT_TRUE(s.shutdown_requested());
+  const json::Value after = req(s, "{\"id\":9,\"verb\":\"ping\"}");
+  EXPECT_FALSE(ok(after));
+  EXPECT_EQ(error_code(after), "UNAVAILABLE");
+  // Still one response per line, id still echoed.
+  ASSERT_NE(after.find("id"), nullptr);
+  EXPECT_EQ(after.find("id")->as_number(), 9.0);
+}
+
+TEST(ServerDesign, RandomRingNeighborsAndAffectedVictims) {
+  const Design d = Design::random(3, 8, 2);
+  ASSERT_EQ(d.num_nets(), 8u);
+  // Ring with 2 successors: net 0 couples to {1,2} forward and {6,7}
+  // backward.
+  EXPECT_EQ(d.neighbors(0), (std::vector<int>{1, 2, 6, 7}));
+  EXPECT_EQ(d.affected_victims(0), (std::vector<int>{0, 1, 2, 6, 7}));
+  const StatusOr<int> idx = d.find("n3");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 3);
+  EXPECT_EQ(d.find("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(ServerDesign, CoupledViewAggressorsSwitchOppositeToVictim) {
+  const Design d = Design::random(11, 6, 1);
+  for (int i = 0; i < 6; ++i) {
+    const StatusOr<CoupledNet> view = d.coupled_view(i);
+    ASSERT_TRUE(view.ok());
+    for (const AggressorDesc& a : view->aggressors)
+      EXPECT_EQ(a.output_rising, !view->victim.output_rising);
+  }
+}
+
+TEST(ServerDesign, EditsValidateBeforeMutating) {
+  Design d = Design::random(1, 4, 1);
+  const double r0 = d.net(2).tree.res[1].r;
+  EXPECT_EQ(d.scale_net(2, -1.0, 1.0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(d.net(2).tree.res[1].r, r0);  // Untouched on error.
+  EXPECT_TRUE(d.scale_net(2, 2.0, 1.0).ok());
+  EXPECT_EQ(d.net(2).tree.res[1].r, 2.0 * r0);
+  EXPECT_EQ(d.scale_net(99, 1.0, 1.0).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServerSession, UpdateNetInvalidatesExactlyTheDirtyClosure) {
+  Session s;
+  ASSERT_TRUE(ok(req(s, load_line(7, 10, 2))));
+  ASSERT_TRUE(ok(req(s, "{\"verb\":\"analyze\"}")));
+
+  const json::Value upd =
+      req(s, "{\"verb\":\"update_net\",\"net\":\"n4\",\"scale_c\":1.3}");
+  ASSERT_TRUE(ok(upd));
+  const json::Value* inv = result_of(upd).find("invalidated");
+  ASSERT_NE(inv, nullptr);
+  ASSERT_TRUE(inv->is_array());
+  std::vector<std::string> names;
+  for (const json::Value& v : inv->as_array()) names.push_back(v.as_string());
+  // Ring, 2 successors: n4's dirty closure is itself plus nets within
+  // distance 2 on either side.
+  EXPECT_EQ(names,
+            (std::vector<std::string>{"n2", "n3", "n4", "n5", "n6"}));
+
+  const json::Value second = req(s, "{\"verb\":\"analyze\"}");
+  ASSERT_TRUE(ok(second));
+  EXPECT_EQ(result_of(second).find("reanalyzed")->as_number(), 5.0);
+  // Third analyze: nothing dirty, nothing recomputed.
+  const json::Value third = req(s, "{\"verb\":\"analyze\"}");
+  EXPECT_EQ(result_of(third).find("reanalyzed")->as_number(), 0.0);
+}
+
+TEST(ServerSession, IncrementalReportMatchesColdRunByteForByte) {
+  // Session A: load, full analyze, edit n2, incremental analyze.
+  Session a;
+  ASSERT_TRUE(ok(req(a, load_line(21, 12, 2))));
+  ASSERT_TRUE(ok(req(a, "{\"verb\":\"analyze\"}")));
+  ASSERT_TRUE(ok(
+      req(a, "{\"verb\":\"update_net\",\"net\":\"n2\",\"scale_r\":1.5}")));
+  const json::Value incr = req(a, "{\"verb\":\"analyze\"}");
+  ASSERT_TRUE(ok(incr));
+  EXPECT_LT(result_of(incr).find("reanalyzed")->as_number(), 12.0);
+
+  // Session B: same design, same edit, ONE cold analyze of the final
+  // state. The daemon's contract: byte-identical reports.
+  Session b;
+  ASSERT_TRUE(ok(req(b, load_line(21, 12, 2))));
+  ASSERT_TRUE(ok(
+      req(b, "{\"verb\":\"update_net\",\"net\":\"n2\",\"scale_r\":1.5}")));
+  const json::Value cold = req(b, "{\"verb\":\"analyze\"}");
+  ASSERT_TRUE(ok(cold));
+  EXPECT_EQ(result_of(cold).find("reanalyzed")->as_number(), 12.0);
+
+  EXPECT_EQ(report_bytes(incr), report_bytes(cold));
+}
+
+TEST(ServerSession, JobsOneAndEightProduceIdenticalReports) {
+  const std::string cfg1 = "{\"verb\":\"config\",\"set\":{\"jobs\":1}}";
+  const std::string cfg8 = "{\"verb\":\"config\",\"set\":{\"jobs\":8}}";
+  Session s1, s8;
+  ASSERT_TRUE(ok(req(s1, cfg1)));
+  ASSERT_TRUE(ok(req(s8, cfg8)));
+  ASSERT_TRUE(ok(req(s1, load_line(5, 10, 2))));
+  ASSERT_TRUE(ok(req(s8, load_line(5, 10, 2))));
+  const json::Value r1 = req(s1, "{\"verb\":\"analyze\"}");
+  const json::Value r8 = req(s8, "{\"verb\":\"analyze\"}");
+  ASSERT_TRUE(ok(r1));
+  ASSERT_TRUE(ok(r8));
+  EXPECT_EQ(report_bytes(r1), report_bytes(r8));
+}
+
+TEST(ServerSession, SchedulingConfigKeepsResultsSchemaInvalidatesOnEngine) {
+  Session s;
+  ASSERT_TRUE(ok(req(s, load_line(9, 6, 1))));
+  ASSERT_TRUE(ok(req(s, "{\"verb\":\"analyze\"}")));
+  // jobs is scheduling-only: nothing dirties.
+  ASSERT_TRUE(ok(req(s, "{\"verb\":\"config\",\"set\":{\"jobs\":3}}")));
+  EXPECT_EQ(result_of(req(s, "{\"verb\":\"analyze\"}"))
+                .find("reanalyzed")->as_number(),
+            0.0);
+  // exhaustive changes the analysis fingerprint: all victims dirty.
+  ASSERT_TRUE(ok(req(s, "{\"verb\":\"config\",\"set\":{\"exhaustive\":true}}")));
+  EXPECT_EQ(result_of(req(s, "{\"verb\":\"analyze\"}"))
+                .find("reanalyzed")->as_number(),
+            6.0);
+}
+
+TEST(ServerSession, InvalidConfigIsRejectedAndLeavesConfigIntact) {
+  Session s;
+  const json::Value before = req(s, "{\"verb\":\"config\"}");
+  ASSERT_TRUE(ok(before));
+  const std::string before_cfg = result_of(before).find("config")->dump();
+
+  EXPECT_EQ(error_code(req(
+                s, "{\"verb\":\"config\",\"set\":{\"top_k\":-3}}")),
+            "INVALID_ARGUMENT");
+  EXPECT_EQ(error_code(req(
+                s, "{\"verb\":\"config\",\"set\":{\"no_such_knob\":1}}")),
+            "INVALID_ARGUMENT");
+  EXPECT_EQ(error_code(req(
+                s, "{\"verb\":\"config\",\"set\":{\"jobs\":\"many\"}}")),
+            "INVALID_ARGUMENT");
+
+  const json::Value after = req(s, "{\"verb\":\"config\"}");
+  EXPECT_EQ(result_of(after).find("config")->dump(), before_cfg);
+}
+
+TEST(ServerSession, ShedRequestsFailFastWithUnavailable) {
+  Session s;
+  ASSERT_TRUE(ok(req(s, load_line(2, 4, 1))));
+  const json::Value shed =
+      req(s, "{\"id\":7,\"verb\":\"analyze\"}", Admission::kShed);
+  EXPECT_FALSE(ok(shed));
+  EXPECT_EQ(error_code(shed), "UNAVAILABLE");
+  EXPECT_EQ(shed.find("id")->as_number(), 7.0);
+  // The design was never analyzed — everything still dirty for the next
+  // accepted request.
+  const json::Value next = req(s, "{\"verb\":\"analyze\"}");
+  EXPECT_EQ(result_of(next).find("reanalyzed")->as_number(), 4.0);
+}
+
+TEST(ServerSession, DegradedAdmissionLeavesVictimsDirty) {
+  Session s;
+  ASSERT_TRUE(ok(req(s, load_line(4, 5, 1))));
+  const json::Value deg =
+      req(s, "{\"verb\":\"analyze\"}", Admission::kDegrade);
+  ASSERT_TRUE(ok(deg));
+  EXPECT_EQ(result_of(deg).find("reanalyzed")->as_number(), 5.0);
+  const json::Value* flag = result_of(deg).find("admission_degraded");
+  ASSERT_NE(flag, nullptr);
+  EXPECT_TRUE(flag->as_bool());
+  // Fidelity debt: the cheap-rung results do not clear the dirty bits.
+  const json::Value repay = req(s, "{\"verb\":\"analyze\"}");
+  ASSERT_TRUE(ok(repay));
+  EXPECT_EQ(result_of(repay).find("reanalyzed")->as_number(), 5.0);
+  EXPECT_EQ(result_of(repay).find("admission_degraded"), nullptr);
+  // Debt repaid — now clean.
+  EXPECT_EQ(result_of(req(s, "{\"verb\":\"analyze\"}"))
+                .find("reanalyzed")->as_number(),
+            0.0);
+}
+
+TEST(ServerSession, StatsReportsCountersAndCacheState) {
+  Session s;
+  ASSERT_TRUE(ok(req(s, load_line(6, 6, 1))));
+  ASSERT_TRUE(ok(req(s, "{\"verb\":\"analyze\"}")));
+  const json::Value stats = req(s, "{\"verb\":\"stats\"}");
+  ASSERT_TRUE(ok(stats));
+  const json::Value& r = result_of(stats);
+  EXPECT_GE(r.find("requests")->as_number(), 3.0);
+  EXPECT_EQ(r.find("analyze_runs")->as_number(), 1.0);
+  EXPECT_EQ(r.find("nets_reanalyzed")->as_number(), 6.0);
+  EXPECT_EQ(r.find("nets")->as_number(), 6.0);
+  EXPECT_EQ(r.find("dirty")->as_number(), 0.0);
+  const json::Value* cc = r.find("characterization_cache");
+  ASSERT_NE(cc, nullptr);
+  EXPECT_GT(cc->find("tables")->as_number(), 0.0);
+}
+
+// --- Cache persistence ---------------------------------------------------
+
+std::string temp_path(const char* stem) {
+  return testing::TempDir() + stem;
+}
+
+TEST(CharacterizationCachePersistence, SaveLoadRoundTripServesHits) {
+  Session s;
+  ASSERT_TRUE(ok(req(s, load_line(13, 8, 2))));
+  ASSERT_TRUE(ok(req(s, "{\"verb\":\"analyze\"}")));
+  const std::string path = temp_path("dn_cc_roundtrip.bin");
+  ASSERT_TRUE(ok(req(
+      s, "{\"verb\":\"save_cache\",\"path\":\"" + path + "\"}")));
+
+  // Fresh session, same design: preloading the tables means analyze
+  // characterizes NOTHING new (misses stay 0).
+  Session warm;
+  ASSERT_TRUE(ok(req(warm, load_line(13, 8, 2))));
+  const json::Value loaded = req(
+      warm, "{\"verb\":\"load_cache\",\"path\":\"" + path + "\"}");
+  ASSERT_TRUE(ok(loaded)) << error_code(loaded);
+  EXPECT_GT(result_of(loaded).find("tables_loaded")->as_number(), 0.0);
+  ASSERT_TRUE(ok(req(warm, "{\"verb\":\"analyze\"}")));
+  const json::Value stats = req(warm, "{\"verb\":\"stats\"}");
+  const json::Value* cc = result_of(stats).find("characterization_cache");
+  ASSERT_NE(cc, nullptr);
+  EXPECT_EQ(cc->find("misses")->as_number(), 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(CharacterizationCachePersistence,
+     WarmStartAfterEditRecomputesOnlyDirtyVictims) {
+  // save -> mutate one net -> load: the dirty set comes from the design
+  // edit, the cache only spares re-characterization.
+  Session s;
+  ASSERT_TRUE(ok(req(s, load_line(17, 8, 1))));
+  ASSERT_TRUE(ok(req(s, "{\"verb\":\"analyze\"}")));
+  const std::string path = temp_path("dn_cc_warm_edit.bin");
+  ASSERT_TRUE(ok(req(
+      s, "{\"verb\":\"save_cache\",\"path\":\"" + path + "\"}")));
+
+  Session warm;
+  ASSERT_TRUE(ok(req(warm, load_line(17, 8, 1))));
+  ASSERT_TRUE(ok(req(
+      warm, "{\"verb\":\"load_cache\",\"path\":\"" + path + "\"}")));
+  ASSERT_TRUE(ok(req(warm, "{\"verb\":\"analyze\"}")));
+  ASSERT_TRUE(ok(req(
+      warm, "{\"verb\":\"update_net\",\"net\":\"n5\",\"scale_c\":1.2}")));
+  const json::Value incr = req(warm, "{\"verb\":\"analyze\"}");
+  ASSERT_TRUE(ok(incr));
+  // Ring with 1 successor: n5's closure is {n4, n5, n6}.
+  EXPECT_EQ(result_of(incr).find("reanalyzed")->as_number(), 3.0);
+  std::remove(path.c_str());
+}
+
+TEST(CharacterizationCachePersistence, CorruptFileIsRejected) {
+  CharacterizationCache cache{AlignmentTableSpec{}};
+  // A table spec never characterized: save of an empty cache still has a
+  // valid header.
+  std::ostringstream saved;
+  ASSERT_TRUE(cache.save(saved).ok());
+
+  // Flip a payload/header byte -> content-hash (or header) rejection.
+  std::string bytes = saved.str();
+  ASSERT_FALSE(bytes.empty());
+  bytes[bytes.size() / 2] ^= 0x20;
+  std::istringstream corrupt(bytes);
+  CharacterizationCache fresh{AlignmentTableSpec{}};
+  const StatusOr<std::size_t> r = fresh.load(corrupt);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+
+  // Garbage header.
+  std::istringstream garbage("not a cache file\n");
+  EXPECT_EQ(fresh.load(garbage).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CharacterizationCachePersistence, TruncatedFileIsRejected) {
+  Session s;
+  ASSERT_TRUE(ok(req(s, load_line(19, 4, 1))));
+  ASSERT_TRUE(ok(req(s, "{\"verb\":\"analyze\"}")));
+  const std::string path = temp_path("dn_cc_trunc.bin");
+  ASSERT_TRUE(ok(req(
+      s, "{\"verb\":\"save_cache\",\"path\":\"" + path + "\"}")));
+
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream all;
+  all << in.rdbuf();
+  std::string bytes = all.str();
+  ASSERT_GT(bytes.size(), 64u);
+  bytes.resize(bytes.size() - 32);  // Chop the tail.
+  std::istringstream truncated(bytes);
+  CharacterizationCache fresh{AlignmentTableSpec{}};
+  const StatusOr<std::size_t> r = fresh.load(truncated);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+// --- Transport -----------------------------------------------------------
+
+TEST(ServerStream, ServesPipelinedRequestsInOrderUntilEof) {
+  std::istringstream in(
+      "{\"id\":1,\"verb\":\"ping\"}\n"
+      "\n"
+      "{\"id\":2,\"verb\":\"stats\"}\n"
+      "{\"id\":3,\"verb\":\"shutdown\"}\n"
+      "{\"id\":4,\"verb\":\"ping\"}\n");
+  std::ostringstream out;
+  Server srv;
+  EXPECT_EQ(srv.serve_stream(in, out), 0);
+  std::istringstream lines(out.str());
+  std::string line;
+  std::vector<json::Value> resps;
+  while (std::getline(lines, line)) {
+    StatusOr<json::Value> v = json::parse(line);
+    ASSERT_TRUE(v.ok()) << line;
+    resps.push_back(std::move(*v));
+  }
+  ASSERT_EQ(resps.size(), 4u);  // Empty line skipped; one response each.
+  for (int i = 0; i < 4; ++i)
+    EXPECT_EQ(resps[static_cast<std::size_t>(i)].find("id")->as_number(),
+              i + 1.0);
+  EXPECT_TRUE(ok(resps[0]));
+  EXPECT_TRUE(ok(resps[2]));                      // shutdown itself.
+  EXPECT_EQ(error_code(resps[3]), "UNAVAILABLE");  // post-shutdown drain.
+}
+
+}  // namespace
+}  // namespace dn::server

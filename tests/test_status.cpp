@@ -1,8 +1,8 @@
-// Status / StatusOr surface tests (util/status.*), including the
-// deprecated legacy throwing bridges — this translation unit opts into
-// them explicitly, so the library headers stay warning-clean everywhere
-// else.
-#define DN_ALLOW_DEPRECATED
+// Status / StatusOr surface tests (util/status.*). The try_*/StatusOr
+// surface is the only public API; the legacy throwing wrappers and the
+// DN_ALLOW_DEPRECATED escape hatch were deleted, and these tests pin the
+// Status-only behavior (kInvalidArgument for bad input, never a throw
+// across a public boundary).
 #include "util/status.hpp"
 
 #include <gtest/gtest.h>
@@ -97,43 +97,27 @@ TEST(StatusOr, SupportsMoveOnlyPayloads) {
   EXPECT_EQ(*out, 5);
 }
 
-TEST(StatusOr, ValueOrThrowReturnsValue) {
-  StatusOr<std::string> v = std::string("hello");
-  EXPECT_EQ(std::move(v).value_or_throw(), "hello");
-}
-
-TEST(StatusOr, ValueOrThrowThrowsTheStatusText) {
-  StatusOr<int> v = Status::InvalidArgument("resistor spans nets");
-  try {
-    (void)std::move(v).value_or_throw();
-    FAIL() << "expected throw";
-  } catch (const std::runtime_error& e) {
-    EXPECT_EQ(std::string(e.what()),
-              "INVALID_ARGUMENT: resistor spans nets");
-  }
-}
-
 // ---------------------------------------------------------------------------
-// Legacy throwing wrappers (deprecated; allowed here via
-// DN_ALLOW_DEPRECATED). These keep working until every call site has
-// migrated to the try_* surface.
+// The Status surface end-to-end through the SPEF reader and analyzer.
 // ---------------------------------------------------------------------------
 
-TEST(LegacyWrappers, ReadSpefThrowsOnMalformedInput) {
+TEST(StatusApi, MalformedSpefIsInvalidArgumentNotAThrow) {
   std::istringstream garbage("*SPEF \"dnoise-subset-1\"\n*BOGUS\n");
-  EXPECT_THROW(read_spef(garbage), std::runtime_error);
-  EXPECT_THROW(read_spef_file("/nonexistent/x.spef"), std::runtime_error);
+  const StatusOr<CoupledNet> r = try_read_spef(garbage);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
 }
 
-TEST(LegacyWrappers, ReadSpefStillParsesGoodInput) {
+TEST(StatusApi, RoundTripThroughWriterStaysOk) {
   const CoupledNet net = example_coupled_net(1);
   std::stringstream ss;
   write_spef(ss, net);
-  const CoupledNet back = read_spef(ss);
-  EXPECT_EQ(back.aggressors.size(), net.aggressors.size());
+  const StatusOr<CoupledNet> back = try_read_spef(ss);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->aggressors.size(), net.aggressors.size());
 }
 
-TEST(LegacyWrappers, AnalyzeThrowsOnInvalidNet) {
+TEST(StatusApi, InvalidNetIsStatusNotAThrow) {
   AnalyzerConfig cfg;
   cfg.table_spec.search.coarse_points = 17;
   cfg.table_spec.search.fine_points = 9;
@@ -142,12 +126,10 @@ TEST(LegacyWrappers, AnalyzeThrowsOnInvalidNet) {
   NoiseAnalyzer analyzer(cfg);
   CoupledNet bad = example_coupled_net(1);
   bad.couplings.push_back({42, 0, 0, 1e-15});  // Aggressor 42 doesn't exist.
-  EXPECT_THROW(analyzer.analyze(bad), std::runtime_error);
+  const StatusOr<DelayNoiseResult> r = analyzer.try_analyze(bad);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
 }
-
-// ---------------------------------------------------------------------------
-// The Status surface end-to-end through the SPEF reader.
-// ---------------------------------------------------------------------------
 
 TEST(StatusApi, TryReadSpefFileReportsNotFound) {
   const StatusOr<CoupledNet> r = try_read_spef_file("/nonexistent/x.spef");

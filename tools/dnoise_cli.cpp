@@ -19,6 +19,21 @@
 //     Per-net failures (unreadable/malformed decks, solver errors) are
 //     recorded and the run continues. stdout is byte-identical for any
 //     --jobs value; throughput/cache stats go to stderr.
+//     [--load-cache FILE] preloads characterized alignment tables,
+//     [--save-cache FILE] persists them after the run.
+//
+// Server mode (the resident analysis daemon, DESIGN.md §11):
+//   dnoise_cli --serve [--socket PATH] [--queue-soft N] [--queue-hard N]
+//     Speaks newline-delimited JSON (one request object per line, one
+//     response per line) on stdin/stdout, or on a Unix socket with
+//     --socket. Verbs: ping, load_design, update_net, update_driver,
+//     analyze, config, stats, save_cache, load_cache, shutdown.
+//
+// Configuration (single, batch, and serve modes): every analysis knob is
+// a key of dn::AnalysisConfig. Flags below are shorthand for those keys;
+// --config FILE loads a JSON object of them first (flags win). Flags and
+// server `config` requests share ONE validation path — a bad value is a
+// clean error, never a crash.
 //
 // Screening mode:
 //   dnoise_cli --screen <file.spef>... (rank by severity)
@@ -47,13 +62,14 @@
 #include <string>
 #include <vector>
 
+#include "clarinet/analysis_config.hpp"
 #include "clarinet/batch_analyzer.hpp"
 #include "clarinet/screening.hpp"
-#include "matrix/solver.hpp"
 #include "core/baselines.hpp"
 #include "core/functional_noise.hpp"
 #include "rcnet/random_nets.hpp"
 #include "rcnet/spef.hpp"
+#include "server/server.hpp"
 #include "util/deadline.hpp"
 #include "util/fault_injection.hpp"
 #include "util/trace.hpp"
@@ -92,22 +108,20 @@ const char* str_flag(int argc, char** argv, const char* name,
 /// Positional (non-flag) arguments, skipping the values of flags that
 /// take one.
 std::vector<std::string> positional_args(int argc, char** argv) {
+  static constexpr const char* kValueFlags[] = {
+      "--jobs",        "--top",        "--random",      "--seed",
+      "--screen-below", "--solver",    "--metrics-json", "--trace-out",
+      "--deadline-ms", "--max-retries", "--inject-faults", "--fault-seed",
+      "--config",      "--socket",     "--queue-soft",  "--queue-hard",
+      "--save-cache",  "--load-cache"};
   std::vector<std::string> out;
   for (int i = 1; i < argc; ++i) {
     if (argv[i][0] == '-') {
-      if (std::strcmp(argv[i], "--jobs") == 0 ||
-          std::strcmp(argv[i], "--top") == 0 ||
-          std::strcmp(argv[i], "--random") == 0 ||
-          std::strcmp(argv[i], "--seed") == 0 ||
-          std::strcmp(argv[i], "--screen-below") == 0 ||
-          std::strcmp(argv[i], "--solver") == 0 ||
-          std::strcmp(argv[i], "--metrics-json") == 0 ||
-          std::strcmp(argv[i], "--trace-out") == 0 ||
-          std::strcmp(argv[i], "--deadline-ms") == 0 ||
-          std::strcmp(argv[i], "--max-retries") == 0 ||
-          std::strcmp(argv[i], "--inject-faults") == 0 ||
-          std::strcmp(argv[i], "--fault-seed") == 0)
-        ++i;  // Skip the flag's value.
+      for (const char* flag : kValueFlags)
+        if (std::strcmp(argv[i], flag) == 0) {
+          ++i;  // Skip the flag's value.
+          break;
+        }
       continue;
     }
     out.emplace_back(argv[i]);
@@ -121,10 +135,13 @@ int usage() {
       "usage: dnoise_cli <file.spef> [--exhaustive] [--thevenin]\n"
       "                  [--functional] [--golden] [--csv] [--json]\n"
       "       dnoise_cli --batch <file.spef>... [--jobs N] [--top K] [--json]\n"
-      "                  [--screen-below PS]\n"
+      "                  [--screen-below PS] [--load-cache F] [--save-cache F]\n"
       "       dnoise_cli --batch --random N [--seed S] [--jobs N] [--top K]\n"
       "       dnoise_cli --screen <file.spef>... (rank by severity)\n"
-      "solver (single and batch modes):\n"
+      "       dnoise_cli --serve [--socket PATH] [--queue-soft N]\n"
+      "                  [--queue-hard N]   (NDJSON analysis daemon)\n"
+      "config (all analysis modes; one validation path):\n"
+      "       [--config FILE]  JSON object of dn::AnalysisConfig keys\n"
       "       [--solver auto|dense|sparse]  linear-solver backend\n"
       "observability (any mode):\n"
       "       [--profile] [--metrics-json FILE] [--trace-out FILE]\n"
@@ -135,6 +152,46 @@ int usage() {
   return 2;
 }
 
+/// The ONE flag -> configuration path: flags become AnalysisConfig JSON
+/// keys and go through the same from_json/apply validation the server's
+/// `config` verb uses. --config FILE applies first; flags override it.
+StatusOr<AnalysisConfig> config_from_flags(int argc, char** argv) {
+  AnalysisConfig cfg;
+  if (const char* path = str_flag(argc, argv, "--config", nullptr)) {
+    std::ifstream is(path);
+    if (!is)
+      return Status::NotFound(std::string("cannot read config file ") + path);
+    std::ostringstream text;
+    text << is.rdbuf();
+    const std::string body = text.str();
+    StatusOr<AnalysisConfig> loaded =
+        AnalysisConfig::from_json(std::string_view(body));
+    if (!loaded.ok()) return loaded.status();
+    cfg = std::move(*loaded);
+  }
+
+  json::Object flags;
+  if (str_flag(argc, argv, "--jobs", nullptr))
+    flags["jobs"] = int_flag(argc, argv, "--jobs", 0);
+  if (str_flag(argc, argv, "--top", nullptr))
+    flags["top_k"] = int_flag(argc, argv, "--top", 10);
+  if (str_flag(argc, argv, "--screen-below", nullptr))
+    flags["screen_below_ps"] = double_flag(argc, argv, "--screen-below", -1.0);
+  if (str_flag(argc, argv, "--deadline-ms", nullptr))
+    flags["deadline_ms"] = double_flag(argc, argv, "--deadline-ms", -1.0);
+  if (str_flag(argc, argv, "--max-retries", nullptr))
+    flags["max_retries"] = int_flag(argc, argv, "--max-retries", 0);
+  if (const char* solver = str_flag(argc, argv, "--solver", nullptr))
+    flags["solver"] = solver;
+  if (has_flag(argc, argv, "--exhaustive")) flags["exhaustive"] = true;
+  if (has_flag(argc, argv, "--thevenin")) flags["thevenin"] = true;
+  if (has_flag(argc, argv, "--prereduce")) flags["prereduce"] = true;
+
+  Status applied = cfg.apply(json::Value(std::move(flags)));
+  if (!applied.ok()) return applied;
+  return cfg;
+}
+
 /// Turns the observability subsystems on per the flags; returns whether
 /// any finalization output is owed.
 struct ObsFlags {
@@ -142,22 +199,6 @@ struct ObsFlags {
   const char* metrics_json = nullptr;
   const char* trace_out = nullptr;
 };
-
-/// Applies --solver auto|dense|sparse to every solver knob the analyzer
-/// exposes (superposition sims and the Ceff inner sims). Returns false
-/// (after printing the error) on an unknown backend name.
-bool apply_solver_flag(int argc, char** argv, AnalyzerConfig& cfg) {
-  const char* name = str_flag(argc, argv, "--solver", nullptr);
-  if (!name) return true;
-  StatusOr<SolverBackend> backend = parse_solver_backend(name);
-  if (!backend.ok()) {
-    std::fprintf(stderr, "error: %s\n", backend.status().to_string().c_str());
-    return false;
-  }
-  cfg.engine.solver.backend = *backend;
-  cfg.engine.ceff.solver.backend = *backend;
-  return true;
-}
 
 ObsFlags setup_observability(int argc, char** argv) {
   ObsFlags f;
@@ -232,22 +273,7 @@ int run_screening(int argc, char** argv) {
   return 0;
 }
 
-int run_batch(int argc, char** argv) {
-  BatchOptions opts;
-  opts.jobs = int_flag(argc, argv, "--jobs", 0);
-  opts.top_k = int_flag(argc, argv, "--top", 10);
-  opts.analyzer.use_prediction_tables = !has_flag(argc, argv, "--exhaustive");
-  opts.analyzer.analysis.use_transient_holding =
-      !has_flag(argc, argv, "--thevenin");
-  if (!apply_solver_flag(argc, argv, opts.analyzer)) return 2;
-  // --screen-below PS: skip full analysis of nets whose moment-level
-  // estimated delay noise is below PS picoseconds.
-  const double screen_ps = double_flag(argc, argv, "--screen-below", -1.0);
-  if (screen_ps >= 0.0) opts.screen_threshold = screen_ps * ps;
-  opts.deadline_ms = double_flag(argc, argv, "--deadline-ms", -1.0);
-  opts.max_retries = int_flag(argc, argv, "--max-retries", 0);
-  opts.analyzer.engine.prereduce = has_flag(argc, argv, "--prereduce");
-
+int run_batch(int argc, char** argv, const AnalysisConfig& cfg) {
   std::vector<CoupledNet> nets;
   std::vector<std::string> names;
   std::vector<BatchNetResult> load_failures;
@@ -277,7 +303,17 @@ int run_batch(int argc, char** argv) {
     }
   }
 
-  BatchAnalyzer engine(opts);
+  BatchAnalyzer engine(cfg.batch);
+  // --load-cache: start warm from a previous run's characterizations.
+  if (const char* path = str_flag(argc, argv, "--load-cache", nullptr)) {
+    StatusOr<std::size_t> loaded = engine.cache()->load_file(path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: %s\n", loaded.status().to_string().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "loaded %zu cached alignment tables from %s\n",
+                 *loaded, path);
+  }
   BatchResult result = engine.analyze(nets, names);
 
   // Splice load failures into the accounting (after the analyzed nets, in
@@ -296,27 +332,30 @@ int run_batch(int argc, char** argv) {
     result.write_text(std::cout);
   }
   std::fprintf(stderr, "%s\n", result.stats_text().c_str());
+
+  if (const char* path = str_flag(argc, argv, "--save-cache", nullptr)) {
+    Status saved = engine.cache()->save_file(path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "error: %s\n", saved.to_string().c_str());
+      return 1;
+    }
+  }
   return result.stats.analyzed > 0 || result.stats.total == 0 ? 0 : 1;
 }
 
-int run_single(int argc, char** argv) {
+int run_single(int argc, char** argv, const AnalysisConfig& cfg) {
   StatusOr<CoupledNet> loaded = try_read_spef_file(argv[1]);
   if (!loaded.ok()) {
     std::fprintf(stderr, "error: %s\n", loaded.status().to_string().c_str());
     return 1;
   }
   const CoupledNet net = std::move(*loaded);
+  const AnalyzerConfig& analyzer_cfg = cfg.batch.analyzer;
+  NoiseAnalyzer analyzer(analyzer_cfg);
 
-  AnalyzerConfig cfg;
-  cfg.use_prediction_tables = !has_flag(argc, argv, "--exhaustive");
-  cfg.analysis.use_transient_holding = !has_flag(argc, argv, "--thevenin");
-  cfg.engine.prereduce = has_flag(argc, argv, "--prereduce");
-  if (!apply_solver_flag(argc, argv, cfg)) return 2;
-  NoiseAnalyzer analyzer(cfg);
-
-  // --deadline-ms bounds this one net's analysis; the step loops deep in
-  // the engine poll it and abort with DEADLINE_EXCEEDED.
-  const double deadline_ms = double_flag(argc, argv, "--deadline-ms", -1.0);
+  // The deadline_ms key bounds this one net's analysis; the step loops
+  // deep in the engine poll it and abort with DEADLINE_EXCEEDED.
+  const double deadline_ms = cfg.batch.deadline_ms;
   ScopedDeadline scoped_deadline(
       deadline_ms > 0 ? Deadline::after(deadline_ms * 1e-3) : Deadline());
 
@@ -345,7 +384,8 @@ int run_single(int argc, char** argv) {
 
   try {
     if (has_flag(argc, argv, "--golden")) {
-      const GoldenResult g = golden_nonlinear(net, absolute_shifts(r));
+      const GoldenResult g =
+          golden_nonlinear(net, absolute_shifts(r), analyzer_cfg.engine);
       const double gd = g.delay_noise();
       std::printf("golden (full nonlinear): %.2f ps combined delay noise "
                   "(linear model error %+.1f%%)\n",
@@ -353,7 +393,7 @@ int run_single(int argc, char** argv) {
     }
 
     if (has_flag(argc, argv, "--functional")) {
-      SuperpositionEngine eng(net, cfg.engine);
+      SuperpositionEngine eng(net, analyzer_cfg.engine);
       const FunctionalNoiseResult f = analyze_functional_noise(eng);
       std::printf("functional noise (victim quiet %s): input peak %.3f V, "
                   "receiver output peak %.3f V -> %s\n",
@@ -365,6 +405,20 @@ int run_single(int argc, char** argv) {
     return 1;
   }
   return 0;
+}
+
+int run_serve(int argc, char** argv, const AnalysisConfig& cfg) {
+  server::ServerOptions opts;
+  opts.config = cfg;
+  opts.queue_soft_limit = static_cast<std::size_t>(
+      std::max(1, int_flag(argc, argv, "--queue-soft", 8)));
+  opts.queue_hard_limit = static_cast<std::size_t>(std::max(
+      static_cast<int>(opts.queue_soft_limit),
+      int_flag(argc, argv, "--queue-hard", 64)));
+  server::Server srv(opts);
+  if (const char* path = str_flag(argc, argv, "--socket", nullptr))
+    return srv.serve_unix(path);
+  return srv.serve_stream(std::cin, std::cout);
 }
 
 }  // namespace
@@ -383,15 +437,25 @@ int main(int argc, char** argv) {
     fault::install(*spec, static_cast<std::uint64_t>(
                               int_flag(argc, argv, "--fault-seed", 1)));
   }
+
   int rc;
-  if (has_flag(argc, argv, "--batch")) {
-    rc = run_batch(argc, argv);
-  } else if (has_flag(argc, argv, "--screen")) {
+  if (has_flag(argc, argv, "--screen")) {
     rc = run_screening(argc, argv);
-  } else if (argc < 2 || argv[1][0] == '-') {
-    return usage();
   } else {
-    rc = run_single(argc, argv);
+    StatusOr<AnalysisConfig> cfg = config_from_flags(argc, argv);
+    if (!cfg.ok()) {
+      std::fprintf(stderr, "error: %s\n", cfg.status().to_string().c_str());
+      return 2;
+    }
+    if (has_flag(argc, argv, "--serve")) {
+      rc = run_serve(argc, argv, *cfg);
+    } else if (has_flag(argc, argv, "--batch")) {
+      rc = run_batch(argc, argv, *cfg);
+    } else if (argc < 2 || argv[1][0] == '-') {
+      return usage();
+    } else {
+      rc = run_single(argc, argv, *cfg);
+    }
   }
   const int obs_rc = finalize_observability(obs_flags);
   return rc ? rc : obs_rc;
