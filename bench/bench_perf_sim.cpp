@@ -1,79 +1,243 @@
-// Performance ablation: simulator building blocks — factor-once linear
-// transient vs per-step cost, Newton nonlinear transient, and driver
-// characterization (C-effective + Thevenin fit), the per-net setup cost of
-// the analysis flow.
-#include <benchmark/benchmark.h>
+// bench_perf_sim — transient-engine rework: fixed-step full Newton vs
+// adaptive LTE stepping + modified Newton + warm-started alignment scans.
+//
+// One scenario, analyzed end-to-end twice with NoiseAnalyzer::try_analyze()
+// on a 3-lane coupled bus (default ~5000 nodes, the largest rung of the
+// solver bench):
+//
+//   fixed:    lte_tol = 0 everywhere (uniform dt grid), warm_start off,
+//             stale_jacobian_iters = 0 (factor every Newton iteration) —
+//             the engine exactly as it was before the rework.
+//   adaptive: the new defaults — LTE-controlled power-of-two step rungs,
+//             stale-Jacobian reuse across iterations and steps, DC warm
+//             starts across the Ceff / Rtr / alignment sim families.
+//
+// Shape criterion (recorded in BENCH_perf_sim.json): adaptive is >= 10x
+// faster end-to-end, with sim.nonlinear.newton_iters and solver.refactors
+// each cut >= 5x, while the reported delays move by <= --acc-tol-ps.
+//
+//   bench_perf_sim [--nodes N] [--acc-tol-ps T]
+//                  [--out BENCH_perf_sim.json]
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
 
-#include "ceff/effective_capacitance.hpp"
-#include "rcnet/random_nets.hpp"
-#include "sim/linear_sim.hpp"
-#include "sim/nonlinear_sim.hpp"
-#include "util/units.hpp"
-
-namespace {
+#include "bench_util.hpp"
+#include "clarinet/analyzer.hpp"
+#include "util/metrics.hpp"
 
 using namespace dn;
 using namespace dn::units;
 
-void BM_LinearTransient(benchmark::State& state) {
-  const int segments = static_cast<int>(state.range(0));
-  Circuit ckt;
-  const RcTree line = make_line(segments, 2 * kOhm, 200 * fF);
-  const auto map = line.instantiate(ckt, "n");
-  ckt.add_vsource(map[0], kGround, Pwl::ramp(100 * ps, 200 * ps, 0.0, 1.8));
-  LinearSim sim(ckt);
-  for (auto _ : state) {
-    auto res = sim.run({0.0, 2 * ns, 1 * ps});
-    benchmark::DoNotOptimize(res);
-  }
+namespace {
+
+double now_s() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
 }
 
-void BM_NonlinearInverterTransient(benchmark::State& state) {
-  const int segments = static_cast<int>(state.range(0));
-  Circuit ckt;
-  const NodeId vdd = add_vdd(ckt, 1.8);
-  const NodeId in = ckt.node("in");
-  ckt.add_vsource(in, kGround, Pwl::ramp(100 * ps, 200 * ps, 0.0, 1.8));
-  const RcTree line = make_line(segments, 2 * kOhm, 100 * fF);
-  const auto map = line.instantiate(ckt, "n");
-  GateParams g;
-  g.size = 2.0;
-  instantiate_gate(ckt, g, in, map[0], vdd);
-  NonlinearSim sim(ckt);
-  for (auto _ : state) {
-    auto res = sim.run({0.0, 2 * ns, 1 * ps});
-    benchmark::DoNotOptimize(res);
-  }
+/// Coarse-but-representative alignment grid (the solver-bench grid), sparse
+/// backend forced for every sim family so both runs differ only in the
+/// transient engine.
+AnalyzerConfig base_config() {
+  AnalyzerConfig c;
+  c.table_spec.search.coarse_points = 17;
+  c.table_spec.search.fine_points = 9;
+  c.table_spec.search.dt = 2 * ps;
+  c.analysis.search.coarse_points = 17;
+  c.analysis.search.fine_points = 9;
+  c.analysis.search.dt = 2 * ps;
+  c.engine.solver.backend = SolverBackend::kSparse;
+  c.engine.ceff.solver.backend = SolverBackend::kSparse;
+  c.engine.newton.solver.backend = SolverBackend::kSparse;
+  return c;
 }
 
-void BM_TheveninFit(benchmark::State& state) {
-  GateParams g;
-  g.size = 2.0;
-  const Pwl vin = Pwl::ramp(100 * ps, 150 * ps, 0.0, 1.8);
-  for (auto _ : state) {
-    auto fit = fit_thevenin(g, vin, 50 * fF);
-    benchmark::DoNotOptimize(fit);
-  }
+/// The engine exactly as it was before this rework: uniform trapezoidal
+/// grid, a fresh factorization every Newton iteration, no DC reuse.
+AnalyzerConfig fixed_config() {
+  AnalyzerConfig c = base_config();
+  c.engine.lte_tol = 0.0;
+  c.engine.ceff.lte_tol = 0.0;
+  c.engine.ceff.fit.lte_tol = 0.0;
+  c.analysis.search.lte_tol = 0.0;
+  c.table_spec.search.lte_tol = 0.0;
+  c.analysis.rtr.lte_tol = 0.0;
+  c.engine.warm_start = false;
+  c.engine.ceff.warm_start = false;
+  c.analysis.search.warm_start = false;
+  c.table_spec.search.warm_start = false;
+  c.analysis.rtr.warm_start = false;
+  c.engine.newton.stale_jacobian_iters = 0;
+  c.engine.ceff.fit.stale_jacobian_iters = 0;
+  c.analysis.search.stale_jacobian_iters = 0;
+  c.table_spec.search.stale_jacobian_iters = 0;
+  c.analysis.rtr.stale_jacobian_iters = 0;
+  return c;
 }
 
-void BM_CeffIteration(benchmark::State& state) {
-  GateParams g;
-  g.size = 2.0;
-  const Pwl vin = Pwl::ramp(100 * ps, 150 * ps, 0.0, 1.8);
-  const RcTree line = make_line(10, 2 * kOhm, 100 * fF);
-  for (auto _ : state) {
-    auto r = compute_ceff_for_net(g, vin, line, {}, 5 * fF);
-    benchmark::DoNotOptimize(r);
+struct RunResult {
+  bool ok = false;
+  double seconds = 0.0;
+  DelayNoiseResult r;
+  std::uint64_t newton_iters = 0;
+  std::uint64_t refactors = 0;
+  std::uint64_t steps = 0;
+  std::uint64_t lte_accepted = 0;
+  std::uint64_t lte_rejected = 0;
+  std::uint64_t stale_reuse = 0;
+  std::uint64_t warm_hits = 0;
+  std::uint64_t warm_misses = 0;
+};
+
+RunResult run_once(const CoupledNet& net, const AnalyzerConfig& cfg,
+                   const char* dump_metrics = nullptr) {
+  obs::metrics().reset_all();
+  NoiseAnalyzer an(cfg);
+  RunResult out;
+  const double t0 = now_s();
+  const auto res = an.try_analyze(net);
+  out.seconds = now_s() - t0;
+  out.ok = res.ok();
+  if (res.ok()) out.r = *res;
+  auto& m = obs::metrics();
+  if (dump_metrics) {
+    std::ofstream mf(dump_metrics);
+    mf << m.to_json() << "\n";
   }
+  out.newton_iters = m.counter("sim.nonlinear.newton_iters").value();
+  out.refactors = m.counter("solver.refactors").value();
+  out.steps = m.counter("sim.nonlinear.steps").value();
+  out.lte_accepted = m.counter("sim.lte.steps_accepted").value();
+  out.lte_rejected = m.counter("sim.lte.steps_rejected").value();
+  out.stale_reuse = m.counter("sim.newton.stale_reuse").value();
+  out.warm_hits = m.counter("sim.warm_start.hits").value();
+  out.warm_misses = m.counter("sim.warm_start.misses").value();
+  return out;
 }
 
-BENCHMARK(BM_LinearTransient)->Arg(10)->Arg(40)->Arg(120)
-    ->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_NonlinearInverterTransient)->Arg(5)->Arg(20)->Arg(60)
-    ->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_TheveninFit)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_CeffIteration)->Unit(benchmark::kMillisecond);
+void print_run(const char* label, const RunResult& r) {
+  std::printf("%-9s %8.3f s  newton_iters=%llu refactors=%llu steps=%llu\n",
+              label, r.seconds,
+              static_cast<unsigned long long>(r.newton_iters),
+              static_cast<unsigned long long>(r.refactors),
+              static_cast<unsigned long long>(r.steps));
+  std::printf("          lte accepted/rejected=%llu/%llu stale_reuse=%llu "
+              "warm hit/miss=%llu/%llu\n",
+              static_cast<unsigned long long>(r.lte_accepted),
+              static_cast<unsigned long long>(r.lte_rejected),
+              static_cast<unsigned long long>(r.stale_reuse),
+              static_cast<unsigned long long>(r.warm_hits),
+              static_cast<unsigned long long>(r.warm_misses));
+}
+
+void json_run(std::ostream& os, const RunResult& r) {
+  os << "{\"seconds\":" << r.seconds << ",\"newton_iters\":" << r.newton_iters
+     << ",\"refactors\":" << r.refactors << ",\"steps\":" << r.steps
+     << ",\"lte_accepted\":" << r.lte_accepted
+     << ",\"lte_rejected\":" << r.lte_rejected
+     << ",\"stale_reuse\":" << r.stale_reuse
+     << ",\"warm_hits\":" << r.warm_hits
+     << ",\"warm_misses\":" << r.warm_misses
+     << ",\"noisy_t50_ps\":" << r.r.noisy_t50 / units::ps
+     << ",\"nominal_t50_ps\":" << r.r.nominal_t50 / units::ps << "}";
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const int nodes = dn::bench::int_flag(argc, argv, "--nodes", 5000);
+  const int acc_tol_ps = dn::bench::int_flag(argc, argv, "--acc-tol-ps", 2);
+  const std::string out_path =
+      dn::bench::str_flag(argc, argv, "--out", "BENCH_perf_sim.json");
+
+  dn::bench::print_header(
+      "perf: transient engine (adaptive LTE + modified Newton + warm start)",
+      ">= 10x e2e speedup, newton_iters and refactors cut >= 5x, delays "
+      "within tolerance");
+
+  const int segments = std::max(2, nodes / 3);
+  const CoupledNet net = make_bus(3, segments, 1 * kOhm, 60 * fF, 30 * fF);
+  std::printf("scenario: 3-lane coupled bus, %d segments (~%d nodes)\n\n",
+              segments, nodes);
+
+  obs::set_metrics_enabled(true);
+
+  const std::string dump =
+      dn::bench::str_flag(argc, argv, "--dump-metrics", "");
+  const RunResult fixed = run_once(net, fixed_config());
+  print_run("fixed", fixed);
+  const RunResult adaptive =
+      run_once(net, base_config(), dump.empty() ? nullptr : dump.c_str());
+  print_run("adaptive", adaptive);
+  std::printf("\n");
+
+  if (!fixed.ok || !adaptive.ok) {
+    std::fprintf(stderr, "error: try_analyze failed (fixed=%d adaptive=%d)\n",
+                 fixed.ok, adaptive.ok);
+    return 1;
+  }
+
+  const double speedup =
+      adaptive.seconds > 0 ? fixed.seconds / adaptive.seconds : 0.0;
+  const double newton_ratio =
+      adaptive.newton_iters > 0
+          ? static_cast<double>(fixed.newton_iters) /
+                static_cast<double>(adaptive.newton_iters)
+          : 0.0;
+  const double refactor_ratio =
+      adaptive.refactors > 0 ? static_cast<double>(fixed.refactors) /
+                                   static_cast<double>(adaptive.refactors)
+                             : 0.0;
+  const double d_noisy =
+      std::abs(adaptive.r.noisy_t50 - fixed.r.noisy_t50) / ps;
+  const double d_nominal =
+      std::abs(adaptive.r.nominal_t50 - fixed.r.nominal_t50) / ps;
+  const double dn_fixed = (fixed.r.noisy_t50 - fixed.r.nominal_t50) / ps;
+  const double dn_adaptive =
+      (adaptive.r.noisy_t50 - adaptive.r.nominal_t50) / ps;
+
+  std::printf("e2e speedup:        %6.2fx (%.3f s -> %.3f s)\n", speedup,
+              fixed.seconds, adaptive.seconds);
+  std::printf("newton_iters ratio: %6.2fx\n", newton_ratio);
+  std::printf("refactors ratio:    %6.2fx\n", refactor_ratio);
+  std::printf("delay noise:        fixed %.3f ps, adaptive %.3f ps\n",
+              dn_fixed, dn_adaptive);
+  std::printf("accuracy delta:     noisy_t50 %.3f ps, nominal_t50 %.3f ps "
+              "(tol %d ps)\n\n",
+              d_noisy, d_nominal, acc_tol_ps);
+
+  const bool acc_ok = d_noisy <= acc_tol_ps && d_nominal <= acc_tol_ps;
+  const bool ok = dn::bench::check(
+                      "adaptive engine >= 10x faster end-to-end",
+                      speedup >= 10.0) &
+                  dn::bench::check("newton_iters cut >= 5x",
+                                   newton_ratio >= 5.0) &
+                  dn::bench::check("solver.refactors cut >= 5x",
+                                   refactor_ratio >= 5.0) &
+                  dn::bench::check("reported delays within tolerance", acc_ok);
+
+  std::ofstream jf(out_path);
+  if (jf) {
+    jf << "{\"bench\":\"perf_sim\",\"criterion_pass\":"
+       << (ok ? "true" : "false") << ",\"nodes\":" << nodes
+       << ",\"segments\":" << segments << ",\"speedup\":" << speedup
+       << ",\"newton_ratio\":" << newton_ratio
+       << ",\"refactor_ratio\":" << refactor_ratio
+       << ",\"accuracy\":{\"noisy_t50_delta_ps\":" << d_noisy
+       << ",\"nominal_t50_delta_ps\":" << d_nominal
+       << ",\"tol_ps\":" << acc_tol_ps << "},\"fixed\":";
+    json_run(jf, fixed);
+    jf << ",\"adaptive\":";
+    json_run(jf, adaptive);
+    jf << "}\n";
+    std::printf("wrote %s\n", out_path.c_str());
+  } else {
+    std::fprintf(stderr, "warning: cannot write %s\n", out_path.c_str());
+  }
+  return ok ? 0 : 1;
+}

@@ -10,6 +10,7 @@
 # independent output (DESIGN.md §10).
 #
 # Usage: scripts/check.sh [--no-asan] [--no-tsan] [--no-fuzz] [--no-chaos]
+#                         [--no-bench]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,12 +19,14 @@ run_asan=1
 run_tsan=1
 run_fuzz=1
 run_chaos=1
+run_bench=1
 for arg in "$@"; do
   case "$arg" in
     --no-asan) run_asan=0 ;;
     --no-tsan) run_tsan=0 ;;
     --no-fuzz) run_fuzz=0 ;;
     --no-chaos) run_chaos=0 ;;
+    --no-bench) run_bench=0 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -39,11 +42,13 @@ if [[ "$run_asan" == 1 ]]; then
   echo "== Address+UB sanitizer: solver and simulator core =="
   cmake -B build-asan -S . -DDN_SANITIZE=address,undefined -DDN_WERROR=ON >/dev/null
   cmake --build build-asan -j "$jobs" \
-    --target test_matrix test_sparse test_linear_sim test_nonlinear_sim
+    --target test_matrix test_sparse test_linear_sim test_nonlinear_sim \
+             test_adaptive_sim
   ./build-asan/tests/test_matrix
   ./build-asan/tests/test_sparse
   ./build-asan/tests/test_linear_sim
   ./build-asan/tests/test_nonlinear_sim
+  ./build-asan/tests/test_adaptive_sim
 fi
 
 if [[ "$run_tsan" == 1 ]]; then
@@ -95,6 +100,15 @@ if [[ "$run_chaos" == 1 ]]; then
     fi
     echo "chaos seed $fault_seed: $(printf '%s\n' "$out1" | head -1)"
   done
+fi
+
+if [[ "$run_bench" == 1 ]]; then
+  echo "== perf gate: transient engine (bench_perf_sim) =="
+  # Fixed-step full Newton vs adaptive + modified Newton + warm start on
+  # the 5000-node coupled bus. The binary exits nonzero unless the e2e
+  # speedup is >= 10x, newton_iters and solver.refactors are cut >= 5x,
+  # and the reported delays stay within tolerance (DESIGN.md §12).
+  ./build/bench/bench_perf_sim --out build/BENCH_perf_sim.json
 fi
 
 echo "== server smoke: scripted NDJSON session against --serve =="

@@ -19,9 +19,15 @@ CeffResult compute_ceff(const GateParams& driver, const Pwl& vin,
   double ceff = c_total;
   TheveninFit fit;
 
+  // Every fit iteration re-simulates the same gate (only cload moves);
+  // warm-start each reference sim from the previous operating point.
+  GateSimCache warm;
+  TheveninFitOptions fit_opts = opts.fit;
+  if (opts.warm_start && !fit_opts.warm) fit_opts.warm = &warm;
+
   for (int it = 1; it <= opts.max_iterations; ++it) {
     out.iterations = it;
-    fit = fit_thevenin(driver, vin, ceff, opts.fit);
+    fit = fit_thevenin(driver, vin, ceff, fit_opts);
     const TheveninModel& m = fit.model;
 
     // Linear simulation: Thevenin driver into the real load.
@@ -33,8 +39,12 @@ CeffResult compute_ceff(const GateParams& driver, const Pwl& vin,
     ckt.add_resistor(src, port, m.rth);
 
     LinearSim sim(ckt, opts.solver);
-    const auto res = sim.run({0.0, t_stop, opts.sim_dt});
-    const Pwl v_port = res.waveform(port);
+    TransientSpec spec{0.0, t_stop, opts.sim_dt};
+    spec.lte_tol = opts.lte_tol;
+    spec.max_dt_growth = opts.max_dt_growth;
+    const auto res = sim.try_run(spec);
+    if (!res.ok()) raise(res.status());
+    const Pwl v_port = res->waveform(port);
 
     // Driver-output 50% crossing.
     const double mid = 0.5 * (m.v_from + m.v_to);

@@ -25,8 +25,15 @@ struct CeffOptions {
   double rel_tol = 1e-3;       // Convergence on |dCeff|/Ceff.
   double damping = 0.7;        // New-value blend factor (1 = undamped).
   TheveninFitOptions fit{};
-  double sim_dt = 1e-12;
+  double sim_dt = 1e-12;       // Reference step of the inner linear sims.
   double sim_tail = 3e-9;      // Linear-sim horizon past the input end.
+  /// LTE bound for adaptive stepping in the inner linear sims [V];
+  /// 0 = fixed sim_dt grid.
+  double lte_tol = 5e-4;
+  double max_dt_growth = 4.0;
+  /// Warm-start the repeated Thevenin-fit reference sims from the
+  /// previous iteration's operating point.
+  bool warm_start = true;
   SolverOptions solver{};      // Backend for the inner linear sims.
 };
 

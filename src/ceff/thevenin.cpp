@@ -66,8 +66,13 @@ TheveninFit fit_thevenin(const GateParams& gate, const Pwl& vin, double cload,
     throw std::runtime_error("fit_thevenin: input does not switch");
 
   TheveninFit out;
-  const TransientSpec spec = default_gate_spec(vin, opts.tail, opts.dt);
-  out.reference = simulate_gate(gate, vin, cload, spec);
+  TransientSpec spec = default_gate_spec(vin, opts.tail, opts.dt);
+  spec.lte_tol = opts.lte_tol;
+  spec.max_dt_growth = opts.max_dt_growth;
+  spec.stale_jacobian_iters = opts.stale_jacobian_iters;
+  auto ref = try_simulate_gate(gate, vin, cload, spec, std::nullopt, opts.warm);
+  if (!ref.ok()) raise(ref.status());
+  out.reference = std::move(ref).value();
 
   const double v_start = out.reference.values().front();
   const double v_end = out.reference.values().back();

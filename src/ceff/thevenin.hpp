@@ -35,10 +35,20 @@ struct TheveninModel {
 };
 
 struct TheveninFitOptions {
-  double dt = 1e-12;        // Nonlinear reference sim step.
+  double dt = 1e-12;        // Nonlinear reference sim step (reference floor).
   double tail = 3e-9;       // Sim horizon past the end of the input ramp.
   double time_tol = 1e-15;  // Residual tolerance on crossing times [s].
   int max_iterations = 60;
+  /// LTE bound for the adaptive nonlinear reference sim [V]; 0 = fixed dt.
+  double lte_tol = 5e-4;
+  double max_dt_growth = 4.0;
+  /// Chord-Newton budget for the reference sim; -1 = engine default,
+  /// 0 = classic full Newton (sim/transient.hpp).
+  int stale_jacobian_iters = -1;
+  /// Optional warm-start cache for the reference sim (non-owning). The
+  /// Ceff loop refits the same gate repeatedly with a slightly different
+  /// cload; the DC operating point is identical every time.
+  GateSimCache* warm = nullptr;
 };
 
 struct TheveninFit {

@@ -103,6 +103,58 @@ Status apply_key(AnalysisConfig& cfg, const std::string& key,
     return set_int(v, "newton_max_iterations", a.engine.newton.max_iterations);
   if (key == "newton_v_tol")
     return set_num(v, "newton_v_tol", a.engine.newton.v_tol);
+  if (key == "lte_tol") {
+    double tol = 0;
+    Status s = set_num(v, "lte_tol", tol);
+    if (!s.ok()) return s;
+    // One LTE bound rules every adaptive sim: the superposition
+    // transients, the Ceff inner sims, the Thevenin-fit reference, and
+    // the alignment-search receiver probes. The Rtr extraction keeps its
+    // own tighter bound (RtrOptions.lte_tol): it measures the DIFFERENCE
+    // of two nearly identical waveforms and must not be loosened by a
+    // flow-level knob. 0 disables adaptivity everywhere (fixed dt grid).
+    a.engine.lte_tol = tol;
+    a.engine.ceff.lte_tol = tol;
+    a.engine.ceff.fit.lte_tol = tol;
+    a.analysis.search.lte_tol = tol;
+    a.table_spec.search.lte_tol = tol;
+    // analysis.rtr.lte_tol is NOT fanned out: the Rtr extraction measures
+    // the difference of two sims and stays on the fixed grid regardless.
+    return Status::Ok();
+  }
+  if (key == "max_dt_growth") {
+    double growth = 0;
+    Status s = set_num(v, "max_dt_growth", growth);
+    if (!s.ok()) return s;
+    a.engine.max_dt_growth = growth;
+    a.engine.ceff.max_dt_growth = growth;
+    a.engine.ceff.fit.max_dt_growth = growth;
+    a.analysis.rtr.max_dt_growth = growth;
+    return Status::Ok();
+  }
+  if (key == "stale_jacobian_iters") {
+    // One flow-level knob (like lte_tol): every nonlinear sim family.
+    Status s = set_int(v, "stale_jacobian_iters",
+                       a.engine.newton.stale_jacobian_iters);
+    if (!s.ok()) return s;
+    const int n = a.engine.newton.stale_jacobian_iters;
+    a.engine.ceff.fit.stale_jacobian_iters = n;
+    a.analysis.search.stale_jacobian_iters = n;
+    a.table_spec.search.stale_jacobian_iters = n;
+    a.analysis.rtr.stale_jacobian_iters = n;
+    return Status::Ok();
+  }
+  if (key == "warm_start") {
+    bool warm = true;
+    Status s = set_bool(v, "warm_start", warm);
+    if (!s.ok()) return s;
+    a.engine.warm_start = warm;
+    a.engine.ceff.warm_start = warm;
+    a.analysis.search.warm_start = warm;
+    a.table_spec.search.warm_start = warm;
+    a.analysis.rtr.warm_start = warm;
+    return Status::Ok();
+  }
   return Status::InvalidArgument("config: unknown key \"" + key + "\"");
 }
 
@@ -128,6 +180,14 @@ Status AnalysisConfig::validate() const {
     return range_error("newton_max_iterations", "must be >= 1");
   if (!(a.engine.newton.v_tol > 0))
     return range_error("newton_v_tol", "must be > 0");
+  if (!(a.engine.lte_tol >= 0))
+    return range_error("lte_tol", "must be >= 0 (0 = fixed step)");
+  if (!(a.engine.max_dt_growth > 1.0) || a.engine.max_dt_growth > 64.0)
+    return range_error("max_dt_growth", "must be in (1, 64]");
+  if (a.engine.newton.stale_jacobian_iters < 0 ||
+      a.engine.newton.stale_jacobian_iters > 1000)
+    return range_error("stale_jacobian_iters",
+                       "must be in [0, 1000] (0 = full Newton)");
   return Status::Ok();
 }
 
@@ -183,6 +243,10 @@ json::Value AnalysisConfig::to_json() const {
   o["rtr_max_iterations"] = a.analysis.rtr.max_iterations;
   o["newton_max_iterations"] = a.engine.newton.max_iterations;
   o["newton_v_tol"] = a.engine.newton.v_tol;
+  o["lte_tol"] = a.engine.lte_tol;
+  o["max_dt_growth"] = a.engine.max_dt_growth;
+  o["stale_jacobian_iters"] = a.engine.newton.stale_jacobian_iters;
+  o["warm_start"] = a.engine.warm_start;
   return json::Value(std::move(o));
 }
 

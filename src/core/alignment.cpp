@@ -11,7 +11,9 @@
 namespace dn {
 
 ReceiverEval evaluate_receiver(const GateParams& receiver, const Pwl& vin,
-                               double cload, bool input_rising, double dt) {
+                               double cload, bool input_rising, double dt,
+                               double lte_tol, GateSimCache* warm,
+                               int stale_jacobian_iters) {
   // Alignment probes: every candidate alignment costs exactly one receiver
   // evaluation, so this counter is the flow's "how many nonlinear sims did
   // the search spend" figure.
@@ -22,9 +24,13 @@ ReceiverEval evaluate_receiver(const GateParams& receiver, const Pwl& vin,
       gate_inverts(receiver.type) ? !input_rising : input_rising;
   // Horizon: input end plus a settling tail sized to the load.
   const double tail = 2e-9 + 200.0 * receiver.vdd * cload;  // Heuristic, generous.
-  const TransientSpec spec{0.0, vin.t_end() + tail, dt};
+  TransientSpec spec{0.0, vin.t_end() + tail, dt};
+  spec.lte_tol = lte_tol;
+  spec.stale_jacobian_iters = stale_jacobian_iters;
   ReceiverEval ev;
-  ev.output = simulate_gate(receiver, vin, cload, spec);
+  auto out = try_simulate_gate(receiver, vin, cload, spec, std::nullopt, warm);
+  if (!out.ok()) raise(out.status());
+  ev.output = std::move(out).value();
 
   const double mid = 0.5 * receiver.vdd;
   const auto t50 = ev.output.last_crossing(mid, out_rising);
@@ -68,10 +74,13 @@ namespace {
 /// Receiver-output crossing for the pulse peak placed at `t_peak`.
 double delay_for_peak_at(const Pwl& noiseless_sink, const Pwl& composite,
                          const GateParams& receiver, double rcv_load,
-                         bool victim_rising, double t_peak, double dt) {
+                         bool victim_rising, double t_peak, double dt,
+                         double lte_tol = 0.0, GateSimCache* warm = nullptr,
+                         int stale_jacobian_iters = -1) {
   const Pwl noisy = noiseless_sink + shift_pulse_peak_to(composite, t_peak,
                                                           nullptr);
-  return evaluate_receiver(receiver, noisy, rcv_load, victim_rising, dt)
+  return evaluate_receiver(receiver, noisy, rcv_load, victim_rising, dt,
+                           lte_tol, warm, stale_jacobian_iters)
       .t_out_50;
 }
 
@@ -109,9 +118,15 @@ AlignmentResult exhaustive_extremum_alignment(
   }
 
   const double sign = maximize ? 1.0 : -1.0;
+  // One warm-start cache per search: every probe simulates the same
+  // receiver from the same quiet input level.
+  GateSimCache cache;
+  GateSimCache* warm = opts.warm_start ? &cache : nullptr;
   auto eval = [&](double t_peak) {
     return sign * delay_for_peak_at(noiseless_sink, composite, receiver,
-                                    rcv_load, victim_rising, t_peak, opts.dt);
+                                    rcv_load, victim_rising, t_peak, opts.dt,
+                                    opts.lte_tol, warm,
+                                    opts.stale_jacobian_iters);
   };
 
   // Coarse sweep.
@@ -206,7 +221,9 @@ AlignmentResult receiver_input_peak_alignment(
   out.shift = t_peak - pulse.t_peak;
   out.align_voltage = noiseless_sink.at(t_peak);
   out.t_out_50 = delay_for_peak_at(noiseless_sink, composite, receiver,
-                                   rcv_load, victim_rising, t_peak, dt);
+                                   rcv_load, victim_rising, t_peak, dt,
+                                   opts.lte_tol, nullptr,
+                                   opts.stale_jacobian_iters);
   return out;
 }
 

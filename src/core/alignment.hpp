@@ -22,10 +22,15 @@ struct ReceiverEval {
 /// `input_rising` is the direction of the victim transition at the
 /// receiver input; the output crossing is measured in the corresponding
 /// output direction (inverted for inverting receivers). Throws if the
-/// output never completes its transition.
+/// output never completes its transition. `lte_tol` > 0 enables adaptive
+/// stepping in the receiver sim (dt stays the accuracy floor); `warm`
+/// carries the operating point across the repeated probes of an
+/// alignment search.
 ReceiverEval evaluate_receiver(const GateParams& receiver, const Pwl& vin,
                                double cload, bool input_rising,
-                               double dt = 1e-12);
+                               double dt = 1e-12, double lte_tol = 0.0,
+                               GateSimCache* warm = nullptr,
+                               int stale_jacobian_iters = -1);
 
 /// Result of choosing a composite-pulse alignment.
 struct AlignmentResult {
@@ -39,6 +44,15 @@ struct AlignmentSearchOptions {
   int coarse_points = 33;
   int fine_points = 17;
   double dt = 1e-12;
+  /// LTE bound for the adaptive receiver sims [V]; 0 = fixed dt grid.
+  double lte_tol = 5e-4;
+  /// Chord-Newton budget for the receiver sims; -1 = engine default,
+  /// 0 = classic full Newton (sim/transient.hpp).
+  int stale_jacobian_iters = -1;
+  /// Warm-start each probe's receiver sim from the previous probe's
+  /// operating point (the quiet input level — and hence the DC solution —
+  /// is the same at every alignment).
+  bool warm_start = true;
   /// Search window for the pulse peak, centered on the noiseless 50%
   /// crossing at the sink: [t50 - span_before, t50 + span_after]. When
   /// zero, spans are auto-derived from the victim slew and pulse width.

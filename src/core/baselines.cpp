@@ -80,7 +80,9 @@ GoldenResult golden_nonlinear(const CoupledNet& net,
   const bool out_rising =
       gate_inverts(net.victim.receiver.type) ? !rising : rising;
   const double mid = 0.5 * net.victim.driver.vdd;
-  const TransientSpec spec{0.0, opts.horizon, opts.dt};
+  TransientSpec spec{0.0, opts.horizon, opts.dt};
+  spec.lte_tol = opts.lte_tol;
+  spec.max_dt_growth = opts.max_dt_growth;
 
   GoldenResult out;
   for (const bool quiet : {true, false}) {
@@ -89,9 +91,10 @@ GoldenResult golden_nonlinear(const CoupledNet& net,
     NewtonOptions newton = opts.newton;
     newton.solver = opts.solver;
     NonlinearSim sim(ckt, newton);
-    const auto res = sim.run(spec);
-    const Pwl sink = res.waveform(probes.sink);
-    const Pwl rout = res.waveform(probes.rcv_out);
+    const auto res = sim.try_run(spec);
+    if (!res.ok()) raise(res.status());
+    const Pwl sink = res->waveform(probes.sink);
+    const Pwl rout = res->waveform(probes.rcv_out);
     const auto t_in = sink.last_crossing(mid, rising);
     const auto t_out = rout.last_crossing(mid, out_rising);
     if (!t_in || !t_out)

@@ -59,7 +59,8 @@ AlignmentResult choose_alignment(const DelayNoiseOptions& opts,
         const Pwl noisy = noiseless_sink + composite.shifted(r.shift);
         r.t_out_50 =
             evaluate_receiver(receiver, noisy, rcv_load, rising,
-                              opts.search.dt)
+                              opts.search.dt, opts.search.lte_tol, nullptr,
+                              opts.search.stale_jacobian_iters)
                 .t_out_50;
         if (r.t_out_50 > best.t_out_50) best = r;
       }
@@ -145,7 +146,8 @@ DelayNoiseResult analyze_delay_noise(const SuperpositionEngine& eng,
   // Combined (receiver-output) delays.
   out.nominal_t50 =
       evaluate_receiver(rcv, out.noiseless_sink, rcv_load, rising,
-                        opts.search.dt)
+                        opts.search.dt, opts.search.lte_tol, nullptr,
+                        opts.search.stale_jacobian_iters)
           .t_out_50;
   out.noisy_t50 = out.alignment.t_out_50;
 

@@ -35,11 +35,19 @@ RtrResult compute_rtr(const SuperpositionEngine& eng,
   const double dt = eng.options().dt;
   const double cload = vm.ceff;
   const Pwl vin = eng.victim_input();
-  const TransientSpec spec{0.0, eng.options().horizon, dt};
+  TransientSpec spec{0.0, eng.options().horizon, dt};
+  spec.lte_tol = opts.lte_tol;
+  spec.max_dt_growth = opts.max_dt_growth;
+  spec.stale_jacobian_iters = opts.stale_jacobian_iters;
+  GateSimCache cache;
+  GateSimCache* warm = opts.warm_start ? &cache : nullptr;
 
   // Noiseless nonlinear victim driver into its effective load (V1) is
   // independent of the holding resistance: simulate once.
-  const Pwl v1 = simulate_gate(eng.net().victim.driver, vin, cload, spec);
+  auto v1r = try_simulate_gate(eng.net().victim.driver, vin, cload, spec,
+                               std::nullopt, warm);
+  if (!v1r.ok()) raise(v1r.status());
+  const Pwl v1 = std::move(v1r).value();
 
   double holding = out.rth;
   for (int it = 1; it <= opts.max_iterations; ++it) {
@@ -56,8 +64,10 @@ RtrResult compute_rtr(const SuperpositionEngine& eng,
     const Pwl in_cur = ivn + icap;
 
     // Step 3: nonlinear driver with the noise current injected.
-    const Pwl v2 =
-        simulate_gate(eng.net().victim.driver, vin, cload, spec, in_cur);
+    auto v2r = try_simulate_gate(eng.net().victim.driver, vin, cload, spec,
+                                 in_cur, warm);
+    if (!v2r.ok()) raise(v2r.status());
+    const Pwl v2 = std::move(v2r).value();
 
     // Step 4: the true (nonlinear) noise response.
     const Pwl vpn = v2 - v1;
@@ -111,11 +121,19 @@ AggressorRtrResult compute_aggressor_rtr(const SuperpositionEngine& eng, int k,
   const Pwl ramp = eng.aggressor_input(k);
   const double vin_quiet = ramp.values().front();
   const Pwl vin = Pwl::constant(vin_quiet, 0.0, eng.options().horizon);
-  const TransientSpec spec{0.0, eng.options().horizon, dt};
+  TransientSpec spec{0.0, eng.options().horizon, dt};
+  spec.lte_tol = opts.lte_tol;
+  spec.max_dt_growth = opts.max_dt_growth;
+  spec.stale_jacobian_iters = opts.stale_jacobian_iters;
+  GateSimCache cache;
+  GateSimCache* warm = opts.warm_start ? &cache : nullptr;
 
-  const Pwl v1 = simulate_gate(agg.driver, vin, cload, spec);
-  const Pwl v2 = simulate_gate(agg.driver, vin, cload, spec, in_cur);
-  out.vn_nonlinear = v2 - v1;
+  auto v1r = try_simulate_gate(agg.driver, vin, cload, spec, std::nullopt,
+                               warm);
+  if (!v1r.ok()) raise(v1r.status());
+  auto v2r = try_simulate_gate(agg.driver, vin, cload, spec, in_cur, warm);
+  if (!v2r.ok()) raise(v2r.status());
+  out.vn_nonlinear = *v2r - *v1r;
 
   const double q_in = in_cur.integral();
   const double a_vn = out.vn_nonlinear.integral();
@@ -139,11 +157,15 @@ double quiet_holding_resistance(const GateParams& driver, bool output_high,
   // Probe polarity pushes the output AWAY from its rail.
   const double amp = output_high ? -probe_amp : probe_amp;
   const Pwl probe = triangle_pulse(amp, probe_width, t_peak);
-  const TransientSpec spec{0.0, horizon, 1e-12};
+  // Difference measurement: fixed grid, so V1/V2 discretization cancels.
+  TransientSpec spec{0.0, horizon, 1e-12};
+  GateSimCache warm;
 
-  const Pwl v1 = simulate_gate(driver, vin, ceff, spec);
-  const Pwl v2 = simulate_gate(driver, vin, ceff, spec, probe);
-  const Pwl vn = v2 - v1;
+  auto v1r = try_simulate_gate(driver, vin, ceff, spec, std::nullopt, &warm);
+  if (!v1r.ok()) raise(v1r.status());
+  auto v2r = try_simulate_gate(driver, vin, ceff, spec, probe, &warm);
+  if (!v2r.ok()) raise(v2r.status());
+  const Pwl vn = *v2r - *v1r;
   const double q = probe.integral();
   const double a = vn.integral();
   const double r = (std::abs(q) < 1e-24) ? 0.0 : a / q;

@@ -141,10 +141,12 @@ SuperpositionEngine::Waveforms SuperpositionEngine::run_aggressor(
   }
 
   LinearSim sim(ckt, opts_.solver);
-  const auto res = sim.run({0.0, opts_.horizon, opts_.dt});
+  const auto res = sim.try_run(transient_spec());
+  if (!res.ok()) raise(res.status());
   Waveforms w;
-  w.at_root = res.waveform(vmap[0]);
-  w.at_sink = res.waveform(vmap[static_cast<std::size_t>(net_.victim.net.sink)]);
+  w.at_root = res->waveform(vmap[0]);
+  w.at_sink =
+      res->waveform(vmap[static_cast<std::size_t>(net_.victim.net.sink)]);
   return w;
 }
 
@@ -177,15 +179,17 @@ SuperpositionEngine::Waveforms SuperpositionEngine::run_victim() const {
   }
 
   LinearSim sim(ckt, opts_.solver);
-  const auto res = sim.run({0.0, opts_.horizon, opts_.dt});
+  const auto res = sim.try_run(transient_spec());
+  if (!res.ok()) raise(res.status());
   Waveforms w;
-  w.at_root = res.waveform(vmap[0]);
-  w.at_sink = res.waveform(vmap[static_cast<std::size_t>(net_.victim.net.sink)]);
+  w.at_root = res->waveform(vmap[0]);
+  w.at_sink =
+      res->waveform(vmap[static_cast<std::size_t>(net_.victim.net.sink)]);
   // Record the noise the victim injects on each aggressor root (the nets
   // are at 0 quiet level in this circuit, so the waveform IS the noise).
   for (std::size_t j = 0; j < amaps.size(); ++j)
     victim_on_aggressor_cache_[static_cast<int>(j)] =
-        res.waveform(amaps[j][0]);
+        res->waveform(amaps[j][0]);
   return w;
 }
 

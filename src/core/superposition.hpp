@@ -30,9 +30,22 @@ namespace dn {
 class ReductionCache;
 
 struct SuperpositionOptions {
-  double dt = 1e-12;        // Simulation step [s].
+  double dt = 1e-12;        // Reference simulation step [s].
   double t_ref = 300e-12;   // Input-ramp start used for all reference sims [s].
   double horizon = 4e-9;    // Transient end time [s].
+  /// LTE bound for adaptive stepping in the linear aggressor/victim sims
+  /// [V]; 0 forces the fixed `dt` grid (sim/transient.hpp).
+  double lte_tol = 5e-4;
+  /// Max per-step growth of the adaptive step. These sims are LINEAR on
+  /// the full (possibly multi-thousand-node) net, where each distinct
+  /// step-size rung costs a sparse refactor of the whole system but a
+  /// rejected step only one cheap back-substitution — so growth is set
+  /// aggressive to skip intermediate rungs, unlike the nonlinear gate
+  /// sims where a reject burns a full Newton solve sequence.
+  double max_dt_growth = 32.0;
+  /// Warm-start repeated characterization sims from the previous
+  /// operating point (devices/gate.hpp GateSimCache).
+  bool warm_start = true;
   CeffOptions ceff{};
   SolverOptions solver{};   // Backend for the aggressor/victim sims.
   /// Newton controls for the nonlinear verification sims run in this
@@ -99,6 +112,16 @@ class SuperpositionEngine {
   Pwl victim_input() const;
   /// Aggressor k's input ramp at the reference position.
   Pwl aggressor_input(int k) const;
+
+  /// The transient spec all engine sims share: [0, horizon] at reference
+  /// step dt, LTE-adaptive per opts.lte_tol.
+  TransientSpec transient_spec() const {
+    TransientSpec s{0.0, opts_.horizon, opts_.dt};
+    s.lte_tol = opts_.lte_tol;
+    s.max_dt_growth = opts_.max_dt_growth;
+    s.stale_jacobian_iters = opts_.newton.stale_jacobian_iters;
+    return s;
+  }
 
  private:
   Waveforms run_aggressor(int k, double victim_holding_r) const;

@@ -98,8 +98,10 @@ NodeId add_vdd(Circuit& ckt, double vdd) {
   return n;
 }
 
-Pwl simulate_gate(const GateParams& gate, const Pwl& vin, double cload,
-                  const TransientSpec& spec, const std::optional<Pwl>& inject) {
+StatusOr<Pwl> try_simulate_gate(const GateParams& gate, const Pwl& vin,
+                                double cload, const TransientSpec& spec,
+                                const std::optional<Pwl>& inject,
+                                GateSimCache* warm) {
   Circuit ckt;
   const NodeId vdd = add_vdd(ckt, gate.vdd);
   const NodeId in = ckt.node("in");
@@ -109,7 +111,19 @@ Pwl simulate_gate(const GateParams& gate, const Pwl& vin, double cload,
   if (cload > 0) ckt.add_capacitor(out, kGround, cload);
   if (inject) ckt.add_isource(out, kGround, *inject);
   NonlinearSim sim(ckt);
-  return sim.run(spec).waveform(out);
+  const Vector* hint =
+      (warm && warm->dc.size() == sim.mna().dim()) ? &warm->dc : nullptr;
+  auto res = sim.try_run(spec, hint);
+  if (!res.ok()) return res.status();
+  if (warm) warm->dc = res->initial_state();
+  return res->waveform(out);
+}
+
+Pwl simulate_gate(const GateParams& gate, const Pwl& vin, double cload,
+                  const TransientSpec& spec, const std::optional<Pwl>& inject) {
+  auto res = try_simulate_gate(gate, vin, cload, spec, inject);
+  if (!res.ok()) raise(res.status());
+  return std::move(res).value();
 }
 
 double gate_initial_output(const GateParams& gate, double vin_initial) {

@@ -9,9 +9,11 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "circuit/circuit.hpp"
 #include "sim/transient.hpp"
+#include "util/status.hpp"
 
 namespace dn {
 
@@ -53,9 +55,29 @@ void instantiate_gate(Circuit& ckt, const GateParams& gate, NodeId in,
 /// Creates a "vdd" node with an ideal supply source and returns it.
 NodeId add_vdd(Circuit& ckt, double vdd);
 
+/// Warm-start cache for repeated canonical gate sims. The characterization
+/// loops (alignment scan, Rtr iteration, Ceff/Thevenin fit) simulate the
+/// SAME gate topology many times with perturbed waveforms; the DC operating
+/// point barely moves between runs, so seeding Newton with the previous
+/// solution skips the whole gmin-stepping ladder. The cache is keyed by
+/// nothing — the caller owns one per loop over a fixed topology.
+struct GateSimCache {
+  std::vector<double> dc;  // Previous MNA state; empty = cold.
+};
+
 /// Simulates the gate driving a lumped capacitor `cload` with input `vin`.
 /// If `inject` is provided, that current is additionally pushed into the
 /// output node (paper Figure 4(b)). Returns the output waveform.
+/// kNumericError on Newton non-convergence; `warm` (optional) carries the
+/// operating point between repeated sims of the same gate/load.
+StatusOr<Pwl> try_simulate_gate(const GateParams& gate, const Pwl& vin,
+                                double cload, const TransientSpec& spec,
+                                const std::optional<Pwl>& inject = std::nullopt,
+                                GateSimCache* warm = nullptr);
+
+/// Throwing convenience wrapper around try_simulate_gate (raises the
+/// mapped typed exception on failure). Prefer try_simulate_gate in flow
+/// code; this remains for contexts that already run under a catch.
 Pwl simulate_gate(const GateParams& gate, const Pwl& vin, double cload,
                   const TransientSpec& spec,
                   const std::optional<Pwl>& inject = std::nullopt);

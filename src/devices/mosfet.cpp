@@ -76,4 +76,65 @@ MosfetEval mosfet_eval(const MosfetParams& p, double vd, double vg, double vs) {
   return out;
 }
 
+void MosfetBatch::push_back(const MosfetParams& p) {
+  beta.push_back(p.kp * p.w / p.l);
+  vt.push_back(p.vt);
+  lambda.push_back(p.lambda);
+  sign.push_back(p.type == MosType::Nmos ? 1.0 : -1.0);
+}
+
+void mosfet_eval_batch(const MosfetBatch& b, const double* vd,
+                       const double* vg, const double* vs, double* id,
+                       double* gm, double* gds) {
+  const std::size_t n = b.size();
+  const double* beta = b.beta.data();
+  const double* vt = b.vt.data();
+  const double* lambda = b.lambda.data();
+  const double* sign = b.sign.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    // Fold PMOS into the NMOS equations by mirroring all polarities:
+    // Id_p(vd,vg,vs) = -Id_n(-vd,-vg,-vs), gm/gds unchanged. The sign
+    // multiply reproduces the scalar path's negations bit-for-bit.
+    const double s = sign[i];
+    const double nvd = s * vd[i], nvg = s * vg[i], nvs = s * vs[i];
+    // Source/drain swap keeps the model symmetric: operate on the terminal
+    // pair with vds >= 0 and map the derivatives back.
+    const bool swapped = nvd < nvs;
+    const double vlo = swapped ? nvd : nvs;
+    const double vgs = nvg - vlo;
+    const double vds = (swapped ? nvs : nvd) - vlo;
+
+    double cid, cdgs, cdds;  // nmos_core(beta, vt, lambda, vgs, vds).
+    const double vov = vgs - vt[i];
+    if (vov <= 0.0) {
+      constexpr double kGleak = 1e-12;
+      cid = kGleak * vds;
+      cdgs = 0.0;
+      cdds = kGleak;
+    } else {
+      const double clm = 1.0 + lambda[i] * vds;
+      if (vds < vov) {
+        cid = beta[i] * (vov * vds - 0.5 * vds * vds) * clm;
+        cdgs = beta[i] * vds * clm;
+        cdds = beta[i] * ((vov - vds) * clm +
+                          (vov * vds - 0.5 * vds * vds) * lambda[i]);
+      } else {
+        cid = 0.5 * beta[i] * vov * vov * clm;
+        cdgs = beta[i] * vov * clm;
+        cdds = 0.5 * beta[i] * vov * vov * lambda[i];
+      }
+    }
+
+    if (swapped) {
+      id[i] = s * -cid;
+      gm[i] = -cdgs;
+      gds[i] = cdgs + cdds;
+    } else {
+      id[i] = s * cid;
+      gm[i] = cdgs;
+      gds[i] = cdds;
+    }
+  }
+}
+
 }  // namespace dn

@@ -12,6 +12,9 @@
 // interesting.
 #pragma once
 
+#include <cstddef>
+#include <vector>
+
 namespace dn {
 
 enum class MosType { Nmos, Pmos };
@@ -45,5 +48,27 @@ struct MosfetEval {
 /// Evaluates the device at terminal voltages (vd, vg, vs), handling
 /// source/drain swap so the model is symmetric, as a real device is.
 MosfetEval mosfet_eval(const MosfetParams& p, double vd, double vg, double vs);
+
+/// Structure-of-arrays view of many devices for one batched evaluation
+/// sweep per Newton iteration: the per-device model parameters live in
+/// flat arrays so the inner loop touches only contiguous doubles (no
+/// struct gather, no per-device dispatch on MosType — polarity is a
+/// multiplicative sign).
+struct MosfetBatch {
+  std::vector<double> beta;    // kp * w / l.
+  std::vector<double> vt;
+  std::vector<double> lambda;
+  std::vector<double> sign;    // +1 NMOS, -1 PMOS.
+
+  std::size_t size() const { return beta.size(); }
+  void push_back(const MosfetParams& p);
+};
+
+/// Evaluates all devices of `b` at terminal voltages vd/vg/vs[i], writing
+/// id/gm/gds[i]. All arrays must hold b.size() elements. Bit-identical to
+/// per-device mosfet_eval().
+void mosfet_eval_batch(const MosfetBatch& b, const double* vd,
+                       const double* vg, const double* vs, double* id,
+                       double* gm, double* gds);
 
 }  // namespace dn

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <mutex>
 #include <stdexcept>
 #include <string>
+#include <unordered_map>
 
 namespace dn {
 
@@ -204,6 +206,42 @@ std::vector<std::int32_t> min_degree_order(const SparseMatrix& a) {
   return order;
 }
 
+namespace {
+
+/// min_degree_order memoized on the sparsity pattern. The ordering is a
+/// pure function of the pattern, costs O(n^2), and the analysis flow
+/// factors the same few patterns dozens of times per net (victim and
+/// aggressor circuit variants are re-instantiated per holding-resistance
+/// iteration with different VALUES but identical structure). A hash
+/// collision can only substitute another valid permutation — extra
+/// fill-in at worst, never a wrong factorization, and the entry is
+/// rejected anyway unless its size matches.
+std::vector<std::int32_t> min_degree_order_cached(const SparseMatrix& a) {
+  static std::mutex mu;
+  static std::unordered_map<std::uint64_t, std::vector<std::int32_t>> cache;
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a over the pattern.
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(a.rows());
+  mix(a.nnz());
+  for (const auto v : a.row_ptr()) mix(static_cast<std::uint64_t>(v));
+  for (const auto v : a.col_idx()) mix(static_cast<std::uint64_t>(v));
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    const auto it = cache.find(h);
+    if (it != cache.end() && it->second.size() == a.rows()) return it->second;
+  }
+  std::vector<std::int32_t> order = min_degree_order(a);
+  std::lock_guard<std::mutex> lock(mu);
+  if (cache.size() >= 128) cache.clear();  // Bound long batch runs.
+  cache.emplace(h, order);
+  return order;
+}
+
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // SparseLu.
 // ---------------------------------------------------------------------------
@@ -242,7 +280,7 @@ Status SparseLu::factor_fresh(const SparseMatrix& a) {
       }
   }
 
-  q_ = min_degree_order(a);
+  q_ = min_degree_order_cached(a);
   pinv_.assign(n_, -1);
   lp_.assign(1, 0);
   li_.clear();

@@ -146,7 +146,9 @@ std::vector<Pwl> simulate_descriptor(const SparseDescriptorSystem& sys,
     throw std::invalid_argument("simulate_descriptor: inconsistent shapes");
   if (u.size() != p)
     throw std::invalid_argument("simulate_descriptor: wrong input count");
-  const int steps = spec.num_steps();
+  const StatusOr<int> steps_or = spec.num_steps();
+  if (!steps_or.ok()) raise(steps_or.status());
+  const int steps = *steps_or;
   static obs::Counter& c_steps =
       obs::metrics().counter("sim.descriptor.steps");
   c_steps.add(static_cast<std::uint64_t>(steps));

@@ -1,5 +1,8 @@
 #include "sim/linear_sim.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -11,11 +14,7 @@
 namespace dn {
 
 LinearSim::LinearSim(const Circuit& ckt, SolverOptions solver)
-    : ckt_(ckt), mna_(ckt), solver_(solver) {
-  if (!ckt.is_linear())
-    throw std::invalid_argument(
-        "LinearSim: circuit contains MOSFETs; use NonlinearSim");
-}
+    : ckt_(ckt), mna_(ckt), solver_(solver) {}
 
 Vector LinearSim::dc_solve(double t) const {
   // At DC the capacitors are open: solve G x = b(t). gmin (stamped in the
@@ -25,50 +24,160 @@ Vector LinearSim::dc_solve(double t) const {
   return lu->solve(mna_.rhs(t));
 }
 
-TransientResult LinearSim::run(const TransientSpec& spec) const {
-  const int steps = spec.num_steps();
+StatusOr<Vector> LinearSim::try_dc_solve(double t) const {
+  if (!ckt_.is_linear())
+    return Status::InvalidArgument(
+        "LinearSim: circuit contains MOSFETs; use NonlinearSim");
+  try {
+    return dc_solve(t);
+  } catch (const std::exception& e) {
+    return status_from_exception(e);
+  }
+}
+
+TransientResult LinearSim::run_impl(const TransientSpec& spec) const {
   const std::size_t dim = mna_.dim();
   static obs::Counter& c_steps = obs::metrics().counter("sim.linear.steps");
-  c_steps.add(static_cast<std::uint64_t>(steps));
+  static obs::Counter& c_accepted =
+      obs::metrics().counter("sim.lte.steps_accepted");
+  static obs::Counter& c_rejected =
+      obs::metrics().counter("sim.lte.steps_rejected");
+  static obs::Histogram& h_dt =
+      obs::metrics().histogram("sim.lte.dt_accepted_s");
 
-  // Trapezoidal:  (C/dt + G/2) x1 = (C/dt - G/2) x0 + (b0 + b1)/2.
-  const SparseMatrix a_lhs =
-      SparseMatrix::combine(1.0 / spec.dt, mna_.Cs(), 0.5, mna_.Gs());
-  const SparseMatrix a_rhs =
-      SparseMatrix::combine(1.0 / spec.dt, mna_.Cs(), -0.5, mna_.Gs());
-  auto lu = SystemSolver::make(a_lhs, solver_);
-  lu.status().throw_if_error();
+  // Trapezoidal:  (C/dt + G/2) x1 = C x0 / dt - G x0 / 2 + (b0 + b1)/2.
+  // The LHS matrix depends only on the step size, and the adaptive
+  // controller revisits the same power-of-two rungs many times per run
+  // (dip into a transition, regrow after it). Factoring a multi-thousand-
+  // node sparse matrix is the dominant linear-sim cost, so each distinct
+  // step size is factored once and every revisit reuses it. Breakpoint-
+  // clamped odd step sizes past the cap share one refactoring scratch
+  // slot, so a pathological source waveform cannot hoard factorizations.
+  constexpr std::size_t kMaxCachedRungs = 24;
+  std::vector<std::pair<double, SystemSolver>> lus;
+  lus.reserve(kMaxCachedRungs);
+  std::optional<SystemSolver> scratch;
+  SystemSolver* lu = nullptr;
+  double matrix_dt = 0.0;
+  auto set_step_matrix = [&](double h) {
+    if (lu && h == matrix_dt) return;
+    matrix_dt = h;
+    for (auto& [dt, cached] : lus)
+      if (dt == h) {
+        lu = &cached;
+        return;
+      }
+    const SparseMatrix a_lhs =
+        SparseMatrix::combine(1.0 / h, mna_.Cs(), 0.5, mna_.Gs());
+    if (lus.empty()) {
+      // Only the first factorization pays the symbolic analysis; every
+      // later step size clones it and replays numerics on the same
+      // pattern (every rung's LHS shares the C/G sparsity union).
+      auto made = SystemSolver::make(a_lhs, solver_);
+      made.status().throw_if_error();
+      lus.emplace_back(h, std::move(*made));
+      lu = &lus.back().second;
+    } else if (lus.size() < kMaxCachedRungs) {
+      SystemSolver cloned = lus.front().second;
+      cloned.refactor(a_lhs).throw_if_error();
+      lus.emplace_back(h, std::move(cloned));
+      lu = &lus.back().second;
+    } else {
+      if (!scratch) scratch.emplace(lus.front().second);
+      scratch->refactor(a_lhs).throw_if_error();
+      lu = &*scratch;
+    }
+  };
 
-  Vector x = dc_solve(spec.t_start);
+  Vector x0 = dc_solve(spec.t_start);
 
-  std::vector<double> time(static_cast<std::size_t>(steps) + 1);
-  for (int k = 0; k <= steps; ++k) time[static_cast<std::size_t>(k)] =
-      spec.t_start + spec.dt * k;
-
-  TransientResult result(time, ckt_.num_nodes());
-  auto record = [&](std::size_t k) {
+  TransientResult result(ckt_.num_nodes());
+  if (!spec.adaptive())
+    result.reserve(static_cast<std::size_t>(*spec.num_steps()) + 1);
+  auto record = [&](const Vector& x, double t) {
+    const std::size_t k = result.add_sample(t);
     for (NodeId n = 1; n < ckt_.num_nodes(); ++n)
       result.v(n, k) = mna_.node_voltage(x, n);
   };
-  record(0);
+  record(x0, spec.t_start);
+  result.set_initial_state(x0);
 
-  Vector b0 = mna_.rhs(spec.t_start);
-  Vector rhs(dim, 0.0);
-  for (int k = 1; k <= steps; ++k) {
+  StepController ctl(spec, ckt_);
+  Vector b0 = mna_.rhs(spec.t_start), b1;
+  Vector gx(dim, 0.0), cx(dim, 0.0), rhs(dim, 0.0), x1;
+
+  // Predictor history for the LTE estimate (previous accepted point);
+  // invalidated across source-waveform corners.
+  Vector x_prev;
+  double h_prev = 0.0;
+  bool have_prev = false;
+
+  const std::size_t nv = mna_.num_node_vars();
+  double t0 = spec.t_start;
+  std::uint64_t attempts = 0;
+  while (!ctl.done(t0)) {
     deadline_checkpoint("LinearSim::run");
-    const double t1 = spec.t_start + spec.dt * k;
-    Vector b1 = mna_.rhs(t1);
-    a_rhs.matvec(x, rhs);
-    for (std::size_t i = 0; i < dim; ++i) rhs[i] += 0.5 * (b0[i] + b1[i]);
-    lu->solve_in_place(rhs);
-    std::swap(x, rhs);
-    if (!all_finite(x))
+    if (++attempts > 25'000'000)
+      throw NumericError("LinearSim: adaptive step limit exceeded");
+    const double h = ctl.step_size(t0);
+    double t1 = t0 + h;
+    if (t1 > spec.t_stop) t1 = spec.t_stop;
+    set_step_matrix(h);
+    b1 = mna_.rhs(t1);
+
+    const double inv_dt = 1.0 / h;
+    mna_.Cs().matvec(x0, cx);
+    mna_.Gs().matvec(x0, gx);
+    for (std::size_t i = 0; i < dim; ++i)
+      rhs[i] = inv_dt * cx[i] - 0.5 * gx[i] + 0.5 * (b0[i] + b1[i]);
+    x1 = rhs;
+    lu->solve_in_place(x1);
+    if (!all_finite(x1))
       throw NumericError("LinearSim: non-finite solution at t = " +
                          std::to_string(t1));
+
+    // LTE estimate: corrector vs linear extrapolation of the last two
+    // accepted points, damped by h/(h + h_prev).
+    double est = -1.0;
+    if (ctl.adaptive() && have_prev && h_prev > 0.0) {
+      const double r = h / h_prev;
+      double dev = 0.0;
+      for (std::size_t i = 0; i < nv; ++i) {
+        const double pred = x0[i] + r * (x0[i] - x_prev[i]);
+        dev = std::max(dev, std::abs(x1[i] - pred));
+      }
+      est = dev * (h / (h + h_prev));
+    }
+    if (ctl.lte_reject(h, est)) {
+      c_rejected.add();
+      continue;  // Discard x1; the controller shrank the working step.
+    }
+
+    c_steps.add();
+    c_accepted.add();
+    h_dt.record(h);
+    const bool kink = ctl.crossed_breakpoint(t0, t1);
+    x_prev = std::move(x0);
+    h_prev = h;
+    have_prev = !kink;
+    x0 = std::move(x1);
     b0 = std::move(b1);
-    record(static_cast<std::size_t>(k));
+    t0 = t1;
+    record(x0, t0);
   }
   return result;
+}
+
+StatusOr<TransientResult> LinearSim::try_run(const TransientSpec& spec) const {
+  if (!ckt_.is_linear())
+    return Status::InvalidArgument(
+        "LinearSim: circuit contains MOSFETs; use NonlinearSim");
+  if (Status s = spec.validate(); !s.ok()) return s;
+  try {
+    return run_impl(spec);
+  } catch (const std::exception& e) {
+    return status_from_exception(e);
+  }
 }
 
 }  // namespace dn

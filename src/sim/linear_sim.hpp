@@ -1,33 +1,46 @@
-// Linear transient simulator (trapezoidal, fixed step, factor-once).
+// Linear transient simulator (trapezoidal; fixed or LTE-adaptive step).
 //
 // This is the workhorse of the superposition flow (paper Figure 1): each
 // aggressor/victim simulation over the coupled RC network with Thevenin or
 // transient-holding-resistance driver models is one of these runs.
+//
+// With adaptive stepping (spec.lte_tol > 0) the working step moves on
+// power-of-two rungs of the reference dt, so the trapezoidal matrix
+// C/dt + G/2 is refactored only on rung changes — the steady-state tail of
+// a noise waveform costs orders of magnitude fewer solves than the fixed
+// grid. The public surface is StatusOr-only: a nonlinear circuit or a bad
+// spec is kInvalidArgument, a numeric blow-up kNumericError.
 #pragma once
 
 #include "circuit/circuit.hpp"
 #include "circuit/mna.hpp"
 #include "matrix/solver.hpp"
 #include "sim/transient.hpp"
+#include "util/status.hpp"
 
 namespace dn {
 
 class LinearSim {
  public:
-  /// `ckt` must be linear (no MOSFETs) and must outlive the simulator.
-  /// `solver` picks the factorization backend (kAuto: by system
-  /// dimension/density — large unreduced nets go sparse).
+  /// `ckt` must outlive the simulator. Construction never throws; a
+  /// circuit with MOSFETs is reported by try_run/try_dc_solve as
+  /// kInvalidArgument (use NonlinearSim for those).
   explicit LinearSim(const Circuit& ckt, SolverOptions solver = {});
 
-  /// Runs trapezoidal transient from the DC operating point at t_start.
-  TransientResult run(const TransientSpec& spec) const;
+  /// Trapezoidal transient from the DC operating point at t_start
+  /// (LTE-adaptive when spec.lte_tol > 0).
+  StatusOr<TransientResult> try_run(const TransientSpec& spec) const;
 
-  /// DC solution (node voltages) at time t.
-  Vector dc_solve(double t) const;
+  /// DC solution (capacitors open: G x = b(t)).
+  StatusOr<Vector> try_dc_solve(double t) const;
 
   const MnaSystem& mna() const { return mna_; }
 
  private:
+  // Throwing internals wrapped by the StatusOr surface.
+  Vector dc_solve(double t) const;
+  TransientResult run_impl(const TransientSpec& spec) const;
+
   const Circuit& ckt_;
   MnaSystem mna_;
   SolverOptions solver_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <string>
 
@@ -12,8 +13,37 @@
 
 namespace dn {
 
+namespace {
+
+struct SimCounters {
+  obs::Counter& steps;
+  obs::Counter& newton_iters;
+  obs::Counter& lte_accepted;
+  obs::Counter& lte_rejected;
+  obs::Counter& stale_reuse;
+  obs::Counter& fresh_factors;
+  obs::Histogram& dt_accepted;
+};
+
+SimCounters& counters() {
+  static SimCounters c{
+      obs::metrics().counter("sim.nonlinear.steps"),
+      obs::metrics().counter("sim.nonlinear.newton_iters"),
+      obs::metrics().counter("sim.lte.steps_accepted"),
+      obs::metrics().counter("sim.lte.steps_rejected"),
+      obs::metrics().counter("sim.newton.stale_reuse"),
+      obs::metrics().counter("sim.newton.fresh_factors"),
+      obs::metrics().histogram("sim.lte.dt_accepted_s")};
+  return c;
+}
+
+}  // namespace
+
 NonlinearSim::NonlinearSim(const Circuit& ckt, NewtonOptions opts)
-    : ckt_(ckt), mna_(ckt, opts.gmin), opts_(opts) {
+    : ckt_(ckt),
+      mna_(ckt, opts.gmin),
+      opts_(opts),
+      stale_budget_(opts.stale_jacobian_iters) {
   const std::size_t dim = mna_.dim();
 
   // Union Jacobian pattern: every G and C slot plus every MOSFET
@@ -69,7 +99,18 @@ NonlinearSim::NonlinearSim(const Circuit& ckt, NewtonOptions opts)
     };
     dev_slots_.push_back({slot(d, d), slot(d, g), slot(d, s),
                           slot(s, d), slot(s, g), slot(s, s)});
+    dev_d_.push_back(d);
+    dev_g_.push_back(g);
+    dev_s_.push_back(s);
+    batch_.push_back(m.params);
   }
+  const std::size_t nd = batch_.size();
+  bvd_.assign(nd, 0.0);
+  bvg_.assign(nd, 0.0);
+  bvs_.assign(nd, 0.0);
+  bid_.assign(nd, 0.0);
+  bgm_.assign(nd, 0.0);
+  bgds_.assign(nd, 0.0);
 
   base_vals_.assign(jac_.nnz(), 0.0);
   f_.assign(dim, 0.0);
@@ -81,28 +122,35 @@ NonlinearSim::NonlinearSim(const Circuit& ckt, NewtonOptions opts)
 
 void NonlinearSim::stamp_devices(const Vector& x, Vector* inl,
                                  double jac_scale) const {
-  auto jv = jac_.values();
-  const auto& mosfets = ckt_.mosfets();
-  for (std::size_t mi = 0; mi < mosfets.size(); ++mi) {
-    const auto& m = mosfets[mi];
-    const double vd = mna_.node_voltage(x, m.d);
-    const double vg = mna_.node_voltage(x, m.g);
-    const double vs = mna_.node_voltage(x, m.s);
-    const MosfetEval e = mosfet_eval(m.params, vd, vg, vs);
-    const double dvs = -(e.gm + e.gds);  // dId/dVs.
-
+  const std::size_t nd = batch_.size();
+  if (nd == 0) return;
+  // Gather terminal voltages into flat arrays (ground reads 0), run the
+  // one vectorizable sweep, then scatter currents and conductances.
+  for (std::size_t i = 0; i < nd; ++i) {
+    bvd_[i] = dev_d_[i] < 0 ? 0.0 : x[static_cast<std::size_t>(dev_d_[i])];
+    bvg_[i] = dev_g_[i] < 0 ? 0.0 : x[static_cast<std::size_t>(dev_g_[i])];
+    bvs_[i] = dev_s_[i] < 0 ? 0.0 : x[static_cast<std::size_t>(dev_s_[i])];
+  }
+  mosfet_eval_batch(batch_, bvd_.data(), bvg_.data(), bvs_.data(), bid_.data(),
+                    bgm_.data(), bgds_.data());
+  if (inl) {
     // Current id flows drain -> source: out of node d, into node s.
-    if (inl) {
-      if (m.d != kGround) (*inl)[mna_.node_index(m.d)] += e.id;
-      if (m.s != kGround) (*inl)[mna_.node_index(m.s)] -= e.id;
+    for (std::size_t i = 0; i < nd; ++i) {
+      if (dev_d_[i] >= 0) (*inl)[static_cast<std::size_t>(dev_d_[i])] += bid_[i];
+      if (dev_s_[i] >= 0) (*inl)[static_cast<std::size_t>(dev_s_[i])] -= bid_[i];
     }
-    if (jac_scale != 0.0) {
-      const auto& slots = dev_slots_[mi];
-      const double vals[6] = {e.gds, e.gm, dvs, -e.gds, -e.gm, -dvs};
-      for (int i = 0; i < 6; ++i)
-        if (slots[static_cast<std::size_t>(i)] >= 0)
-          jv[static_cast<std::size_t>(slots[static_cast<std::size_t>(i)])] +=
-              jac_scale * vals[i];
+  }
+  if (jac_scale != 0.0) {
+    auto jv = jac_.values();
+    for (std::size_t i = 0; i < nd; ++i) {
+      const double gds = bgds_[i], gm = bgm_[i];
+      const double dvs = -(gm + gds);  // dId/dVs.
+      const auto& slots = dev_slots_[i];
+      const double vals[6] = {gds, gm, dvs, -gds, -gm, -dvs};
+      for (int k = 0; k < 6; ++k)
+        if (slots[static_cast<std::size_t>(k)] >= 0)
+          jv[static_cast<std::size_t>(slots[static_cast<std::size_t>(k)])] +=
+              jac_scale * vals[k];
     }
   }
 }
@@ -123,24 +171,41 @@ bool NonlinearSim::newton_dc(Vector& x, const Vector& b, double g_extra) const {
   const std::size_t dim = mna_.dim();
   const std::size_t nv = mna_.num_node_vars();
   const auto gvals = mna_.Gs().values();
+  SimCounters& c = counters();
+  // g_extra differs between gmin rungs, so a factor from a previous call
+  // is never reusable here.
+  have_factor_ = false;
+  double prev_dv = std::numeric_limits<double>::infinity();
   for (int it = 0; it < opts_.max_iterations; ++it) {
     deadline_checkpoint("NonlinearSim::newton_dc");
-    // Residual F = G x + i_nl(x) + g_extra * v - b.
+    const bool fresh = !have_factor_ || stale_budget_ <= 0 ||
+                       stale_solves_ >= stale_budget_ ||
+                       it >= opts_.max_iterations / 2;
+    // Residual F = G x + i_nl(x) + g_extra * v - b; when refreshing, the
+    // same batched device sweep also stamps the Jacobian.
     mna_.Gs().matvec(x, f_);
     for (std::size_t i = 0; i < nv; ++i) f_[i] += g_extra * x[i];
     for (std::size_t i = 0; i < dim; ++i) f_[i] -= b[i];
-    // Jacobian = G + g_extra on node diagonals + device conductances.
-    auto jv = jac_.values();
-    std::fill(jv.begin(), jv.end(), 0.0);
-    for (std::size_t i = 0; i < gvals.size(); ++i)
-      jv[static_cast<std::size_t>(g_map_[i])] += gvals[i];
-    for (std::size_t i = 0; i < nv; ++i)
-      jv[static_cast<std::size_t>(node_diag_[i])] += g_extra;
-    stamp_devices(x, &f_, 1.0);
+    if (fresh) {
+      auto jv = jac_.values();
+      std::fill(jv.begin(), jv.end(), 0.0);
+      for (std::size_t i = 0; i < gvals.size(); ++i)
+        jv[static_cast<std::size_t>(g_map_[i])] += gvals[i];
+      for (std::size_t i = 0; i < nv; ++i)
+        jv[static_cast<std::size_t>(node_diag_[i])] += g_extra;
+      stamp_devices(x, &f_, 1.0);
+      factor_jacobian();
+      have_factor_ = true;
+      stale_solves_ = 0;
+      c.fresh_factors.add();
+    } else {
+      stamp_devices(x, &f_, 0.0);
+      c.stale_reuse.add();
+    }
 
-    factor_jacobian();
     dx_ = f_;
     solver_->solve_in_place(dx_);
+    ++stale_solves_;
 
     double max_dv = 0.0;
     for (std::size_t i = 0; i < dim; ++i) {
@@ -152,12 +217,31 @@ bool NonlinearSim::newton_dc(Vector& x, const Vector& b, double g_extra) const {
       x[i] -= step;
     }
     if (max_dv < opts_.v_tol) return true;
+    // Stale factor not contracting: force a fresh stamp next iteration.
+    if (!fresh && (max_dv >= prev_dv || max_dv >= opts_.v_limit))
+      have_factor_ = false;
+    prev_dv = max_dv;
   }
+  have_factor_ = false;
   return false;
 }
 
-Vector NonlinearSim::dc_solve(double t) const {
+Vector NonlinearSim::dc_solve(double t, const Vector* hint) const {
+  static obs::Counter& c_hits = obs::metrics().counter("sim.warm_start.hits");
+  static obs::Counter& c_misses =
+      obs::metrics().counter("sim.warm_start.misses");
   const Vector b = mna_.rhs(t);
+  if (hint && hint->size() == mna_.dim()) {
+    // Warm start: direct Newton from the previous operating point. The
+    // solution is always re-converged to v_tol — the hint only skips the
+    // gmin ladder, it never substitutes for convergence.
+    Vector x = *hint;
+    if (newton_dc(x, b, 0.0) && all_finite(x)) {
+      c_hits.add();
+      return x;
+    }
+    c_misses.add();
+  }
   Vector x(mna_.dim(), 0.0);
   // gmin stepping: relax from a heavily grounded problem to the real one.
   for (double g = 1e-2; g >= 1e-13; g /= 10.0) {
@@ -171,16 +255,22 @@ Vector NonlinearSim::dc_solve(double t) const {
   return x;
 }
 
-TransientResult NonlinearSim::run(const TransientSpec& spec) const {
-  const int steps = spec.num_steps();
+StatusOr<Vector> NonlinearSim::try_dc_solve(double t, const Vector* hint) const {
+  stale_budget_ = opts_.stale_jacobian_iters;  // Standalone DC: no spec.
+  try {
+    return dc_solve(t, hint);
+  } catch (const ConvergenceError& e) {
+    return Status::NumericFailure(e.what());
+  } catch (const std::exception& e) {
+    return status_from_exception(e);
+  }
+}
+
+TransientResult NonlinearSim::run_impl(const TransientSpec& spec,
+                                       const Vector* dc_hint) const {
   const std::size_t dim = mna_.dim();
   const std::size_t nv = mna_.num_node_vars();
-  static obs::Counter& c_steps =
-      obs::metrics().counter("sim.nonlinear.steps");
-  static obs::Counter& c_newton =
-      obs::metrics().counter("sim.nonlinear.newton_iters");
-  c_steps.add(static_cast<std::uint64_t>(steps));
-  std::uint64_t newton_iters = 0;
+  SimCounters& c = counters();
 
   // Chaos probe: a deterministic stand-in for the Newton divergences a
   // production corner would hit (bad initial conditions, device-model
@@ -189,60 +279,78 @@ TransientResult NonlinearSim::run(const TransientSpec& spec) const {
   if (fault::should_fail(fault::Site::kNewton))
     throw ConvergenceError("injected fault: Newton divergence");
 
-  Vector x0 = dc_solve(spec.t_start);
+  stale_budget_ = spec.stale_jacobian_iters >= 0 ? spec.stale_jacobian_iters
+                                                 : opts_.stale_jacobian_iters;
+  Vector x0 = dc_solve(spec.t_start, dc_hint);
 
-  std::vector<double> time(static_cast<std::size_t>(steps) + 1);
-  for (int k = 0; k <= steps; ++k)
-    time[static_cast<std::size_t>(k)] = spec.t_start + spec.dt * k;
-  TransientResult result(time, ckt_.num_nodes());
-  auto record = [&](const Vector& x, std::size_t k) {
+  TransientResult result(ckt_.num_nodes());
+  if (!spec.adaptive())
+    result.reserve(static_cast<std::size_t>(*spec.num_steps()) + 1);
+  auto record = [&](const Vector& x, double t) {
+    const std::size_t k = result.add_sample(t);
     for (NodeId n = 1; n < ckt_.num_nodes(); ++n)
       result.v(n, k) = mna_.node_voltage(x, n);
   };
-  record(x0, 0);
+  record(x0, spec.t_start);
+  result.set_initial_state(x0);
 
   // Trapezoidal residual at new state x1:
   //   F(x1) = C (x1 - x0)/dt + (G x1 + i(x1))/2 + (G x0 + i(x0))/2
   //           - (b0 + b1)/2
-  // The base Jacobian C/dt + G/2 is constant; device conductances add 0.5x.
-  const double inv_dt = 1.0 / spec.dt;
+  // The base Jacobian C/dt + G/2 is constant per step size; device
+  // conductances add 0.5x. Rebuilt only when the controller changes rung.
   const auto gvals = mna_.Gs().values();
   const auto cvals = mna_.Cs().values();
-  std::fill(base_vals_.begin(), base_vals_.end(), 0.0);
-  for (std::size_t i = 0; i < gvals.size(); ++i)
-    base_vals_[static_cast<std::size_t>(g_map_[i])] += 0.5 * gvals[i];
-  for (std::size_t i = 0; i < cvals.size(); ++i)
-    base_vals_[static_cast<std::size_t>(c_map_[i])] += inv_dt * cvals[i];
+  double matrix_dt = 0.0;
+  double inv_dt = 0.0;
+  auto set_step_matrix = [&](double h) {
+    if (h == matrix_dt) return;
+    matrix_dt = h;
+    inv_dt = 1.0 / h;
+    std::fill(base_vals_.begin(), base_vals_.end(), 0.0);
+    for (std::size_t i = 0; i < gvals.size(); ++i)
+      base_vals_[static_cast<std::size_t>(g_map_[i])] += 0.5 * gvals[i];
+    for (std::size_t i = 0; i < cvals.size(); ++i)
+      base_vals_[static_cast<std::size_t>(c_map_[i])] += inv_dt * cvals[i];
+    have_factor_ = false;  // The factored Jacobian embeds the old C/dt.
+  };
 
-  Vector b0 = mna_.rhs(spec.t_start);
-  for (int k = 1; k <= steps; ++k) {
-    deadline_checkpoint("NonlinearSim::run");
-    const double t1 = spec.t_start + spec.dt * k;
-    Vector b1 = mna_.rhs(t1);
-
-    mna_.Gs().matvec(x0, f0_);  // f0_ = G x0 + i(x0)
-    stamp_devices(x0, &f0_, 0.0);
-    mna_.Cs().matvec(x0, cx0_);
-
-    Vector x1 = x0;  // Previous point is an excellent predictor at small dt.
-    bool converged = false;
+  // One Newton solve sequence for the step [t0, t0+h]; x1 is the initial
+  // guess on entry, the converged state on success.
+  Vector x1(dim, 0.0);
+  Vector b0 = mna_.rhs(spec.t_start), b1;
+  std::uint64_t newton_iters = 0;
+  auto newton_step = [&]() -> bool {
+    double prev_dv = std::numeric_limits<double>::infinity();
     for (int it = 0; it < opts_.max_iterations; ++it) {
       ++newton_iters;
-      // Restamp values over the fixed pattern: base + 0.5 * device
-      // Jacobian, while the same device evaluation feeds the residual.
-      auto jv = jac_.values();
-      std::copy(base_vals_.begin(), base_vals_.end(), jv.begin());
+      const bool fresh = !have_factor_ || stale_budget_ <= 0 ||
+                         stale_solves_ >= stale_budget_ ||
+                         it >= opts_.max_iterations / 2;
       mna_.Gs().matvec(x1, f_);
-      stamp_devices(x1, &f_, 0.5);
+      if (fresh) {
+        // Restamp values over the fixed pattern: base + 0.5 * device
+        // Jacobian; the same batched device sweep feeds the residual.
+        auto jv = jac_.values();
+        std::copy(base_vals_.begin(), base_vals_.end(), jv.begin());
+        stamp_devices(x1, &f_, 0.5);
+        factor_jacobian();
+        have_factor_ = true;
+        stale_solves_ = 0;
+        c.fresh_factors.add();
+      } else {
+        stamp_devices(x1, &f_, 0.0);
+        c.stale_reuse.add();
+      }
       mna_.Cs().matvec(x1, cx1_);
       // f_ currently holds G x1 + i(x1); build the full residual.
       for (std::size_t i = 0; i < dim; ++i)
         f_[i] = (cx1_[i] - cx0_[i]) * inv_dt + 0.5 * f_[i] + 0.5 * f0_[i] -
                 0.5 * (b0[i] + b1[i]);
 
-      factor_jacobian();
       dx_ = f_;
       solver_->solve_in_place(dx_);
+      ++stale_solves_;
 
       double max_dv = 0.0;
       for (std::size_t i = 0; i < dim; ++i) {
@@ -253,23 +361,113 @@ TransientResult NonlinearSim::run(const TransientSpec& spec) const {
         }
         x1[i] -= step;
       }
-      if (max_dv < opts_.v_tol) {
-        converged = true;
-        break;
-      }
+      if (max_dv < opts_.v_tol) return true;
+      // Modified-Newton escalation: a stale factor that stops contracting
+      // (or is taking clamped full-limit steps) gets replaced next
+      // iteration instead of burning the whole budget.
+      if (!fresh && (max_dv >= prev_dv || max_dv >= opts_.v_limit))
+        have_factor_ = false;
+      prev_dv = max_dv;
     }
-    if (!converged)
+    have_factor_ = false;
+    return false;
+  };
+
+  StepController ctl(spec, ckt_);
+  have_factor_ = false;
+  stale_solves_ = 0;
+
+  // Predictor history (previous accepted point) for the initial guess and
+  // the LTE estimate. Invalidated across source-waveform corners, where
+  // the derivative is discontinuous.
+  Vector x_prev;
+  double h_prev = 0.0;
+  bool have_prev = false;
+
+  double t0 = spec.t_start;
+  std::uint64_t attempts = 0;
+  while (!ctl.done(t0)) {
+    deadline_checkpoint("NonlinearSim::run");
+    if (++attempts > 25'000'000)
+      throw NumericError("NonlinearSim: adaptive step limit exceeded");
+    const double h = ctl.step_size(t0);
+    double t1 = t0 + h;
+    if (t1 > spec.t_stop) t1 = spec.t_stop;
+    set_step_matrix(h);
+    b1 = mna_.rhs(t1);
+
+    mna_.Gs().matvec(x0, f0_);  // f0_ = G x0 + i(x0)
+    stamp_devices(x0, &f0_, 0.0);
+    mna_.Cs().matvec(x0, cx0_);
+
+    // Initial guess: linear extrapolation when history exists (also the
+    // chord method's best friend), else the previous point.
+    x1 = x0;
+    if (have_prev && h_prev > 0.0) {
+      const double r = h / h_prev;
+      for (std::size_t i = 0; i < dim; ++i)
+        x1[i] = x0[i] + r * (x0[i] - x_prev[i]);
+    }
+
+    if (!newton_step()) {
+      // Ladder: fresh factor already happened inside newton_step; next
+      // rung is a smaller step (adaptive), then failure.
+      if (ctl.newton_backoff(h)) {
+        have_factor_ = false;
+        have_prev = false;
+        continue;
+      }
       throw ConvergenceError("NonlinearSim: Newton diverged at t = " +
                              std::to_string(t1));
+    }
     if (!all_finite(x1))
       throw NumericError("NonlinearSim: non-finite solution at t = " +
                          std::to_string(t1));
+
+    // LTE estimate: corrector vs linear extrapolation of the last two
+    // accepted points, damped by h/(h + h_prev).
+    double est = -1.0;
+    if (ctl.adaptive() && have_prev && h_prev > 0.0) {
+      const double r = h / h_prev;
+      double dev = 0.0;
+      for (std::size_t i = 0; i < nv; ++i) {
+        const double pred = x0[i] + r * (x0[i] - x_prev[i]);
+        dev = std::max(dev, std::abs(x1[i] - pred));
+      }
+      est = dev * (h / (h + h_prev));
+    }
+    if (ctl.lte_reject(h, est)) {
+      c.lte_rejected.add();
+      continue;  // Discard x1; the controller shrank the working step.
+    }
+
+    c.steps.add();
+    c.lte_accepted.add();
+    c.dt_accepted.record(h);
+    const bool kink = ctl.crossed_breakpoint(t0, t1);
+    x_prev = std::move(x0);
+    h_prev = h;
+    have_prev = !kink;
     x0 = std::move(x1);
+    x1 = Vector(dim, 0.0);
     b0 = std::move(b1);
-    record(x0, static_cast<std::size_t>(k));
+    t0 = t1;
+    record(x0, t0);
   }
-  c_newton.add(newton_iters);
+  c.newton_iters.add(newton_iters);
   return result;
+}
+
+StatusOr<TransientResult> NonlinearSim::try_run(const TransientSpec& spec,
+                                                const Vector* dc_hint) const {
+  if (Status s = spec.validate(); !s.ok()) return s;
+  try {
+    return run_impl(spec, dc_hint);
+  } catch (const ConvergenceError& e) {
+    return Status::NumericFailure(e.what());
+  } catch (const std::exception& e) {
+    return status_from_exception(e);
+  }
 }
 
 }  // namespace dn

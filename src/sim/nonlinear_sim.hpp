@@ -6,10 +6,22 @@
 // resistance (paper §2, Figure 4), and the nonlinear receiver simulations
 // behind the alignment pre-characterization (paper §3.2).
 //
-// The Jacobian pattern is fixed across all Newton iterations (union of
-// the G/C stamps and every MOSFET small-signal entry), so each iteration
-// restamps VALUES into one reused sparse scratch and numerically
-// refactors — no per-iteration matrix allocation or symbolic work.
+// Hot-path architecture (DESIGN.md §12):
+//   - Fixed union Jacobian pattern (G/C stamps + every MOSFET small-signal
+//     entry) built once; iterations restamp VALUES into one reused sparse
+//     scratch — no per-iteration allocation or symbolic work.
+//   - Structure-of-arrays device evaluation: one mosfet_eval_batch sweep
+//     per iteration over flat parameter/voltage arrays.
+//   - Modified Newton: the factored Jacobian is reused across iterations
+//     AND across time steps until a stale budget or a divergence heuristic
+//     forces a fresh restamp+refactor (SparseLu::refactor replays numerics
+//     only). Fallback ladder: stale factor -> fresh factor -> halve the
+//     step (adaptive) -> kNumericError.
+//   - LTE-adaptive stepping via StepController when spec.lte_tol > 0.
+//
+// The public surface is StatusOr-only: try_run/try_dc_solve never throw —
+// Newton non-convergence is kNumericError, a cancelled deadline
+// kDeadlineExceeded, a bad spec kInvalidArgument.
 #pragma once
 
 #include <array>
@@ -21,14 +33,23 @@
 #include "circuit/mna.hpp"
 #include "matrix/solver.hpp"
 #include "sim/transient.hpp"
+#include "util/status.hpp"
 
 namespace dn {
 
 struct NewtonOptions {
   int max_iterations = 80;
-  double v_tol = 1e-9;        // Convergence: max |delta V| [V].
+  // Convergence: max |delta V| [V]. 100 nV sits ~4 orders below the
+  // per-step truncation error of any grid this flow uses (SPICE vntol is
+  // a full order looser still); tightening it further buys no accuracy,
+  // only extra chord iterations on large adaptive steps.
+  double v_tol = 1e-7;
   double v_limit = 0.5;       // Per-iteration node-voltage step clamp [V].
   double gmin = 1e-12;        // Baseline gmin (also in MnaSystem).
+  /// Modified-Newton budget: solves allowed on one factored Jacobian
+  /// before a fresh restamp+refactor is forced. 0 = classic full Newton
+  /// (refactor every iteration).
+  int stale_jacobian_iters = 16;
   SolverOptions solver{};     // Backend for the Newton linear solves.
 };
 
@@ -37,12 +58,16 @@ class NonlinearSim {
   /// `ckt` must outlive the simulator.
   explicit NonlinearSim(const Circuit& ckt, NewtonOptions opts = {});
 
-  /// Trapezoidal transient from the DC operating point at t_start.
-  /// Throws std::runtime_error if Newton fails to converge at any step.
-  TransientResult run(const TransientSpec& spec) const;
+  /// Trapezoidal transient from the DC operating point at t_start
+  /// (LTE-adaptive when spec.lte_tol > 0). `dc_hint` optionally seeds the
+  /// operating-point solve (warm start); it is validated by Newton, never
+  /// trusted blindly. kNumericError on Newton non-convergence.
+  StatusOr<TransientResult> try_run(const TransientSpec& spec,
+                                    const Vector* dc_hint = nullptr) const;
 
-  /// DC operating point at time t via gmin stepping.
-  Vector dc_solve(double t) const;
+  /// DC operating point at time t. With a usable `hint` the gmin-stepping
+  /// ladder is skipped entirely when direct Newton from the hint converges.
+  StatusOr<Vector> try_dc_solve(double t, const Vector* hint = nullptr) const;
 
   const MnaSystem& mna() const { return mna_; }
 
@@ -50,7 +75,7 @@ class NonlinearSim {
   /// Adds MOSFET companion-model contributions at state x:
   ///   *inl += device currents flowing out of each node (when inl != nullptr)
   ///   jac_ += jac_scale * d(i_nl)/dx  (when jac_scale != 0)
-  /// One device evaluation feeds both.
+  /// One batched device sweep feeds both.
   void stamp_devices(const Vector& x, Vector* inl, double jac_scale) const;
 
   /// Solves G x + i_nl(x) = b with an extra `g_extra` to ground on every
@@ -60,6 +85,11 @@ class NonlinearSim {
   /// Factors jac_ through the backend; after the first call only the
   /// numeric phase reruns (the pattern never changes).
   void factor_jacobian() const;
+
+  // Throwing internals wrapped by the StatusOr surface.
+  Vector dc_solve(double t, const Vector* hint) const;
+  TransientResult run_impl(const TransientSpec& spec,
+                           const Vector* dc_hint) const;
 
   const Circuit& ckt_;
   MnaSystem mna_;
@@ -72,8 +102,19 @@ class NonlinearSim {
   std::vector<std::ptrdiff_t> g_map_, c_map_;   // Gs/Cs slot -> jac_ slot.
   std::vector<std::ptrdiff_t> node_diag_;       // Node diagonal slots.
   std::vector<std::array<std::ptrdiff_t, 6>> dev_slots_;  // Per-MOSFET.
+  // Structure-of-arrays device batch (constructor-built parameters plus
+  // per-iteration gather/scatter scratch).
+  MosfetBatch batch_;
+  std::vector<std::ptrdiff_t> dev_d_, dev_g_, dev_s_;  // Node var or -1.
+  mutable std::vector<double> bvd_, bvg_, bvs_, bid_, bgm_, bgds_;
   mutable std::optional<SystemSolver> solver_;
   mutable Vector base_vals_, f_, f0_, dx_, cx0_, cx1_;
+  // Modified-Newton bookkeeping: what state the factored Jacobian was
+  // stamped for. Reset at the start of every run.
+  mutable bool have_factor_ = false;  // solver_ holds a usable factor.
+  mutable int stale_solves_ = 0;      // Solves since the last fresh stamp.
+  mutable int stale_budget_ = 0;      // Effective chord budget for this run:
+                                      // spec override or opts_ default.
 };
 
 }  // namespace dn

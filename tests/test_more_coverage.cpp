@@ -24,7 +24,7 @@ TEST(LinearSimCorner, CouplingOnlyNodeIsRegularizedByGmin) {
   ckt.add_vsource(a, kGround, Pwl::ramp(100 * ps, 100 * ps, 0.0, 1.0));
   ckt.add_capacitor(a, fl, 10 * fF);
   LinearSim sim(ckt);
-  const auto res = sim.run({0.0, 1 * ns, 1 * ps});
+  const auto res = sim.try_run({0.0, 1 * ns, 1 * ps}).value();
   // With no other cap on the node, it tracks the source 1:1.
   EXPECT_NEAR(res.waveform(fl).at(0.9 * ns), 1.0, 0.05);
 }
@@ -37,7 +37,7 @@ TEST(LinearSimCorner, CapacitiveDividerRatio) {
   ckt.add_capacitor(a, mid, 30 * fF);
   ckt.add_capacitor(mid, kGround, 60 * fF);
   LinearSim sim(ckt);
-  const auto res = sim.run({0.0, 0.5 * ns, 0.5 * ps});
+  const auto res = sim.try_run({0.0, 0.5 * ns, 0.5 * ps}).value();
   // Fast edge: divider ratio c1/(c1+c2) = 1/3 right after the edge.
   EXPECT_NEAR(res.waveform(mid).at(150 * ps), 1.0 / 3.0, 0.02);
 }
@@ -53,7 +53,7 @@ TEST(NonlinearSimCorner, DcSolveOfCrossCoupledPair) {
   instantiate_gate(ckt, g, x, y, vdd);
   instantiate_gate(ckt, g, y, x, vdd);
   NonlinearSim sim(ckt);
-  const Vector sol = sim.dc_solve(0.0);
+  const Vector sol = sim.try_dc_solve(0.0).value();
   const double vx = sim.mna().node_voltage(sol, x);
   const double vy = sim.mna().node_voltage(sol, y);
   // Complementary rails or the metastable midpoint; all are valid DC
@@ -82,7 +82,7 @@ TEST(NonlinearSimCorner, TransmissionThroughSeriesResistorChain) {
     prev = n;
   }
   NonlinearSim sim(ckt);
-  const auto res = sim.run({0.0, 3 * ns, 2 * ps});
+  const auto res = sim.try_run({0.0, 3 * ns, 2 * ps}).value();
   EXPECT_NEAR(res.waveform(prev).at(3 * ns), 1.8, 0.05);
 }
 

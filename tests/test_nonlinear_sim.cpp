@@ -44,13 +44,13 @@ TEST(NonlinearSim, InverterDcRails) {
   {
     InverterFixture f(Pwl::constant(0.0), 10 * fF);
     NonlinearSim sim(f.ckt);
-    const Vector x = sim.dc_solve(0.0);
+    const Vector x = sim.try_dc_solve(0.0).value();
     EXPECT_NEAR(sim.mna().node_voltage(x, f.out), kVdd, 0.01);
   }
   {
     InverterFixture f(Pwl::constant(kVdd), 10 * fF);
     NonlinearSim sim(f.ckt);
-    const Vector x = sim.dc_solve(0.0);
+    const Vector x = sim.try_dc_solve(0.0).value();
     EXPECT_NEAR(sim.mna().node_voltage(x, f.out), 0.0, 0.01);
   }
 }
@@ -60,7 +60,7 @@ TEST(NonlinearSim, InverterVtcIsMonotonicallyFalling) {
   for (double vin = 0.0; vin <= kVdd + 1e-9; vin += 0.15) {
     InverterFixture f(Pwl::constant(vin), 10 * fF);
     NonlinearSim sim(f.ckt);
-    const Vector x = sim.dc_solve(0.0);
+    const Vector x = sim.try_dc_solve(0.0).value();
     const double vout = sim.mna().node_voltage(x, f.out);
     EXPECT_LT(vout, prev + 1e-6) << "vin=" << vin;
     prev = vout;
@@ -71,7 +71,7 @@ TEST(NonlinearSim, InverterSwitchingTransient) {
   // Rising input -> falling output crossing Vdd/2 after the input does.
   InverterFixture f(Pwl::ramp(100 * ps, 100 * ps, 0.0, kVdd), 30 * fF);
   NonlinearSim sim(f.ckt);
-  const auto res = sim.run({0.0, 1.5 * ns, 1 * ps});
+  const auto res = sim.try_run({0.0, 1.5 * ns, 1 * ps}).value();
   const Pwl vout = res.waveform(f.out);
   EXPECT_NEAR(vout.at(0.0), kVdd, 0.02);
   EXPECT_NEAR(vout.at(1.5 * ns), 0.0, 0.02);
@@ -86,7 +86,7 @@ TEST(NonlinearSim, HeavierLoadSlowsTheOutput) {
   auto delay_for = [](double cl) {
     InverterFixture f(Pwl::ramp(100 * ps, 100 * ps, 0.0, kVdd), cl);
     NonlinearSim sim(f.ckt);
-    const auto res = sim.run({0.0, 3 * ns, 1 * ps});
+    const auto res = sim.try_run({0.0, 3 * ns, 1 * ps}).value();
     return *res.waveform(f.out).crossing(kVdd / 2, false);
   };
   EXPECT_GT(delay_for(100 * fF), delay_for(20 * fF) + 20 * ps);
@@ -106,8 +106,8 @@ TEST(NonlinearSim, MatchesLinearSimOnLinearCircuit) {
   const NodeId o1 = build(c1);
   const NodeId o2 = build(c2);
   const TransientSpec spec{0.0, 1 * ns, 1 * ps};
-  const Pwl lin = LinearSim(c1).run(spec).waveform(o1);
-  const Pwl nl = NonlinearSim(c2).run(spec).waveform(o2);
+  const Pwl lin = LinearSim(c1).try_run(spec).value().waveform(o1);
+  const Pwl nl = NonlinearSim(c2).try_run(spec).value().waveform(o2);
   for (double t = 0; t <= 1 * ns; t += 20 * ps)
     EXPECT_NEAR(lin.at(t), nl.at(t), 1e-6) << "t=" << t;
 }
@@ -119,7 +119,7 @@ TEST(NonlinearSim, NoiseCurrentInjectionOnHeldInverter) {
   f.ckt.add_isource(f.out, kGround,
                     triangle_pulse(0.4 * mA, 100 * ps, 500 * ps));
   NonlinearSim sim(f.ckt);
-  const auto res = sim.run({0.0, 1.5 * ns, 1 * ps});
+  const auto res = sim.try_run({0.0, 1.5 * ns, 1 * ps}).value();
   const Pwl vout = res.waveform(f.out);
   const auto pk = vout.peak(0.0);
   EXPECT_GT(pk.value, 0.02);
@@ -128,11 +128,26 @@ TEST(NonlinearSim, NoiseCurrentInjectionOnHeldInverter) {
   EXPECT_NEAR(pk.t, 500 * ps, 60 * ps);
 }
 
-TEST(NonlinearSim, DivergenceIsReportedNotSilent) {
-  // An absurd spec (dt = 0) must throw, not loop forever or return junk.
+TEST(NonlinearSim, BadSpecIsInvalidArgument) {
+  // An absurd spec (dt = 0) must come back as a Status, not loop forever,
+  // return junk, or throw through the public API.
   InverterFixture f(Pwl::constant(0.0), 10 * fF);
   NonlinearSim sim(f.ckt);
-  EXPECT_THROW(sim.run({0.0, 1 * ns, 0.0}), std::invalid_argument);
+  const auto res = sim.try_run({0.0, 1 * ns, 0.0});
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NonlinearSim, NonConvergenceIsNumericError) {
+  // One Newton iteration cannot converge an inverter DC point from a cold
+  // start; the failure must surface as kNumericError, not an exception.
+  InverterFixture f(Pwl::ramp(100 * ps, 100 * ps, 0.0, kVdd), 30 * fF);
+  NewtonOptions newton;
+  newton.max_iterations = 1;
+  NonlinearSim sim(f.ckt, newton);
+  const auto res = sim.try_run({0.0, 1 * ns, 1 * ps});
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kNumericError);
 }
 
 }  // namespace

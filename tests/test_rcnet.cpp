@@ -51,7 +51,7 @@ TEST(RcTree, InstantiateIsSimulatable) {
   ASSERT_EQ(map.size(), 7u);
   ckt.add_vsource(map[0], kGround, Pwl::ramp(0.0, 50 * ps, 0.0, 1.0));
   LinearSim sim(ckt);
-  const auto res = sim.run({0.0, 2 * ns, 1 * ps});
+  const auto res = sim.try_run({0.0, 2 * ns, 1 * ps}).value();
   EXPECT_NEAR(res.waveform(map[6]).at(2 * ns), 1.0, 1e-3);
 }
 

@@ -78,7 +78,8 @@ TEST(Ticer, PreservesTransientWaveform) {
     const auto map = t.instantiate(ckt, "n");
     ckt.add_vsource(map[0], kGround, Pwl::ramp(50 * ps, 100 * ps, 0.0, 1.8));
     LinearSim sim(ckt);
-    return sim.run({0.0, 3 * ns, 2 * ps})
+    return sim.try_run({0.0, 3 * ns, 2 * ps})
+        .value()
         .waveform(map[static_cast<std::size_t>(t.sink)]);
   };
   const Pwl full = simulate(line);

@@ -113,7 +113,8 @@ std::vector<std::string> positional_args(int argc, char** argv) {
       "--screen-below", "--solver",    "--metrics-json", "--trace-out",
       "--deadline-ms", "--max-retries", "--inject-faults", "--fault-seed",
       "--config",      "--socket",     "--queue-soft",  "--queue-hard",
-      "--save-cache",  "--load-cache"};
+      "--save-cache",  "--load-cache", "--lte-tol",     "--max-dt-growth",
+      "--stale-jacobian-iters", "--warm-start"};
   std::vector<std::string> out;
   for (int i = 1; i < argc; ++i) {
     if (argv[i][0] == '-') {
@@ -143,6 +144,12 @@ int usage() {
       "config (all analysis modes; one validation path):\n"
       "       [--config FILE]  JSON object of dn::AnalysisConfig keys\n"
       "       [--solver auto|dense|sparse]  linear-solver backend\n"
+      "transient engine (DESIGN.md §12):\n"
+      "       [--lte-tol V]  adaptive-step LTE bound [V]; 0 = fixed grid\n"
+      "       [--max-dt-growth F]  max per-step growth of the adaptive dt\n"
+      "       [--stale-jacobian-iters N]  modified-Newton reuse budget\n"
+      "                                   (0 = refactor every iteration)\n"
+      "       [--warm-start 0|1]  reuse DC operating points across sims\n"
       "observability (any mode):\n"
       "       [--profile] [--metrics-json FILE] [--trace-out FILE]\n"
       "fault tolerance (see DESIGN.md §10):\n"
@@ -186,6 +193,15 @@ StatusOr<AnalysisConfig> config_from_flags(int argc, char** argv) {
   if (has_flag(argc, argv, "--exhaustive")) flags["exhaustive"] = true;
   if (has_flag(argc, argv, "--thevenin")) flags["thevenin"] = true;
   if (has_flag(argc, argv, "--prereduce")) flags["prereduce"] = true;
+  if (str_flag(argc, argv, "--lte-tol", nullptr))
+    flags["lte_tol"] = double_flag(argc, argv, "--lte-tol", 5e-4);
+  if (str_flag(argc, argv, "--max-dt-growth", nullptr))
+    flags["max_dt_growth"] = double_flag(argc, argv, "--max-dt-growth", 2.0);
+  if (str_flag(argc, argv, "--stale-jacobian-iters", nullptr))
+    flags["stale_jacobian_iters"] =
+        int_flag(argc, argv, "--stale-jacobian-iters", 8);
+  if (str_flag(argc, argv, "--warm-start", nullptr))
+    flags["warm_start"] = int_flag(argc, argv, "--warm-start", 1) != 0;
 
   Status applied = cfg.apply(json::Value(std::move(flags)));
   if (!applied.ok()) return applied;
