@@ -100,6 +100,18 @@ if [[ "$run_chaos" == 1 ]]; then
     fi
     echo "chaos seed $fault_seed: $(printf '%s\n' "$out1" | head -1)"
   done
+  # Same invariant with the fidelity ladder enabled: tier decisions and
+  # pruning are per-net and deterministic, so ladder output must also be
+  # byte-identical across job counts under injected faults.
+  ladder_args=("${chaos_args[@]}" --fidelity 2 --fidelity-threshold 5)
+  lout1=$(./build/tools/dnoise_cli "${ladder_args[@]}" --fault-seed 2 --jobs 1 2>/dev/null)
+  lout8=$(./build/tools/dnoise_cli "${ladder_args[@]}" --fault-seed 2 --jobs 8 2>/dev/null)
+  if [[ "$lout1" != "$lout8" ]]; then
+    echo "chaos: ladder output differs between --jobs 1 and --jobs 8" >&2
+    diff <(printf '%s\n' "$lout1") <(printf '%s\n' "$lout8") >&2 || true
+    exit 1
+  fi
+  echo "chaos ladder: $(printf '%s\n' "$lout1" | head -1)"
 fi
 
 if [[ "$run_bench" == 1 ]]; then
@@ -109,6 +121,13 @@ if [[ "$run_bench" == 1 ]]; then
   # speedup is >= 10x, newton_iters and solver.refactors are cut >= 5x,
   # and the reported delays stay within tolerance (DESIGN.md §12).
   ./build/bench/bench_perf_sim --out build/BENCH_perf_sim.json
+
+  echo "== perf gate: fidelity ladder (bench_perf_ladder) =="
+  # Ladder on vs off over a quiet-heavy population. The binary exits
+  # nonzero unless NO pruned net shows a violation in the ladder-off run
+  # (zero missed violations), the pruning rate is >= 60%, and the
+  # end-to-end speedup is >= 5x (DESIGN.md §13).
+  ./build/bench/bench_perf_ladder --out build/BENCH_perf_ladder.json
 fi
 
 echo "== server smoke: scripted NDJSON session against --serve =="
@@ -138,7 +157,7 @@ with open(sys.argv[1]) as f:
 assert len(resps) == 10, f"expected 10 responses, got {len(resps)}"
 for i, r in enumerate(resps, 1):
     assert r["id"] == i, f"response order broken at {i}: {r}"
-    assert r["schema_version"] == 1, f"missing schema_version: {r}"
+    assert r["schema_version"] == 2, f"missing schema_version: {r}"
 ok = {i: r["ok"] for i, r in enumerate(resps, 1)}
 assert all(ok[i] for i in (1, 2, 3, 4, 5, 6, 9, 10)), f"unexpected failure: {ok}"
 # The fault-injected analyze must degrade or fail CLEANLY: either an ok

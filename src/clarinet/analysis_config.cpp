@@ -53,6 +53,20 @@ Status apply_key(AnalysisConfig& cfg, const std::string& key,
   }
   if (key == "screen_vn_below_v")
     return set_num(v, "screen_vn_below_v", b.screen_vn_threshold);
+  if (key == "fidelity_ladder")
+    return set_bool(v, "fidelity_ladder", b.ladder.enabled);
+  if (key == "fidelity_threshold_ps") {
+    double ps_v = 0;
+    Status s = set_num(v, "fidelity_threshold_ps", ps_v);
+    if (s.ok()) b.ladder.dn_threshold = ps_v * ps;
+    return s;
+  }
+  if (key == "fidelity_margin")
+    return set_num(v, "fidelity_margin", b.ladder.tier1_margin);
+  if (key == "fidelity_max_tier")
+    return set_int(v, "fidelity_max_tier", b.ladder.max_tier);
+  if (key == "window_pruning")
+    return set_bool(v, "window_pruning", a.analysis.window_pruning);
   if (key == "max_retries") return set_int(v, "max_retries", b.max_retries);
   if (key == "retry_backoff_ms")
     return set_num(v, "retry_backoff_ms", b.retry_backoff_ms);
@@ -168,6 +182,12 @@ Status AnalysisConfig::validate() const {
   if (b.max_retries < 0) return range_error("max_retries", "must be >= 0");
   if (b.retry_backoff_ms < 0)
     return range_error("retry_backoff_ms", "must be >= 0");
+  if (!(b.ladder.dn_threshold >= 0))
+    return range_error("fidelity_threshold_ps", "must be >= 0");
+  if (!(b.ladder.tier1_margin >= 1.0))
+    return range_error("fidelity_margin", "must be >= 1 (conservatism)");
+  if (b.ladder.max_tier < 0 || b.ladder.max_tier > 2)
+    return range_error("fidelity_max_tier", "must be in [0, 2]");
   if (!(a.engine.dt > 0)) return range_error("dt_ps", "must be > 0");
   if (!(a.engine.horizon > a.engine.dt))
     return range_error("horizon_ns", "must exceed the time step dt_ps");
@@ -230,6 +250,11 @@ json::Value AnalysisConfig::to_json() const {
   o["screen_below_ps"] =
       b.screen_threshold < 0 ? -1.0 : b.screen_threshold / ps;
   o["screen_vn_below_v"] = b.screen_vn_threshold;
+  o["fidelity_ladder"] = b.ladder.enabled;
+  o["fidelity_threshold_ps"] = b.ladder.dn_threshold / ps;
+  o["fidelity_margin"] = b.ladder.tier1_margin;
+  o["fidelity_max_tier"] = b.ladder.max_tier;
+  o["window_pruning"] = a.analysis.window_pruning;
   o["max_retries"] = b.max_retries;
   o["retry_backoff_ms"] = b.retry_backoff_ms;
   o["deadline_ms"] = b.deadline_ms;

@@ -19,8 +19,60 @@ const char* analysis_outcome_name(AnalysisOutcome o) {
     case AnalysisOutcome::kDegraded: return "degraded";
     case AnalysisOutcome::kFailed: return "failed";
     case AnalysisOutcome::kScreened: return "screened";
+    case AnalysisOutcome::kDeferred: return "deferred";
   }
   return "?";
+}
+
+void finalize_batch_result(BatchResult& out, int top_k, bool ladder_enabled) {
+  // Worst-K by combined delay noise, ties broken by index so the ranking
+  // is stable across thread counts. Pruned/deferred nets never rank.
+  std::vector<std::size_t> ok_idx;
+  ok_idx.reserve(out.nets.size());
+  for (const auto& nr : out.nets)
+    if (nr.status.ok() && !nr.screened_out && !nr.deferred)
+      ok_idx.push_back(nr.index);
+  const std::size_t k = std::min<std::size_t>(
+      ok_idx.size(),
+      top_k > 0 ? static_cast<std::size_t>(top_k) : ok_idx.size());
+  std::partial_sort(ok_idx.begin(), ok_idx.begin() + static_cast<long>(k),
+                    ok_idx.end(), [&](std::size_t a, std::size_t b) {
+                      const double da = out.nets[a].result.delay_noise();
+                      const double db = out.nets[b].result.delay_noise();
+                      if (da != db) return da > db;
+                      return a < b;
+                    });
+  ok_idx.resize(k);
+  out.worst = std::move(ok_idx);
+
+  BatchStats& st = out.stats;
+  st.total = out.nets.size();
+  st.analyzed = st.screened_out = st.degraded = st.deferred = 0;
+  st.tier0_pruned = st.tier1_pruned = st.tier2_analyzed = 0;
+  st.max_pruned_bound = 0.0;
+  st.retries = 0;
+  st.ladder = ladder_enabled;
+  for (const auto& nr : out.nets) {
+    if (nr.screened_out) {
+      ++st.screened_out;
+      if (ladder_enabled) {
+        if (nr.decided_by == FidelityTier::kTier0)
+          ++st.tier0_pruned;
+        else
+          ++st.tier1_pruned;
+        st.max_pruned_bound = std::max(st.max_pruned_bound, nr.dn_bound);
+      }
+    } else if (nr.deferred) {
+      ++st.deferred;
+    } else if (nr.status.ok()) {
+      ++st.analyzed;
+      if (nr.outcome == AnalysisOutcome::kDegraded) ++st.degraded;
+      if (ladder_enabled) ++st.tier2_analyzed;
+    }
+    st.retries +=
+        static_cast<std::uint64_t>(nr.attempts > 1 ? nr.attempts - 1 : 0);
+  }
+  st.failed = st.total - st.analyzed - st.screened_out - st.deferred;
 }
 
 BatchAnalyzer::BatchAnalyzer(BatchOptions opts)
@@ -60,7 +112,11 @@ BatchResult BatchAnalyzer::analyze(const std::vector<CoupledNet>& nets,
   const std::uint64_t misses0 = cache()->misses();
 
   const ScreeningOptions screening = opts_.screening();
-  const bool do_screen = screening.active();
+  // The fidelity ladder replaces the single-threshold screen when
+  // enabled; off keeps the classic path byte-identical.
+  const bool do_ladder = opts_.ladder.enabled;
+  const bool do_screen = !do_ladder && screening.active();
+  const FidelityLadder ladder(opts_.ladder);
 
   BatchResult out;
   out.nets.resize(nets.size());
@@ -85,7 +141,29 @@ BatchResult BatchAnalyzer::analyze(const std::vector<CoupledNet>& nets,
       obs::ScopedLatency lat(h_net);
       obs::TraceSpan span("batch.net", "batch", "net", slot.name);
       bool skip = false;
-      if (do_screen) {
+      if (do_ladder) {
+        // Tiered triage (DESIGN.md §13); ladder failures on malformed
+        // nets fall through so the full analysis reports the
+        // authoritative Status.
+        StatusOr<LadderDecision> dec = ladder.evaluate(nets[i]);
+        if (dec.ok()) {
+          slot.decided_by = dec->decided_by;
+          slot.dn_bound = dec->dn_bound;
+          if (dec->tier1_ran) slot.screen = dec->tier1;
+          if (dec->pruned) {
+            slot.screened_out = true;
+            slot.outcome = AnalysisOutcome::kScreened;
+            c_screened.add();
+            skip = true;
+          } else if (dec->decided_by != FidelityTier::kTier2) {
+            // Capped ladder: the survivor is reported with its bound
+            // instead of entering the full flow.
+            slot.deferred = true;
+            slot.outcome = AnalysisOutcome::kDeferred;
+            skip = true;
+          }
+        }
+      } else if (do_screen) {
         // Cheap deterministic triage; estimate failures fall through so
         // the full analysis reports the authoritative Status.
         StatusOr<ScreeningEstimate> est = try_screen_net(nets[i]);
@@ -137,6 +215,9 @@ BatchResult BatchAnalyzer::analyze(const std::vector<CoupledNet>& nets,
               slot.result = std::move(*r);
               slot.report =
                   DelayNoiseReport::from(nets[i], slot.result, slot.name);
+              if (do_ladder)
+                slot.report.fidelity_tier =
+                    fidelity_tier_name(slot.decided_by);
             } else {
               slot.status = r.status();
             }
@@ -161,40 +242,9 @@ BatchResult BatchAnalyzer::analyze(const std::vector<CoupledNet>& nets,
           remaining.fetch_sub(1, std::memory_order_relaxed) - 1));
   });
 
-  // Worst-K by combined delay noise, ties broken by index so the ranking
-  // is stable across thread counts. Screened-out nets never rank.
-  std::vector<std::size_t> ok_idx;
-  ok_idx.reserve(out.nets.size());
-  for (const auto& nr : out.nets)
-    if (nr.status.ok() && !nr.screened_out) ok_idx.push_back(nr.index);
-  const std::size_t k = std::min<std::size_t>(
-      ok_idx.size(), opts_.top_k > 0 ? static_cast<std::size_t>(opts_.top_k)
-                                     : ok_idx.size());
-  std::partial_sort(ok_idx.begin(), ok_idx.begin() + static_cast<long>(k),
-                    ok_idx.end(), [&](std::size_t a, std::size_t b) {
-                      const double da = out.nets[a].result.delay_noise();
-                      const double db = out.nets[b].result.delay_noise();
-                      if (da != db) return da > db;
-                      return a < b;
-                    });
-  ok_idx.resize(k);
-  out.worst = std::move(ok_idx);
+  finalize_batch_result(out, opts_.top_k, do_ladder);
 
   auto& st = out.stats;
-  st.total = out.nets.size();
-  st.analyzed = 0;
-  st.screened_out = 0;
-  st.degraded = 0;
-  for (const auto& nr : out.nets) {
-    if (nr.screened_out) {
-      ++st.screened_out;
-    } else if (nr.status.ok()) {
-      ++st.analyzed;
-      if (nr.outcome == AnalysisOutcome::kDegraded) ++st.degraded;
-    }
-  }
-  st.failed = st.total - st.analyzed - st.screened_out;
-  st.retries = retries_total.load(std::memory_order_relaxed);
   st.jobs = jobs_;
   st.elapsed_s = std::chrono::duration<double>(
                      std::chrono::steady_clock::now() - t0)
@@ -215,11 +265,29 @@ void BatchResult::write_text(std::ostream& os) const {
   if (stats.screened_out)
     os << ", " << stats.screened_out << " screened out";
   if (stats.retries) os << ", " << stats.retries << " retries";
+  if (stats.ladder && stats.deferred)
+    os << ", " << stats.deferred << " deferred";
   os << "\n";
+  if (stats.ladder) {
+    os << "fidelity ladder: tier0 pruned " << stats.tier0_pruned
+       << ", tier1 pruned " << stats.tier1_pruned << ", tier2 analyzed "
+       << stats.tier2_analyzed;
+    if (stats.deferred) os << ", deferred " << stats.deferred;
+    if (stats.screened_out)
+      os << "; max pruned bound " << stats.max_pruned_bound * 1e12 << " ps";
+    os << "\n";
+  }
   for (const auto& nr : nets) {
     os << "  [" << nr.index << "] " << nr.name << ": ";
     if (nr.screened_out) {
-      os << "screened out (est " << nr.screen.dn_est * 1e12 << " ps)\n";
+      if (stats.ladder)
+        os << "pruned at " << fidelity_tier_name(nr.decided_by) << " (bound "
+           << nr.dn_bound * 1e12 << " ps)\n";
+      else
+        os << "screened out (est " << nr.screen.dn_est * 1e12 << " ps)\n";
+    } else if (nr.deferred) {
+      os << "deferred at " << fidelity_tier_name(nr.decided_by) << " (bound "
+         << nr.dn_bound * 1e12 << " ps)\n";
     } else if (nr.status.ok()) {
       os << nr.report.delay_noise_ps << " ps combined ("
          << nr.report.input_delay_noise_ps << " ps interconnect, "
@@ -259,8 +327,18 @@ void BatchResult::write_json(std::ostream& os) const {
     const auto& nr = nets[i];
     if (nr.screened_out) {
       const auto saved = os.precision(6);
-      os << "{\"net\":\"" << nr.name << "\",\"screened_out\":true,"
-         << "\"est_dnoise_ps\":" << nr.screen.dn_est * 1e12 << "}";
+      os << "{\"net\":\"" << nr.name << "\",\"screened_out\":true,";
+      if (stats.ladder)
+        os << "\"tier\":\"" << fidelity_tier_name(nr.decided_by)
+           << "\",\"bound_ps\":" << nr.dn_bound * 1e12 << "}";
+      else
+        os << "\"est_dnoise_ps\":" << nr.screen.dn_est * 1e12 << "}";
+      os.precision(saved);
+    } else if (nr.deferred) {
+      const auto saved = os.precision(6);
+      os << "{\"net\":\"" << nr.name << "\",\"deferred\":true,"
+         << "\"tier\":\"" << fidelity_tier_name(nr.decided_by)
+         << "\",\"bound_ps\":" << nr.dn_bound * 1e12 << "}";
       os.precision(saved);
     } else if (nr.status.ok()) {
       nr.report.to_json(os);
@@ -278,6 +356,15 @@ void BatchResult::write_json(std::ostream& os) const {
   if (stats.degraded) os << ",\"degraded\":" << stats.degraded;
   if (stats.screened_out) os << ",\"screened_out\":" << stats.screened_out;
   if (stats.retries) os << ",\"retries\":" << stats.retries;
+  if (stats.ladder) {
+    const auto saved = os.precision(6);
+    os << ",\"ladder\":{\"tier0_pruned\":" << stats.tier0_pruned
+       << ",\"tier1_pruned\":" << stats.tier1_pruned
+       << ",\"tier2_analyzed\":" << stats.tier2_analyzed
+       << ",\"deferred\":" << stats.deferred
+       << ",\"max_pruned_bound_ps\":" << stats.max_pruned_bound * 1e12 << "}";
+    os.precision(saved);
+  }
   os << "}";
 }
 
@@ -297,6 +384,10 @@ std::string BatchResult::stats_text() const {
      << stats.cache_misses << " misses)";
   if (stats.screened_out)
     os << ", " << stats.screened_out << " nets screened out";
+  if (stats.ladder)
+    os << "; ladder: " << stats.tier0_pruned << " tier0 / "
+       << stats.tier1_pruned << " tier1 pruned, " << stats.tier2_analyzed
+       << " tier2 analyzed, " << stats.deferred << " deferred";
   return os.str();
 }
 

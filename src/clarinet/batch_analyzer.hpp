@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "clarinet/analyzer.hpp"
+#include "clarinet/fidelity_ladder.hpp"
 #include "clarinet/screening.hpp"
 #include "util/thread_pool.hpp"
 
@@ -57,6 +58,12 @@ struct BatchOptions {
     return s;
   }
 
+  /// Tiered multi-fidelity ladder (clarinet/fidelity_ladder.hpp). When
+  /// enabled it REPLACES the single-threshold screening above: Tier 0/1
+  /// prune quiet nets with recorded bounds, Tier 2 runs the full flow
+  /// for survivors. Disabled keeps the classic path byte-identical.
+  FidelityLadderOptions ladder{};
+
   /// Per-net retry budget for TRANSIENT failures (Status::is_transient(),
   /// i.e. kUnavailable): a failing net is re-analyzed up to this many
   /// extra times before being recorded as failed. Non-transient failures
@@ -80,7 +87,8 @@ enum class AnalysisOutcome {
   kOk = 0,    // Clean analysis, no ladder steps.
   kDegraded,  // Analyzed, but at least one degradation rung was taken.
   kFailed,    // No result; BatchNetResult::status explains.
-  kScreened,  // Skipped by the screening threshold.
+  kScreened,  // Skipped: screening threshold or fidelity-ladder prune.
+  kDeferred,  // Survived a capped ladder (max_tier < 2); not analyzed.
 };
 
 const char* analysis_outcome_name(AnalysisOutcome o);
@@ -96,6 +104,14 @@ struct BatchNetResult {
   DelayNoiseReport report;   // Valid iff status.ok() && !screened_out.
   AnalysisOutcome outcome = AnalysisOutcome::kOk;
   int attempts = 1;          // 1 + retries actually consumed.
+
+  // Fidelity provenance (meaningful only when BatchOptions::ladder is
+  // enabled): the tier that decided this net and the tightest cheap-tier
+  // delay-noise upper bound [s] (bounds any violation a prune could
+  // miss). A deferred net survived every tier a capped ladder allowed.
+  FidelityTier decided_by = FidelityTier::kTier2;
+  double dn_bound = 0.0;
+  bool deferred = false;
 };
 
 struct BatchStats {
@@ -111,6 +127,17 @@ struct BatchStats {
   std::size_t tables_cached = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+
+  // Fidelity-ladder figures (all zero when the ladder is off; `ladder`
+  // gates every new rendering so classic output stays byte-identical).
+  bool ladder = false;
+  std::size_t tier0_pruned = 0;
+  std::size_t tier1_pruned = 0;
+  std::size_t tier2_analyzed = 0;  // Nets that reached the full flow.
+  std::size_t deferred = 0;        // Survivors of a capped ladder.
+  /// Largest delay-noise upper bound among pruned nets [s]: no violation
+  /// bigger than this can have been missed by pruning.
+  double max_pruned_bound = 0.0;
   double cache_hit_rate() const {
     const double n = static_cast<double>(cache_hits + cache_misses);
     return n > 0 ? static_cast<double>(cache_hits) / n : 0.0;
@@ -135,6 +162,13 @@ struct BatchResult {
   /// figures; keep it on stderr so batch stdout stays byte-stable).
   std::string stats_text() const;
 };
+
+/// Recomputes `out.worst` and every outcome-derived stats field (counts,
+/// tier tallies, max pruned bound, retries, failed) from `out.nets`.
+/// Timing/cache/jobs figures are left to the caller. Shared by
+/// BatchAnalyzer::analyze and the resident server's slot re-assembly so
+/// the two rankings can never drift.
+void finalize_batch_result(BatchResult& out, int top_k, bool ladder_enabled);
 
 class BatchAnalyzer {
  public:

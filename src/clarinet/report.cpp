@@ -29,6 +29,8 @@ DelayNoiseReport DelayNoiseReport::from(const CoupledNet& net,
   rep.input_delay_noise_ps = r.input_delay_noise() / ps;
   rep.delay_noise_ps = r.delay_noise() / ps;
   rep.degradations = r.degradations;
+  rep.aggressors_pruned_window = r.aggressors_pruned_window;
+  rep.aggressors_pruned_exclusion = r.aggressors_pruned_exclusion;
   return rep;
 }
 
@@ -51,6 +53,13 @@ void DelayNoiseReport::to_text(std::ostream& os) const {
   os << "  interconnect delay noise: " << input_delay_noise_ps << " ps\n";
   os << "  combined (receiver output) delay noise: " << delay_noise_ps
      << " ps\n";
+  if (aggressors_pruned_window + aggressors_pruned_exclusion > 0) {
+    os << "  aggressors pruned: " << aggressors_pruned_window
+       << " window-infeasible, " << aggressors_pruned_exclusion
+       << " exclusion-dominated\n";
+  }
+  if (!fidelity_tier.empty())
+    os << "  fidelity: decided by " << fidelity_tier << "\n";
   for (const auto& d : degradations) {
     os << "  degraded: " << degrade_kind_name(d.kind);
     if (d.count > 1) os << " (x" << d.count << ")";
@@ -104,6 +113,14 @@ void DelayNoiseReport::to_json(std::ostream& os) const {
      << ",\"align_voltage_v\":" << align_voltage_v
      << ",\"input_delay_noise_ps\":" << input_delay_noise_ps
      << ",\"delay_noise_ps\":" << delay_noise_ps;
+  if (!fidelity_tier.empty()) {
+    os << ",\"fidelity_tier\":";
+    json_string(os, fidelity_tier);
+  }
+  if (aggressors_pruned_window + aggressors_pruned_exclusion > 0) {
+    os << ",\"aggressors_pruned_window\":" << aggressors_pruned_window
+       << ",\"aggressors_pruned_exclusion\":" << aggressors_pruned_exclusion;
+  }
   if (!degradations.empty()) {
     os << ",\"degradations\":[";
     for (std::size_t i = 0; i < degradations.size(); ++i) {

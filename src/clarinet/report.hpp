@@ -21,7 +21,12 @@ namespace dn {
 /// changes meaning — adding fields is backward compatible and does not
 /// bump. tests/golden/report_schema.json pins the rendered bytes, so
 /// accidental drift fails CI instead of breaking downstream consumers.
-inline constexpr int kReportSchemaVersion = 1;
+///
+/// v2: fidelity-ladder provenance — pruned/deferred net entries in the
+/// batch envelope carry "tier"/"bound_ps", analyzed reports may carry
+/// "fidelity_tier" and pruned-aggressor counts, and the envelope gains a
+/// "ladder" stats object when the ladder is enabled.
+inline constexpr int kReportSchemaVersion = 2;
 
 struct DelayNoiseReport {
   std::string net_name;         // Optional caller-assigned label.
@@ -54,6 +59,14 @@ struct DelayNoiseReport {
   // the classic output, so clean reports stay byte-identical.
   std::vector<Degradation> degradations;
   bool degraded() const { return !degradations.empty(); }
+
+  // Fidelity provenance (DESIGN.md §13). Defaults render NOTHING, so
+  // ladder-off reports stay byte-identical to schema v1 modulo the
+  // version field itself.
+  std::string fidelity_tier;  // "tier0"/"tier1"/"tier2"; empty = no ladder.
+  /// Aggressors removed by window/correlation pruning before the search.
+  int aggressors_pruned_window = 0;
+  int aggressors_pruned_exclusion = 0;
 
   /// Extracts every field from a net + its analysis result.
   static DelayNoiseReport from(const CoupledNet& net, const DelayNoiseResult& r,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 
 #include "rcnet/elmore.hpp"
@@ -81,20 +82,24 @@ StatusOr<ScreeningEstimate> try_screen_net(const CoupledNet& net) {
   return estimate_validated(net);
 }
 
-ScreeningEstimate screen_net(const CoupledNet& net) {
-  net.validate();
-  return estimate_validated(net);
-}
-
 std::vector<std::size_t> rank_by_severity(
     const std::vector<CoupledNet>& nets) {
+  // Malformed nets score -inf so they sort after every well-formed net
+  // instead of aborting the whole ranking.
   std::vector<double> score(nets.size());
-  for (std::size_t i = 0; i < nets.size(); ++i)
-    score[i] = screen_net(nets[i]).dn_est;
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    const StatusOr<ScreeningEstimate> est = try_screen_net(nets[i]);
+    score[i] = est.ok() ? est->dn_est
+                        : -std::numeric_limits<double>::infinity();
+  }
   std::vector<std::size_t> order(nets.size());
   std::iota(order.begin(), order.end(), 0u);
-  std::sort(order.begin(), order.end(),
-            [&](std::size_t a, std::size_t b) { return score[a] > score[b]; });
+  // Ties (identical nets, or several malformed) break on the lower index
+  // so the ladder's tier ordering is reproducible at any --jobs.
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (score[a] != score[b]) return score[a] > score[b];
+    return a < b;
+  });
   return order;
 }
 

@@ -28,16 +28,23 @@ struct ScreeningEstimate {
   double victim_tau = 0.0;  // Holding time constant proxy [s].
 };
 
-/// Skip thresholds for the cheap pre-analysis filter. A negative
-/// threshold is inactive; a net proceeds to full analysis when ANY active
-/// threshold is met (conservative: only nets below every active
-/// threshold are screened out).
+/// Skip thresholds for the cheap pre-analysis filter.
+///
+/// Combination semantics (pinned by ScreeningOptionsSemantics tests): the
+/// thresholds combine with OR on the PASS side — a net proceeds to full
+/// analysis when ANY active threshold is met. Equivalently, screening-out
+/// is an AND: a net is skipped only when EVERY active threshold rejects
+/// it. This is the conservative reading — each threshold can only add
+/// nets to the analyzed set, never veto one another threshold admitted.
+/// A negative threshold is inactive; with no active threshold every net
+/// passes.
 struct ScreeningOptions {
   double dn_est_min = -1.0;  // Estimated delay noise [s] worth analyzing.
   double vn_est_min = -1.0;  // Estimated noise peak [V] worth analyzing.
 
   bool active() const { return dn_est_min >= 0.0 || vn_est_min >= 0.0; }
-  /// True when `est` clears the filter (net deserves full analysis).
+  /// True when `est` clears the filter (net deserves full analysis):
+  /// OR over the active thresholds, as documented above.
   bool passes(const ScreeningEstimate& est) const {
     if (!active()) return true;
     return (dn_est_min >= 0.0 && est.dn_est >= dn_est_min) ||
@@ -49,10 +56,10 @@ struct ScreeningOptions {
 /// transient simulation). Malformed nets come back as kInvalidArgument.
 StatusOr<ScreeningEstimate> try_screen_net(const CoupledNet& net);
 
-/// Legacy estimate: throws std::invalid_argument on a malformed net.
-ScreeningEstimate screen_net(const CoupledNet& net);
-
-/// Indices of `nets` ordered most-severe-first by dn_est.
+/// Indices of `nets` ordered most-severe-first by dn_est. Deterministic
+/// at any thread count: dn_est ties break on the lower net index, and
+/// malformed nets (try_screen_net failure) sort after every well-formed
+/// net, ordered among themselves by index.
 std::vector<std::size_t> rank_by_severity(const std::vector<CoupledNet>& nets);
 
 }  // namespace dn

@@ -10,6 +10,112 @@
 
 namespace dn {
 
+namespace {
+
+// Stand-in for the whole real line while a domain is partially built.
+constexpr double kDomainHuge = 1e18;
+
+}  // namespace
+
+ScanDomain ScanDomain::interval(double lo, double hi) {
+  ScanDomain d;
+  d.constrained_ = true;
+  if (hi >= lo) d.iv_.emplace_back(lo, hi);
+  return d;
+}
+
+void ScanDomain::materialize() {
+  if (!constrained_) {
+    constrained_ = true;
+    iv_.assign(1, {-kDomainHuge, kDomainHuge});
+  }
+}
+
+void ScanDomain::intersect(double lo, double hi) {
+  materialize();
+  std::vector<std::pair<double, double>> next;
+  for (const auto& [a, b] : iv_) {
+    const double na = std::max(a, lo);
+    const double nb = std::min(b, hi);
+    if (nb >= na) next.emplace_back(na, nb);
+  }
+  iv_ = std::move(next);
+}
+
+void ScanDomain::exclude(double lo, double hi) {
+  if (hi <= lo) return;
+  materialize();
+  std::vector<std::pair<double, double>> next;
+  for (const auto& [a, b] : iv_) {
+    if (b <= lo || a >= hi) {
+      next.emplace_back(a, b);
+      continue;
+    }
+    if (a < lo) next.emplace_back(a, lo);
+    if (b > hi) next.emplace_back(hi, b);
+  }
+  iv_ = std::move(next);
+}
+
+bool ScanDomain::contains(double t) const {
+  if (!constrained_) return true;
+  for (const auto& [a, b] : iv_)
+    if (t >= a && t <= b) return true;
+  return false;
+}
+
+double ScanDomain::clamp(double t) const {
+  if (!constrained_ || iv_.empty() || contains(t)) return t;
+  double best = t;
+  double best_dist = 1e300;
+  for (const auto& [a, b] : iv_) {
+    for (const double edge : {a, b}) {
+      const double dist = std::abs(edge - t);
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = edge;
+      }
+    }
+  }
+  return best;
+}
+
+double ScanDomain::lo() const { return iv_.empty() ? 0.0 : iv_.front().first; }
+double ScanDomain::hi() const { return iv_.empty() ? 0.0 : iv_.back().second; }
+
+std::vector<double> ScanDomain::sample(double lo, double hi, int n) const {
+  n = std::max(n, 2);
+  if (!constrained_) return linspace(lo, hi, n);
+  // Clip the feasible intervals to the requested span.
+  std::vector<std::pair<double, double>> clipped;
+  double feasible_len = 0.0;
+  for (const auto& [a, b] : iv_) {
+    const double ca = std::max(a, lo);
+    const double cb = std::min(b, hi);
+    if (cb >= ca) {
+      clipped.emplace_back(ca, cb);
+      feasible_len += cb - ca;
+    }
+  }
+  if (clipped.empty()) return {};
+  // One interval covering the whole span: exactly the unconstrained grid,
+  // so a window that excludes nothing changes nothing.
+  if (clipped.size() == 1)
+    return linspace(clipped[0].first, clipped[0].second, n);
+  // Spread the budget across intervals proportionally to length; every
+  // interval keeps at least its two endpoints so narrow-but-feasible
+  // windows are never starved.
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(n) + 2 * clipped.size());
+  for (const auto& [a, b] : clipped) {
+    const double share = feasible_len > 0 ? (b - a) / feasible_len : 0.0;
+    const int pts = std::max(
+        2, static_cast<int>(std::ceil(share * static_cast<double>(n))));
+    for (const double t : linspace(a, b, pts)) out.push_back(t);
+  }
+  return out;
+}
+
 ReceiverEval evaluate_receiver(const GateParams& receiver, const Pwl& vin,
                                double cload, bool input_rising, double dt,
                                double lte_tol, GateSimCache* warm,
@@ -129,8 +235,22 @@ AlignmentResult exhaustive_extremum_alignment(
                                     opts.stale_jacobian_iters);
   };
 
-  // Coarse sweep.
-  const auto coarse = linspace(lo, hi, std::max(opts.coarse_points, 5));
+  // Coarse sweep over the FEASIBLE part of the span only: the pruned
+  // domain (per-aggressor switching windows, correlation constraints)
+  // removes candidate alignments before any receiver sim is spent on
+  // them. An unconstrained domain reproduces the classic uniform grid.
+  static obs::Counter& c_domain_pruned =
+      obs::metrics().counter("alignment.domain_pruned_probes");
+  const int n_coarse = std::max(opts.coarse_points, 5);
+  std::vector<double> coarse = opts.domain.sample(lo, hi, n_coarse);
+  if (coarse.empty()) {
+    // Nothing of the span is feasible: evaluate the single nearest
+    // feasible point (or the span edge when the domain is empty) so the
+    // caller still gets a well-defined — conservative — alignment.
+    coarse.assign(1, opts.domain.clamp(*t50));
+  }
+  if (coarse.size() < static_cast<std::size_t>(n_coarse))
+    c_domain_pruned.add(static_cast<std::uint64_t>(n_coarse) - coarse.size());
   double best_t = coarse.front();
   double best_d = -1e300;
   for (double t : coarse) {
@@ -142,15 +262,17 @@ AlignmentResult exhaustive_extremum_alignment(
     }
   }
   // Fine sweep around the best coarse point (+- one coarse step),
-  // respecting the window.
-  const double step = coarse[1] - coarse[0];
+  // respecting the window and the feasible domain.
+  const double step =
+      coarse.size() > 1 ? coarse[1] - coarse[0] : (hi - lo) / n_coarse;
   double flo = best_t - step, fhi = best_t + step;
   if (opts.has_window()) {
     flo = std::max(flo, opts.window_min);
     fhi = std::min(fhi, opts.window_max);
     if (!(fhi > flo)) fhi = flo + 1e-15;
   }
-  const auto fine = linspace(flo, fhi, std::max(opts.fine_points, 5));
+  std::vector<double> fine =
+      opts.domain.sample(flo, fhi, std::max(opts.fine_points, 5));
   for (double t : fine) {
     deadline_checkpoint("alignment search");
     const double d = eval(t);
@@ -215,6 +337,7 @@ AlignmentResult receiver_input_peak_alignment(
   double t_peak = *t_level;
   if (opts.has_window())
     t_peak = std::clamp(t_peak, opts.window_min, opts.window_max);
+  t_peak = opts.domain.clamp(t_peak);
 
   AlignmentResult out;
   out.t_peak = t_peak;

@@ -5,11 +5,68 @@
 #pragma once
 
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "devices/gate.hpp"
 #include "waveform/pulse.hpp"
 
 namespace dn {
+
+/// Feasible domain for the composite-pulse peak time: a union of closed,
+/// sorted, disjoint intervals. The timing-window / logic-correlation
+/// pruning of the fidelity ladder builds one of these BEFORE the
+/// alignment search runs, so infeasible aggressor offsets are never
+/// probed (each probe costs a nonlinear receiver simulation).
+///
+/// A default-constructed domain is UNCONSTRAINED (every time feasible);
+/// a constrained domain whose intervals have all been intersected away is
+/// EMPTY (no feasible alignment — the noise cannot line up with the
+/// victim at all).
+class ScanDomain {
+ public:
+  ScanDomain() = default;
+
+  /// The single-interval domain [lo, hi] (empty when hi < lo).
+  static ScanDomain interval(double lo, double hi);
+
+  bool unconstrained() const { return !constrained_; }
+  bool empty() const { return constrained_ && iv_.empty(); }
+
+  /// Constrains the domain to [lo, hi] (set intersection).
+  void intersect(double lo, double hi);
+  /// Removes the open span (lo, hi) from the domain.
+  void exclude(double lo, double hi);
+
+  bool contains(double t) const;
+  /// Nearest feasible point to `t` (t itself when unconstrained/empty).
+  double clamp(double t) const;
+  /// Hull of the feasible set; meaningless when unconstrained/empty.
+  double lo() const;
+  double hi() const;
+
+  const std::vector<std::pair<double, double>>& intervals() const {
+    return iv_;
+  }
+
+  /// Up to `n` deterministic sample points across the feasible parts of
+  /// [lo, hi]. Unconstrained — or a single feasible interval covering all
+  /// of [lo, hi] — yields exactly linspace(lo, hi, n), so a window that
+  /// excludes nothing changes nothing (the conservatism guarantee the
+  /// flow-property tests pin). Constrained: points are spread over the
+  /// clipped intervals proportionally to their length, every interval
+  /// keeping at least its endpoints. Returns empty when nothing of
+  /// [lo, hi] is feasible.
+  std::vector<double> sample(double lo, double hi, int n) const;
+
+ private:
+  // Unconstrained is represented lazily: the first mutation materializes
+  // the full line as one huge interval so exclude() stays closed-form.
+  void materialize();
+
+  bool constrained_ = false;
+  std::vector<std::pair<double, double>> iv_;  // Sorted, disjoint.
+};
 
 /// Receiver evaluation of a (possibly noisy) input waveform: one nonlinear
 /// simulation of the receiver gate into `cload`.
@@ -66,6 +123,13 @@ struct AlignmentSearchOptions {
   double window_min = 1.0;
   double window_max = 0.0;
   bool has_window() const { return window_max >= window_min; }
+  /// Fine-grained feasibility of the pulse peak time, intersected with
+  /// the scalar window above: the per-aggressor switching windows and
+  /// pairwise logic-correlation constraints of the fidelity ladder land
+  /// here as a union of feasible intervals. Every search method samples
+  /// only feasible points; an unconstrained domain reproduces the
+  /// unpruned scan bit-for-bit.
+  ScanDomain domain{};
 };
 
 /// Exhaustive worst-case alignment against the RECEIVER OUTPUT delay (the

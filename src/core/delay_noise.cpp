@@ -1,6 +1,7 @@
 #include "core/delay_noise.hpp"
 
 #include <algorithm>
+#include <numeric>
 #include <stdexcept>
 
 #include "util/trace.hpp"
@@ -49,6 +50,8 @@ AlignmentResult choose_alignment(const DelayNoiseOptions& opts,
         t_mid = std::clamp(t_mid, opts.search.window_min,
                            opts.search.window_max);
       }
+      t_pred = opts.search.domain.clamp(t_pred);
+      t_mid = opts.search.domain.clamp(t_mid);
       AlignmentResult best;
       best.t_out_50 = -1e300;
       for (const double t_peak : {t_pred, t_mid}) {
@@ -70,6 +73,124 @@ AlignmentResult choose_alignment(const DelayNoiseOptions& opts,
   throw std::invalid_argument("analyze_delay_noise: unknown method");
 }
 
+/// State of the pre-search aggressor pruning (DESIGN.md §13).
+struct PruneInfo {
+  std::vector<char> active;  // Empty until something is pruned.
+  int by_window = 0;
+  int by_exclusion = 0;
+};
+
+/// Per-aggressor coupled charge (sum of coupling caps): the dominance
+/// measure used to resolve exclusion pairs and to order the window
+/// intersection deterministically.
+std::vector<double> coupled_caps(const CoupledNet& net) {
+  std::vector<double> ccap(net.aggressors.size(), 0.0);
+  for (const auto& cc : net.couplings)
+    ccap[static_cast<std::size_t>(cc.aggressor)] += cc.c;
+  return ccap;
+}
+
+bool has_prunable_constraints(const CoupledNet& net) {
+  if (!net.exclusions.empty()) return true;
+  for (const auto& a : net.aggressors)
+    if (a.has_window()) return true;
+  return false;
+}
+
+/// Resolves pairwise logic-correlation constraints: of each mutually
+/// exclusive pair, keep the aggressor coupling more charge into the
+/// victim (exact when one side dominates; the standard conservative
+/// heuristic otherwise). Ties keep the lower index so the outcome is
+/// deterministic at any --jobs.
+PruneInfo resolve_exclusions(const CoupledNet& net) {
+  PruneInfo p;
+  if (net.exclusions.empty()) return p;
+  p.active.assign(net.aggressors.size(), 1);
+  const std::vector<double> ccap = coupled_caps(net);
+  for (const auto& ex : net.exclusions) {
+    const auto a = static_cast<std::size_t>(ex.a);
+    const auto b = static_cast<std::size_t>(ex.b);
+    if (!p.active[a] || !p.active[b]) continue;  // Already resolved.
+    const std::size_t loser =
+        (ccap[a] < ccap[b] || (ccap[a] == ccap[b] && a > b)) ? a : b;
+    p.active[loser] = 0;
+    ++p.by_exclusion;
+  }
+  return p;
+}
+
+/// Maps the active aggressors' switching windows onto feasible composite-
+/// peak times for THIS composite and intersects them into one domain.
+/// The linearized network is LTI, so placing the composite peak at t
+/// starts aggressor k's input at t_ref + shifts[k] + (t - params.t_peak);
+/// its window [w_early, w_late] therefore admits
+///   t in [params.t_peak - shifts[k] + (w_early - t_ref),
+///         params.t_peak - shifts[k] + (w_late  - t_ref)].
+/// Aggressors whose window cannot overlap the (stronger) aggressors
+/// already kept are dropped from the composite — they cannot co-switch
+/// with it in any cycle.
+ScanDomain window_domain(const CoupledNet& net, double t_ref,
+                         const ScanDomain& seed,
+                         const CompositeAlignment& comp,
+                         std::vector<char>& active, int* dropped) {
+  const std::size_t n = net.aggressors.size();
+  const std::vector<double> ccap = coupled_caps(net);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t x, std::size_t y) {
+                     return ccap[x] > ccap[y];
+                   });
+  ScanDomain d = seed;
+  for (const std::size_t k : order) {
+    if (!active.empty() && !active[k]) continue;
+    const AggressorDesc& a = net.aggressors[k];
+    if (!a.has_window()) continue;
+    const double base = comp.params.t_peak - comp.shifts[k] - t_ref;
+    ScanDomain trial = d;
+    trial.intersect(base + a.window_early, base + a.window_late);
+    if (trial.empty()) {
+      if (active.empty()) active.assign(n, 1);
+      active[k] = 0;
+      ++*dropped;
+    } else {
+      d = std::move(trial);
+    }
+  }
+  return d;
+}
+
+/// Peak-aligned composite under the current pruning state, dropping any
+/// further aggressors whose windows turn out infeasible against it. Each
+/// drop changes the composite (and possibly its anchor), so the mapping
+/// is re-derived until the active set is stable — at most n rounds.
+CompositeAlignment compose_pruned(const SuperpositionEngine& eng,
+                                  double holding_r, bool enabled,
+                                  const ScanDomain& seed, PruneInfo& prune,
+                                  ScanDomain* domain) {
+  CompositeAlignment comp = align_aggressor_peaks(
+      eng, holding_r, prune.active.empty() ? nullptr : &prune.active);
+  *domain = seed;
+  if (!enabled) return comp;
+  const CoupledNet& net = eng.net();
+  for (std::size_t round = 0; round <= net.aggressors.size(); ++round) {
+    int dropped = 0;
+    ScanDomain d = window_domain(net, eng.options().t_ref, seed, comp,
+                                 prune.active, &dropped);
+    if (dropped == 0) {
+      *domain = std::move(d);
+      return comp;
+    }
+    prune.by_window += dropped;
+    comp = align_aggressor_peaks(eng, holding_r, &prune.active);
+  }
+  return comp;  // Unreachable: every round drops at least one aggressor.
+}
+
+const std::vector<char>* mask_of(const CompositeAlignment& comp) {
+  return comp.active.empty() ? nullptr : &comp.active;
+}
+
 }  // namespace
 
 DelayNoiseResult analyze_delay_noise(const SuperpositionEngine& eng,
@@ -89,11 +210,25 @@ DelayNoiseResult analyze_delay_noise(const SuperpositionEngine& eng,
   const double rcv_load = net.victim.receiver_load;
   const double vdd = eng.vdd();
 
+  // Pre-search pruning (DESIGN.md §13): exclusion pairs are resolved once
+  // up front; window feasibility is re-derived against each pass's
+  // composite (the peak-aligned shifts move with the holding resistance).
+  // Nets carrying neither windows nor exclusions skip all of this and
+  // reproduce the classic flow bit-for-bit.
+  const bool prune_enabled =
+      opts.window_pruning && has_prunable_constraints(net);
+  PruneInfo prune;
+  if (prune_enabled) prune = resolve_exclusions(net);
+  // `eff` carries the per-pass scan domain into the search options.
+  DelayNoiseOptions eff = opts;
+
   // Fix-point between the linear victim model and the alignment.
   const int iters = std::max(opts.model_alignment_iterations, 1);
   for (int pass = 0; pass < iters; ++pass) {
-    out.composite = align_aggressor_peaks(eng, out.holding_r);
-    out.alignment = choose_alignment(opts, out.noiseless_sink,
+    out.composite = compose_pruned(eng, out.holding_r, prune_enabled,
+                                   opts.search.domain, prune,
+                                   &eff.search.domain);
+    out.alignment = choose_alignment(eff, out.noiseless_sink,
                                      out.composite.at_sink, rcv, rcv_load,
                                      rising);
     if (!opts.use_transient_holding) break;
@@ -103,7 +238,7 @@ DelayNoiseResult analyze_delay_noise(const SuperpositionEngine& eng,
     RtrResult rtr;
     try {
       obs::TraceSpan span("rtr.solve", "analyze");
-      rtr = compute_rtr(eng, shifts, opts.rtr);
+      rtr = compute_rtr(eng, shifts, opts.rtr, mask_of(out.composite));
     } catch (const DeadlineError&) {
       throw;  // A cancelled run must not silently degrade.
     } catch (const std::exception& e) {
@@ -118,8 +253,10 @@ DelayNoiseResult analyze_delay_noise(const SuperpositionEngine& eng,
       if (pass > 0) {
         // Earlier passes moved the composite/alignment off the Rth
         // operating point; recompute them at the fallback resistance.
-        out.composite = align_aggressor_peaks(eng, out.holding_r);
-        out.alignment = choose_alignment(opts, out.noiseless_sink,
+        out.composite = compose_pruned(eng, out.holding_r, prune_enabled,
+                                       opts.search.domain, prune,
+                                       &eff.search.domain);
+        out.alignment = choose_alignment(eff, out.noiseless_sink,
                                          out.composite.at_sink, rcv, rcv_load,
                                          rising);
       }
@@ -133,11 +270,23 @@ DelayNoiseResult analyze_delay_noise(const SuperpositionEngine& eng,
       // Final pass keeps the composite/alignment consistent with the last
       // holding resistance actually simulated.
       out.holding_r = rtr.rtr;
-      out.composite = align_aggressor_peaks(eng, out.holding_r);
-      out.alignment = choose_alignment(opts, out.noiseless_sink,
+      out.composite = compose_pruned(eng, out.holding_r, prune_enabled,
+                                     opts.search.domain, prune,
+                                     &eff.search.domain);
+      out.alignment = choose_alignment(eff, out.noiseless_sink,
                                        out.composite.at_sink, rcv, rcv_load,
                                        rising);
     }
+  }
+  out.aggressors_pruned_window = prune.by_window;
+  out.aggressors_pruned_exclusion = prune.by_exclusion;
+  if (prune.by_window + prune.by_exclusion > 0) {
+    static obs::Counter& c_win =
+        obs::metrics().counter("prune.aggressors_window");
+    static obs::Counter& c_exc =
+        obs::metrics().counter("prune.aggressors_exclusion");
+    c_win.add(static_cast<std::uint64_t>(prune.by_window));
+    c_exc.add(static_cast<std::uint64_t>(prune.by_exclusion));
   }
 
   out.noisy_sink =
@@ -167,7 +316,15 @@ DelayNoiseResult analyze_delay_noise(const SuperpositionEngine& eng,
 
 std::vector<double> absolute_shifts(const DelayNoiseResult& r) {
   std::vector<double> shifts = r.composite.shifts;
-  for (double& s : shifts) s += r.alignment.shift;
+  for (std::size_t k = 0; k < shifts.size(); ++k) {
+    if (!r.composite.active.empty() && !r.composite.active[k]) {
+      // Pruned aggressor: park it far past the horizon so a golden
+      // nonlinear replay sees it quiet, matching the linear composite.
+      shifts[k] = kDroppedAggressorShift;
+    } else {
+      shifts[k] += r.alignment.shift;
+    }
+  }
   return shifts;
 }
 

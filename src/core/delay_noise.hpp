@@ -35,6 +35,14 @@ struct DelayNoiseOptions {
   const AlignmentTable* table = nullptr;  // Required for Predicted.
   int model_alignment_iterations = 2;     // Outer fix-point passes.
   AlignmentSearchOptions search{};
+  /// Window/correlation pruning of the aggressor set and the alignment
+  /// scan domain (DESIGN.md §13): per-aggressor switching windows
+  /// (AggressorDesc::window_early/late) and pairwise exclusion
+  /// constraints (CoupledNet::exclusions) are mapped onto the composite-
+  /// peak feasibility domain BEFORE the search runs. A no-op on nets
+  /// carrying neither windows nor exclusions, so enabling it does not
+  /// perturb classic results.
+  bool window_pruning = true;
   /// Which degradation-ladder rungs (DESIGN.md §10) this analysis may
   /// take. Recorded steps surface in DelayNoiseResult::degradations.
   DegradePolicy degrade{};
@@ -54,6 +62,13 @@ struct DelayNoiseResult {
   double rth = 0.0;       // Victim Thevenin resistance.
   double holding_r = 0.0; // Holding resistance actually used (Rth or Rtr).
   int rtr_iterations = 0;
+
+  /// Aggressors removed from the composite by the pre-search pruning:
+  /// window-infeasible (cannot co-switch with the stronger aggressors
+  /// kept) and exclusion-dominated (logic correlation). Zero on nets
+  /// without windows/exclusions or with pruning disabled.
+  int aggressors_pruned_window = 0;
+  int aggressors_pruned_exclusion = 0;
 
   CompositeAlignment composite;  // Final composite pulse (peak-aligned).
   AlignmentResult alignment;     // Final composite-vs-victim alignment.

@@ -27,7 +27,8 @@ Pwl differentiate(const Pwl& w, double dt) {
 
 RtrResult compute_rtr(const SuperpositionEngine& eng,
                       const std::vector<double>& shifts,
-                      const RtrOptions& opts) {
+                      const RtrOptions& opts,
+                      const std::vector<char>* active) {
   const CeffResult& vm = eng.victim_model();
   RtrResult out;
   out.rth = vm.model.rth;
@@ -54,7 +55,7 @@ RtrResult compute_rtr(const SuperpositionEngine& eng,
     out.iterations = it;
 
     // Step 1: total noise at the victim root with the current holding R.
-    const Pwl vn = eng.composite_noise_at_root(shifts, holding);
+    const Pwl vn = eng.composite_noise_at_root(shifts, holding, active);
 
     // Step 2: injected noise current In = Vn/Rth + Cload dVn/dt. The paper
     // uses Rth here (the conversion happens in the Figure 4(a) circuit,

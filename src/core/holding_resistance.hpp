@@ -61,9 +61,12 @@ struct RtrResult {
 /// Computes Rtr for the victim driver of `eng`'s net with the aggressor
 /// time shifts currently in effect (one shift per aggressor; the shift is
 /// applied to each aggressor's reference-position noise waveform).
+/// `active`, when non-null, masks window/correlation-pruned aggressors
+/// out of the injected noise (core/composite_pulse.hpp).
 RtrResult compute_rtr(const SuperpositionEngine& eng,
                       const std::vector<double>& shifts,
-                      const RtrOptions& opts = {});
+                      const RtrOptions& opts = {},
+                      const std::vector<char>* active = nullptr);
 
 /// Differentiates a waveform numerically on a uniform grid of step dt.
 Pwl differentiate(const Pwl& w, double dt);

@@ -218,24 +218,34 @@ const SuperpositionEngine::Waveforms& SuperpositionEngine::victim_transition()
 }
 
 Pwl SuperpositionEngine::composite_noise_at_sink(
-    const std::vector<double>& shifts, double victim_holding_r) const {
+    const std::vector<double>& shifts, double victim_holding_r,
+    const std::vector<char>* active) const {
   if (shifts.size() != net_.aggressors.size())
     throw std::invalid_argument("composite_noise: wrong shift count");
+  if (active && active->size() != shifts.size())
+    throw std::invalid_argument("composite_noise: wrong mask size");
   Pwl sum;
-  for (std::size_t k = 0; k < shifts.size(); ++k)
+  for (std::size_t k = 0; k < shifts.size(); ++k) {
+    if (active && !(*active)[k]) continue;
     sum = sum + aggressor_noise(static_cast<int>(k), victim_holding_r)
                     .at_sink.shifted(shifts[k]);
+  }
   return sum;
 }
 
 Pwl SuperpositionEngine::composite_noise_at_root(
-    const std::vector<double>& shifts, double victim_holding_r) const {
+    const std::vector<double>& shifts, double victim_holding_r,
+    const std::vector<char>* active) const {
   if (shifts.size() != net_.aggressors.size())
     throw std::invalid_argument("composite_noise: wrong shift count");
+  if (active && active->size() != shifts.size())
+    throw std::invalid_argument("composite_noise: wrong mask size");
   Pwl sum;
-  for (std::size_t k = 0; k < shifts.size(); ++k)
+  for (std::size_t k = 0; k < shifts.size(); ++k) {
+    if (active && !(*active)[k]) continue;
     sum = sum + aggressor_noise(static_cast<int>(k), victim_holding_r)
                     .at_root.shifted(shifts[k]);
+  }
   return sum;
 }
 

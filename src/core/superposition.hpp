@@ -100,13 +100,18 @@ class SuperpositionEngine {
   const Pwl& victim_noise_on_aggressor(int k) const;
 
   /// Sum of all aggressor noise waveforms at the victim sink, each shifted
-  /// by shifts[k], victim held with holding_r.
+  /// by shifts[k], victim held with holding_r. `active`, when non-null,
+  /// masks aggressors out of the sum (window/correlation pruning): entry
+  /// k == 0 contributes nothing, exactly as if the aggressor never
+  /// switched within the horizon.
   Pwl composite_noise_at_sink(const std::vector<double>& shifts,
-                              double victim_holding_r) const;
+                              double victim_holding_r,
+                              const std::vector<char>* active = nullptr) const;
 
   /// Same at the victim root (driver output).
   Pwl composite_noise_at_root(const std::vector<double>& shifts,
-                              double victim_holding_r) const;
+                              double victim_holding_r,
+                              const std::vector<char>* active = nullptr) const;
 
   /// The victim driver input ramp used by the reference simulations.
   Pwl victim_input() const;

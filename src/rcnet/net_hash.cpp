@@ -36,10 +36,14 @@ void hash_coupled_net(HashStream& h, const CoupledNet& net) {
     hash_tree(h, a.net);
     hash_gate(h, a.driver);
     h.f64(a.input_slew).boolean(a.output_rising).f64(a.sink_load);
+    // Windows prune the alignment domain, so results depend on them.
+    h.f64(a.window_early).f64(a.window_late);
   }
   h.u64(net.couplings.size());
   for (const Coupling& c : net.couplings)
     h.i32(c.aggressor).i32(c.aggressor_node).i32(c.victim_node).f64(c.c);
+  h.u64(net.exclusions.size());
+  for (const AggressorExclusion& e : net.exclusions) h.i32(e.a).i32(e.b);
 }
 
 std::uint64_t content_hash(const CoupledNet& net) {

@@ -19,6 +19,9 @@ std::string analysis_fingerprint(const AnalysisConfig& cfg) {
   const json::Value all = cfg.to_json();
   static constexpr const char* kKeys[] = {
       "screen_below_ps",   "screen_vn_below_v",
+      "fidelity_ladder",   "fidelity_threshold_ps",
+      "fidelity_margin",   "fidelity_max_tier",
+      "window_pruning",
       "exhaustive",        "thevenin",
       "prereduce",         "solver",
       "dt_ps",             "horizon_ns",
@@ -340,38 +343,14 @@ Status Session::verb_analyze(const json::Value& req, json::Object& result,
   }
 
   // Assemble the FULL design's report from the stored slots — identical
-  // bytes whether the slots were just computed or carried over.
+  // bytes whether the slots were just computed or carried over. The
+  // shared finalizer keeps the ranking/stat rules in lockstep with the
+  // one-shot batch path; dirty nets re-entered the ladder at Tier 0
+  // above, so their provenance is current.
   BatchResult assembled;
   assembled.nets = slots_;
-  std::vector<std::size_t> ok_idx;
-  for (const BatchNetResult& nr : assembled.nets)
-    if (nr.status.ok() && !nr.screened_out) ok_idx.push_back(nr.index);
-  const std::size_t k = std::min<std::size_t>(
-      ok_idx.size(), cfg_.batch.top_k > 0
-                         ? static_cast<std::size_t>(cfg_.batch.top_k)
-                         : ok_idx.size());
-  std::partial_sort(ok_idx.begin(), ok_idx.begin() + static_cast<long>(k),
-                    ok_idx.end(), [&](std::size_t a, std::size_t b) {
-                      const double da = assembled.nets[a].result.delay_noise();
-                      const double db = assembled.nets[b].result.delay_noise();
-                      if (da != db) return da > db;
-                      return a < b;
-                    });
-  ok_idx.resize(k);
-  assembled.worst = std::move(ok_idx);
-  BatchStats& st = assembled.stats;
-  st.total = assembled.nets.size();
-  for (const BatchNetResult& nr : assembled.nets) {
-    if (nr.screened_out) {
-      ++st.screened_out;
-    } else if (nr.status.ok()) {
-      ++st.analyzed;
-      if (nr.outcome == AnalysisOutcome::kDegraded) ++st.degraded;
-    }
-    st.retries += static_cast<std::uint64_t>(nr.attempts > 1 ? nr.attempts - 1
-                                                             : 0);
-  }
-  st.failed = st.total - st.analyzed - st.screened_out;
+  finalize_batch_result(assembled, cfg_.batch.top_k,
+                        cfg_.batch.ladder.enabled);
 
   StatusOr<json::Value> report = json::parse(assembled.to_json());
   if (!report.ok())

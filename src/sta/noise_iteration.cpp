@@ -28,6 +28,15 @@ NoiseIterationResult iterate_windows_with_noise(
           "noise_iteration: duplicate victim net across sites; merge the "
           "aggressors into one CoupledNet");
     seen = 1;
+    if (!s.aggressor_nets.empty()) {
+      if (s.aggressor_nets.size() != s.model.aggressors.size())
+        throw std::invalid_argument(
+            "noise_iteration: aggressor_nets must parallel model.aggressors");
+      for (const int an : s.aggressor_nets)
+        if (an < 0 || an >= graph.num_nets())
+          throw std::invalid_argument(
+              "noise_iteration: bad aggressor_nets net id");
+    }
     s.model.validate();
   }
 
@@ -70,20 +79,60 @@ NoiseIterationResult iterate_windows_with_noise(
       const double vic_late =
           out.windows.late[vi] - out.extra_delay[vi];  // Its own noise is
       // not part of the victim's launch time; remove the self-term.
-      const double lo =
-          out.windows.early[static_cast<std::size_t>(site.aggressor_net)] -
-          vic_late;
-      const double hi =
-          out.windows.late[static_cast<std::size_t>(site.aggressor_net)] -
-          vic_late;
 
-      // Map the input-offset window onto the composite-pulse peak.
+      // Map input-offset windows onto the composite-pulse peak. Placing
+      // the peak at t starts aggressor k's input at offset
+      // shifts[k] + (t - t_peak) vs the victim's nominal switch (LTI),
+      // so window [lo_k, hi_k] on the offset constrains the peak to
+      // [t_peak - shifts[k] + lo_k, t_peak - shifts[k] + hi_k].
       const double rth = eng.victim_model().model.rth;
-      const double peak_ref = align_aggressor_peaks(eng, rth).params.t_peak;
+      const CompositeAlignment comp = align_aggressor_peaks(eng, rth);
+      const double peak_ref = comp.params.t_peak;
 
       DelayNoiseOptions a = opts.analysis;
-      a.search.window_min = peak_ref + lo;
-      a.search.window_max = peak_ref + hi;
+      if (!site.aggressor_nets.empty()) {
+        // Per-pin windows: intersect each aggressor's feasible peak
+        // interval into the scan domain — the search never probes an
+        // offset where some aggressor cannot switch. Greedy by coupled
+        // charge: when an aggressor's window cannot overlap the stronger
+        // ones', its constraint is skipped (the pulse stays in the
+        // composite, which is the conservative side) instead of emptying
+        // the domain and silently unconstraining the scan.
+        std::vector<double> ccap(site.model.aggressors.size(), 0.0);
+        for (const auto& cc : site.model.couplings)
+          ccap[static_cast<std::size_t>(cc.aggressor)] += cc.c;
+        std::vector<std::size_t> order(site.aggressor_nets.size());
+        for (std::size_t k = 0; k < order.size(); ++k) order[k] = k;
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::size_t x, std::size_t y) {
+                           return ccap[x] > ccap[y];
+                         });
+        ScanDomain dom;
+        for (const std::size_t k : order) {
+          const std::size_t an =
+              static_cast<std::size_t>(site.aggressor_nets[k]);
+          const double lo_k = out.windows.early[an] - vic_late;
+          const double hi_k = out.windows.late[an] - vic_late;
+          ScanDomain trial = dom;
+          trial.intersect(peak_ref - comp.shifts[k] + lo_k,
+                          peak_ref - comp.shifts[k] + hi_k);
+          if (!trial.empty()) dom = std::move(trial);
+        }
+        a.search.domain = dom;
+        if (!dom.empty() && !dom.unconstrained()) {
+          a.search.window_min = dom.lo();
+          a.search.window_max = dom.hi();
+        }
+      } else {
+        const double lo =
+            out.windows.early[static_cast<std::size_t>(site.aggressor_net)] -
+            vic_late;
+        const double hi =
+            out.windows.late[static_cast<std::size_t>(site.aggressor_net)] -
+            vic_late;
+        a.search.window_min = peak_ref + lo;
+        a.search.window_max = peak_ref + hi;
+      }
       const DelayNoiseResult r = analyze_delay_noise(eng, a);
       site_extra[i] = std::max(r.delay_noise(), 0.0);
     });

@@ -31,6 +31,14 @@ struct NetCouplingSite {
   int victim_net = -1;      // Graph net whose LATE delay grows.
   int aggressor_net = -1;   // Graph net whose window constrains alignment.
   CoupledNet model;
+  /// Per-aggressor graph nets, parallel to model.aggressors. When set
+  /// (size == model.aggressors.size()), EACH aggressor's own arrival
+  /// window is mapped through the LTI shift property onto a feasible
+  /// interval for the composite-pulse peak, and the intersection becomes
+  /// the alignment ScanDomain — infeasible offsets are excluded from the
+  /// scan before any receiver probe runs. Empty keeps the classic
+  /// one-common-window approximation built from `aggressor_net`.
+  std::vector<int> aggressor_nets;
 };
 
 struct NoiseIterationOptions {

@@ -112,19 +112,25 @@ TEST(Ticer, HighTauLimitLeavesTreeUntouched) {
   EXPECT_EQ(r.reduced.num_nodes, line.num_nodes);
 }
 
+ScreeningEstimate screen_ok(const CoupledNet& net) {
+  const StatusOr<ScreeningEstimate> est = try_screen_net(net);
+  EXPECT_TRUE(est.ok()) << est.status().to_string();
+  return est.ok() ? *est : ScreeningEstimate{};
+}
+
 TEST(Screening, MoreCouplingScoresHigher) {
   CoupledNet small = example_coupled_net(1);
   CoupledNet big = example_coupled_net(1);
   for (auto& cc : big.couplings) cc.c *= 2.0;
-  EXPECT_GT(screen_net(big).dn_est, screen_net(small).dn_est);
-  EXPECT_GT(screen_net(big).vn_est, screen_net(small).vn_est);
+  EXPECT_GT(screen_ok(big).dn_est, screen_ok(small).dn_est);
+  EXPECT_GT(screen_ok(big).vn_est, screen_ok(small).vn_est);
 }
 
 TEST(Screening, WeakerVictimScoresHigher) {
   CoupledNet weak = example_coupled_net(1);
   CoupledNet strong = example_coupled_net(1);
   strong.victim.driver.size = 8.0;
-  EXPECT_GT(screen_net(weak).dn_est, screen_net(strong).dn_est);
+  EXPECT_GT(screen_ok(weak).dn_est, screen_ok(strong).dn_est);
 }
 
 TEST(Screening, RankCorrelatesWithFullAnalysis) {
@@ -145,7 +151,7 @@ TEST(Screening, RankCorrelatesWithFullAnalysis) {
     actual.push_back(analyze_delay_noise(eng, opts).delay_noise());
   }
   std::vector<double> est;
-  for (const auto& net : nets) est.push_back(screen_net(net).dn_est);
+  for (const auto& net : nets) est.push_back(screen_ok(net).dn_est);
 
   // Spearman rank correlation.
   auto ranks = [](const std::vector<double>& v) {
@@ -179,6 +185,72 @@ TEST(Screening, RankBySeverityOrdersDescending) {
   ASSERT_EQ(order.size(), 3u);
   EXPECT_EQ(order[0], 2u);  // Most coupling first.
   EXPECT_EQ(order[2], 0u);
+}
+
+// ScreeningOptionsSemantics: pins the OR-on-pass / AND-on-skip reading
+// documented on ScreeningOptions (a net proceeds to full analysis when
+// ANY active threshold is met; it is screened out only when EVERY active
+// threshold rejects it).
+TEST(ScreeningOptionsSemantics, PassesIsOrOverActiveThresholds) {
+  ScreeningEstimate est;
+  est.dn_est = 10e-12;
+  est.vn_est = 0.05;
+
+  ScreeningOptions o;
+  EXPECT_FALSE(o.active());
+  EXPECT_TRUE(o.passes(est));  // No active threshold: everything passes.
+
+  o.dn_est_min = 5e-12;  // dn admits on its own.
+  EXPECT_TRUE(o.passes(est));
+
+  o.vn_est_min = 0.1;  // vn rejects, dn still admits -> OR passes.
+  EXPECT_TRUE(o.passes(est));
+
+  o.dn_est_min = 20e-12;  // Now BOTH reject -> screened out.
+  EXPECT_FALSE(o.passes(est));
+
+  o.vn_est_min = 0.01;  // vn admits on its own, dn rejects -> passes.
+  EXPECT_TRUE(o.passes(est));
+
+  o.vn_est_min = -1.0;  // Only dn active and it rejects.
+  EXPECT_FALSE(o.passes(est));
+}
+
+TEST(ScreeningOptionsSemantics, BoundaryValueMeetsThreshold) {
+  ScreeningEstimate est;
+  est.dn_est = 5e-12;
+  ScreeningOptions o;
+  o.dn_est_min = 5e-12;
+  EXPECT_TRUE(o.passes(est));  // ">=": exactly at threshold analyzes.
+}
+
+TEST(Screening, RankBySeverityBreaksTiesByIndex) {
+  // Four identical nets tie exactly on dn_est: order must be the input
+  // order, reproducibly, so ladder tier ordering is stable at any --jobs.
+  std::vector<CoupledNet> nets(4, example_coupled_net(1));
+  const auto order = rank_by_severity(nets);
+  ASSERT_EQ(order.size(), 4u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Screening, RankBySeverityMalformedNetsSortLast) {
+  CoupledNet weak = example_coupled_net(1);
+  CoupledNet strong = example_coupled_net(1);
+  for (auto& cc : strong.couplings) cc.c *= 2.0;
+  CoupledNet bad1 = example_coupled_net(1);
+  bad1.couplings[0].aggressor = 7;  // Out-of-range: validate() throws.
+  CoupledNet bad2 = example_coupled_net(1);
+  bad2.couplings[0].victim_node = -1;
+  ASSERT_FALSE(try_screen_net(bad1).ok());
+  ASSERT_FALSE(try_screen_net(bad2).ok());
+
+  const std::vector<CoupledNet> nets = {bad1, weak, strong, bad2};
+  const auto order = rank_by_severity(nets);
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 2u);  // strong
+  EXPECT_EQ(order[1], 1u);  // weak
+  EXPECT_EQ(order[2], 0u);  // malformed, by index
+  EXPECT_EQ(order[3], 3u);
 }
 
 }  // namespace

@@ -154,6 +154,61 @@ TEST_F(NoiseIterationFixture, TightAggressorWindowReducesNoise) {
             0.5 * wide.extra_delay[static_cast<std::size_t>(vnet_)]);
 }
 
+TEST_F(NoiseIterationFixture, PerAggressorWindowsMatchCommonWindow) {
+  // One aggressor: the per-pin ScanDomain built from aggressor_nets and
+  // the classic one-common-window approximation constrain the very same
+  // offsets, so the fixed point must agree.
+  NoiseIterationOptions opts;
+  opts.analysis.method = AlignmentMethod::Exhaustive;
+  opts.analysis.search.coarse_points = 17;
+  opts.analysis.search.fine_points = 9;
+  opts.analysis.search.dt = 2 * ps;
+  const auto common = iterate_windows_with_noise(graph_, {site_}, opts);
+
+  NetCouplingSite per_pin = site_;
+  per_pin.aggressor_nets = {anet_};
+  const auto scanned = iterate_windows_with_noise(graph_, {per_pin}, opts);
+  EXPECT_TRUE(scanned.converged);
+  EXPECT_NEAR(scanned.extra_delay[static_cast<std::size_t>(vnet_)],
+              common.extra_delay[static_cast<std::size_t>(vnet_)], 0.5 * ps);
+}
+
+TEST_F(NoiseIterationFixture, InfeasibleAggressorWindowShrinksNoise) {
+  NoiseIterationOptions opts;
+  opts.analysis.method = AlignmentMethod::Exhaustive;
+  opts.analysis.search.coarse_points = 17;
+  opts.analysis.search.fine_points = 9;
+  opts.analysis.search.dt = 2 * ps;
+  // Two aggressors with per-pin windows: one lives in the victim's
+  // switching region, the other arrived nanoseconds earlier and is
+  // excluded from the scan domain entirely.
+  TimingGraph g2;
+  const int vin = g2.add_primary_input("vin", 0.0, 50 * ps);
+  const int ain = g2.add_primary_input("ain", 0.0, 150 * ps);
+  const int bin = g2.add_primary_input("bin", -5000 * ps, -4900 * ps);
+  const int vnet = g2.add_net("vnet");
+  const int anet = g2.add_net("anet");
+  const int bnet = g2.add_net("bnet");
+  g2.add_gate(vnet, {vin}, 120 * ps);
+  g2.add_gate(anet, {ain}, 80 * ps);
+  g2.add_gate(bnet, {bin}, 80 * ps);
+  NetCouplingSite site2;
+  site2.victim_net = vnet;
+  site2.aggressor_net = anet;
+  site2.model = example_coupled_net(2);
+  site2.aggressor_nets = {anet, bnet};
+  const auto r = iterate_windows_with_noise(g2, {site2}, opts);
+  EXPECT_TRUE(r.converged);
+
+  // The same site with no per-pin constraint scans every alignment; the
+  // constrained fixed point can only be smaller (up to grid rounding).
+  NetCouplingSite unconstrained = site2;
+  unconstrained.aggressor_nets.clear();
+  const auto full = iterate_windows_with_noise(g2, {unconstrained}, opts);
+  EXPECT_LE(r.extra_delay[static_cast<std::size_t>(vnet)],
+            full.extra_delay[static_cast<std::size_t>(vnet)] + 1 * ps);
+}
+
 TEST(NoiseIteration, BadSiteRejected) {
   TimingGraph g;
   g.add_primary_input("a", 0, 0);
@@ -162,6 +217,16 @@ TEST(NoiseIteration, BadSiteRejected) {
   site.aggressor_net = 0;
   site.model = example_coupled_net(1);
   EXPECT_THROW(iterate_windows_with_noise(g, {site}, {}),
+               std::invalid_argument);
+
+  TimingGraph g2;
+  const int a = g2.add_primary_input("a", 0, 0);
+  NetCouplingSite s2;
+  s2.victim_net = a;
+  s2.aggressor_net = a;
+  s2.model = example_coupled_net(2);
+  s2.aggressor_nets = {a};  // Wrong arity: must parallel model.aggressors.
+  EXPECT_THROW(iterate_windows_with_noise(g2, {s2}, {}),
                std::invalid_argument);
 }
 

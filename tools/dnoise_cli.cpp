@@ -114,7 +114,8 @@ std::vector<std::string> positional_args(int argc, char** argv) {
       "--deadline-ms", "--max-retries", "--inject-faults", "--fault-seed",
       "--config",      "--socket",     "--queue-soft",  "--queue-hard",
       "--save-cache",  "--load-cache", "--lte-tol",     "--max-dt-growth",
-      "--stale-jacobian-iters", "--warm-start"};
+      "--stale-jacobian-iters", "--warm-start",
+      "--fidelity",    "--fidelity-threshold", "--fidelity-margin"};
   std::vector<std::string> out;
   for (int i = 1; i < argc; ++i) {
     if (argv[i][0] == '-') {
@@ -137,6 +138,10 @@ int usage() {
       "                  [--functional] [--golden] [--csv] [--json]\n"
       "       dnoise_cli --batch <file.spef>... [--jobs N] [--top K] [--json]\n"
       "                  [--screen-below PS] [--load-cache F] [--save-cache F]\n"
+      "                  [--fidelity off|0|1|2]  tiered screening ladder:\n"
+      "                      max tier to run (2 = full verification)\n"
+      "                  [--fidelity-threshold PS] ladder prune threshold\n"
+      "                  [--fidelity-margin F]     tier-1 safety margin\n"
       "       dnoise_cli --batch --random N [--seed S] [--jobs N] [--top K]\n"
       "       dnoise_cli --screen <file.spef>... (rank by severity)\n"
       "       dnoise_cli --serve [--socket PATH] [--queue-soft N]\n"
@@ -184,6 +189,24 @@ StatusOr<AnalysisConfig> config_from_flags(int argc, char** argv) {
     flags["top_k"] = int_flag(argc, argv, "--top", 10);
   if (str_flag(argc, argv, "--screen-below", nullptr))
     flags["screen_below_ps"] = double_flag(argc, argv, "--screen-below", -1.0);
+  if (const char* fid = str_flag(argc, argv, "--fidelity", nullptr)) {
+    if (std::strcmp(fid, "off") == 0) {
+      flags["fidelity_ladder"] = false;
+    } else if (std::strcmp(fid, "0") == 0 || std::strcmp(fid, "1") == 0 ||
+               std::strcmp(fid, "2") == 0) {
+      flags["fidelity_ladder"] = true;
+      flags["fidelity_max_tier"] = fid[0] - '0';
+    } else {
+      return Status::InvalidArgument(
+          "--fidelity must be off, 0, 1, or 2");
+    }
+  }
+  if (str_flag(argc, argv, "--fidelity-threshold", nullptr))
+    flags["fidelity_threshold_ps"] =
+        double_flag(argc, argv, "--fidelity-threshold", 5.0);
+  if (str_flag(argc, argv, "--fidelity-margin", nullptr))
+    flags["fidelity_margin"] =
+        double_flag(argc, argv, "--fidelity-margin", 3.0);
   if (str_flag(argc, argv, "--deadline-ms", nullptr))
     flags["deadline_ms"] = double_flag(argc, argv, "--deadline-ms", -1.0);
   if (str_flag(argc, argv, "--max-retries", nullptr))
