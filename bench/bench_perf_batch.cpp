@@ -128,7 +128,8 @@ int main(int argc, char** argv) {
 
   std::ofstream jf(out_path);
   if (jf) {
-    jf << "{\"bench\":\"perf_batch\",\"nets\":" << n_nets
+    jf << "{\"bench\":\"perf_batch\"," << dn::bench::json_host_fields()
+       << ",\"nets\":" << n_nets
        << ",\"seed\":" << seed << ",\"byte_identical\":"
        << (identical ? "true" : "false") << ",\"runs\":[" << rows.str()
        << "],\"metrics\":";

@@ -131,7 +131,8 @@ int main(int argc, char** argv) {
 
   std::ofstream jf(out_path);
   if (jf) {
-    jf << "{\"bench\":\"perf_ladder\",\"nets\":" << n_nets
+    jf << "{\"bench\":\"perf_ladder\"," << dn::bench::json_host_fields()
+       << ",\"nets\":" << n_nets
        << ",\"seed\":" << seed << ",\"threshold_ps\":" << threshold_ps
        << ",\"tier0_pruned\":" << sl.tier0_pruned
        << ",\"tier1_pruned\":" << sl.tier1_pruned

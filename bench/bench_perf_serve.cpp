@@ -125,7 +125,8 @@ int main(int argc, char** argv) {
 
   std::ofstream jf(out_path);
   if (jf) {
-    jf << "{\"bench\":\"perf_serve\",\"nets\":" << n_nets
+    jf << "{\"bench\":\"perf_serve\"," << dn::bench::json_host_fields()
+       << ",\"nets\":" << n_nets
        << ",\"neighbors\":" << neighbors << ",\"seed\":" << seed
        << ",\"cold_s\":" << t_cold << ",\"incremental_s\":" << t_incr
        << ",\"reanalyzed\":" << static_cast<int>(n_dirty)

@@ -223,7 +223,8 @@ int main(int argc, char** argv) {
 
   std::ofstream jf(out_path);
   if (jf) {
-    jf << "{\"bench\":\"perf_sim\",\"criterion_pass\":"
+    jf << "{\"bench\":\"perf_sim\"," << dn::bench::json_host_fields()
+       << ",\"criterion_pass\":"
        << (ok ? "true" : "false") << ",\"nodes\":" << nodes
        << ",\"segments\":" << segments << ",\"speedup\":" << speedup
        << ",\"newton_ratio\":" << newton_ratio

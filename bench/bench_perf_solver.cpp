@@ -218,7 +218,8 @@ int main(int argc, char** argv) {
 
   std::ofstream jf(out_path);
   if (jf) {
-    jf << "{\"bench\":\"perf_solver\",\"criterion_pass\":"
+    jf << "{\"bench\":\"perf_solver\"," << dn::bench::json_host_fields()
+       << ",\"criterion_pass\":"
        << (ok ? "true" : "false") << ",\"factor_solve\":[" << fs_rows.str()
        << "],\"e2e\":[" << e2e_rows.str() << "],\"metrics\":";
     obs::metrics().write_json(jf);

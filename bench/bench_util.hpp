@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include "core/delay_noise.hpp"
 #include "rcnet/random_nets.hpp"
@@ -47,6 +48,14 @@ inline void print_header(const char* fig, const char* claim) {
 inline bool check(const char* what, bool ok) {
   std::printf("[%s] %s\n", ok ? "PASS" : "FAIL", what);
   return ok;
+}
+
+/// Host-context JSON fragment (no braces, no trailing comma) recorded in
+/// every BENCH_*.json: throughput and speedup figures are meaningless
+/// without knowing how many hardware threads the measuring host had.
+inline std::string json_host_fields() {
+  return "\"hw_concurrency\":" +
+         std::to_string(std::thread::hardware_concurrency());
 }
 
 }  // namespace dn::bench

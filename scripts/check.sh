@@ -128,6 +128,35 @@ if [[ "$run_bench" == 1 ]]; then
   # (zero missed violations), the pruning rate is >= 60%, and the
   # end-to-end speedup is >= 5x (DESIGN.md §13).
   ./build/bench/bench_perf_ladder --out build/BENCH_perf_ladder.json
+
+  echo "== perf gate: batch engine throughput (bench_perf_batch) =="
+  # Byte-identical reports across job counts (the binary enforces that
+  # itself) plus a single-job throughput floor: 24.1 nets/s is the
+  # pre-kernel-fast-path baseline (DESIGN.md §14) — dipping below it
+  # means the small-dense kernels / batched probing regressed.
+  ./build/bench/bench_perf_batch --out build/BENCH_perf_batch.json
+  python3 - build/BENCH_perf_batch.json <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    r = json.load(f)
+one = [row for row in r["runs"] if row["jobs"] == 1]
+assert one, "no single-job run recorded"
+nps = one[0]["nets_per_s"]
+floor = 24.1
+assert nps >= floor, (
+    f"batch throughput regression: {nps:.1f} nets/s at --jobs 1 "
+    f"(floor {floor}, pre-fast-path baseline)")
+print(f"batch perf gate: {nps:.1f} nets/s at --jobs 1 (floor {floor})")
+PY
+
+  echo "== native-codegen build (DN_NATIVE=ON): kernel equivalence =="
+  # -march=native changes instruction selection (FMA contraction, AVX);
+  # the small-dense bit-identity contract must hold WITHIN any one build,
+  # so the BackendEquivalence suite runs again under host-tuned codegen.
+  cmake -B build-native -S . -DDN_NATIVE=ON -DDN_WERROR=ON >/dev/null
+  cmake --build build-native -j "$jobs" --target test_matrix test_arena
+  ./build-native/tests/test_matrix
+  ./build-native/tests/test_arena
 fi
 
 echo "== server smoke: scripted NDJSON session against --serve =="

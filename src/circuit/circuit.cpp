@@ -55,6 +55,13 @@ int Circuit::add_vsource(NodeId pos, NodeId neg, Pwl v) {
   return static_cast<int>(vsources_.size()) - 1;
 }
 
+void Circuit::set_vsource_waveform(int k, Pwl v) {
+  if (k < 0 || static_cast<std::size_t>(k) >= vsources_.size())
+    throw std::invalid_argument("Circuit: bad vsource index");
+  if (v.empty()) throw std::invalid_argument("Circuit: empty vsource waveform");
+  vsources_[static_cast<std::size_t>(k)].v = std::move(v);
+}
+
 void Circuit::add_isource(NodeId into, NodeId from, Pwl i) {
   check_node(into);
   check_node(from);

@@ -65,6 +65,13 @@ class Circuit {
   void add_capacitor(NodeId a, NodeId b, double farads);
   /// Returns the source index (usable to read its branch current later).
   int add_vsource(NodeId pos, NodeId neg, Pwl v);
+  /// Replaces vsource `k`'s waveform in place. The MNA matrices depend
+  /// only on source topology, never on waveforms, so analysis objects
+  /// (MnaSystem, NonlinearSim) built on this circuit stay valid — batched
+  /// alignment probing re-drives one built simulator through many input
+  /// waveforms this way instead of rebuilding circuit + simulator per
+  /// probe.
+  void set_vsource_waveform(int k, Pwl v);
   void add_isource(NodeId into, NodeId from, Pwl i);
   void add_mosfet(NodeId d, NodeId g, NodeId s, const MosfetParams& params);
 

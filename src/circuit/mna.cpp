@@ -75,16 +75,24 @@ const Matrix& MnaSystem::C() const {
 }
 
 Vector MnaSystem::rhs(double t) const {
+  Vector b;
+  rhs_into(t, b);
+  return b;
+}
+
+void MnaSystem::rhs_into(double t, Vector& b) const {
   const std::size_t nv = static_cast<std::size_t>(n_nodes_ - 1);
-  Vector b(dim(), 0.0);
-  for (const auto& is : ckt_.isources()) {
-    const double ival = is.i.at(t);
+  b.assign(dim(), 0.0);  // Reuses the buffer's capacity after first use.
+  const auto& iss = ckt_.isources();
+  src_cursor_.resize(iss.size() + n_vsrc_, 0);
+  for (std::size_t j = 0; j < iss.size(); ++j) {
+    const auto& is = iss[j];
+    const double ival = is.i.at_hint(t, src_cursor_[j]);
     if (is.into != kGround) b[static_cast<std::size_t>(is.into - 1)] += ival;
     if (is.from != kGround) b[static_cast<std::size_t>(is.from - 1)] -= ival;
   }
   for (std::size_t k = 0; k < n_vsrc_; ++k)
-    b[nv + k] = ckt_.vsources()[k].v.at(t);
-  return b;
+    b[nv + k] = ckt_.vsources()[k].v.at_hint(t, src_cursor_[iss.size() + k]);
 }
 
 std::size_t MnaSystem::node_index(NodeId n) const {

@@ -42,6 +42,12 @@ class MnaSystem {
   /// Right-hand side at time t (independent sources evaluated at t).
   Vector rhs(double t) const;
 
+  /// rhs() into a caller-owned buffer (resized to dim()): the transient
+  /// hot loops re-fill one buffer per step instead of allocating. Source
+  /// waveforms are evaluated through per-source segment cursors (stepping
+  /// is near-monotone in t), bit-identical to Pwl::at.
+  void rhs_into(double t, Vector& b) const;
+
   /// Index of node `n` in x (n must not be ground).
   std::size_t node_index(NodeId n) const;
 
@@ -58,6 +64,11 @@ class MnaSystem {
   std::size_t dim_ = 0;
   SparseMatrix gs_, cs_;
   mutable std::optional<Matrix> g_dense_, c_dense_;
+  // Per-source Pwl segment cursors for rhs_into (isources first, then
+  // vsources). Like the dense views: per-analysis state, not shared
+  // across threads. Stale cursors (e.g. after a source-waveform swap)
+  // are validated and re-seeded by at_hint, never trusted.
+  mutable std::vector<std::size_t> src_cursor_;
 };
 
 }  // namespace dn

@@ -79,14 +79,31 @@ BatchAnalyzer::BatchAnalyzer(BatchOptions opts)
     : opts_(std::move(opts)),
       jobs_(ThreadPool::resolve_jobs(opts_.jobs)),
       analyzer_(opts_.analyzer),
-      pool_(jobs_) {}
+      pool_(jobs_) {
+  attach_char_pool();
+}
 
 BatchAnalyzer::BatchAnalyzer(BatchOptions opts,
                              std::shared_ptr<CharacterizationCache> cache)
     : opts_(std::move(opts)),
       jobs_(ThreadPool::resolve_jobs(opts_.jobs)),
       analyzer_(opts_.analyzer, std::move(cache)),
-      pool_(jobs_) {}
+      pool_(jobs_) {
+  attach_char_pool();
+}
+
+void BatchAnalyzer::attach_char_pool() {
+  // An alignment table has exactly 8 corners, so more workers than that
+  // cannot help a single fill.
+  if (jobs_ > 1) {
+    char_pool_.emplace(std::min(jobs_, 8));
+    cache()->set_characterization_pool(&*char_pool_);
+  }
+}
+
+BatchAnalyzer::~BatchAnalyzer() {
+  if (char_pool_) cache()->set_characterization_pool(nullptr);
+}
 
 BatchResult BatchAnalyzer::analyze(const std::vector<CoupledNet>& nets,
                                    const std::vector<std::string>& names) {

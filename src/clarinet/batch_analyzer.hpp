@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -180,6 +181,10 @@ class BatchAnalyzer {
   BatchAnalyzer(BatchOptions opts,
                 std::shared_ptr<CharacterizationCache> cache);
 
+  /// Detaches the characterization pool from the (possibly shared)
+  /// cache before the pool dies with this analyzer.
+  ~BatchAnalyzer();
+
   /// Analyzes every net; `names[i]` labels net i (defaults to "net<i>").
   BatchResult analyze(const std::vector<CoupledNet>& nets,
                       const std::vector<std::string>& names = {});
@@ -191,10 +196,19 @@ class BatchAnalyzer {
   int jobs() const { return jobs_; }
 
  private:
+  void attach_char_pool();
+
   BatchOptions opts_;
   int jobs_ = 1;
   NoiseAnalyzer analyzer_;  // Const-callable from all workers.
   ThreadPool pool_;
+  // Dedicated pool for intra-table characterization parallelism (the 8
+  // alignment-search corners of a cold table). It must be separate from
+  // pool_: ThreadPool runs one batch at a time, so a net worker fanning
+  // corners back into its own pool would deadlock. With more workers
+  // than cold tables this is what makes --jobs pay off; absent when
+  // jobs <= 1 (sequential analyzers keep the classic path).
+  std::optional<ThreadPool> char_pool_;
 };
 
 }  // namespace dn

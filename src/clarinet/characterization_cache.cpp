@@ -80,7 +80,8 @@ StatusOr<const AlignmentTable*> CharacterizationCache::try_table_for(
         throw std::runtime_error(
             "injected fault: alignment-table characterization");
       entry->table = std::make_unique<const AlignmentTable>(
-          AlignmentTable::characterize(receiver, victim_rising, spec_));
+          AlignmentTable::characterize(receiver, victim_rising, spec_,
+                                       fault::enabled() ? nullptr : pool_));
     } catch (const std::exception& e) {
       entry->status = status_from_exception(e);
     }

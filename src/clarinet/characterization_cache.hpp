@@ -80,6 +80,17 @@ class CharacterizationCache {
 
   const AlignmentTableSpec& spec() const { return spec_; }
 
+  /// Optional worker pool for intra-table corner parallelism: fills pass
+  /// it to AlignmentTable::characterize so one cold table uses up to 8
+  /// workers instead of serializing on the filling thread — the --jobs
+  /// win for runs with few distinct receiver conditions. The pool must
+  /// outlive every fill (the owner clears it before destroying the
+  /// pool). Ignored while fault injection is enabled: chaos runs keep
+  /// the sequential per-corner probe sequence so injected-fault
+  /// decisions stay reproducible. Not synchronized — set it before
+  /// handing the cache to workers.
+  void set_characterization_pool(ThreadPool* pool) { pool_ = pool; }
+
   /// Disk persistence. save() writes every SUCCESSFULLY characterized
   /// table (failures are cheap to rediscover and may be run-specific) in
   /// deterministic key order, preceded by a header carrying an FNV-1a
@@ -112,6 +123,7 @@ class CharacterizationCache {
   Entry* entry_for(const Key& key);
 
   AlignmentTableSpec spec_;
+  ThreadPool* pool_ = nullptr;  // Optional; see set_characterization_pool.
   mutable std::shared_mutex mu_;
   std::map<Key, std::unique_ptr<Entry>> entries_;
   std::atomic<std::uint64_t> hits_{0};

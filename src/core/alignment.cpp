@@ -113,32 +113,39 @@ std::vector<double> ScanDomain::sample(double lo, double hi, int n) const {
         2, static_cast<int>(std::ceil(share * static_cast<double>(n))));
     for (const double t : linspace(a, b, pts)) out.push_back(t);
   }
+  // Deduplicate: a zero-width clipped interval emits its endpoint twice
+  // (linspace(x, x, 2)), and abutting intervals can repeat the shared
+  // edge. The intervals are disjoint and sorted, so the concatenation is
+  // globally sorted and one unique() pass removes exactly the duplicated
+  // probe times — deterministically, without reordering anything.
+  out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
 }
 
-ReceiverEval evaluate_receiver(const GateParams& receiver, const Pwl& vin,
-                               double cload, bool input_rising, double dt,
-                               double lte_tol, GateSimCache* warm,
-                               int stale_jacobian_iters) {
-  // Alignment probes: every candidate alignment costs exactly one receiver
-  // evaluation, so this counter is the flow's "how many nonlinear sims did
-  // the search spend" figure.
-  static obs::Counter& c_evals =
-      obs::metrics().counter("alignment.receiver_evals");
-  c_evals.add();
-  const bool out_rising =
-      gate_inverts(receiver.type) ? !input_rising : input_rising;
-  // Horizon: input end plus a settling tail sized to the load.
-  const double tail = 2e-9 + 200.0 * receiver.vdd * cload;  // Heuristic, generous.
+namespace {
+
+/// Receiver transient horizon: input end plus a settling tail sized to
+/// the load (heuristic, generous). Shared by the per-call and batched
+/// probe paths so both simulate the identical spec.
+TransientSpec receiver_spec(const GateParams& receiver, const Pwl& vin,
+                            double cload, double dt, double lte_tol,
+                            int stale_jacobian_iters) {
+  const double tail = 2e-9 + 200.0 * receiver.vdd * cload;
   TransientSpec spec{0.0, vin.t_end() + tail, dt};
   spec.lte_tol = lte_tol;
   spec.stale_jacobian_iters = stale_jacobian_iters;
-  ReceiverEval ev;
-  auto out = try_simulate_gate(receiver, vin, cload, spec, std::nullopt, warm);
-  if (!out.ok()) raise(out.status());
-  ev.output = std::move(out).value();
+  return spec;
+}
 
-  const double mid = 0.5 * receiver.vdd;
+/// Post-processes a simulated receiver output into a ReceiverEval:
+/// final 50% crossing plus residual reverse-excursion noise. Shared by
+/// evaluate_receiver and the batched probe session, so both measure the
+/// identical waveform identically.
+ReceiverEval measure_receiver_output(Pwl output, bool out_rising,
+                                     double vdd) {
+  ReceiverEval ev;
+  ev.output = std::move(output);
+  const double mid = 0.5 * vdd;
   const auto t50 = ev.output.last_crossing(mid, out_rising);
   if (!t50)
     throw std::runtime_error(
@@ -167,6 +174,30 @@ ReceiverEval evaluate_receiver(const GateParams& receiver, const Pwl& vin,
   return ev;
 }
 
+/// "How many nonlinear sims did the search spend" — every candidate
+/// alignment costs exactly one receiver evaluation.
+obs::Counter& receiver_evals_counter() {
+  static obs::Counter& c = obs::metrics().counter("alignment.receiver_evals");
+  return c;
+}
+
+}  // namespace
+
+ReceiverEval evaluate_receiver(const GateParams& receiver, const Pwl& vin,
+                               double cload, bool input_rising, double dt,
+                               double lte_tol, GateSimCache* warm,
+                               int stale_jacobian_iters) {
+  receiver_evals_counter().add();
+  const bool out_rising =
+      gate_inverts(receiver.type) ? !input_rising : input_rising;
+  const TransientSpec spec =
+      receiver_spec(receiver, vin, cload, dt, lte_tol, stale_jacobian_iters);
+  auto out = try_simulate_gate(receiver, vin, cload, spec, std::nullopt, warm);
+  if (!out.ok()) raise(out.status());
+  return measure_receiver_output(std::move(out).value(), out_rising,
+                                 receiver.vdd);
+}
+
 Pwl shift_pulse_peak_to(const Pwl& composite, double t_target,
                         double* shift_out) {
   const PulseParams p = measure_pulse(composite);
@@ -183,8 +214,8 @@ double delay_for_peak_at(const Pwl& noiseless_sink, const Pwl& composite,
                          bool victim_rising, double t_peak, double dt,
                          double lte_tol = 0.0, GateSimCache* warm = nullptr,
                          int stale_jacobian_iters = -1) {
-  const Pwl noisy = noiseless_sink + shift_pulse_peak_to(composite, t_peak,
-                                                          nullptr);
+  const PulseParams p = measure_pulse(composite);
+  const Pwl noisy = noiseless_sink.add_shifted(composite, t_peak - p.t_peak);
   return evaluate_receiver(receiver, noisy, rcv_load, victim_rising, dt,
                            lte_tol, warm, stale_jacobian_iters)
       .t_out_50;
@@ -224,15 +255,37 @@ AlignmentResult exhaustive_extremum_alignment(
   }
 
   const double sign = maximize ? 1.0 : -1.0;
-  // One warm-start cache per search: every probe simulates the same
-  // receiver from the same quiet input level.
-  GateSimCache cache;
-  GateSimCache* warm = opts.warm_start ? &cache : nullptr;
+  // Batched probing: every probe in this search simulates the same
+  // receiver topology into the same load — only the input waveform
+  // differs — so one built circuit/simulator serves the whole search
+  // (bit-identical to per-probe construction; see ReceiverProbeSession).
+  // The session also subsumes the one-GateSimCache-per-search warm-start
+  // discipline the per-probe path used.
+  static obs::Counter& c_batched =
+      obs::metrics().counter("alignment.batched_probes");
+  static obs::Counter& c_batches =
+      obs::metrics().counter("alignment.probe_batches");
+  ReceiverProbeSession session(receiver, rcv_load, opts.warm_start);
+  c_batches.add();
+  const bool out_rising =
+      gate_inverts(receiver.type) ? !victim_rising : victim_rising;
   auto eval = [&](double t_peak) {
-    return sign * delay_for_peak_at(noiseless_sink, composite, receiver,
-                                    rcv_load, victim_rising, t_peak, opts.dt,
-                                    opts.lte_tol, warm,
-                                    opts.stale_jacobian_iters);
+    receiver_evals_counter().add();
+    c_batched.add();
+    // Peak placement reuses the pulse measured once above — the per-probe
+    // path re-measured the (invariant) composite every call — and the
+    // fused add_shifted skips the intermediate shifted copy; both are
+    // bit-identical replacements (pinned by PwlTest.AddShiftedBitIdentical).
+    const double shift = t_peak - pulse.t_peak;
+    const Pwl noisy = noiseless_sink.add_shifted(composite, shift);
+    const TransientSpec spec =
+        receiver_spec(receiver, noisy, rcv_load, opts.dt, opts.lte_tol,
+                      opts.stale_jacobian_iters);
+    auto out = session.try_run(noisy, spec);
+    if (!out.ok()) raise(out.status());
+    return sign * measure_receiver_output(std::move(out).value(), out_rising,
+                                          receiver.vdd)
+                      .t_out_50;
   };
 
   // Coarse sweep over the FEASIBLE part of the span only: the pruned

@@ -1,19 +1,23 @@
 #include "core/alignment_table.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <exception>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
 
 #include "util/deadline.hpp"
 #include "util/numeric.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dn {
 
 AlignmentTable AlignmentTable::characterize(const GateParams& receiver,
                                             bool victim_rising,
-                                            const AlignmentTableSpec& spec) {
+                                            const AlignmentTableSpec& spec,
+                                            ThreadPool* pool) {
   if (!(spec.slew_max > spec.slew_min) || !(spec.width_max > spec.width_min) ||
       !(spec.height_max_frac > spec.height_min_frac))
     throw std::invalid_argument("AlignmentTable: degenerate spec ranges");
@@ -29,37 +33,62 @@ AlignmentTable AlignmentTable::characterize(const GateParams& receiver,
   const double heights[2] = {spec.height_min_frac * vdd,
                              spec.height_max_frac * vdd};
 
-  for (int si = 0; si < 2; ++si) {
+  // One independent exhaustive search per (slew, width, height) corner —
+  // the unit of intra-table parallelism. Everything a corner touches is
+  // derived from its own indices, so execution order cannot change any
+  // corner's value.
+  auto corner_value = [&](int si, int wi, int hi) -> double {
     // Canonical noiseless victim transition at the receiver input: a
     // saturated ramp far enough from t=0 for any pulse position.
     const double t_start = 2e-9;
     const Pwl ramp = victim_rising
                          ? Pwl::ramp(t_start, slews[si], 0.0, vdd)
                          : Pwl::ramp(t_start, slews[si], vdd, 0.0);
-    for (int wi = 0; wi < 2; ++wi) {
-      for (int hi = 0; hi < 2; ++hi) {
-        deadline_checkpoint("AlignmentTable::characterize");
-        // Delay-increasing noise opposes the transition direction.
-        const double h = victim_rising ? -heights[hi] : heights[hi];
-        const Pwl pulse = triangle_pulse(h, widths[wi], t_start);
-        // Constrain the pulse peak to the transition itself: past the
-        // settled rail the disturbance is functional noise, and a railed
-        // alignment voltage cannot be mapped back onto real transitions.
-        // Additionally cap at the [5] level Vdd/2 +- Vn: beyond it the dip
-        // cannot reach the receiver threshold, so the "worst delay" there
-        // is a re-trigger artifact, not delay noise.
-        AlignmentSearchOptions search = spec.search;
-        search.window_min = t_start - 1.5 * widths[wi];
-        search.window_max = t_start + slews[si];
-        const double va_cap =
-            victim_rising ? 0.5 * vdd + heights[hi] : 0.5 * vdd - heights[hi];
-        if (const auto t_cap = ramp.crossing(va_cap, victim_rising))
-          search.window_max = std::min(search.window_max, *t_cap);
-        const AlignmentResult worst = exhaustive_worst_alignment(
-            ramp, pulse, receiver, spec.min_load, victim_rising, search);
-        tbl.va_[si][wi][hi] = worst.align_voltage;
+    // Delay-increasing noise opposes the transition direction.
+    const double h = victim_rising ? -heights[hi] : heights[hi];
+    const Pwl pulse = triangle_pulse(h, widths[wi], t_start);
+    // Constrain the pulse peak to the transition itself: past the
+    // settled rail the disturbance is functional noise, and a railed
+    // alignment voltage cannot be mapped back onto real transitions.
+    // Additionally cap at the [5] level Vdd/2 +- Vn: beyond it the dip
+    // cannot reach the receiver threshold, so the "worst delay" there
+    // is a re-trigger artifact, not delay noise.
+    AlignmentSearchOptions search = spec.search;
+    search.window_min = t_start - 1.5 * widths[wi];
+    search.window_max = t_start + slews[si];
+    const double va_cap =
+        victim_rising ? 0.5 * vdd + heights[hi] : 0.5 * vdd - heights[hi];
+    if (const auto t_cap = ramp.crossing(va_cap, victim_rising))
+      search.window_max = std::min(search.window_max, *t_cap);
+    const AlignmentResult worst = exhaustive_worst_alignment(
+        ramp, pulse, receiver, spec.min_load, victim_rising, search);
+    return worst.align_voltage;
+  };
+
+  if (pool && pool->num_threads() > 0) {
+    // Corners write disjoint fixed slots; a failed corner parks its
+    // exception and the lowest corner index wins the rethrow, so the
+    // reported error never depends on completion order.
+    std::array<std::exception_ptr, 8> errors{};
+    pool->parallel_for(8, [&](std::size_t c) {
+      const int si = static_cast<int>(c >> 2) & 1;
+      const int wi = static_cast<int>(c >> 1) & 1;
+      const int hi = static_cast<int>(c) & 1;
+      try {
+        tbl.va_[si][wi][hi] = corner_value(si, wi, hi);
+      } catch (...) {
+        errors[c] = std::current_exception();
       }
-    }
+    });
+    for (const auto& e : errors)
+      if (e) std::rethrow_exception(e);
+  } else {
+    for (int si = 0; si < 2; ++si)
+      for (int wi = 0; wi < 2; ++wi)
+        for (int hi = 0; hi < 2; ++hi) {
+          deadline_checkpoint("AlignmentTable::characterize");
+          tbl.va_[si][wi][hi] = corner_value(si, wi, hi);
+        }
   }
   return tbl;
 }

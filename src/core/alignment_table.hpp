@@ -23,6 +23,8 @@
 
 namespace dn {
 
+class ThreadPool;
+
 struct AlignmentTableSpec {
   double slew_min = 60e-12;    // Victim 0-100% transition time at the sink [s].
   double slew_max = 500e-12;
@@ -44,9 +46,22 @@ class AlignmentTable {
   /// Pre-characterizes `receiver` for victims transitioning in direction
   /// `victim_rising`: 8 exhaustive alignment searches on canonical ramp +
   /// triangular-pulse stimuli at minimum load.
+  ///
+  /// `pool` (optional) runs the eight independent corner searches in
+  /// parallel — intra-table parallelism so --jobs helps even when a run
+  /// has few distinct receiver conditions. The result is deterministic
+  /// and identical to the sequential path: every corner computes from
+  /// its own inputs alone and writes its own fixed table slot, and on
+  /// failure the lowest-index corner's error is reported regardless of
+  /// completion order. Corner searches on pool workers do not observe
+  /// the caller's thread-local deadline (the characterization-cache fill
+  /// deliberately runs deadline-shielded anyway) or fault-injection
+  /// scope, so callers that need those sequenced (chaos runs) must pass
+  /// nullptr.
   static AlignmentTable characterize(const GateParams& receiver,
                                      bool victim_rising,
-                                     const AlignmentTableSpec& spec = {});
+                                     const AlignmentTableSpec& spec = {},
+                                     ThreadPool* pool = nullptr);
 
   /// Predicted worst-case pulse-peak time for the actual victim transition
   /// `noiseless_sink` (victim slew measured internally) and the measured

@@ -227,8 +227,9 @@ Pwl SuperpositionEngine::composite_noise_at_sink(
   Pwl sum;
   for (std::size_t k = 0; k < shifts.size(); ++k) {
     if (active && !(*active)[k]) continue;
-    sum = sum + aggressor_noise(static_cast<int>(k), victim_holding_r)
-                    .at_sink.shifted(shifts[k]);
+    sum = sum.add_shifted(
+        aggressor_noise(static_cast<int>(k), victim_holding_r).at_sink,
+        shifts[k]);
   }
   return sum;
 }
@@ -243,8 +244,9 @@ Pwl SuperpositionEngine::composite_noise_at_root(
   Pwl sum;
   for (std::size_t k = 0; k < shifts.size(); ++k) {
     if (active && !(*active)[k]) continue;
-    sum = sum + aggressor_noise(static_cast<int>(k), victim_holding_r)
-                    .at_root.shifted(shifts[k]);
+    sum = sum.add_shifted(
+        aggressor_noise(static_cast<int>(k), victim_holding_r).at_root,
+        shifts[k]);
   }
   return sum;
 }

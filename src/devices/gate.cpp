@@ -126,6 +126,32 @@ Pwl simulate_gate(const GateParams& gate, const Pwl& vin, double cload,
   return std::move(res).value();
 }
 
+ReceiverProbeSession::ReceiverProbeSession(const GateParams& gate,
+                                           double cload, bool warm_start)
+    : warm_start_(warm_start) {
+  // Element order matches try_simulate_gate exactly, so the assembled MNA
+  // system (and therefore every simulated byte) is identical.
+  const NodeId vdd = add_vdd(ckt_, gate.vdd);
+  const NodeId in = ckt_.node("in");
+  out_ = ckt_.node("out");
+  in_src_ = ckt_.add_vsource(in, kGround, Pwl::constant(0.0));
+  instantiate_gate(ckt_, gate, in, out_, vdd);
+  if (cload > 0) ckt_.add_capacitor(out_, kGround, cload);
+  sim_.emplace(ckt_);
+}
+
+StatusOr<Pwl> ReceiverProbeSession::try_run(const Pwl& vin,
+                                            const TransientSpec& spec) {
+  ckt_.set_vsource_waveform(in_src_, vin);
+  const Vector* hint =
+      (warm_start_ && dc_.size() == sim_->mna().dim()) ? &dc_ : nullptr;
+  auto res = sim_->try_run(spec, hint);
+  if (!res.ok()) return res.status();
+  if (warm_start_) dc_ = res->initial_state();
+  ++probes_;
+  return res->waveform(out_);
+}
+
 double gate_initial_output(const GateParams& gate, double vin_initial) {
   const bool in_high = vin_initial > 0.5 * gate.vdd;
   const bool out_high = gate_inverts(gate.type) ? !in_high : in_high;

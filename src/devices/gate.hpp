@@ -7,11 +7,13 @@
 // lumped load, with or without an injected noise current — paper Figure 4).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "circuit/circuit.hpp"
+#include "sim/nonlinear_sim.hpp"
 #include "sim/transient.hpp"
 #include "util/status.hpp"
 
@@ -84,5 +86,52 @@ Pwl simulate_gate(const GateParams& gate, const Pwl& vin, double cload,
 
 /// Initial output level (t -> -inf) for a given initial input level.
 double gate_initial_output(const GateParams& gate, double vin_initial);
+
+/// Batched canonical receiver simulations for alignment probing.
+///
+/// An alignment search runs dozens of receiver sims that differ ONLY in
+/// the input waveform: same gate, same load, same circuit topology, same
+/// MNA matrices. try_simulate_gate rebuilds circuit + MnaSystem +
+/// NonlinearSim (Jacobian pattern, device batch, solver symbolic
+/// analysis) from scratch for every probe; a session builds them once and
+/// re-drives the built simulator through each probe waveform via
+/// Circuit::set_vsource_waveform.
+///
+/// Bit-identity contract (pinned by AlignmentBatched tests): each run()
+/// returns exactly the bytes the equivalent try_simulate_gate call chain
+/// would — the MNA matrices never depend on source waveforms, the Newton
+/// factor state is reset per run, and the reused solver's numeric
+/// refactor performs arithmetic identical to a fresh factorization (see
+/// SolverOptions::small_max_dim notes). Warm-start chaining matches a
+/// GateSimCache threaded through sequential try_simulate_gate calls in
+/// the same probe order.
+///
+/// Not thread-safe: one session per search loop, like GateSimCache.
+class ReceiverProbeSession {
+ public:
+  /// Builds the receiver-into-lumped-load circuit once. `warm_start`
+  /// chains each probe's DC operating point into the next probe's Newton
+  /// seed (the GateSimCache discipline).
+  ReceiverProbeSession(const GateParams& gate, double cload, bool warm_start);
+
+  ReceiverProbeSession(const ReceiverProbeSession&) = delete;
+  ReceiverProbeSession& operator=(const ReceiverProbeSession&) = delete;
+
+  /// One probe: simulates the session gate with input `vin` under `spec`.
+  /// Returns the output waveform, exactly as try_simulate_gate would.
+  StatusOr<Pwl> try_run(const Pwl& vin, const TransientSpec& spec);
+
+  /// Probes served so far by this session's shared construction.
+  std::uint64_t probes() const { return probes_; }
+
+ private:
+  Circuit ckt_;          // Never resized/moved: sim_ holds a reference.
+  NodeId out_ = kGround;
+  int in_src_ = -1;
+  bool warm_start_ = false;
+  std::optional<NonlinearSim> sim_;
+  Vector dc_;            // Warm-start chain; empty = cold.
+  std::uint64_t probes_ = 0;
+};
 
 }  // namespace dn

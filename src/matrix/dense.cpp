@@ -6,6 +6,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "matrix/sparse.hpp"
+
 namespace dn {
 
 Matrix Matrix::identity(std::size_t n) {
@@ -89,6 +91,18 @@ Status LuFactor::refactor(const Matrix& a) {
   return factorize();
 }
 
+Status LuFactor::refactor(const SparseMatrix& a) {
+  if (a.rows() != lu_.rows() || a.cols() != lu_.cols())
+    return Status::InvalidArgument("LuFactor::refactor: shape mismatch");
+  lu_.fill(0.0);
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+  const auto v = a.values();
+  for (std::size_t r = 0; r < lu_.rows(); ++r)
+    for (std::size_t p = rp[r]; p < rp[r + 1]; ++p) lu_(r, ci[p]) += v[p];
+  return factorize();
+}
+
 Status LuFactor::factorize() {
   if (lu_.rows() != lu_.cols())
     return Status::InvalidArgument("LuFactor: not square");
@@ -133,9 +147,10 @@ Vector LuFactor::solve(std::span<const double> b) const {
   return x;
 }
 
-void LuFactor::solve_in_place(Vector& x) const {
+void LuFactor::solve_in_place(std::span<double> x) const {
   const std::size_t n = size();
-  Vector y(n);
+  scratch_.resize(n);  // No-op after the first solve.
+  Vector& y = scratch_;
   for (std::size_t i = 0; i < n; ++i) y[i] = x[perm_[i]];
   // Forward substitution with unit lower-triangular L.
   for (std::size_t i = 0; i < n; ++i) {
@@ -149,7 +164,7 @@ void LuFactor::solve_in_place(Vector& x) const {
     for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_(ii, j) * y[j];
     y[ii] = acc / lu_(ii, ii);
   }
-  x = std::move(y);
+  for (std::size_t i = 0; i < n; ++i) x[i] = y[i];
 }
 
 double dot(std::span<const double> a, std::span<const double> b) {

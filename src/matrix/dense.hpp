@@ -15,6 +15,8 @@
 
 namespace dn {
 
+class SparseMatrix;
+
 using Vector = std::vector<double>;
 
 /// Row-major dense matrix.
@@ -69,13 +71,22 @@ class LuFactor {
   /// LU has no symbolic phase worth caching).
   Status refactor(const Matrix& a);
 
+  /// Same-pattern numeric refactor straight from CSR: densifies into the
+  /// factor's own storage — the identical value adds in the identical
+  /// order as densify-into-a-Matrix-then-copy, minus the n^2 intermediate
+  /// copy. The Newton restamp path refactors millions of times per batch
+  /// run, so that copy was a measurable slice of stage.solver_factor.
+  Status refactor(const SparseMatrix& a);
+
   std::size_t size() const { return lu_.rows(); }
 
   /// Solves A x = b.
   Vector solve(std::span<const double> b) const;
 
-  /// Solves in place (x holds b on entry, solution on exit).
-  void solve_in_place(Vector& x) const;
+  /// Solves in place (x holds b on entry, solution on exit). Backed by a
+  /// member scratch buffer so steady-state solves allocate nothing.
+  void solve_in_place(Vector& x) const { solve_in_place(std::span<double>(x)); }
+  void solve_in_place(std::span<double> x) const;
 
   /// 1-norm condition estimate is overkill; this exposes the smallest
   /// pivot magnitude as a cheap health indicator.
@@ -90,6 +101,7 @@ class LuFactor {
   Matrix lu_;
   std::vector<std::size_t> perm_;
   double min_pivot_ = 0.0;
+  mutable Vector scratch_;  // Permuted-RHS workspace reused across solves.
 };
 
 // Basic vector helpers shared by the simulators and PRIMA.

@@ -1,0 +1,138 @@
+#include "matrix/small_dense.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "matrix/sparse.hpp"
+
+namespace dn {
+
+namespace {
+
+// Factors are stored PACKED (row stride == n, like LuFactor), not at a
+// fixed 16 stride: a fixed wide stride left most of each cache line dead
+// and measured ~2x slower factorization at n ~ 12. The unrolled solve
+// kernels still index with compile-time constants — the template
+// dimension N is the stride.
+
+}  // namespace
+
+Status SmallLu::factorize_runtime() {
+  // Identical operation sequence to LuFactor::factorize — pivot choice,
+  // row swaps, inv_pivot multiply, elimination order — over the packed
+  // stride-n block.
+  double* lu = lu_.data();
+  const std::size_t n = n_;
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+  min_pivot_ = std::numeric_limits<double>::infinity();
+
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t piv = k;
+    double best = std::abs(lu[k * n + k]);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double m = std::abs(lu[i * n + k]);
+      if (m > best) {
+        best = m;
+        piv = i;
+      }
+    }
+    if (best == 0.0 || !std::isfinite(best))
+      return Status::Internal("SmallLu: singular matrix");
+    min_pivot_ = std::min(min_pivot_, best);
+    if (piv != k) {
+      std::swap(perm_[piv], perm_[k]);
+      for (std::size_t j = 0; j < n; ++j)
+        std::swap(lu[piv * n + j], lu[k * n + j]);
+    }
+    const double inv_pivot = 1.0 / lu[k * n + k];
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double mult = lu[i * n + k] * inv_pivot;
+      lu[i * n + k] = mult;
+      if (mult == 0.0) continue;
+      for (std::size_t j = k + 1; j < n; ++j)
+        lu[i * n + j] -= mult * lu[k * n + j];
+    }
+  }
+  return Status::Ok();
+}
+
+template <std::size_t N>
+void SmallLu::solve_n(double* x) const {
+  const double* lu = lu_.data();
+  double y[N];
+  for (std::size_t i = 0; i < N; ++i) y[i] = x[perm_[i]];
+  // Forward substitution with unit lower-triangular L.
+  for (std::size_t i = 0; i < N; ++i) {
+    double acc = y[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu[i * N + j] * y[j];
+    y[i] = acc;
+  }
+  // Back substitution with U.
+  for (std::size_t ii = N; ii-- > 0;) {
+    double acc = y[ii];
+    for (std::size_t j = ii + 1; j < N; ++j) acc -= lu[ii * N + j] * y[j];
+    y[ii] = acc / lu[ii * N + ii];
+  }
+  for (std::size_t i = 0; i < N; ++i) x[i] = y[i];
+}
+
+Status SmallLu::factorize(const Matrix& a) {
+  if (a.rows() != a.cols())
+    return Status::InvalidArgument("SmallLu: not square");
+  if (a.rows() == 0 || a.rows() > kSmallLuMaxDim)
+    return Status::InvalidArgument("SmallLu: dimension out of range");
+  n_ = a.rows();
+  for (std::size_t r = 0; r < n_; ++r) {
+    const auto row = a.row(r);
+    for (std::size_t c = 0; c < n_; ++c) lu_[r * n_ + c] = row[c];
+  }
+  return factorize_runtime();
+}
+
+Status SmallLu::factorize(const SparseMatrix& a) {
+  if (a.rows() != a.cols())
+    return Status::InvalidArgument("SmallLu: not square");
+  if (a.rows() == 0 || a.rows() > kSmallLuMaxDim)
+    return Status::InvalidArgument("SmallLu: dimension out of range");
+  n_ = a.rows();
+  // Densify straight into the factor block: zero + the same row-ordered
+  // += scatter densify_into() performs, so the factored values are
+  // bit-identical to the Matrix round trip.
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+  const auto v = a.values();
+  for (std::size_t r = 0; r < n_; ++r) {
+    double* row = lu_.data() + r * n_;
+    for (std::size_t c = 0; c < n_; ++c) row[c] = 0.0;
+    for (std::size_t p = rp[r]; p < rp[r + 1]; ++p) row[ci[p]] += v[p];
+  }
+  return factorize_runtime();
+}
+
+void SmallLu::solve_in_place(std::span<double> x) const {
+  switch (n_) {
+    case 1: solve_n<1>(x.data()); return;
+    case 2: solve_n<2>(x.data()); return;
+    case 3: solve_n<3>(x.data()); return;
+    case 4: solve_n<4>(x.data()); return;
+    case 5: solve_n<5>(x.data()); return;
+    case 6: solve_n<6>(x.data()); return;
+    case 7: solve_n<7>(x.data()); return;
+    case 8: solve_n<8>(x.data()); return;
+    case 9: solve_n<9>(x.data()); return;
+    case 10: solve_n<10>(x.data()); return;
+    case 11: solve_n<11>(x.data()); return;
+    case 12: solve_n<12>(x.data()); return;
+    case 13: solve_n<13>(x.data()); return;
+    case 14: solve_n<14>(x.data()); return;
+    case 15: solve_n<15>(x.data()); return;
+    case 16: solve_n<16>(x.data()); return;
+  }
+}
+
+void SmallLu::solve_batch(std::span<double> cols, std::size_t k) const {
+  for (std::size_t j = 0; j < k; ++j)
+    solve_in_place(cols.subspan(j * n_, n_));
+}
+
+}  // namespace dn

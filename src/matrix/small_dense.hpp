@@ -1,0 +1,82 @@
+// Stack-allocated LU kernels for the tiny MNA systems that dominate the
+// alignment/characterization inner loops (receiver and single-driver gate
+// circuits are 2-12 unknowns; see ISSUE 9 / DESIGN.md §14).
+//
+// The generic dense path (matrix/dense.hpp) is correct but pays heap
+// traffic and runtime-dimension loop control on every call — at dim 5 the
+// per-solve constant factors cost more than the ~25 flops of useful work.
+// SmallLu keeps the factors in a fixed 16x16 stack block, dispatches once
+// on the dimension to a compile-time-unrolled kernel, and solves with no
+// allocation at all.
+//
+// Bit-identity contract: SmallLu performs EXACTLY the same floating-point
+// operations in EXACTLY the same order as LuFactor (same partial-pivot
+// selection, same inv_pivot multiply, same substitution order), so a
+// system solved through either backend produces bitwise-equal solutions.
+// tests/test_matrix.cpp pins this with a BackendEquivalence property
+// test; batch reports stay byte-identical no matter which kernel ran.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+
+#include "matrix/dense.hpp"
+#include "util/status.hpp"
+
+namespace dn {
+
+class SparseMatrix;
+
+/// Largest dimension served by the small-dense kernels.
+inline constexpr std::size_t kSmallLuMaxDim = 16;
+
+/// Partial-pivot LU of an n x n system, n <= kSmallLuMaxDim, with all
+/// storage inline (no heap). Mirrors LuFactor's arithmetic bit-for-bit.
+class SmallLu {
+ public:
+  SmallLu() = default;
+
+  /// (Re)factors the leading n x n of `a` (must be square, n <= 16).
+  /// kInternal on numerical singularity, like LuFactor::make.
+  Status factorize(const Matrix& a);
+
+  /// (Re)factors straight from CSR: densifies into the factor's own
+  /// storage (the same value adds in the same order a densify-into-Matrix
+  /// would do) and refactorizes. Skips the n^2 scratch-matrix round trip
+  /// — the Newton restamp path refactors millions of times per batch run.
+  Status factorize(const SparseMatrix& a);
+
+  std::size_t size() const { return n_; }
+  double min_pivot() const { return min_pivot_; }
+
+  /// Solves A x = b in place; x.size() == size().
+  void solve_in_place(std::span<double> x) const;
+
+  /// Solves A X = B for k right-hand sides stored as k contiguous
+  /// length-n columns in `cols` (column j at cols[j*n .. j*n+n)). One
+  /// factorization amortized over the whole block; each column goes
+  /// through the identical per-column arithmetic as solve_in_place.
+  void solve_batch(std::span<double> cols, std::size_t k) const;
+
+ private:
+  /// Runtime-n factorization core over the 16-stride block. Deliberately
+  /// NOT unrolled per dimension: factorization is O(n^3) real work where
+  /// loop control is already amortized, and sixteen unrolled O(n^3)
+  /// instantiations measurably thrashed the instruction cache. The
+  /// operation sequence matches LuFactor::factorize exactly.
+  Status factorize_runtime();
+  template <std::size_t N>
+  void solve_n(double* x) const;
+
+  // Row-major, PACKED at stride n (cache-dense, matching LuFactor's
+  // layout). The unrolled solve kernels still index with compile-time
+  // constant offsets because the template dimension doubles as the
+  // stride.
+  std::array<double, kSmallLuMaxDim * kSmallLuMaxDim> lu_{};
+  std::array<std::size_t, kSmallLuMaxDim> perm_{};
+  std::size_t n_ = 0;
+  double min_pivot_ = 0.0;
+};
+
+}  // namespace dn

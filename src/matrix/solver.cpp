@@ -14,6 +14,8 @@ namespace {
 // hot path is one relaxed atomic load when metrics are off (DESIGN.md §8).
 struct SolverMetrics {
   obs::Counter& dense_picked = obs::metrics().counter("solver.backend.dense");
+  obs::Counter& small_picked =
+      obs::metrics().counter("solver.backend.small_dense");
   obs::Counter& sparse_picked = obs::metrics().counter("solver.backend.sparse");
   obs::Counter& refactors = obs::metrics().counter("solver.refactors");
   obs::Counter& refactor_fallbacks =
@@ -100,6 +102,18 @@ StatusOr<SystemSolver> SystemSolver::make(const SparseMatrix& a,
     s.backend_ = SolverBackend::kDense;
   }
   sm().dense_picked.add();
+  // Small-system fast path: the unrolled stack kernels do the same
+  // arithmetic as LuFactor with none of the heap/loop overhead. The CSR
+  // input densifies straight into the kernel's block — no scratch Matrix.
+  if (a.rows() > 0 && a.rows() <= opts.small_max_dim &&
+      a.rows() <= kSmallLuMaxDim) {
+    sm().small_picked.add();
+    SmallLu lu;
+    Status st = lu.factorize(a);
+    if (!st.ok()) return st;
+    s.small_.emplace(lu);
+    return s;
+  }
   s.dense_scratch_ = Matrix(a.rows(), a.cols());
   densify_into(a, s.dense_scratch_);
   auto f = LuFactor::make(s.dense_scratch_);
@@ -112,11 +126,17 @@ Status SystemSolver::refactor(const SparseMatrix& a) {
   sm().refactors.add();
   obs::ScopedLatency lat(sm().factor_seconds);
   if (backend_ == SolverBackend::kDense) {
-    if (!dense_) return Status::Internal("SystemSolver: not factored");
-    if (a.rows() != dense_scratch_.rows() || a.cols() != dense_scratch_.cols())
-      return Status::InvalidArgument("SystemSolver::refactor: shape mismatch");
-    densify_into(a, dense_scratch_);
-    return dense_->refactor(dense_scratch_);
+    if (!dense_ && !small_)
+      return Status::Internal("SystemSolver: not factored");
+    // Both dense sub-backends densify straight from CSR into their own
+    // factor storage (same adds, same order as a scratch densify — the
+    // values and therefore the factors are bit-identical).
+    if (small_) {
+      if (a.rows() != small_->size() || a.cols() != small_->size())
+        return Status::InvalidArgument("SystemSolver::refactor: shape mismatch");
+      return small_->factorize(a);
+    }
+    return dense_->refactor(a);
   }
   if (!sparse_) return Status::Internal("SystemSolver: not factored");
   Status s;
@@ -153,22 +173,57 @@ Status SystemSolver::refactor(const SparseMatrix& a) {
 
 Vector SystemSolver::solve(std::span<const double> b) const {
   obs::ScopedLatency lat(sm().solve_seconds);
+  if (small_) {
+    Vector x(b.begin(), b.end());
+    small_->solve_in_place(x);
+    return x;
+  }
   return dense_ ? dense_->solve(b) : sparse_->solve(b);
 }
 
 void SystemSolver::solve_in_place(Vector& x) const {
   obs::ScopedLatency lat(sm().solve_seconds);
-  if (dense_)
+  if (small_)
+    small_->solve_in_place(x);
+  else if (dense_)
     dense_->solve_in_place(x);
   else
     sparse_->solve_in_place(x);
 }
 
+void SystemSolver::solve_in_place(std::span<double> x) const {
+  obs::ScopedLatency lat(sm().solve_seconds);
+  if (small_)
+    small_->solve_in_place(x);
+  else if (dense_)
+    dense_->solve_in_place(x);
+  else
+    sparse_->solve_in_place(x);
+}
+
+void SystemSolver::solve_batch(std::span<double> cols, std::size_t k) const {
+  obs::ScopedLatency lat(sm().solve_seconds);
+  if (small_) {
+    small_->solve_batch(cols, k);
+    return;
+  }
+  const std::size_t n = size();
+  for (std::size_t j = 0; j < k; ++j) {
+    auto col = cols.subspan(j * n, n);
+    if (dense_)
+      dense_->solve_in_place(col);
+    else
+      sparse_->solve_in_place(col);
+  }
+}
+
 std::size_t SystemSolver::size() const {
+  if (small_) return small_->size();
   return dense_ ? dense_->size() : sparse_ ? sparse_->size() : 0;
 }
 
 double SystemSolver::min_pivot() const {
+  if (small_) return small_->min_pivot();
   return dense_ ? dense_->min_pivot() : sparse_ ? sparse_->min_pivot() : 0.0;
 }
 

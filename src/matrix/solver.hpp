@@ -14,6 +14,7 @@
 #include <string>
 
 #include "matrix/dense.hpp"
+#include "matrix/small_dense.hpp"
 #include "matrix/sparse.hpp"
 #include "util/status.hpp"
 
@@ -34,6 +35,11 @@ struct SolverOptions {
   /// kAuto stays dense below this dimension: dense LU's constant factors
   /// beat the sparse ordering + DFS overhead on small MNA systems.
   std::size_t dense_max_dim = 96;
+  /// Systems at or below this dimension (and <= kSmallLuMaxDim) use the
+  /// stack-allocated unrolled kernels of matrix/small_dense.hpp instead of
+  /// the heap-backed generic dense LU. Bit-identical results either way
+  /// (pinned by the BackendEquivalence tests); 0 disables the fast path.
+  std::size_t small_max_dim = kSmallLuMaxDim;
   /// kAuto stays dense above this nnz/(n*n): fill-in would make the
   /// sparse factors about as dense as the dense ones anyway.
   double density_threshold = 0.25;
@@ -64,9 +70,21 @@ class SystemSolver {
 
   Vector solve(std::span<const double> b) const;
   void solve_in_place(Vector& x) const;
+  /// Span form of solve_in_place (no container requirement; the small
+  /// kernels and block solves are allocation-free through this entry).
+  void solve_in_place(std::span<double> x) const;
+
+  /// Solves A X = B for k right-hand sides stored as k contiguous
+  /// length-size() columns in `cols` — one factorization, one latency
+  /// sample, k back-substitutions. Each column goes through arithmetic
+  /// identical to a standalone solve_in_place, so batched and sequential
+  /// solves are bit-identical.
+  void solve_batch(std::span<double> cols, std::size_t k) const;
 
   /// The resolved backend: kDense or kSparse, never kAuto.
   SolverBackend backend() const { return backend_; }
+  /// True when the dense backend is served by the unrolled small kernels.
+  bool uses_small_kernel() const { return small_.has_value(); }
   std::size_t size() const;
   double min_pivot() const;
 
@@ -75,6 +93,7 @@ class SystemSolver {
 
   SolverBackend backend_ = SolverBackend::kDense;
   SolverOptions opts_{};
+  std::optional<SmallLu> small_;  // Dense sub-backend for dims <= 16.
   std::optional<LuFactor> dense_;
   std::optional<SparseLu> sparse_;
   Matrix dense_scratch_;  // Densification target reused across refactors.

@@ -464,10 +464,11 @@ Vector SparseLu::solve(std::span<const double> b) const {
   return x;
 }
 
-void SparseLu::solve_in_place(Vector& x) const {
+void SparseLu::solve_in_place(std::span<double> x) const {
   if (x.size() != n_)
     throw std::invalid_argument("SparseLu::solve_in_place: size mismatch");
-  Vector y(n_);
+  scratch_.assign(n_, 0.0);  // Reuses capacity after the first solve.
+  std::vector<double>& y = scratch_;
   for (std::size_t i = 0; i < n_; ++i) y[static_cast<std::size_t>(pinv_[i])] = x[i];
   // Forward: L has implicit unit diagonal.
   for (std::size_t k = 0; k < n_; ++k) {

@@ -119,9 +119,11 @@ class SparseLu {
 
   std::size_t size() const { return n_; }
 
-  /// Solves A x = b reusing the factorization.
+  /// Solves A x = b reusing the factorization. solve_in_place runs over a
+  /// member scratch buffer, so steady-state solves allocate nothing.
   Vector solve(std::span<const double> b) const;
-  void solve_in_place(Vector& x) const;
+  void solve_in_place(Vector& x) const { solve_in_place(std::span<double>(x)); }
+  void solve_in_place(std::span<double> x) const;
 
   /// nnz(L) + nnz(U) including both diagonals.
   std::size_t nnz_factors() const { return li_.size() + ui_.size() + n_; }
@@ -153,6 +155,7 @@ class SparseLu {
   // refactor() read a same-pattern matrix column-wise without rebuilding.
   std::vector<std::int32_t> cp_, ci_, cmap_;
   double min_pivot_ = 0.0;
+  mutable std::vector<double> scratch_;  // Pivot-order RHS workspace.
 };
 
 /// Minimum-degree elimination order on the symmetrized pattern of `a`

@@ -94,22 +94,43 @@ ReducedModel prima(const SparseDescriptorSystem& full, int order,
     return true;
   };
 
-  // Starting block: R = G^{-1} B.
+  // Starting block: R = G^{-1} B — the whole block solved against one
+  // factorization (per-column arithmetic identical to one-at-a-time
+  // solves, so the basis is unchanged).
   std::vector<Vector> block;
-  for (std::size_t j = 0; j < p; ++j) {
-    Vector r = g_lu->solve(column(full.B, j));
-    if (orthonormalize_and_add(r)) block.push_back(basis.back());
-    if (static_cast<int>(basis.size()) >= order) break;
+  {
+    Vector cols(n * p);
+    for (std::size_t j = 0; j < p; ++j) {
+      const Vector c = column(full.B, j);
+      std::copy(c.begin(), c.end(), cols.begin() + static_cast<std::ptrdiff_t>(j * n));
+    }
+    g_lu->solve_batch(cols, p);
+    for (std::size_t j = 0; j < p; ++j) {
+      Vector r(cols.begin() + static_cast<std::ptrdiff_t>(j * n),
+               cols.begin() + static_cast<std::ptrdiff_t>((j + 1) * n));
+      if (orthonormalize_and_add(std::move(r))) block.push_back(basis.back());
+      if (static_cast<int>(basis.size()) >= order) break;
+    }
   }
 
-  // Arnoldi blocks: W = G^{-1} C * (previous block).
+  // Arnoldi blocks: W = G^{-1} C * (previous block). The next block's
+  // solves depend only on the previous block, so each round is one
+  // batched multi-RHS solve followed by sequential orthonormalization.
   while (static_cast<int>(basis.size()) < order && !block.empty()) {
     deadline_checkpoint("prima");
+    const std::size_t bk = block.size();
+    Vector cols(n * bk);
+    for (std::size_t j = 0; j < bk; ++j) {
+      const Vector c = full.C * block[j];
+      std::copy(c.begin(), c.end(), cols.begin() + static_cast<std::ptrdiff_t>(j * n));
+    }
+    g_lu->solve_batch(cols, bk);
     std::vector<Vector> next;
-    for (const auto& qprev : block) {
+    for (std::size_t j = 0; j < bk; ++j) {
       if (static_cast<int>(basis.size()) >= order) break;
-      Vector w = g_lu->solve(full.C * qprev);
-      if (orthonormalize_and_add(w)) next.push_back(basis.back());
+      Vector w(cols.begin() + static_cast<std::ptrdiff_t>(j * n),
+               cols.begin() + static_cast<std::ptrdiff_t>((j + 1) * n));
+      if (orthonormalize_and_add(std::move(w))) next.push_back(basis.back());
     }
     if (next.empty()) break;  // Krylov space exhausted.
     block = std::move(next);

@@ -1,7 +1,9 @@
 #include "sim/linear_sim.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <cstdint>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -103,8 +105,30 @@ TransientResult LinearSim::run_impl(const TransientSpec& spec) const {
   result.set_initial_state(x0);
 
   StepController ctl(spec, ckt_);
-  Vector b0 = mna_.rhs(spec.t_start), b1;
+  Vector b0, b1;
+  mna_.rhs_into(spec.t_start, b0);
   Vector gx(dim, 0.0), cx(dim, 0.0), rhs(dim, 0.0), x1;
+  // Counters are accumulated locally and flushed once per run; see the
+  // matching pattern in NonlinearSim::run_impl.
+  std::uint64_t n_steps = 0, n_rej = 0;
+  struct DtBin {
+    double h = 0.0;
+    std::uint64_t n = 0;
+  };
+  std::array<DtBin, 24> dt_bins{};
+  std::size_t n_dt_bins = 0;
+  auto record_dt = [&](double h) {
+    for (std::size_t i = 0; i < n_dt_bins; ++i)
+      if (dt_bins[i].h == h) {
+        ++dt_bins[i].n;
+        return;
+      }
+    if (n_dt_bins < dt_bins.size()) {
+      dt_bins[n_dt_bins++] = {h, 1};
+      return;
+    }
+    h_dt.record(h);  // Bin overflow: record directly.
+  };
 
   // Predictor history for the LTE estimate (previous accepted point);
   // invalidated across source-waveform corners.
@@ -116,14 +140,15 @@ TransientResult LinearSim::run_impl(const TransientSpec& spec) const {
   double t0 = spec.t_start;
   std::uint64_t attempts = 0;
   while (!ctl.done(t0)) {
-    deadline_checkpoint("LinearSim::run");
+    // Every-64th-attempt deadline polling; see NonlinearSim::run_impl.
+    if ((attempts & 63) == 0) deadline_checkpoint("LinearSim::run");
     if (++attempts > 25'000'000)
       throw NumericError("LinearSim: adaptive step limit exceeded");
     const double h = ctl.step_size(t0);
     double t1 = t0 + h;
     if (t1 > spec.t_stop) t1 = spec.t_stop;
     set_step_matrix(h);
-    b1 = mna_.rhs(t1);
+    mna_.rhs_into(t1, b1);
 
     const double inv_dt = 1.0 / h;
     mna_.Cs().matvec(x0, cx);
@@ -149,22 +174,28 @@ TransientResult LinearSim::run_impl(const TransientSpec& spec) const {
       est = dev * (h / (h + h_prev));
     }
     if (ctl.lte_reject(h, est)) {
-      c_rejected.add();
+      ++n_rej;
       continue;  // Discard x1; the controller shrank the working step.
     }
 
-    c_steps.add();
-    c_accepted.add();
-    h_dt.record(h);
+    ++n_steps;
+    record_dt(h);
     const bool kink = ctl.crossed_breakpoint(t0, t1);
-    x_prev = std::move(x0);
+    // Rotate buffers instead of reallocating (x1 is refilled from `rhs`
+    // at the top of the next accepted attempt).
+    std::swap(x_prev, x0);
     h_prev = h;
     have_prev = !kink;
-    x0 = std::move(x1);
-    b0 = std::move(b1);
+    std::swap(x0, x1);
+    std::swap(b0, b1);
     t0 = t1;
     record(x0, t0);
   }
+  c_steps.add(n_steps);
+  c_accepted.add(n_steps);
+  if (n_rej) c_rejected.add(n_rej);
+  for (std::size_t i = 0; i < n_dt_bins; ++i)
+    h_dt.record_n(dt_bins[i].h, dt_bins[i].n);
   return result;
 }
 

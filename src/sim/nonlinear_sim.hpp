@@ -27,12 +27,14 @@
 #include <array>
 #include <cstddef>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "circuit/circuit.hpp"
 #include "circuit/mna.hpp"
 #include "matrix/solver.hpp"
 #include "sim/transient.hpp"
+#include "util/arena.hpp"
 #include "util/status.hpp"
 
 namespace dn {
@@ -106,7 +108,10 @@ class NonlinearSim {
   // per-iteration gather/scatter scratch).
   MosfetBatch batch_;
   std::vector<std::ptrdiff_t> dev_d_, dev_g_, dev_s_;  // Node var or -1.
-  mutable std::vector<double> bvd_, bvg_, bvs_, bid_, bgm_, bgds_;
+  // Device-sweep SoA scratch, carved from one arena block in the
+  // constructor: six arrays, one allocation, contiguous in memory.
+  mutable Arena arena_;
+  mutable std::span<double> bvd_, bvg_, bvs_, bid_, bgm_, bgds_;
   mutable std::optional<SystemSolver> solver_;
   mutable Vector base_vals_, f_, f0_, dx_, cx0_, cx1_;
   // Modified-Newton bookkeeping: what state the factored Jacobian was

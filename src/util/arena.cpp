@@ -1,0 +1,74 @@
+#include "util/arena.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace dn {
+
+namespace {
+constexpr std::size_t kMinBlockBytes = 256;
+}  // namespace
+
+Arena::Arena(std::size_t first_block_bytes)
+    : next_block_bytes_(std::max(first_block_bytes, kMinBlockBytes)) {}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  if (bytes == 0) bytes = 1;
+  auto aligned = [&](std::byte* p) {
+    const auto addr = reinterpret_cast<std::uintptr_t>(p);
+    const std::uintptr_t rem = addr % align;
+    return rem == 0 ? p : p + (align - rem);
+  };
+  std::byte* p = ptr_ ? aligned(ptr_) : nullptr;
+  if (!p || p + bytes > end_) {
+    grow(bytes + align);
+    p = aligned(ptr_);
+  }
+  ptr_ = p + bytes;
+  used_ += bytes;
+  return p;
+}
+
+void Arena::grow(std::size_t bytes) {
+  // Reuse a retained block (after reset) when one is big enough.
+  while (ptr_ ? cur_ + 1 < blocks_.size() : cur_ < blocks_.size()) {
+    const std::size_t next = ptr_ ? cur_ + 1 : cur_;
+    if (blocks_[next].size >= bytes) {
+      cur_ = next;
+      ptr_ = blocks_[next].data.get();
+      end_ = ptr_ + blocks_[next].size;
+      return;
+    }
+    // Too small for this request: skip past it (it stays owned; later
+    // resets may still reuse it for smaller requests).
+    cur_ = next;
+    ptr_ = blocks_[next].data.get();
+    end_ = ptr_;  // Zero room: forces another grow step.
+  }
+  const std::size_t size = std::max(bytes, next_block_bytes_);
+  next_block_bytes_ = size * 2;
+  Block b{std::make_unique<std::byte[]>(size), size};
+  blocks_.push_back(std::move(b));
+  cur_ = blocks_.size() - 1;
+  ptr_ = blocks_.back().data.get();
+  end_ = ptr_ + size;
+}
+
+void Arena::reset() noexcept {
+  used_ = 0;
+  cur_ = 0;
+  if (blocks_.empty()) {
+    ptr_ = end_ = nullptr;
+  } else {
+    ptr_ = blocks_.front().data.get();
+    end_ = ptr_ + blocks_.front().size;
+  }
+}
+
+std::size_t Arena::bytes_reserved() const noexcept {
+  std::size_t total = 0;
+  for (const auto& b : blocks_) total += b.size;
+  return total;
+}
+
+}  // namespace dn

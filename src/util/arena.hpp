@@ -1,0 +1,77 @@
+// Monotonic bump-pointer arena.
+//
+// Per-analysis workspaces (NonlinearSim's device SoA arrays, probe-session
+// scratch) want many small arrays with identical lifetime: allocated when
+// the analysis object is built, freed together when it dies. An Arena
+// serves them from a few large blocks — one malloc amortized over every
+// array — so steady-state stepping performs no heap traffic and related
+// arrays land contiguously in memory.
+//
+// Not thread-safe: an Arena belongs to one analysis object, which is
+// per-thread state throughout this codebase (see DESIGN.md §12).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace dn {
+
+class Arena {
+ public:
+  /// `first_block_bytes` sizes the initial block; later blocks double.
+  explicit Arena(std::size_t first_block_bytes = 4096);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Raw aligned storage. Never freed individually; lives until the arena
+  /// is destroyed (or reset, which invalidates every prior allocation).
+  void* allocate(std::size_t bytes,
+                 std::size_t align = alignof(std::max_align_t));
+
+  /// `n` value-initialized Ts (zeroed for arithmetic types). Ts must be
+  /// trivially destructible: the arena never runs destructors.
+  template <typename T>
+  std::span<T> make_span(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena storage is released without running destructors");
+    if (n == 0) return {};
+    T* p = static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+    for (std::size_t i = 0; i < n; ++i) ::new (static_cast<void*>(p + i)) T();
+    return {p, n};
+  }
+
+  /// Rewinds to empty, retaining the allocated blocks for reuse.
+  /// Invalidates everything previously handed out.
+  void reset() noexcept;
+
+  /// Total bytes handed out since construction/reset (excludes alignment
+  /// padding only when it happens to be zero; this is a debugging aid,
+  /// not an accounting guarantee).
+  std::size_t bytes_in_use() const noexcept { return used_; }
+
+  /// Total bytes reserved from the system across all blocks.
+  std::size_t bytes_reserved() const noexcept;
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  /// Starts (or advances to) a block with at least `bytes` of room.
+  void grow(std::size_t bytes);
+
+  std::vector<Block> blocks_;
+  std::size_t cur_ = 0;        // Active block index (valid when ptr_ set).
+  std::byte* ptr_ = nullptr;   // Bump pointer within the active block.
+  std::byte* end_ = nullptr;   // One past the active block's storage.
+  std::size_t used_ = 0;
+  std::size_t next_block_bytes_;
+};
+
+}  // namespace dn

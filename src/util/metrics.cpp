@@ -1,6 +1,7 @@
 #include "util/metrics.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <limits>
 #include <ostream>
@@ -12,6 +13,28 @@ namespace dn::obs {
 void set_metrics_enabled(bool on) noexcept {
   detail::g_metrics_enabled.store(on, std::memory_order_relaxed);
 }
+
+#if defined(__x86_64__)
+double detail::stage_seconds_per_tick() noexcept {
+  // One calibration per process: pin the TSC rate against steady_clock
+  // over a ~2 ms spin. The spin only runs on the first conversion (i.e.
+  // the first ScopedLatency destructor with metrics enabled), after both
+  // endpoint reads of that sample were already taken, so no recorded
+  // value includes the calibration time.
+  static const double k = [] {
+    const auto c0 = std::chrono::steady_clock::now();
+    const std::uint64_t t0 = stage_now();
+    for (;;) {
+      const auto c1 = std::chrono::steady_clock::now();
+      const std::uint64_t t1 = stage_now();
+      const double dt = std::chrono::duration<double>(c1 - c0).count();
+      if (dt >= 2e-3 && t1 > t0) return dt / static_cast<double>(t1 - t0);
+      if (dt >= 0.1) return 1e-9;  // TSC not advancing: nominal 1 GHz.
+    }
+  }();
+  return k;
+}
+#endif
 
 // ---------------------------------------------------------------------------
 // Counter
@@ -31,13 +54,44 @@ void Counter::reset() noexcept {
 
 namespace {
 
-/// Bucket index for a value; 0 is underflow, kBuckets-1 overflow.
+/// Bucket lower bounds, computed once. lut[i] == bucket_floor(i) for
+/// i >= 1; lut[0] holds -inf so underflow maps below the first bound.
+/// `start` maps a double's biased binary exponent to the bucket of the
+/// smallest positive value in that binade: a lookup plus at most three
+/// bound comparisons replaces the log2(146)-step binary search (a
+/// binade spans log10(2)*8 ~ 2.4 geometric buckets), which matters at
+/// ~10M record() calls per batch run.
+struct BucketBounds {
+  std::array<double, static_cast<std::size_t>(Histogram::kBuckets)> lo{};
+  std::array<std::uint8_t, 2048> start{};
+  BucketBounds() noexcept {
+    lo[0] = -std::numeric_limits<double>::infinity();
+    for (int i = 1; i < Histogram::kBuckets; ++i)
+      lo[static_cast<std::size_t>(i)] = Histogram::bucket_floor(i);
+    for (int e = 0; e < 2048; ++e) {
+      const double binade_min = std::ldexp(1.0, e - 1023);
+      const auto it = std::upper_bound(lo.begin() + 1, lo.end(), binade_min);
+      start[static_cast<std::size_t>(e)] =
+          static_cast<std::uint8_t>(it - lo.begin() - 1);
+    }
+  }
+};
+
+/// Bucket index for a value; 0 is underflow, kBuckets-1 overflow. The
+/// bounds are the same pow()-derived values bucket_floor() reports, so
+/// bucket placement agrees with the documented [floor(i), floor(i+1))
+/// ranges (the exponent-table fast path lands in the identical bucket a
+/// search over the bounds would).
 int bucket_of(double v) noexcept {
+  static const BucketBounds bb;
   if (!(v >= Histogram::kMin)) return 0;  // Also catches NaN / negatives.
-  const int i = 1 + static_cast<int>(std::floor(
-                        std::log10(v / Histogram::kMin) *
-                        Histogram::kBucketsPerDecade));
-  return std::min(i, Histogram::kBuckets - 1);
+  // v >= kMin > 0 here, so the sign bit is clear and bits >> 52 is the
+  // biased exponent (2047 for +inf, which start[] maps to overflow).
+  const auto e = static_cast<std::size_t>(std::bit_cast<std::uint64_t>(v) >> 52);
+  int i = bb.start[e];
+  while (i + 1 < Histogram::kBuckets && v >= bb.lo[static_cast<std::size_t>(i) + 1])
+    ++i;
+  return i;
 }
 
 /// CAS-min/max on an atomic double (relaxed; validity gated by nonempty_).
@@ -67,6 +121,16 @@ void Histogram::record(double v) noexcept {
   s.buckets[static_cast<std::size_t>(bucket_of(v))].fetch_add(
       1, std::memory_order_relaxed);
   s.sum.fetch_add(v, std::memory_order_relaxed);
+  atomic_min(min_, v);
+  atomic_max(max_, v);
+}
+
+void Histogram::record_n(double v, std::uint64_t n) noexcept {
+  if (n == 0 || !metrics_enabled()) return;
+  Shard& s = shards_[detail::shard_index()];
+  s.buckets[static_cast<std::size_t>(bucket_of(v))].fetch_add(
+      n, std::memory_order_relaxed);
+  s.sum.fetch_add(v * static_cast<double>(n), std::memory_order_relaxed);
   atomic_min(min_, v);
   atomic_max(max_, v);
 }

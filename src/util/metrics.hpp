@@ -55,6 +55,35 @@ struct alignas(64) PaddedCount {
   std::atomic<std::uint64_t> v{0};
 };
 
+// Stage-latency clock. steady_clock (clock_gettime) costs 30-150 ns per
+// read depending on whether the host's vDSO path is available — at ~10M
+// instrumented solves per batch run that is a measurable slice of the
+// runtime AND it inflates every recorded sample by up to a clock read.
+// On x86-64 the TSC is invariant/constant-rate on every micro-arch this
+// project targets, reads in a few cycles, and is converted to seconds
+// with a once-per-process calibration against steady_clock. The samples
+// are observability data only (never byte-compared), so the unserialized
+// rdtsc and the ~0.1% calibration error are acceptable.
+#if defined(__x86_64__)
+using StageTick = std::uint64_t;
+inline StageTick stage_now() noexcept {
+  return static_cast<StageTick>(__builtin_ia32_rdtsc());
+}
+/// Seconds per TSC tick, calibrated once on first use (metrics.cpp).
+double stage_seconds_per_tick() noexcept;
+inline double stage_elapsed_seconds(StageTick t0, StageTick t1) noexcept {
+  return static_cast<double>(t1 - t0) * stage_seconds_per_tick();
+}
+#else
+using StageTick = std::chrono::steady_clock::time_point;
+inline StageTick stage_now() noexcept {
+  return std::chrono::steady_clock::now();
+}
+inline double stage_elapsed_seconds(StageTick t0, StageTick t1) noexcept {
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+#endif
+
 }  // namespace detail
 
 /// Global metrics switch. Off by default; the CLI turns it on for
@@ -106,6 +135,14 @@ class Histogram {
 
   void record(double v) noexcept;
 
+  /// Records `n` identical samples in one shot: one bucket add, one sum
+  /// add, one min/max update. Used by hot loops that batch repeated
+  /// values (e.g. accepted step sizes) into local (value, count) bins and
+  /// flush once per run. The sum accumulates v*n, which can round
+  /// differently from n sequential adds — histogram stats are
+  /// observability data, never part of byte-compared reports.
+  void record_n(double v, std::uint64_t n) noexcept;
+
   /// Aggregated view; percentiles interpolate within bucket bounds.
   struct Snapshot {
     std::uint64_t count = 0;
@@ -142,20 +179,17 @@ class ScopedLatency {
  public:
   explicit ScopedLatency(Histogram& h) noexcept
       : h_(metrics_enabled() ? &h : nullptr) {
-    if (h_) t0_ = std::chrono::steady_clock::now();
+    if (h_) t0_ = detail::stage_now();
   }
   ~ScopedLatency() {
-    if (h_)
-      h_->record(std::chrono::duration<double>(
-                     std::chrono::steady_clock::now() - t0_)
-                     .count());
+    if (h_) h_->record(detail::stage_elapsed_seconds(t0_, detail::stage_now()));
   }
   ScopedLatency(const ScopedLatency&) = delete;
   ScopedLatency& operator=(const ScopedLatency&) = delete;
 
  private:
   Histogram* h_;
-  std::chrono::steady_clock::time_point t0_{};
+  detail::StageTick t0_{};
 };
 
 /// Name -> metric registry. instance() never dies (heap singleton), so

@@ -93,6 +93,11 @@ void ThreadPool::parallel_for(std::size_t n,
       });
       batch_ = nullptr;
     }
+    // Wake callers queued on `batch_ == nullptr`: a concurrent
+    // parallel_for that observed active_ == 0 while this batch was still
+    // installed would otherwise sleep forever — nothing else signals
+    // done_cv_ after the last worker drains.
+    done_cv_.notify_all();
   }
 
   if (b.error) std::rethrow_exception(b.error);

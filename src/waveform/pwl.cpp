@@ -44,6 +44,26 @@ double Pwl::at(double t) const {
   return lerp(times_[i - 1], values_[i - 1], times_[i], values_[i], t);
 }
 
+double Pwl::at_hint(double t, std::size_t& cursor) const {
+  if (times_.empty()) return 0.0;
+  if (t <= times_.front()) return values_.front();
+  if (t >= times_.back()) return values_.back();
+  // The containing segment index i satisfies times_[i-1] <= t < times_[i]
+  // (exactly upper_bound's answer on a strictly increasing axis).
+  std::size_t i = cursor;
+  const std::size_t n = times_.size();
+  if (i < 1 || i >= n || t < times_[i - 1] || t >= times_[i]) {
+    if (i >= 1 && i + 1 < n && t >= times_[i] && t < times_[i + 1]) {
+      ++i;  // Monotone stepping: the next segment.
+    } else {
+      const auto it = std::upper_bound(times_.begin(), times_.end(), t);
+      i = static_cast<std::size_t>(it - times_.begin());
+    }
+  }
+  cursor = i;
+  return lerp(times_[i - 1], values_[i - 1], times_[i], values_[i], t);
+}
+
 double Pwl::slope_at(double t) const {
   if (times_.size() < 2) return 0.0;
   if (t <= times_.front() || t >= times_.back()) return 0.0;
@@ -68,6 +88,36 @@ Pwl Pwl::operator+(const Pwl& rhs) const {
   auto grid = merge_grids(times_, rhs.times_);
   std::vector<double> vals(grid.size());
   for (std::size_t i = 0; i < grid.size(); ++i) vals[i] = at(grid[i]) + rhs.at(grid[i]);
+  return Pwl(std::move(grid), std::move(vals));
+}
+
+namespace {
+
+/// at() over raw (times, values) arrays — the same boundary handling,
+/// search and lerp as Pwl::at, shared by the fused add_shifted path.
+double at_on(std::span<const double> times, std::span<const double> values,
+             double t) {
+  if (times.empty()) return 0.0;
+  if (t <= times.front()) return values.front();
+  if (t >= times.back()) return values.back();
+  const auto it = std::upper_bound(times.begin(), times.end(), t);
+  const std::size_t i = static_cast<std::size_t>(it - times.begin());
+  return lerp(times[i - 1], values[i - 1], times[i], values[i], t);
+}
+
+}  // namespace
+
+Pwl Pwl::add_shifted(const Pwl& rhs, double dt) const {
+  if (empty()) return rhs.shifted(dt);
+  if (rhs.empty()) return *this;
+  // Same additions shifted() would perform, without the values copy or
+  // the intermediate Pwl's invariant pass.
+  std::vector<double> st(rhs.times_.begin(), rhs.times_.end());
+  for (double& t : st) t += dt;
+  auto grid = merge_grids(times_, st);
+  std::vector<double> vals(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i)
+    vals[i] = at(grid[i]) + at_on(st, rhs.values_, grid[i]);
   return Pwl(std::move(grid), std::move(vals));
 }
 

@@ -37,12 +37,25 @@ class Pwl {
   /// Value at time t (linear interpolation; clamped outside the range).
   double at(double t) const;
 
+  /// at() with a caller-owned segment cursor. Transient stepping
+  /// evaluates each source at near-monotone times, so the containing
+  /// segment is almost always the cached one or its successor — O(1)
+  /// instead of a binary search per call. Any cursor value is safe (it is
+  /// validated and re-seeded on miss); results are bit-identical to at().
+  double at_hint(double t, std::size_t& cursor) const;
+
   /// Time derivative at t via the segment slope (0 outside the range and
   /// at exact breakpoints the left segment wins).
   double slope_at(double t) const;
 
   // -- Algebra (result sampled on the merged time grid) --------------------
   Pwl operator+(const Pwl& rhs) const;
+  /// Fused `*this + rhs.shifted(dt)` without materializing the shifted
+  /// copy — one allocation for the shifted grid instead of a full
+  /// intermediate Pwl. Bit-identical to the two-step form (pinned by
+  /// test): the shifted times are computed with the same additions and
+  /// the merge/interpolate pass performs the same operations.
+  Pwl add_shifted(const Pwl& rhs, double dt) const;
   Pwl operator-(const Pwl& rhs) const;
   Pwl scaled(double s) const;
   Pwl shifted(double dt) const;           // Time shift (t -> t + dt).

@@ -236,5 +236,73 @@ TEST(AdaptiveSim, ResamplingHelperRestoresUniformGrid) {
     EXPECT_NEAR(uniform.at(t), raw.at(t), 1e-9);
 }
 
+// waveform_on_grid edge cases: degenerate results and grids that do not
+// line up with the sampled points must resolve without throwing.
+
+TEST(TransientResultGrid, EmptyResultYieldsEmptyWaveform) {
+  const TransientResult res(2);
+  const Pwl w = res.waveform_on_grid(1, 1 * ps);
+  EXPECT_TRUE(w.times().empty());
+  EXPECT_DOUBLE_EQ(w.at(0.0), 0.0);  // Empty Pwl evaluates to 0 everywhere.
+}
+
+TEST(TransientResultGrid, SingleSampleReturnsThatSample) {
+  TransientResult res(2);
+  const std::size_t k = res.add_sample(3 * ps);
+  res.v(1, k) = 0.75;
+  // No span to grid: the raw single-point waveform comes back instead of
+  // a degenerate (zero-width) resample.
+  const Pwl w = res.waveform_on_grid(1, 1 * ps);
+  ASSERT_EQ(w.times().size(), 1u);
+  EXPECT_DOUBLE_EQ(w.times()[0], 3 * ps);
+  EXPECT_DOUBLE_EQ(w.at(3 * ps), 0.75);
+  EXPECT_DOUBLE_EQ(w.at(100 * ps), 0.75);  // Held beyond the sample.
+}
+
+TEST(TransientResultGrid, GridStepPastLastSampleClampsToSpan) {
+  TransientResult res(2);
+  res.v(1, res.add_sample(0.0)) = 0.0;
+  res.v(1, res.add_sample(1 * ns)) = 1.0;
+  // dt far larger than the sampled span: the grid degenerates to the two
+  // endpoints rather than stepping past the last sample.
+  const Pwl w = res.waveform_on_grid(1, 3 * ns);
+  ASSERT_EQ(w.times().size(), 2u);
+  EXPECT_DOUBLE_EQ(w.times().front(), 0.0);
+  EXPECT_DOUBLE_EQ(w.times().back(), 1 * ns);
+  EXPECT_DOUBLE_EQ(w.at(1 * ns), 1.0);
+}
+
+TEST(TransientResultGrid, NonPositiveDtReturnsRawSamples) {
+  TransientResult res(2);
+  res.v(1, res.add_sample(0.0)) = 0.25;
+  res.v(1, res.add_sample(0.7 * ns)) = 0.5;
+  const Pwl w = res.waveform_on_grid(1, 0.0);
+  ASSERT_EQ(w.times().size(), 2u);
+  EXPECT_DOUBLE_EQ(w.times()[1], 0.7 * ns);
+  EXPECT_DOUBLE_EQ(w.at(0.7 * ns), 0.5);
+}
+
+TEST(TransientResultGrid, BreakpointsOffGridInterpolate) {
+  // Samples at irregular (adaptive-style) times; a uniform grid that
+  // never lands on them must read linearly interpolated values.
+  TransientResult res(2);
+  res.v(1, res.add_sample(0.0)) = 0.0;
+  res.v(1, res.add_sample(0.3 * ns)) = 3.0;
+  res.v(1, res.add_sample(1.0 * ns)) = 3.0;
+  res.v(1, res.add_sample(2.0 * ns)) = 1.0;
+  const Pwl w = res.waveform_on_grid(1, 0.25 * ns);
+  ASSERT_EQ(w.times().size(), 9u);  // 2 ns span / 0.25 ns + endpoint.
+  // t = 0.25 ns falls inside the rising 0..0.3 ns segment.
+  EXPECT_NEAR(w.at(0.25 * ns), 3.0 * 0.25 / 0.3, 1e-12);
+  // t = 1.25 ns falls inside the falling 1..2 ns segment.
+  EXPECT_NEAR(w.at(1.25 * ns), 3.0 - 2.0 * 0.25, 1e-12);
+  // The off-grid kink at 0.3 ns is smoothed by resampling: the gridded
+  // value there comes from the chord of the surrounding grid points.
+  const double v_kink = w.at(0.3 * ns);
+  const double lo = w.at(0.25 * ns), hi = w.at(0.5 * ns);
+  EXPECT_GE(v_kink, std::min(lo, hi) - 1e-12);
+  EXPECT_LE(v_kink, std::max(lo, hi) + 1e-12);
+}
+
 }  // namespace
 }  // namespace dn

@@ -3,8 +3,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
 #include "core/composite_pulse.hpp"
+#include "devices/gate.hpp"
 #include "rcnet/random_nets.hpp"
+#include "util/metrics.hpp"
 #include "util/units.hpp"
 
 namespace dn {
@@ -150,6 +156,111 @@ TEST(CompositePulse, NoAggressorsThrows) {
   net.couplings.clear();
   SuperpositionEngine eng(net);
   EXPECT_THROW(align_aggressor_peaks(eng, 1000.0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// ScanDomain probe generation: sample() must never emit the same probe
+// time twice — duplicates came from zero-width clipped intervals
+// (linspace(x, x, 2)) and cost a full receiver simulation each.
+
+TEST(ScanDomain, SampleDeduplicatesZeroWidthIntervals) {
+  ScanDomain d = ScanDomain::interval(0.0, 10.0);
+  d.exclude(1.0, 9.0);    // [0,1] U [9,10]
+  d.intersect(1.0, 9.5);  // [1,1] U [9,9.5]: first interval is one point.
+  const std::vector<double> pts = d.sample(0.0, 10.0, 8);
+  ASSERT_FALSE(pts.empty());
+  for (std::size_t i = 1; i < pts.size(); ++i)
+    EXPECT_GT(pts[i], pts[i - 1]) << "duplicate/unsorted probe at " << i;
+  // The zero-width interval still contributes its (single) endpoint.
+  EXPECT_EQ(std::count(pts.begin(), pts.end(), 1.0), 1);
+}
+
+TEST(ScanDomain, MultiIntervalSampleIsStrictlyIncreasing) {
+  ScanDomain d = ScanDomain::interval(0.0, 4.0);
+  d.exclude(0.5, 1.0);
+  d.exclude(2.0, 2.25);
+  for (int n : {2, 5, 16, 33}) {
+    const std::vector<double> pts = d.sample(0.0, 4.0, n);
+    ASSERT_GE(pts.size(), 2u);
+    for (std::size_t i = 1; i < pts.size(); ++i)
+      EXPECT_GT(pts[i], pts[i - 1]) << "n=" << n << " i=" << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Batched alignment probing (devices/gate.hpp ReceiverProbeSession): all
+// probes of a search share one circuit + factorization. The whole point
+// is that reuse changes NOTHING numerically — chained probes must be
+// bitwise equal to a fresh session per probe (EXPECT_EQ on double is the
+// deliberate exact comparison; golden batch reports depend on it).
+
+TEST(AlignmentBatched, SessionReuseBitIdenticalToFreshSession) {
+  const GateParams rcv = receiver_x2();
+  const Pwl ramp = canonical_rise();
+  const Pwl pulse = triangle_pulse(-0.4, 120 * ps, 2 * ns);
+  TransientSpec spec{0.0, 4 * ns, 1 * ps};
+  spec.lte_tol = 5e-4;
+
+  ReceiverProbeSession chained(rcv, 5 * fF, /*warm_start=*/false);
+  int n_probes = 0;
+  for (double dt_peak : {-150 * ps, -50 * ps, 0.0, 50 * ps, 150 * ps}) {
+    const Pwl vin =
+        ramp + shift_pulse_peak_to(
+                   pulse, *ramp.crossing(kVdd / 2, true) + dt_peak, nullptr);
+    const Pwl a = chained.try_run(vin, spec).value();
+    ReceiverProbeSession fresh(rcv, 5 * fF, /*warm_start=*/false);
+    const Pwl b = fresh.try_run(vin, spec).value();
+    ASSERT_EQ(a.times().size(), b.times().size()) << "dt=" << dt_peak;
+    for (std::size_t i = 0; i < a.times().size(); ++i) {
+      ASSERT_EQ(a.times()[i], b.times()[i]) << "dt=" << dt_peak << " i=" << i;
+      ASSERT_EQ(a.values()[i], b.values()[i]) << "dt=" << dt_peak << " i=" << i;
+    }
+    ++n_probes;
+  }
+  EXPECT_EQ(chained.probes(), static_cast<std::uint64_t>(n_probes));
+}
+
+TEST(AlignmentBatched, SearchMatchesPerProbeEvaluateReceiver) {
+  // The batched search must land on the same numbers as independently
+  // re-evaluating its winning alignment through the classic single-shot
+  // evaluate_receiver path (cold start on both sides).
+  const Pwl ramp = canonical_rise();
+  const Pwl pulse = triangle_pulse(-0.45, 150 * ps, 2 * ns);
+  const GateParams rcv = receiver_x2();
+  AlignmentSearchOptions opts;
+  opts.coarse_points = 9;
+  opts.fine_points = 5;
+  opts.warm_start = false;
+  const AlignmentResult best =
+      exhaustive_worst_alignment(ramp, pulse, rcv, 5 * fF, true, opts);
+  const Pwl noisy = ramp + shift_pulse_peak_to(pulse, best.t_peak, nullptr);
+  const ReceiverEval ev =
+      evaluate_receiver(rcv, noisy, 5 * fF, true, opts.dt, opts.lte_tol,
+                        nullptr, opts.stale_jacobian_iters);
+  EXPECT_EQ(ev.t_out_50, best.t_out_50);
+}
+
+TEST(AlignmentBatched, ProbesCountedInBatchMetrics) {
+  const Pwl ramp = canonical_rise();
+  const Pwl pulse = triangle_pulse(-0.4, 120 * ps, 2 * ns);
+  AlignmentSearchOptions opts;
+  opts.coarse_points = 7;
+  opts.fine_points = 5;
+  obs::set_metrics_enabled(true);
+  const std::uint64_t probes0 =
+      obs::metrics().counter("alignment.batched_probes").value();
+  const std::uint64_t batches0 =
+      obs::metrics().counter("alignment.probe_batches").value();
+  (void)exhaustive_worst_alignment(ramp, pulse, receiver_x2(), 5 * fF, true,
+                                   opts);
+  const std::uint64_t probes =
+      obs::metrics().counter("alignment.batched_probes").value() - probes0;
+  const std::uint64_t batches =
+      obs::metrics().counter("alignment.probe_batches").value() - batches0;
+  obs::set_metrics_enabled(false);
+  EXPECT_EQ(batches, 1u);  // One shared construction for the whole search.
+  // Coarse pass + refinement probes, all through the batch.
+  EXPECT_GE(probes, static_cast<std::uint64_t>(opts.coarse_points));
 }
 
 }  // namespace

@@ -91,6 +91,26 @@ TEST(ThreadPool, BackToBackBatches) {
   }
 }
 
+TEST(ThreadPool, ConcurrentCallersSerializeWithoutDeadlock) {
+  // The shared characterization pool receives parallel_for calls from
+  // SEVERAL net workers at once (batch_analyzer.cpp char_pool_). Queued
+  // callers must each get their turn — a missed wakeup on the
+  // batch-slot handoff hangs the whole batch engine.
+  ThreadPool pool(4);
+  constexpr int kCallers = 6, kRounds = 25;
+  std::atomic<long> total{0};
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&] {
+      for (int r = 0; r < kRounds; ++r)
+        pool.parallel_for(8, [&](std::size_t) { total.fetch_add(1); });
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(total.load(), long(kCallers) * kRounds * 8);
+}
+
 // ---------------------------------------------------------------------------
 // CharacterizationCache under contention
 // ---------------------------------------------------------------------------

@@ -3,6 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
 #include "util/units.hpp"
 
 namespace dn {
@@ -132,6 +136,82 @@ TEST(Pwl, EmptyBehaviour) {
   EXPECT_DOUBLE_EQ(e.at(1.0), 0.0);
   const Pwl r = Pwl::ramp(0.0, 1.0, 0.0, 1.0);
   EXPECT_DOUBLE_EQ((e + r).at(1.0), 1.0);
+}
+
+// The fused/hinted fast paths feed the batched alignment search, whose
+// outputs are pinned byte-for-byte by golden reports — so these must be
+// BITWISE identical to the plain implementations (EXPECT_EQ on double is
+// the deliberate exact comparison).
+
+Pwl wiggly(std::uint64_t seed, double t0) {
+  // Irregular grid with irrational-ish knot spacing so grids never align.
+  std::vector<double> ts, vs;
+  double t = t0;
+  std::uint64_t x = seed;
+  for (int i = 0; i < 40; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    t += 1e-12 * (1.0 + static_cast<double>(x >> 40) * 0x1.0p-24);
+    ts.push_back(t);
+    vs.push_back(std::sin(0.3 * i) * 1e-1 * static_cast<double>(i % 7));
+  }
+  return Pwl(std::move(ts), std::move(vs));
+}
+
+TEST(PwlFastPaths, AddShiftedBitIdentical) {
+  const Pwl a = wiggly(1, 0.0);
+  const Pwl b = wiggly(2, 0.4e-12);
+  for (double dt : {0.0, 3.7e-12, -2.1e-12, 55e-12}) {
+    const Pwl fused = a.add_shifted(b, dt);
+    const Pwl ref = a + b.shifted(dt);
+    ASSERT_EQ(fused.times().size(), ref.times().size()) << "dt " << dt;
+    for (std::size_t i = 0; i < fused.times().size(); ++i) {
+      EXPECT_EQ(fused.times()[i], ref.times()[i]) << "dt " << dt << " i " << i;
+      EXPECT_EQ(fused.values()[i], ref.values()[i]) << "dt " << dt << " i " << i;
+    }
+  }
+}
+
+TEST(PwlFastPaths, AddShiftedEmptyOperands) {
+  const Pwl e;
+  const Pwl r = Pwl::ramp(0.0, 1e-12, 0.0, 1.0);
+  const Pwl er = e.add_shifted(r, 2e-12);
+  const Pwl ref = e + r.shifted(2e-12);
+  ASSERT_EQ(er.times().size(), ref.times().size());
+  for (std::size_t i = 0; i < er.times().size(); ++i) {
+    EXPECT_EQ(er.times()[i], ref.times()[i]);
+    EXPECT_EQ(er.values()[i], ref.values()[i]);
+  }
+  EXPECT_TRUE(e.add_shifted(e, 1e-12).empty());
+  const Pwl re = r.add_shifted(e, -1e-12);
+  ASSERT_EQ(re.times().size(), r.times().size());
+  for (std::size_t i = 0; i < re.times().size(); ++i)
+    EXPECT_EQ(re.values()[i], r.values()[i]);
+}
+
+TEST(PwlFastPaths, AtHintBitIdenticalToAt) {
+  const Pwl w = wiggly(3, 1e-12);
+  // Forward sweep (the monotone fast case), dense enough to hit every
+  // segment plus the clamped head/tail regions.
+  std::size_t cursor = 0;
+  const double t_lo = w.times().front() - 2e-12;
+  const double t_hi = w.t_end() + 2e-12;
+  for (double t = t_lo; t <= t_hi; t += 0.05e-12)
+    EXPECT_EQ(w.at_hint(t, cursor), w.at(t)) << "t " << t;
+  // Stale/backward cursors must still agree (cursor is a hint, never a
+  // correctness input).
+  std::uint64_t x = 99;
+  for (int i = 0; i < 200; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    const double t =
+        t_lo + (t_hi - t_lo) * static_cast<double>(x >> 40) * 0x1.0p-24;
+    std::size_t stale = x % 64;  // Often out of range entirely.
+    EXPECT_EQ(w.at_hint(t, stale), w.at(t)) << "t " << t;
+  }
+  // Exact knot hits.
+  for (double kt : w.times()) {
+    std::size_t c2 = cursor;
+    EXPECT_EQ(w.at_hint(kt, c2), w.at(kt));
+  }
 }
 
 }  // namespace
