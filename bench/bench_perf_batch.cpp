@@ -126,8 +126,7 @@ int main(int argc, char** argv) {
         hw, speedup, max_jobs);
   }
 
-  std::ofstream jf(out_path);
-  if (jf) {
+  dn::bench::write_json_artifact(out_path, [&](std::ostream& jf) {
     jf << "{\"bench\":\"perf_batch\"," << dn::bench::json_host_fields()
        << ",\"nets\":" << n_nets
        << ",\"seed\":" << seed << ",\"byte_identical\":"
@@ -135,9 +134,6 @@ int main(int argc, char** argv) {
        << "],\"metrics\":";
     obs::metrics().write_json(jf);
     jf << "}\n";
-    std::printf("wrote %s\n", out_path.c_str());
-  } else {
-    std::fprintf(stderr, "warning: cannot write %s\n", out_path.c_str());
-  }
+  });
   return ok ? 0 : 1;
 }

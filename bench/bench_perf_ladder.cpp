@@ -129,8 +129,7 @@ int main(int argc, char** argv) {
                 "end-to-end speedup >= 5x (measured %.2fx)", speedup);
   ok = dn::bench::check(label, speedup >= 5.0) && ok;
 
-  std::ofstream jf(out_path);
-  if (jf) {
+  dn::bench::write_json_artifact(out_path, [&](std::ostream& jf) {
     jf << "{\"bench\":\"perf_ladder\"," << dn::bench::json_host_fields()
        << ",\"nets\":" << n_nets
        << ",\"seed\":" << seed << ",\"threshold_ps\":" << threshold_ps
@@ -143,9 +142,6 @@ int main(int argc, char** argv) {
        << ",\"time_off_s\":" << so.elapsed_s
        << ",\"time_on_s\":" << sl.elapsed_s << ",\"speedup\":" << speedup
        << "}\n";
-    std::printf("wrote %s\n", out_path.c_str());
-  } else {
-    std::fprintf(stderr, "warning: cannot write %s\n", out_path.c_str());
-  }
+  });
   return ok ? 0 : 1;
 }

@@ -123,8 +123,7 @@ int main(int argc, char** argv) {
                 speedup);
   ok = dn::bench::check(label, speedup >= 10.0) && ok;
 
-  std::ofstream jf(out_path);
-  if (jf) {
+  dn::bench::write_json_artifact(out_path, [&](std::ostream& jf) {
     jf << "{\"bench\":\"perf_serve\"," << dn::bench::json_host_fields()
        << ",\"nets\":" << n_nets
        << ",\"neighbors\":" << neighbors << ",\"seed\":" << seed
@@ -132,9 +131,6 @@ int main(int argc, char** argv) {
        << ",\"reanalyzed\":" << static_cast<int>(n_dirty)
        << ",\"speedup\":" << speedup
        << ",\"byte_identical\":" << (identical ? "true" : "false") << "}\n";
-    std::printf("wrote %s\n", out_path.c_str());
-  } else {
-    std::fprintf(stderr, "warning: cannot write %s\n", out_path.c_str());
-  }
+  });
   return ok ? 0 : 1;
 }

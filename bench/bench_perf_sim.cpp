@@ -106,8 +106,7 @@ RunResult run_once(const CoupledNet& net, const AnalyzerConfig& cfg,
   if (res.ok()) out.r = *res;
   auto& m = obs::metrics();
   if (dump_metrics) {
-    std::ofstream mf(dump_metrics);
-    mf << m.to_json() << "\n";
+    (void)dn::durable::atomic_write_file(dump_metrics, m.to_json() + "\n");
   }
   out.newton_iters = m.counter("sim.nonlinear.newton_iters").value();
   out.refactors = m.counter("solver.refactors").value();
@@ -221,8 +220,7 @@ int main(int argc, char** argv) {
                                    refactor_ratio >= 5.0) &
                   dn::bench::check("reported delays within tolerance", acc_ok);
 
-  std::ofstream jf(out_path);
-  if (jf) {
+  dn::bench::write_json_artifact(out_path, [&](std::ostream& jf) {
     jf << "{\"bench\":\"perf_sim\"," << dn::bench::json_host_fields()
        << ",\"criterion_pass\":"
        << (ok ? "true" : "false") << ",\"nodes\":" << nodes
@@ -236,9 +234,6 @@ int main(int argc, char** argv) {
     jf << ",\"adaptive\":";
     json_run(jf, adaptive);
     jf << "}\n";
-    std::printf("wrote %s\n", out_path.c_str());
-  } else {
-    std::fprintf(stderr, "warning: cannot write %s\n", out_path.c_str());
-  }
+  });
   return ok ? 0 : 1;
 }

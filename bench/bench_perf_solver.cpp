@@ -216,17 +216,13 @@ int main(int argc, char** argv) {
       "sparse >= 5x faster than dense factor+solve on a >= 2000-node net",
       crit_seen && crit_pass);
 
-  std::ofstream jf(out_path);
-  if (jf) {
+  dn::bench::write_json_artifact(out_path, [&](std::ostream& jf) {
     jf << "{\"bench\":\"perf_solver\"," << dn::bench::json_host_fields()
        << ",\"criterion_pass\":"
        << (ok ? "true" : "false") << ",\"factor_solve\":[" << fs_rows.str()
        << "],\"e2e\":[" << e2e_rows.str() << "],\"metrics\":";
     obs::metrics().write_json(jf);
     jf << "}\n";
-    std::printf("wrote %s\n", out_path.c_str());
-  } else {
-    std::fprintf(stderr, "warning: cannot write %s\n", out_path.c_str());
-  }
+  });
   return ok ? 0 : 1;
 }

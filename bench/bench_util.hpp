@@ -4,11 +4,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <sstream>
 #include <string>
 #include <thread>
 
 #include "core/delay_noise.hpp"
 #include "rcnet/random_nets.hpp"
+#include "util/durable_io.hpp"
 #include "util/statistics.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -48,6 +50,24 @@ inline void print_header(const char* fig, const char* claim) {
 inline bool check(const char* what, bool ok) {
   std::printf("[%s] %s\n", ok ? "PASS" : "FAIL", what);
   return ok;
+}
+
+/// Renders a BENCH_*.json artifact into memory and publishes it via the
+/// atomic tmp+fsync+rename helper: a reader polling the path (or a crash
+/// mid-write) never observes a truncated JSON. `render` receives the
+/// stream to write the document into.
+template <typename Render>
+inline bool write_json_artifact(const std::string& path, Render&& render) {
+  std::ostringstream os;
+  render(static_cast<std::ostream&>(os));
+  const auto s = durable::atomic_write_file(path, os.str());
+  if (s.ok()) {
+    std::printf("wrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "warning: cannot write %s: %s\n", path.c_str(),
+                 s.message().c_str());
+  }
+  return s.ok();
 }
 
 /// Host-context JSON fragment (no braces, no trailing comma) recorded in

@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Crash-recovery chaos driver for the resident server (DESIGN.md section 15).
+
+Runs one scripted ECO session to completion as the reference, then replays
+the same session against a durable server (--state-dir) and interrupts it:
+
+  * kill -9 at several acked-request boundaries, restart with --recover,
+    finish the script -- the final analyze report must be BYTE-IDENTICAL
+    to the uninterrupted reference (the journal-before-apply discipline
+    guarantees every acknowledged mutation survives);
+  * kill -9 racing an un-acked mutation -- recovery must come up clean
+    (the mutation may or may not have committed; either state analyzes);
+  * SIGTERM mid-session -- the server must drain, park a valid snapshot,
+    and exit 0; a --recover restart must again match the reference.
+
+Exits nonzero on any divergence. Deterministic: fixed design seed, fixed
+kill points, no timing-dependent assertions.
+"""
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+
+CLI = "./build/tools/dnoise_cli"
+STATE_ROOT = "build/chaos-recovery"
+
+# One ECO session: load, analyze, a burst of topology/driver edits, and a
+# final full analyze whose report is the byte-diffed artifact. scale_c /
+# scale_r are multiplicative, so replaying an edit twice would diverge --
+# exactly the bug class the acked-boundary kills are hunting.
+SCRIPT = [
+    {"verb": "load_design",
+     "design": {"random": {"seed": 11, "nets": 8, "neighbors": 2}}},
+    {"verb": "analyze"},
+    {"verb": "update_net", "net": "n2", "scale_c": 1.3},
+    {"verb": "update_net", "net": "n5", "scale_r": 1.1},
+    {"verb": "analyze"},
+    {"verb": "update_driver", "net": "n1", "size": 1.4},
+    {"verb": "update_net", "net": "n3", "scale_c": 0.85},
+    {"verb": "analyze"},
+]
+
+
+def start(extra):
+    return subprocess.Popen(
+        [CLI, "--serve", "--jobs", "2"] + extra,
+        stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL, text=True, bufsize=1)
+
+
+def rpc(proc, rid, req):
+    body = dict(req)
+    body["id"] = rid
+    proc.stdin.write(json.dumps(body) + "\n")
+    proc.stdin.flush()
+    line = proc.stdout.readline()
+    if not line:
+        raise AssertionError(f"server died answering request {rid}: {req}")
+    resp = json.loads(line)
+    if resp.get("id") != rid:
+        raise AssertionError(f"response id mismatch: sent {rid}, got {resp}")
+    if not resp.get("ok"):
+        raise AssertionError(f"request {rid} failed: {resp}")
+    return resp
+
+
+def run_script(proc, reqs, first_id=1):
+    last = None
+    for offset, req in enumerate(reqs):
+        last = rpc(proc, first_id + offset, req)
+    return last
+
+
+def finish(proc):
+    proc.stdin.close()
+    rc = proc.wait(timeout=120)
+    if rc != 0:
+        raise AssertionError(f"server exited {rc}")
+
+
+def report_bytes(resp):
+    return json.dumps(resp["result"]["report"], sort_keys=True)
+
+
+def fresh_dir(name):
+    path = os.path.join(STATE_ROOT, name)
+    shutil.rmtree(path, ignore_errors=True)
+    os.makedirs(path)
+    return path
+
+
+def recover_and_finish(state_dir, remaining, first_id):
+    proc = start(["--state-dir", state_dir, "--recover"])
+    stats = rpc(proc, first_id, {"verb": "stats"})
+    dur = stats["result"]["durability"]
+    if not dur.get("recovered"):
+        raise AssertionError(f"stats does not report recovery: {dur}")
+    last = run_script(proc, remaining, first_id + 1)
+    finish(proc)
+    return last
+
+
+def main():
+    os.makedirs(STATE_ROOT, exist_ok=True)
+
+    ref_proc = start([])
+    reference = report_bytes(run_script(ref_proc, SCRIPT))
+    finish(ref_proc)
+
+    # Acked-boundary kills: every request up to the kill point got its
+    # response, so journal-before-apply promises the restart sees all of
+    # them. --snapshot-every 2 makes the later points exercise snapshot
+    # + journal-tail replay, the earlier ones journal-only replay.
+    for kill_after in (1, 3, 6):
+        state = fresh_dir(f"kill{kill_after}")
+        proc = start(["--state-dir", state, "--snapshot-every", "2"])
+        run_script(proc, SCRIPT[:kill_after])
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=60)
+        last = recover_and_finish(state, SCRIPT[kill_after:],
+                                  first_id=kill_after + 1)
+        got = report_bytes(last)
+        if got != reference:
+            sys.stderr.write(
+                f"chaos-recovery: kill -9 after request {kill_after}: "
+                f"recovered report diverges from reference\n")
+            return 1
+        print(f"chaos-recovery: kill -9 after request {kill_after}: "
+              f"recovered report byte-identical")
+
+    # Raced kill: the mutation is in flight (no response read) when the
+    # KILL lands, so it may or may not have committed -- torn-tail
+    # territory. No byte contract, but recovery must come up clean and
+    # analyze successfully from whichever state survived.
+    state = fresh_dir("raced")
+    proc = start(["--state-dir", state])
+    run_script(proc, SCRIPT[:2])
+    proc.stdin.write(json.dumps(
+        {"id": 3, "verb": "update_net", "net": "n2", "scale_c": 1.3}) + "\n")
+    proc.stdin.flush()
+    proc.send_signal(signal.SIGKILL)
+    proc.wait(timeout=60)
+    recover_and_finish(state, [{"verb": "analyze"}], first_id=4)
+    print("chaos-recovery: raced kill -9: recovery clean, analyze ok")
+
+    # Graceful path: SIGTERM with stdin still open must drain, snapshot,
+    # and exit 0; the parked state must finish the script byte-identically.
+    state = fresh_dir("sigterm")
+    proc = start(["--state-dir", state, "--snapshot-every", "1000"])
+    run_script(proc, SCRIPT[:4])
+    proc.send_signal(signal.SIGTERM)
+    rc = proc.wait(timeout=120)
+    if rc != 0:
+        sys.stderr.write(f"chaos-recovery: SIGTERM exit code {rc}, want 0\n")
+        return 1
+    if not os.path.exists(os.path.join(state, "snapshot.json")):
+        sys.stderr.write("chaos-recovery: SIGTERM left no snapshot.json\n")
+        return 1
+    last = recover_and_finish(state, SCRIPT[4:], first_id=5)
+    if report_bytes(last) != reference:
+        sys.stderr.write(
+            "chaos-recovery: post-SIGTERM report diverges from reference\n")
+        return 1
+    print("chaos-recovery: SIGTERM drained, exit 0, parked state "
+          "byte-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

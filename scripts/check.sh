@@ -67,6 +67,13 @@ if [[ "$run_fuzz" == 1 ]]; then
   # The standalone driver is deterministic: the seed corpus plus a fixed
   # mutation seed. Iteration count sized to finish well inside 30 s.
   timeout 30 ./build/tools/fuzz_spef tests/corpus/spef --iters 40000 --seed 1
+
+  echo "== fuzz smoke: JSON parser + NDJSON request surface (~30 s budget) =="
+  # Dual-target: every input goes through json::parse AND a resident
+  # Session::handle_line with tight protocol limits. Iteration count is
+  # lower than the SPEF stage because mutated seeds routinely form valid
+  # load_design/analyze requests that do real work.
+  timeout 30 ./build/tools/fuzz_json tests/corpus/json --iters 4000 --seed 1
 fi
 
 if [[ "$run_chaos" == 1 ]]; then
@@ -112,6 +119,15 @@ if [[ "$run_chaos" == 1 ]]; then
     exit 1
   fi
   echo "chaos ladder: $(printf '%s\n' "$lout1" | head -1)"
+
+  echo "== chaos: crash recovery (kill -9 + SIGTERM against --state-dir) =="
+  # One scripted ECO session run to completion as the reference, then
+  # interrupted at seeded points: kill -9 at acked-request boundaries
+  # (restart with --recover, finish the script, final report must be
+  # byte-identical), a raced kill mid-mutation (recovery must come up
+  # clean), and a SIGTERM drain (exit 0, valid snapshot, byte-identical
+  # finish). DESIGN.md section 15.
+  python3 scripts/chaos_recovery.py
 fi
 
 if [[ "$run_bench" == 1 ]]; then

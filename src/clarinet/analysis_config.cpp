@@ -146,12 +146,43 @@ Status apply_key(AnalysisConfig& cfg, const std::string& key,
     a.analysis.rtr.max_dt_growth = growth;
     return Status::Ok();
   }
+  // Per-family overrides for the fanned-out knobs above. The defaults
+  // differ between families (the Ceff inner sims regrow at 4x where the
+  // superposition engine allows 32x; the search/fit sims inherit their
+  // NewtonOptions stale budget where the engine pins 16), so the flow
+  // key alone cannot reconstruct a config exactly. to_json emits these
+  // AFTER the flow key; apply_key runs in document order, so a dumped
+  // config round-trips bit-exactly — the invariant the server's
+  // snapshot/recovery path depends on for byte-identical re-analysis.
+  if (key == "ceff_max_dt_growth") {
+    double growth = 0;
+    Status s = set_num(v, "ceff_max_dt_growth", growth);
+    if (!s.ok()) return s;
+    a.engine.ceff.max_dt_growth = growth;
+    a.engine.ceff.fit.max_dt_growth = growth;
+    return Status::Ok();
+  }
+  if (key == "rtr_max_dt_growth")
+    return set_num(v, "rtr_max_dt_growth", a.analysis.rtr.max_dt_growth);
   if (key == "stale_jacobian_iters") {
     // One flow-level knob (like lte_tol): every nonlinear sim family.
     Status s = set_int(v, "stale_jacobian_iters",
                        a.engine.newton.stale_jacobian_iters);
     if (!s.ok()) return s;
     const int n = a.engine.newton.stale_jacobian_iters;
+    a.engine.ceff.fit.stale_jacobian_iters = n;
+    a.analysis.search.stale_jacobian_iters = n;
+    a.table_spec.search.stale_jacobian_iters = n;
+    a.analysis.rtr.stale_jacobian_iters = n;
+    return Status::Ok();
+  }
+  if (key == "search_stale_jacobian_iters") {
+    // One override for the four spec-level budgets: apply() is the only
+    // writer of a served config, and it always moves them in lockstep,
+    // so a single representative key reconstructs all of them.
+    int n = 0;
+    Status s = set_int(v, "search_stale_jacobian_iters", n);
+    if (!s.ok()) return s;
     a.engine.ceff.fit.stale_jacobian_iters = n;
     a.analysis.search.stale_jacobian_iters = n;
     a.table_spec.search.stale_jacobian_iters = n;
@@ -204,10 +235,21 @@ Status AnalysisConfig::validate() const {
     return range_error("lte_tol", "must be >= 0 (0 = fixed step)");
   if (!(a.engine.max_dt_growth > 1.0) || a.engine.max_dt_growth > 64.0)
     return range_error("max_dt_growth", "must be in (1, 64]");
+  if (!(a.engine.ceff.max_dt_growth > 1.0) ||
+      a.engine.ceff.max_dt_growth > 64.0)
+    return range_error("ceff_max_dt_growth", "must be in (1, 64]");
+  if (!(a.analysis.rtr.max_dt_growth > 1.0) ||
+      a.analysis.rtr.max_dt_growth > 64.0)
+    return range_error("rtr_max_dt_growth", "must be in (1, 64]");
   if (a.engine.newton.stale_jacobian_iters < 0 ||
       a.engine.newton.stale_jacobian_iters > 1000)
     return range_error("stale_jacobian_iters",
                        "must be in [0, 1000] (0 = full Newton)");
+  if (a.engine.ceff.fit.stale_jacobian_iters < -1 ||
+      a.engine.ceff.fit.stale_jacobian_iters > 1000)
+    return range_error("search_stale_jacobian_iters",
+                       "must be in [-1, 1000] (-1 = inherit the sim's "
+                       "Newton budget, 0 = full Newton)");
   return Status::Ok();
 }
 
@@ -269,8 +311,15 @@ json::Value AnalysisConfig::to_json() const {
   o["newton_max_iterations"] = a.engine.newton.max_iterations;
   o["newton_v_tol"] = a.engine.newton.v_tol;
   o["lte_tol"] = a.engine.lte_tol;
+  // Flow key first, per-family overrides second: apply_key consumes
+  // keys in document order, so this ordering makes the dump reconstruct
+  // every fanned-out field exactly even though the families default
+  // differently.
   o["max_dt_growth"] = a.engine.max_dt_growth;
+  o["ceff_max_dt_growth"] = a.engine.ceff.max_dt_growth;
+  o["rtr_max_dt_growth"] = a.analysis.rtr.max_dt_growth;
   o["stale_jacobian_iters"] = a.engine.newton.stale_jacobian_iters;
+  o["search_stale_jacobian_iters"] = a.engine.ceff.fit.stale_jacobian_iters;
   o["warm_start"] = a.engine.warm_start;
   return json::Value(std::move(o));
 }

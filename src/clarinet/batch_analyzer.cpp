@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <ostream>
 #include <sstream>
 #include <thread>
@@ -205,11 +206,16 @@ BatchResult BatchAnalyzer::analyze(const std::vector<CoupledNet>& nets,
           if (attempt > 0) {
             retries_total.fetch_add(1, std::memory_order_relaxed);
             c_retries.add();
-            // Exponential backoff. Transient failures are typically
-            // resource contention; yielding the core briefly is the fix.
-            const double ms =
+            // Exponential backoff, capped at the batch deadline's
+            // remaining budget: sleeping past the deadline would turn a
+            // retryable blip into a guaranteed kDeadlineExceeded (and
+            // stall the worker for the full backoff besides).
+            double ms =
                 opts_.retry_backoff_ms * static_cast<double>(1 << (attempt - 1));
-            if (ms > 0)
+            const double remaining_ms =
+                std::max(0.0, deadline.remaining_s() * 1e3);
+            ms = std::min(ms, remaining_ms);
+            if (ms > 0 && std::isfinite(ms))
               std::this_thread::sleep_for(std::chrono::duration<double,
                                                                 std::milli>(ms));
           }

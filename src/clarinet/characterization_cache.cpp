@@ -7,6 +7,7 @@
 
 #include "rcnet/net_hash.hpp"
 #include "util/deadline.hpp"
+#include "util/durable_io.hpp"
 #include "util/fault_injection.hpp"
 #include "util/trace.hpp"
 
@@ -161,10 +162,12 @@ Status CharacterizationCache::save(std::ostream& os) const {
 }
 
 Status CharacterizationCache::save_file(const std::string& path) const {
-  std::ofstream os(path);
-  if (!os)
-    return Status::NotFound("characterization cache: cannot write " + path);
-  return save(os);
+  // Atomic tmp+rename: a reader (or a crash mid-save) never observes a
+  // half-written cache file — it sees the old file or the new one.
+  std::ostringstream os;
+  const Status s = save(os);
+  if (!s.ok()) return s;
+  return durable::atomic_write_file(path, os.str());
 }
 
 StatusOr<std::size_t> CharacterizationCache::load(std::istream& is) {

@@ -1,7 +1,11 @@
 #include "mor/reduction_cache.hpp"
 
+#include <sstream>
+
 #include "rcnet/net_hash.hpp"
+#include "rcnet/net_io.hpp"
 #include "util/deadline.hpp"
+#include "util/durable_io.hpp"
 #include "util/metrics.hpp"
 
 namespace dn {
@@ -68,6 +72,99 @@ StatusOr<std::shared_ptr<const CoupledNet>> ReductionCache::try_reduce(
 std::size_t ReductionCache::size() const {
   std::shared_lock<std::shared_mutex> lk(mu_);
   return entries_.size();
+}
+
+namespace {
+
+constexpr const char* kCacheMagic = "dnoise-reduction-cache";
+constexpr int kCacheVersion = 1;
+
+std::uint64_t payload_content_hash(const std::string& payload) {
+  HashStream h;
+  h.str(payload);
+  return h.digest();
+}
+
+}  // namespace
+
+Status ReductionCache::save(std::ostream& os) const {
+  std::ostringstream payload;
+  payload.precision(17);
+  std::size_t count = 0;
+  {
+    std::shared_lock<std::shared_mutex> lk(mu_);
+    for (const auto& [key, entry] : entries_) {
+      if (!entry->reduced) continue;  // In-flight or failed reduction.
+      payload << std::hex << key.first << ' ' << key.second << std::dec
+              << '\n';
+      write_coupled_net(payload, *entry->reduced);
+      ++count;
+    }
+  }
+  const std::string bytes = payload.str();
+  os << kCacheMagic << ' ' << kCacheVersion << ' ' << count << ' ' << std::hex
+     << payload_content_hash(bytes) << std::dec << '\n'
+     << bytes;
+  if (!os) return Status::Internal("reduction cache: write failed");
+  return Status::Ok();
+}
+
+Status ReductionCache::save_file(const std::string& path) const {
+  std::ostringstream os;
+  const Status s = save(os);
+  if (!s.ok()) return s;
+  return durable::atomic_write_file(path, os.str());
+}
+
+StatusOr<std::size_t> ReductionCache::load(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  std::size_t count = 0;
+  std::uint64_t stored_hash = 0;
+  is >> magic >> version >> count >> std::hex >> stored_hash >> std::dec;
+  if (!is || magic != kCacheMagic)
+    return Status::InvalidArgument("reduction cache: unrecognized file header");
+  if (version != kCacheVersion)
+    return Status::InvalidArgument("reduction cache: unsupported version " +
+                                   std::to_string(version));
+  is.ignore(1);  // The newline ending the header line.
+
+  // Whole-payload content-hash validation before installing anything: a
+  // torn write or hand-edited record rejects the file whole instead of
+  // half-loading.
+  std::ostringstream rest;
+  rest << is.rdbuf();
+  const std::string payload = rest.str();
+  if (payload_content_hash(payload) != stored_hash)
+    return Status::InvalidArgument(
+        "reduction cache: content hash mismatch (corrupt or truncated file)");
+
+  std::istringstream records(payload);
+  std::size_t installed = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    Key key;
+    if (!(records >> std::hex >> key.first >> key.second >> std::dec))
+      return Status::InvalidArgument("reduction cache: malformed entry key");
+    StatusOr<CoupledNet> net = read_coupled_net(records);
+    if (!net.ok())
+      return Status::InvalidArgument("reduction cache: " +
+                                     net.status().message());
+    Entry* entry = entry_for(key);
+    std::call_once(entry->once, [&] {
+      entry->reduced = std::make_shared<const CoupledNet>(std::move(*net));
+      ++installed;
+    });
+    // A key already reduced live keeps its live net: shared pointers
+    // handed out earlier must stay valid and consistent.
+  }
+  return installed;
+}
+
+StatusOr<std::size_t> ReductionCache::load_file(const std::string& path) {
+  StatusOr<std::string> bytes = durable::read_file(path);
+  if (!bytes.ok()) return bytes.status();
+  std::istringstream is(*bytes);
+  return load(is);
 }
 
 }  // namespace dn

@@ -20,10 +20,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <string>
 #include <utility>
 
 #include "mor/ticer.hpp"
@@ -52,6 +54,20 @@ class ReductionCache {
   std::uint64_t misses() const {
     return misses_.load(std::memory_order_relaxed);
   }
+
+  /// Disk persistence, mirroring CharacterizationCache: save() writes
+  /// every SUCCESSFUL reduction (failures are cheap to rediscover) keyed
+  /// by (content hash, options hash), preceded by a header carrying an
+  /// FNV-1a hash of the payload bytes. load() verifies that hash before
+  /// installing anything — a truncated or edited file is rejected whole
+  /// as kInvalidArgument — and installs entries through the same
+  /// per-entry call_once discipline as live fills, so a key already
+  /// reduced live keeps its live net. Returns the number installed.
+  /// save_file() replaces atomically (tmp + fsync + rename).
+  Status save(std::ostream& os) const;
+  Status save_file(const std::string& path) const;
+  StatusOr<std::size_t> load(std::istream& is);
+  StatusOr<std::size_t> load_file(const std::string& path);
 
  private:
   using Key = std::pair<std::uint64_t, std::uint64_t>;  // (net, options).

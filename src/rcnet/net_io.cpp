@@ -1,0 +1,173 @@
+#include "rcnet/net_io.hpp"
+
+#include <ostream>
+#include <istream>
+
+namespace dn {
+
+namespace {
+
+constexpr const char* kNetMagic = "dnoise-coupled-net";
+constexpr int kNetVersion = 1;
+/// Element-count sanity bound: a record claiming more than this is
+/// treated as corruption, not as an allocation request.
+constexpr long kMaxElements = 10'000'000;
+
+Status corrupt(const char* what) {
+  return Status::InvalidArgument(std::string("coupled-net record: ") + what);
+}
+
+StatusOr<long> read_count(std::istream& is, const char* what) {
+  long n = 0;
+  if (!(is >> n) || n < 0 || n > kMaxElements) return corrupt(what);
+  return n;
+}
+
+void write_mosfet(std::ostream& os, const MosfetParams& p) {
+  os << static_cast<int>(p.type) << ' ' << p.w << ' ' << p.l << ' ' << p.vt
+     << ' ' << p.kp << ' ' << p.lambda << ' ' << p.cg_per_m << ' '
+     << p.cj_per_m;
+}
+
+bool read_mosfet(std::istream& is, MosfetParams& p) {
+  int type = 0;
+  if (!(is >> type >> p.w >> p.l >> p.vt >> p.kp >> p.lambda >> p.cg_per_m >>
+        p.cj_per_m))
+    return false;
+  p.type = static_cast<MosType>(type);
+  return true;
+}
+
+void write_tree(std::ostream& os, const RcTree& t) {
+  os << t.num_nodes << ' ' << t.sink << '\n';
+  os << t.res.size() << '\n';
+  for (const NetRes& r : t.res) os << r.a << ' ' << r.b << ' ' << r.r << '\n';
+  os << t.caps.size() << '\n';
+  for (const NetCap& c : t.caps) os << c.node << ' ' << c.c << '\n';
+}
+
+StatusOr<RcTree> read_tree(std::istream& is) {
+  RcTree t;
+  if (!(is >> t.num_nodes >> t.sink)) return corrupt("bad tree header");
+  StatusOr<long> nres = read_count(is, "bad resistor count");
+  if (!nres.ok()) return nres.status();
+  t.res.resize(static_cast<std::size_t>(*nres));
+  for (NetRes& r : t.res)
+    if (!(is >> r.a >> r.b >> r.r)) return corrupt("bad resistor");
+  StatusOr<long> ncaps = read_count(is, "bad capacitor count");
+  if (!ncaps.ok()) return ncaps.status();
+  t.caps.resize(static_cast<std::size_t>(*ncaps));
+  for (NetCap& c : t.caps)
+    if (!(is >> c.node >> c.c)) return corrupt("bad capacitor");
+  return t;
+}
+
+}  // namespace
+
+void write_gate_params(std::ostream& os, const GateParams& g) {
+  os << static_cast<int>(g.type) << ' ' << g.size << ' ' << g.vdd << ' '
+     << g.wn_unit << ' ' << g.wp_unit << '\n';
+  write_mosfet(os, g.nmos_proto);
+  os << '\n';
+  write_mosfet(os, g.pmos_proto);
+  os << '\n';
+}
+
+StatusOr<GateParams> read_gate_params(std::istream& is) {
+  GateParams g;
+  int type = 0;
+  if (!(is >> type >> g.size >> g.vdd >> g.wn_unit >> g.wp_unit))
+    return corrupt("bad gate header");
+  g.type = static_cast<GateType>(type);
+  if (!read_mosfet(is, g.nmos_proto) || !read_mosfet(is, g.pmos_proto))
+    return corrupt("bad mosfet prototype");
+  return g;
+}
+
+void write_coupled_net(std::ostream& os, const CoupledNet& net) {
+  const auto saved = os.precision(17);
+  os << kNetMagic << ' ' << kNetVersion << '\n';
+
+  write_tree(os, net.victim.net);
+  write_gate_params(os, net.victim.driver);
+  write_gate_params(os, net.victim.receiver);
+  os << net.victim.input_slew << ' ' << (net.victim.output_rising ? 1 : 0)
+     << ' ' << net.victim.receiver_load << '\n';
+
+  os << net.aggressors.size() << '\n';
+  for (const AggressorDesc& a : net.aggressors) {
+    write_tree(os, a.net);
+    write_gate_params(os, a.driver);
+    os << a.input_slew << ' ' << (a.output_rising ? 1 : 0) << ' '
+       << a.sink_load << ' ' << a.window_early << ' ' << a.window_late
+       << '\n';
+  }
+
+  os << net.couplings.size() << '\n';
+  for (const Coupling& c : net.couplings)
+    os << c.aggressor << ' ' << c.aggressor_node << ' ' << c.victim_node
+       << ' ' << c.c << '\n';
+
+  os << net.exclusions.size() << '\n';
+  for (const AggressorExclusion& e : net.exclusions)
+    os << e.a << ' ' << e.b << '\n';
+  os.precision(saved);
+}
+
+StatusOr<CoupledNet> read_coupled_net(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  if (!(is >> magic >> version) || magic != kNetMagic)
+    return corrupt("unrecognized header");
+  if (version != kNetVersion)
+    return Status::InvalidArgument("coupled-net record: unsupported version " +
+                                   std::to_string(version));
+  CoupledNet net;
+
+  StatusOr<RcTree> vt = read_tree(is);
+  if (!vt.ok()) return vt.status();
+  net.victim.net = std::move(*vt);
+  StatusOr<GateParams> drv = read_gate_params(is);
+  if (!drv.ok()) return drv.status();
+  net.victim.driver = *drv;
+  StatusOr<GateParams> rcv = read_gate_params(is);
+  if (!rcv.ok()) return rcv.status();
+  net.victim.receiver = *rcv;
+  int rising = 0;
+  if (!(is >> net.victim.input_slew >> rising >> net.victim.receiver_load))
+    return corrupt("bad victim stimulus");
+  net.victim.output_rising = rising != 0;
+
+  StatusOr<long> naggs = read_count(is, "bad aggressor count");
+  if (!naggs.ok()) return naggs.status();
+  net.aggressors.resize(static_cast<std::size_t>(*naggs));
+  for (AggressorDesc& a : net.aggressors) {
+    StatusOr<RcTree> at = read_tree(is);
+    if (!at.ok()) return at.status();
+    a.net = std::move(*at);
+    StatusOr<GateParams> ad = read_gate_params(is);
+    if (!ad.ok()) return ad.status();
+    a.driver = *ad;
+    if (!(is >> a.input_slew >> rising >> a.sink_load >> a.window_early >>
+          a.window_late))
+      return corrupt("bad aggressor stimulus");
+    a.output_rising = rising != 0;
+  }
+
+  StatusOr<long> ncoup = read_count(is, "bad coupling count");
+  if (!ncoup.ok()) return ncoup.status();
+  net.couplings.resize(static_cast<std::size_t>(*ncoup));
+  for (Coupling& c : net.couplings)
+    if (!(is >> c.aggressor >> c.aggressor_node >> c.victim_node >> c.c))
+      return corrupt("bad coupling");
+
+  StatusOr<long> nexcl = read_count(is, "bad exclusion count");
+  if (!nexcl.ok()) return nexcl.status();
+  net.exclusions.resize(static_cast<std::size_t>(*nexcl));
+  for (AggressorExclusion& e : net.exclusions)
+    if (!(is >> e.a >> e.b)) return corrupt("bad exclusion");
+
+  return net;
+}
+
+}  // namespace dn

@@ -1,0 +1,32 @@
+// Text serialization of the coupled-net data model.
+//
+// The durable caches (mor/reduction_cache) and the server's snapshot
+// machinery need to persist CoupledNets exactly: every field that feeds
+// the analysis, doubles at %.17g so a write/read round trip is
+// bit-identical. The format is a line-oriented text record mirroring the
+// AlignmentTable file idiom — versioned header per record, explicit
+// element counts, no lookahead.
+#pragma once
+
+#include <iosfwd>
+
+#include "rcnet/net.hpp"
+#include "util/status.hpp"
+
+namespace dn {
+
+/// Writes one full-fidelity CoupledNet record.
+void write_coupled_net(std::ostream& os, const CoupledNet& net);
+
+/// Reads one record written by write_coupled_net. Malformed or truncated
+/// input is kInvalidArgument; element counts are bounds-checked before
+/// any allocation is sized from them.
+StatusOr<CoupledNet> read_coupled_net(std::istream& is);
+
+/// Gate-parameter record shared by the net record (full MosfetParams
+/// fidelity, unlike the alignment-table header which persists only the
+/// fields its interpolation depends on).
+void write_gate_params(std::ostream& os, const GateParams& g);
+StatusOr<GateParams> read_gate_params(std::istream& is);
+
+}  // namespace dn

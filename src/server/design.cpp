@@ -232,4 +232,269 @@ Status Design::set_driver_size(int i, double size) {
   return Status::Ok();
 }
 
+namespace {
+
+json::Value mosfet_to_json(const MosfetParams& p) {
+  json::Array a;
+  a.emplace_back(static_cast<int>(p.type));
+  a.emplace_back(p.w);
+  a.emplace_back(p.l);
+  a.emplace_back(p.vt);
+  a.emplace_back(p.kp);
+  a.emplace_back(p.lambda);
+  a.emplace_back(p.cg_per_m);
+  a.emplace_back(p.cj_per_m);
+  return json::Value(std::move(a));
+}
+
+Status mosfet_from_json(const json::Value& v, MosfetParams& out,
+                        const char* what) {
+  if (!v.is_array() || v.as_array().size() != 8)
+    return Status::InvalidArgument(std::string(what) +
+                                   " must be an 8-element array");
+  const json::Array& a = v.as_array();
+  for (const json::Value& e : a)
+    if (!e.is_number())
+      return Status::InvalidArgument(std::string(what) +
+                                     " elements must be numbers");
+  out.type = static_cast<MosType>(static_cast<int>(a[0].as_number()));
+  out.w = a[1].as_number();
+  out.l = a[2].as_number();
+  out.vt = a[3].as_number();
+  out.kp = a[4].as_number();
+  out.lambda = a[5].as_number();
+  out.cg_per_m = a[6].as_number();
+  out.cj_per_m = a[7].as_number();
+  return Status::Ok();
+}
+
+json::Value gate_to_json(const GateParams& g) {
+  json::Object o;
+  o["type"] = static_cast<int>(g.type);
+  o["size"] = g.size;
+  o["vdd"] = g.vdd;
+  o["wn_unit"] = g.wn_unit;
+  o["wp_unit"] = g.wp_unit;
+  o["nmos"] = mosfet_to_json(g.nmos_proto);
+  o["pmos"] = mosfet_to_json(g.pmos_proto);
+  return json::Value(std::move(o));
+}
+
+Status gate_from_json(const json::Value& v, GateParams& out,
+                      const char* what) {
+  if (!v.is_object())
+    return Status::InvalidArgument(std::string(what) + " must be an object");
+  const json::Value* f = v.find("type");
+  StatusOr<int> type = f ? f->require_int("gate type") : StatusOr<int>(
+      Status::InvalidArgument(std::string(what) + " missing type"));
+  if (!type.ok()) return type.status();
+  if (*type < 0 || *type > static_cast<int>(GateType::Nor2))
+    return Status::InvalidArgument(std::string(what) + " has unknown type");
+  out.type = static_cast<GateType>(*type);
+  const struct { const char* key; double* dst; } nums[] = {
+      {"size", &out.size},
+      {"vdd", &out.vdd},
+      {"wn_unit", &out.wn_unit},
+      {"wp_unit", &out.wp_unit},
+  };
+  for (const auto& [key, dst] : nums) {
+    const json::Value* n = v.find(key);
+    if (!n)
+      return Status::InvalidArgument(std::string(what) + " missing " + key);
+    StatusOr<double> d = n->require_number(key);
+    if (!d.ok()) return d.status();
+    *dst = *d;
+  }
+  const json::Value* nm = v.find("nmos");
+  const json::Value* pm = v.find("pmos");
+  if (!nm || !pm)
+    return Status::InvalidArgument(std::string(what) +
+                                   " missing mosfet prototypes");
+  Status s = mosfet_from_json(*nm, out.nmos_proto, "nmos");
+  if (!s.ok()) return s;
+  return mosfet_from_json(*pm, out.pmos_proto, "pmos");
+}
+
+json::Value tree_to_json(const RcTree& t) {
+  json::Object o;
+  o["num_nodes"] = t.num_nodes;
+  o["sink"] = t.sink;
+  json::Array res;
+  for (const NetRes& r : t.res) {
+    json::Array e;
+    e.emplace_back(r.a);
+    e.emplace_back(r.b);
+    e.emplace_back(r.r);
+    res.emplace_back(std::move(e));
+  }
+  o["res"] = json::Value(std::move(res));
+  json::Array caps;
+  for (const NetCap& c : t.caps) {
+    json::Array e;
+    e.emplace_back(c.node);
+    e.emplace_back(c.c);
+    caps.emplace_back(std::move(e));
+  }
+  o["caps"] = json::Value(std::move(caps));
+  return json::Value(std::move(o));
+}
+
+Status tree_from_json(const json::Value& v, RcTree& out) {
+  if (!v.is_object())
+    return Status::InvalidArgument("tree must be an object");
+  const json::Value* nn = v.find("num_nodes");
+  const json::Value* sink = v.find("sink");
+  const json::Value* res = v.find("res");
+  const json::Value* caps = v.find("caps");
+  if (!nn || !sink || !res || !caps || !res->is_array() || !caps->is_array())
+    return Status::InvalidArgument("tree missing num_nodes/sink/res/caps");
+  StatusOr<int> n = nn->require_int("num_nodes");
+  if (!n.ok()) return n.status();
+  StatusOr<int> s = sink->require_int("sink");
+  if (!s.ok()) return s.status();
+  out.num_nodes = *n;
+  out.sink = *s;
+  out.res.clear();
+  for (const json::Value& e : res->as_array()) {
+    if (!e.is_array() || e.as_array().size() != 3 ||
+        !e.as_array()[0].is_number() || !e.as_array()[1].is_number() ||
+        !e.as_array()[2].is_number())
+      return Status::InvalidArgument("tree res entries must be [a,b,r]");
+    const json::Array& a = e.as_array();
+    out.res.push_back({static_cast<int>(a[0].as_number()),
+                       static_cast<int>(a[1].as_number()), a[2].as_number()});
+  }
+  out.caps.clear();
+  for (const json::Value& e : caps->as_array()) {
+    if (!e.is_array() || e.as_array().size() != 2 ||
+        !e.as_array()[0].is_number() || !e.as_array()[1].is_number())
+      return Status::InvalidArgument("tree caps entries must be [node,c]");
+    const json::Array& a = e.as_array();
+    out.caps.push_back(
+        {static_cast<int>(a[0].as_number()), a[1].as_number()});
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+json::Value Design::to_json() const {
+  json::Object doc;
+  json::Array nets;
+  for (const DesignNet& n : nets_) {
+    json::Object o;
+    o["name"] = n.name;
+    o["tree"] = tree_to_json(n.tree);
+    o["driver"] = gate_to_json(n.driver);
+    o["receiver"] = gate_to_json(n.receiver);
+    o["input_slew"] = n.input_slew;
+    o["output_rising"] = n.output_rising;
+    o["receiver_load"] = n.receiver_load;
+    o["sink_load"] = n.sink_load;
+    o["is_victim"] = n.is_victim;
+    nets.emplace_back(std::move(o));
+  }
+  doc["nets"] = json::Value(std::move(nets));
+  json::Array couplings;
+  for (const DesignCoupling& cc : couplings_) {
+    json::Array e;
+    e.emplace_back(cc.a);
+    e.emplace_back(cc.b);
+    e.emplace_back(cc.a_node);
+    e.emplace_back(cc.b_node);
+    e.emplace_back(cc.c);
+    couplings.emplace_back(std::move(e));
+  }
+  doc["couplings"] = json::Value(std::move(couplings));
+  return json::Value(std::move(doc));
+}
+
+StatusOr<Design> Design::from_json(const json::Value& v) {
+  if (!v.is_object())
+    return Status::InvalidArgument("design document must be an object");
+  const json::Value* nets = v.find("nets");
+  const json::Value* couplings = v.find("couplings");
+  if (!nets || !nets->is_array() || !couplings || !couplings->is_array())
+    return Status::InvalidArgument(
+        "design document missing nets/couplings arrays");
+
+  Design d;
+  for (const json::Value& nv : nets->as_array()) {
+    if (!nv.is_object())
+      return Status::InvalidArgument("design net must be an object");
+    DesignNet n;
+    const json::Value* name = nv.find("name");
+    if (!name)
+      return Status::InvalidArgument("design net missing name");
+    StatusOr<std::string> ns = name->require_string("net name");
+    if (!ns.ok()) return ns.status();
+    n.name = std::move(*ns);
+
+    const json::Value* tree = nv.find("tree");
+    if (!tree) return Status::InvalidArgument("design net missing tree");
+    Status s = tree_from_json(*tree, n.tree);
+    if (!s.ok()) return s;
+    const json::Value* driver = nv.find("driver");
+    const json::Value* receiver = nv.find("receiver");
+    if (!driver || !receiver)
+      return Status::InvalidArgument("design net missing driver/receiver");
+    s = gate_from_json(*driver, n.driver, "driver");
+    if (!s.ok()) return s;
+    s = gate_from_json(*receiver, n.receiver, "receiver");
+    if (!s.ok()) return s;
+
+    const struct { const char* key; double* dst; } nums[] = {
+        {"input_slew", &n.input_slew},
+        {"receiver_load", &n.receiver_load},
+        {"sink_load", &n.sink_load},
+    };
+    for (const auto& [key, dst] : nums) {
+      const json::Value* f = nv.find(key);
+      if (!f)
+        return Status::InvalidArgument(std::string("design net missing ") +
+                                       key);
+      StatusOr<double> num = f->require_number(key);
+      if (!num.ok()) return num.status();
+      *dst = *num;
+    }
+    const struct { const char* key; bool* dst; } bools[] = {
+        {"output_rising", &n.output_rising},
+        {"is_victim", &n.is_victim},
+    };
+    for (const auto& [key, dst] : bools) {
+      const json::Value* f = nv.find(key);
+      if (!f)
+        return Status::InvalidArgument(std::string("design net missing ") +
+                                       key);
+      StatusOr<bool> b = f->require_bool(key);
+      if (!b.ok()) return b.status();
+      *dst = *b;
+    }
+    d.nets_.push_back(std::move(n));
+  }
+
+  for (const json::Value& cv : couplings->as_array()) {
+    if (!cv.is_array() || cv.as_array().size() != 5)
+      return Status::InvalidArgument(
+          "design coupling must be [a,b,a_node,b_node,c]");
+    const json::Array& a = cv.as_array();
+    for (const json::Value& e : a)
+      if (!e.is_number())
+        return Status::InvalidArgument(
+            "design coupling elements must be numbers");
+    DesignCoupling cc;
+    cc.a = static_cast<int>(a[0].as_number());
+    cc.b = static_cast<int>(a[1].as_number());
+    cc.a_node = static_cast<int>(a[2].as_number());
+    cc.b_node = static_cast<int>(a[3].as_number());
+    cc.c = a[4].as_number();
+    const auto n = static_cast<int>(d.nets_.size());
+    if (cc.a < 0 || cc.a >= n || cc.b < 0 || cc.b >= n)
+      return Status::InvalidArgument(
+          "design coupling references a net out of range");
+    d.couplings_.push_back(cc);
+  }
+  return d;
+}
+
 }  // namespace dn::server

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "rcnet/net.hpp"
+#include "util/json.hpp"
 #include "util/status.hpp"
 
 namespace dn::server {
@@ -90,6 +91,15 @@ class Design {
   /// and returns kInvalidArgument / kNotFound on bad input.
   Status scale_net(int i, double scale_r, double scale_c);
   Status set_driver_size(int i, double size);
+
+  /// Full-fidelity JSON serialization for the server's durable
+  /// snapshots: every field of every net and coupling, doubles rendered
+  /// at %.17g by the json writer so to_json → dump → parse → from_json
+  /// reproduces the design bit-identically. from_json rejects malformed
+  /// or partial documents as kInvalidArgument without constructing a
+  /// half-valid design.
+  json::Value to_json() const;
+  static StatusOr<Design> from_json(const json::Value& v);
 
  private:
   std::vector<DesignNet> nets_;

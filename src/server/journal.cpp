@@ -1,0 +1,65 @@
+#include "server/journal.hpp"
+
+namespace dn::server {
+
+Status Journal::open(const std::string& path, durable::FsyncPolicy policy) {
+  return log_.open(path, policy);
+}
+
+Status Journal::append(std::uint64_t seq, const char* kind,
+                       const json::Value& body) {
+  if (!log_.is_open())
+    return Status::FailedPrecondition("journal: not open");
+  json::Object rec;
+  rec["seq"] = seq;
+  rec[kind] = body;
+  return log_.append(json::Value(std::move(rec)).dump());
+}
+
+Status Journal::append_request(std::uint64_t seq, const json::Value& request) {
+  return append(seq, "req", request);
+}
+
+Status Journal::append_incident(std::uint64_t seq,
+                                const json::Value& incident) {
+  return append(seq, "incident", incident);
+}
+
+Status Journal::truncate() { return log_.truncate(); }
+
+void Journal::close() { log_.close(); }
+
+StatusOr<Journal::Replay> Journal::read(const std::string& path) {
+  StatusOr<durable::LogRecords> raw = durable::read_log(path);
+  if (!raw.ok()) return raw.status();
+
+  Replay out;
+  out.torn_tail = raw->torn_tail;
+  out.valid_bytes = raw->valid_bytes;
+  for (const std::string& payload : raw->records) {
+    StatusOr<json::Value> doc = json::parse(payload);
+    // A frame whose checksum validated but whose JSON does not means the
+    // writer itself was corrupt — trust nothing from here on.
+    if (!doc.ok() || !doc->is_object()) {
+      out.torn_tail = true;
+      break;
+    }
+    const json::Value* seq = doc->find("seq");
+    if (!seq || !seq->is_number()) {
+      out.torn_tail = true;
+      break;
+    }
+    Entry e;
+    e.seq = static_cast<std::uint64_t>(seq->as_number());
+    if (const json::Value* req = doc->find("req")) e.request = *req;
+    if (const json::Value* inc = doc->find("incident")) e.incident = *inc;
+    if (e.request.is_null() && e.incident.is_null()) {
+      out.torn_tail = true;
+      break;
+    }
+    out.entries.push_back(std::move(e));
+  }
+  return out;
+}
+
+}  // namespace dn::server

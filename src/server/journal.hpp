@@ -1,0 +1,76 @@
+// Write-ahead journal for the resident session's mutations.
+//
+// Every state-changing request (load_design, update_net, update_driver,
+// config-with-set) is journaled BEFORE it is applied: a crash at any
+// point leaves the journal a superset of the applied mutations, so
+// replaying the journal on top of the last snapshot reconstructs a state
+// at least as new as anything a client was ever told about. A journaled
+// request that fails validation replays to the identical failure — the
+// journal records the REQUEST, not its effect, and the handlers are
+// deterministic.
+//
+// Each record is one JSON document, {"seq":N,"req":{...}} for a
+// mutation or {"seq":N,"incident":{...}} for an informational event
+// (e.g. a watchdog trip), framed and checksummed by durable::AppendLog.
+// Sequence numbers are monotone across the journal AND across
+// snapshots: a snapshot carries the seq of the last mutation it covers,
+// and replay applies only records with a greater seq — so a crash
+// between "snapshot written" and "journal truncated" double-applies
+// nothing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/durable_io.hpp"
+#include "util/json.hpp"
+
+namespace dn::server {
+
+class Journal {
+ public:
+  /// Opens (creating if absent) the journal file for appends.
+  Status open(const std::string& path, durable::FsyncPolicy policy);
+  bool is_open() const { return log_.is_open(); }
+
+  /// Appends a mutation record. Call BEFORE applying the request.
+  Status append_request(std::uint64_t seq, const json::Value& request);
+
+  /// Appends an informational incident record (skipped on replay).
+  Status append_incident(std::uint64_t seq, const json::Value& incident);
+
+  /// Empties the journal after a successful snapshot.
+  Status truncate();
+
+  void close();
+
+  struct Entry {
+    std::uint64_t seq = 0;
+    json::Value request;   // Null for incident entries.
+    json::Value incident;  // Null for request entries.
+    bool is_request() const { return !request.is_null(); }
+  };
+
+  struct Replay {
+    std::vector<Entry> entries;
+    /// True when the file ended in an incomplete or corrupt frame — the
+    /// signature of a crash mid-append. Only the torn record is lost;
+    /// `valid_bytes` is where the recovering session truncates before
+    /// appending anything new.
+    bool torn_tail = false;
+    std::uint64_t valid_bytes = 0;
+  };
+
+  /// Decodes every complete record of a journal file in append order.
+  /// kNotFound when the file does not exist; a record whose frame
+  /// validates but whose JSON does not ends the scan as a torn tail.
+  static StatusOr<Replay> read(const std::string& path);
+
+ private:
+  Status append(std::uint64_t seq, const char* kind, const json::Value& body);
+
+  durable::AppendLog log_;
+};
+
+}  // namespace dn::server

@@ -1,6 +1,8 @@
 #include "server/server.hpp"
 
+#include <chrono>
 #include <condition_variable>
+#include <csignal>
 #include <cstdio>
 #include <deque>
 #include <istream>
@@ -11,16 +13,46 @@
 
 #include <cerrno>
 #include <cstring>
+#include <pthread.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 namespace dn::server {
 
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+extern "C" void handle_stop_signal(int) { g_stop = 1; }
+
+/// sigaction WITHOUT SA_RESTART: a blocking read/accept returns EINTR
+/// instead of resuming, which is how the drain reaches threads parked in
+/// the kernel.
+void install_stop_handlers() {
+  g_stop = 0;
+  struct sigaction sa{};
+  sa.sa_handler = handle_stop_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+}
+
+}  // namespace
+
 Server::Server(ServerOptions opts)
-    : opts_(std::move(opts)), session_(opts_.config) {}
+    : opts_(std::move(opts)),
+      session_(opts_.config, opts_.durability, opts_.limits) {}
 
 int Server::serve_stream(std::istream& in, std::ostream& out) {
+  const Status ds = session_.start_durability();
+  if (!ds.ok()) {
+    std::fprintf(stderr, "error: %s\n", ds.message().c_str());
+    return 1;
+  }
+  if (opts_.handle_signals) install_stop_handlers();
+
   struct Item {
     std::string line;
     Admission admission = Admission::kAccept;
@@ -35,7 +67,7 @@ int Server::serve_stream(std::istream& in, std::ostream& out) {
   // same queue as real work, keeping responses in request order.
   std::thread reader([&] {
     std::string line;
-    while (std::getline(in, line)) {
+    while (!(opts_.handle_signals && g_stop) && std::getline(in, line)) {
       if (line.empty()) continue;
       {
         std::lock_guard<std::mutex> lk(mu);
@@ -57,14 +89,32 @@ int Server::serve_stream(std::istream& in, std::ostream& out) {
     cv.notify_one();
   });
 
+  // The worker polls the stop flag between requests; the stop signal may
+  // have been delivered to THIS thread while the reader sat blocked in
+  // read(2), so the drain forwards it — pthread_kill makes the reader's
+  // read fail with EINTR, ending its loop.
+  bool reader_interrupted = false;
   for (;;) {
     Item item;
+    bool have_item = false;
     {
       std::unique_lock<std::mutex> lk(mu);
-      cv.wait(lk, [&] { return input_done || !queue.empty(); });
-      if (queue.empty()) break;  // input_done and fully drained.
-      item = std::move(queue.front());
-      queue.pop_front();
+      cv.wait_for(lk, std::chrono::milliseconds(100),
+                  [&] { return input_done || !queue.empty(); });
+      if (!queue.empty()) {
+        item = std::move(queue.front());
+        queue.pop_front();
+        have_item = true;
+      } else if (input_done) {
+        break;
+      }
+    }
+    if (!have_item) {
+      if (opts_.handle_signals && g_stop && !reader_interrupted) {
+        reader_interrupted = true;
+        ::pthread_kill(reader.native_handle(), SIGTERM);
+      }
+      continue;
     }
     const json::Value response =
         session_.handle_line(item.line, item.admission);
@@ -72,6 +122,14 @@ int Server::serve_stream(std::istream& in, std::ostream& out) {
     out << "\n" << std::flush;
   }
   reader.join();
+
+  // Graceful drain: everything queued got its response; park the state
+  // where --recover (or a clean restart) finds it.
+  const Status gs = session_.graceful_stop();
+  if (!gs.ok()) {
+    std::fprintf(stderr, "error: graceful stop: %s\n", gs.message().c_str());
+    return 1;
+  }
   return out ? 0 : 1;
 }
 
@@ -93,6 +151,13 @@ bool write_all(int fd, const std::string& text) {
 }  // namespace
 
 int Server::serve_unix(const std::string& path) {
+  const Status ds = session_.start_durability();
+  if (!ds.ok()) {
+    std::fprintf(stderr, "error: %s\n", ds.message().c_str());
+    return 1;
+  }
+  if (opts_.handle_signals) install_stop_handlers();
+
   sockaddr_un addr{};
   if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
     std::fprintf(stderr, "error: bad socket path (empty or > %zu bytes)\n",
@@ -119,10 +184,11 @@ int Server::serve_unix(const std::string& path) {
   // One client at a time; the session (design, caches, results) stays
   // warm across connections. Socket mode leans on the kernel socket
   // buffer for backpressure, so requests run at full fidelity.
-  while (!session_.shutdown_requested()) {
+  while (!session_.shutdown_requested() &&
+         !(opts_.handle_signals && g_stop)) {
     const int cfd = ::accept(fd, nullptr, nullptr);
     if (cfd < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR) continue;  // Stop flag rechecked at loop top.
       std::fprintf(stderr, "error: accept: %s\n", std::strerror(errno));
       break;
     }
@@ -132,7 +198,10 @@ int Server::serve_unix(const std::string& path) {
     while (client_open) {
       const ssize_t n = ::read(cfd, chunk, sizeof(chunk));
       if (n <= 0) {
-        if (n < 0 && errno == EINTR) continue;
+        if (n < 0 && errno == EINTR) {
+          if (opts_.handle_signals && g_stop) break;
+          continue;
+        }
         break;
       }
       buffer.append(chunk, static_cast<std::size_t>(n));
@@ -152,6 +221,11 @@ int Server::serve_unix(const std::string& path) {
   }
   ::close(fd);
   ::unlink(path.c_str());
+  const Status gs = session_.graceful_stop();
+  if (!gs.ok()) {
+    std::fprintf(stderr, "error: graceful stop: %s\n", gs.message().c_str());
+    return 1;
+  }
   return 0;
 }
 

@@ -16,6 +16,12 @@
 // Session persists ACROSS connections (that is the point of a resident
 // daemon: reconnect and the design, caches, and results are still warm).
 // A shutdown verb ends the accept loop and removes the socket file.
+//
+// Lifecycle: both transports install SIGTERM/SIGINT handlers (without
+// SA_RESTART, so blocking reads return EINTR) and drain gracefully — the
+// in-flight request and everything already queued finish and get their
+// responses, then the session snapshots (journal truncated) and the
+// process exits 0. kill -9 is the crash path the journal exists for.
 #pragma once
 
 #include <cstddef>
@@ -32,6 +38,11 @@ struct ServerOptions {
   /// Queue depth past which requests are shed with kUnavailable.
   std::size_t queue_hard_limit = 64;
   AnalysisConfig config{};
+  DurabilityOptions durability{};
+  ProtocolLimits limits{};
+  /// Install SIGTERM/SIGINT graceful-drain handlers. On by default for
+  /// the CLI; tests running a server in-process keep their own handlers.
+  bool handle_signals = true;
 };
 
 class Server {

@@ -1,8 +1,13 @@
 #include "server/session.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstring>
 #include <sstream>
 #include <utility>
+
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include "clarinet/report.hpp"
 #include "util/fault_injection.hpp"
@@ -52,10 +57,204 @@ StatusOr<std::string> required_string(const json::Value& req, const char* key) {
 
 }  // namespace
 
-Session::Session(AnalysisConfig cfg)
+namespace {
+
+/// State-directory file names. The caches are sidecars because they are
+/// large and regenerable; the snapshot holds pointers + content hashes.
+constexpr const char* kSnapshotFile = "snapshot.json";
+constexpr const char* kJournalFile = "journal.wal";
+constexpr const char* kCharCacheFile = "char_cache.dat";
+constexpr const char* kReductionCacheFile = "reductions.dat";
+
+}  // namespace
+
+Session::Session(AnalysisConfig cfg, DurabilityOptions durability,
+                 ProtocolLimits limits)
     : cfg_(std::move(cfg)),
+      durability_(std::move(durability)),
+      limits_(limits),
       cache_(std::make_shared<CharacterizationCache>(
           cfg_.batch.analyzer.table_spec)) {}
+
+bool Session::is_mutation(const std::string& verb, const json::Value& req) {
+  if (verb == "load_design" || verb == "update_net" ||
+      verb == "update_driver")
+    return true;
+  // A config read is not a mutation; a config with "set" is (even when
+  // the fingerprint ends up unchanged — replaying it is harmless).
+  return verb == "config" && req.find("set") != nullptr;
+}
+
+Status Session::start_durability() {
+  if (durability_.state_dir.empty()) return Status::Ok();
+  const std::string& dir = durability_.state_dir;
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST)
+    return Status::Internal("state dir " + dir + ": " + std::strerror(errno));
+  const std::string snap_path = dir + "/" + kSnapshotFile;
+  const std::string wal_path = dir + "/" + kJournalFile;
+
+  if (durability_.recover) {
+    StatusOr<SnapshotData> snap = read_snapshot(snap_path);
+    if (snap.ok()) {
+      Status s = restore_from_snapshot(*snap);
+      if (!s.ok()) return s;
+      recovered_ = true;
+    } else if (snap.status().code() != StatusCode::kNotFound) {
+      // A corrupt snapshot is a hard error: serving without it would be
+      // silent data loss the operator never asked for.
+      return snap.status();
+    }
+    StatusOr<Journal::Replay> replay = Journal::read(wal_path);
+    if (replay.ok()) {
+      for (const Journal::Entry& e : replay->entries) {
+        if (e.seq <= seq_) continue;  // Covered by the snapshot.
+        if (e.is_request()) {
+          // Replay re-runs the original request verbatim through the
+          // same deterministic handlers. A request that failed
+          // validation the first time fails identically now; its
+          // (discarded) response is the proof nothing was applied.
+          const json::Value* verb = e.request.find("verb");
+          if (verb && verb->is_string()) {
+            json::Object ignored;
+            (void)dispatch_verb(verb->as_string(), e.request, ignored,
+                                Admission::kAccept);
+          }
+          ++replayed_;
+        }
+        seq_ = e.seq;
+      }
+      if (replay->torn_tail) {
+        // Amputate the torn tail so new appends follow the last valid
+        // record instead of being buried behind garbage.
+        torn_tail_discarded_ = true;
+        Status ts = durable::truncate_file(wal_path, replay->valid_bytes);
+        if (!ts.ok()) return ts;
+      }
+      recovered_ = true;
+    } else if (replay.status().code() != StatusCode::kNotFound) {
+      return replay.status();
+    }
+  } else {
+    // Fresh start: discard prior state so a later --recover replays only
+    // this run's history.
+    ::unlink(snap_path.c_str());
+    ::unlink(wal_path.c_str());
+    ::unlink((dir + "/" + kCharCacheFile).c_str());
+    ::unlink((dir + "/" + kReductionCacheFile).c_str());
+  }
+
+  Status s = journal_.open(wal_path, durability_.fsync);
+  if (!s.ok()) return s;
+  if (recovered_ && has_design_) {
+    // Byte-identity by recompute: every victim is dirty, per-net
+    // analysis is deterministic, so the next analyze reproduces exactly
+    // the report a never-crashed session would serve.
+    mark_all_dirty();
+    warmup_ = true;
+  }
+  return Status::Ok();
+}
+
+Status Session::restore_from_snapshot(const SnapshotData& snap) {
+  Status s = cfg_.apply(snap.config);
+  if (!s.ok())
+    return Status::InvalidArgument("snapshot config rejected: " + s.message());
+  // The table spec may differ from the boot config now that the
+  // snapshot's config is in force; rebuild the cache around it so a
+  // spec-skewed sidecar is rejected by load() below.
+  cache_ = std::make_shared<CharacterizationCache>(
+      cfg_.batch.analyzer.table_spec);
+  if (snap.has_design) {
+    StatusOr<Design> d = Design::from_json(snap.design);
+    if (!d.ok()) return d.status();
+    design_ = std::move(*d);
+    rebind_design();
+  }
+  seq_ = snap.seq;
+
+  // Cache sidecars are performance-only — a miss re-derives the same
+  // bytes — so load is best-effort: verify the snapshot's whole-file
+  // hash, then let the loader verify its embedded payload hash; any
+  // mismatch skips the file.
+  const std::string& dir = durability_.state_dir;
+  if (!snap.char_cache_file.empty()) {
+    StatusOr<std::string> bytes =
+        durable::read_file(dir + "/" + snap.char_cache_file);
+    if (bytes.ok() && durable::fnv1a(*bytes) == snap.char_cache_hash) {
+      std::istringstream is(*bytes);
+      (void)cache_->load(is);
+    }
+  }
+  if (!snap.reduction_cache_file.empty()) {
+    StatusOr<std::string> bytes =
+        durable::read_file(dir + "/" + snap.reduction_cache_file);
+    if (bytes.ok() && durable::fnv1a(*bytes) == snap.reduction_cache_hash) {
+      std::istringstream is(*bytes);
+      (void)reductions_.load(is);
+    }
+  }
+  return Status::Ok();
+}
+
+Status Session::snapshot_now() {
+  if (!journal_.is_open())
+    return Status::FailedPrecondition("snapshot: durability is not enabled");
+  const std::string& dir = durability_.state_dir;
+
+  SnapshotData snap;
+  snap.seq = seq_;
+  snap.config = cfg_.to_json();
+  if (has_design_) {
+    snap.has_design = true;
+    snap.design = design_.to_json();
+  }
+  // Sidecars before the snapshot that points at them; each is atomic on
+  // its own, and a crash between leaves the OLD snapshot pointing at its
+  // own (still hash-consistent) files or at nothing.
+  if (cache_->tables_cached() > 0 &&
+      cache_->save_file(dir + "/" + kCharCacheFile).ok()) {
+    StatusOr<std::string> bytes =
+        durable::read_file(dir + "/" + kCharCacheFile);
+    if (bytes.ok()) {
+      snap.char_cache_file = kCharCacheFile;
+      snap.char_cache_hash = durable::fnv1a(*bytes);
+    }
+  }
+  if (reductions_.size() > 0 &&
+      reductions_.save_file(dir + "/" + kReductionCacheFile).ok()) {
+    StatusOr<std::string> bytes =
+        durable::read_file(dir + "/" + kReductionCacheFile);
+    if (bytes.ok()) {
+      snap.reduction_cache_file = kReductionCacheFile;
+      snap.reduction_cache_hash = durable::fnv1a(*bytes);
+    }
+  }
+
+  Status s = write_snapshot(dir + "/" + kSnapshotFile, snap);
+  if (!s.ok()) {
+    ++snapshot_failures_;
+    return s;
+  }
+  // The snapshot covers every journaled mutation (seq_), so the journal
+  // is redundant. A crash RIGHT HERE is fine: replay skips entries with
+  // seq <= snapshot.seq.
+  Status ts = journal_.truncate();
+  if (!ts.ok()) {
+    ++snapshot_failures_;
+    return ts;
+  }
+  mutations_since_snapshot_ = 0;
+  ++snapshots_;
+  return Status::Ok();
+}
+
+Status Session::graceful_stop() {
+  if (!journal_.is_open()) return Status::Ok();
+  Status s = snapshot_now();
+  if (!s.ok()) return s;
+  journal_.close();
+  return Status::Ok();
+}
 
 json::Value Session::respond(const json::Value* id, Status status,
                              json::Object result) const {
@@ -77,12 +276,34 @@ json::Value Session::respond(const json::Value* id, Status status,
 json::Value Session::handle_line(const std::string& line,
                                  Admission admission) {
   ++requests_;
+  // Size limit BEFORE parsing: a pathologically long line is rejected
+  // for the cost of strlen, not of building its value tree.
+  if (limits_.max_request_bytes > 0 &&
+      line.size() > limits_.max_request_bytes) {
+    ++errors_;
+    return respond(nullptr,
+                   Status::InvalidArgument(
+                       "request of " + std::to_string(line.size()) +
+                       " bytes exceeds the per-request limit of " +
+                       std::to_string(limits_.max_request_bytes)),
+                   {});
+  }
   StatusOr<json::Value> parsed = json::parse(line);
   if (!parsed.ok()) {
     ++errors_;
     return respond(nullptr, parsed.status(), {});
   }
   const json::Value* id = parsed->find("id");
+  if (limits_.max_request_nodes > 0 &&
+      json::node_count(*parsed) > limits_.max_request_nodes) {
+    ++errors_;
+    return respond(id,
+                   Status::InvalidArgument(
+                       "request exceeds the per-request field-count limit "
+                       "of " +
+                       std::to_string(limits_.max_request_nodes)),
+                   {});
+  }
   if (shutdown_) {
     // Post-shutdown drain: every remaining pipelined request still gets
     // a response (kUnavailable, ordered) so clients never hang on a
@@ -98,6 +319,14 @@ json::Value Session::handle_line(const std::string& line,
                        "server overloaded: request shed by admission control"),
                    {});
   }
+  // Recovery-aware admission: until the first post-recovery analyze
+  // succeeds, soft-pressure degradation is promoted back to full
+  // fidelity — degrading the full-design recompute would leave every
+  // victim dirty and the backlog permanent.
+  if (warmup_ && admission == Admission::kDegrade) {
+    admission = Admission::kAccept;
+    ++warmup_promotions_;
+  }
   if (admission == Admission::kDegrade) ++degraded_admission_;
 
   Status status;
@@ -110,41 +339,68 @@ json::Value Session::handle_line(const std::string& line,
   if (!verb.ok()) {
     status = verb.status();
   } else {
-    // The Status boundary of the whole protocol: a handler bug or a
-    // throwing layer below must become a response, never kill the
-    // session.
-    try {
-      if (*verb == "ping") {
-        status = Status::Ok();
-      } else if (*verb == "load_design") {
-        status = verb_load_design(*parsed, result);
-      } else if (*verb == "update_net") {
-        status = verb_update_net(*parsed, result);
-      } else if (*verb == "update_driver") {
-        status = verb_update_driver(*parsed, result);
-      } else if (*verb == "analyze") {
-        status = verb_analyze(*parsed, result, admission);
-      } else if (*verb == "config") {
-        status = verb_config(*parsed, result);
-      } else if (*verb == "stats") {
-        status = verb_stats(result);
-      } else if (*verb == "save_cache") {
-        status = verb_save_cache(*parsed, result);
-      } else if (*verb == "load_cache") {
-        status = verb_load_cache(*parsed, result);
-      } else if (*verb == "shutdown") {
-        shutdown_ = true;
-        status = Status::Ok();
-      } else {
-        status =
-            Status::InvalidArgument("unknown verb \"" + *verb + "\"");
+    const bool mutating = is_mutation(*verb, *parsed);
+    if (mutating && journal_.is_open()) {
+      // Write-ahead: the mutation reaches the journal BEFORE it touches
+      // session state, so the journal is always a superset of what was
+      // applied. A journal append failure refuses the mutation — the
+      // reverse order would make replay silently lose it.
+      Status js = journal_.append_request(seq_ + 1, *parsed);
+      if (!js.ok()) {
+        ++errors_;
+        return respond(id, js, {});
       }
-    } catch (const std::exception& e) {
-      status = status_from_exception(e);
+      ++seq_;
+    }
+    status = dispatch_verb(*verb, *parsed, result, admission);
+    if (mutating && journal_.is_open() && status.ok()) {
+      ++mutations_since_snapshot_;
+      if (durability_.snapshot_every > 0 &&
+          mutations_since_snapshot_ >= durability_.snapshot_every)
+        (void)snapshot_now();  // Best-effort; failures are counted.
     }
   }
   if (!status.ok()) ++errors_;
   return respond(id, status, std::move(result));
+}
+
+Status Session::dispatch_verb(const std::string& verb,
+                              const json::Value& req, json::Object& result,
+                              Admission admission) {
+  // The Status boundary of the whole protocol: a handler bug or a
+  // throwing layer below must become a response, never kill the
+  // session. Journal replay shares this boundary.
+  try {
+    if (verb == "ping") return Status::Ok();
+    if (verb == "load_design") return verb_load_design(req, result);
+    if (verb == "update_net") return verb_update_net(req, result);
+    if (verb == "update_driver") return verb_update_driver(req, result);
+    if (verb == "analyze") {
+      Status s = verb_analyze(req, result, admission);
+      if (s.ok()) warmup_ = false;
+      return s;
+    }
+    if (verb == "config") return verb_config(req, result);
+    if (verb == "stats") return verb_stats(result);
+    if (verb == "save_cache") return verb_save_cache(req, result);
+    if (verb == "load_cache") return verb_load_cache(req, result);
+    if (verb == "snapshot") return verb_snapshot(result);
+    if (verb == "shutdown") {
+      shutdown_ = true;
+      return Status::Ok();
+    }
+    return Status::InvalidArgument("unknown verb \"" + verb + "\"");
+  } catch (const std::exception& e) {
+    return status_from_exception(e);
+  }
+}
+
+Status Session::verb_snapshot(json::Object& result) {
+  Status s = snapshot_now();
+  if (!s.ok()) return s;
+  result["seq"] = seq_;
+  result["snapshots"] = snapshots_;
+  return Status::Ok();
 }
 
 void Session::rebind_design() {
@@ -197,6 +453,12 @@ Status Session::verb_load_design(const json::Value& req,
     if (nets < 1 || nets > 1000000)
       return Status::InvalidArgument(
           "load_design: random.nets must be in [1, 1000000]");
+    if (limits_.max_design_nets > 0 &&
+        static_cast<std::size_t>(nets) > limits_.max_design_nets)
+      return Status::InvalidArgument(
+          "load_design: " + std::to_string(nets) +
+          " nets exceeds the configured limit of " +
+          std::to_string(limits_.max_design_nets));
     if (neighbors < 0 || neighbors >= nets)
       return Status::InvalidArgument(
           "load_design: random.neighbors must be in [0, nets)");
@@ -213,6 +475,12 @@ Status Session::verb_load_design(const json::Value& req,
     }
     StatusOr<Design> loaded = Design::from_spef_files(paths);
     if (!loaded.ok()) return loaded.status();
+    if (limits_.max_design_nets > 0 &&
+        loaded->num_nets() > limits_.max_design_nets)
+      return Status::InvalidArgument(
+          "load_design: " + std::to_string(loaded->num_nets()) +
+          " nets exceeds the configured limit of " +
+          std::to_string(limits_.max_design_nets));
     design_ = std::move(*loaded);
   } else {
     return Status::InvalidArgument(
@@ -279,6 +547,7 @@ Status Session::verb_analyze(const json::Value& req, json::Object& result,
   if (!has_design_)
     return Status::FailedPrecondition("analyze: no design loaded");
   const bool degraded = admission == Admission::kDegrade;
+  const auto wd_start = std::chrono::steady_clock::now();
 
   std::vector<std::size_t> dirty_idx;
   for (std::size_t o = 0; o < dirty_.size(); ++o)
@@ -311,6 +580,14 @@ Status Session::verb_analyze(const json::Value& req, json::Object& result,
       if (!r.ok()) return r.status();
       opts.deadline_ms = *r;
     }
+    // Cooperative watchdog: a stuck request cannot be preempted, but it
+    // CAN be bounded — the engine's own deadline machinery aborts nets
+    // past min(request deadline, watchdog).
+    if (durability_.watchdog_ms > 0)
+      opts.deadline_ms = opts.deadline_ms > 0
+                             ? std::min(opts.deadline_ms,
+                                        durability_.watchdog_ms)
+                             : durability_.watchdog_ms;
     // Per-request deterministic chaos: install the spec for this run
     // only (replacing any process-level spec; cleared after).
     FaultGuard fault_guard;
@@ -335,11 +612,43 @@ Status Session::verb_analyze(const json::Value& req, json::Object& result,
     for (std::size_t p = 0; p < dirty_idx.size(); ++p) {
       const std::size_t o = dirty_idx[p];
       br.nets[p].index = o;
+      // A net that ran out of deadline or hit a transient fault stays
+      // dirty: the stored slot records the failure honestly, and the
+      // next analyze retries it instead of serving the failure forever.
+      const Status& ns = br.nets[p].status;
+      const bool retry_later =
+          !ns.ok() && (ns.code() == StatusCode::kDeadlineExceeded ||
+                       ns.is_transient());
       slots_[o] = std::move(br.nets[p]);
-      if (!degraded) dirty_[o] = false;
+      dirty_[o] = degraded || retry_later;
     }
     ++analyze_runs_;
     nets_reanalyzed_ += dirty_idx.size();
+
+    // Watchdog trip: the work is bounded by the deadline above, but the
+    // REQUEST still overran its budget — answer kDeadlineExceeded (the
+    // aborted victims are still dirty, so a later analyze finishes the
+    // job) and journal the incident so the stall survives a crash.
+    if (durability_.watchdog_ms > 0) {
+      const double elapsed_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - wd_start)
+              .count();
+      if (elapsed_ms > durability_.watchdog_ms) {
+        ++watchdog_trips_;
+        if (journal_.is_open()) {
+          json::Object incident;
+          incident["verb"] = "analyze";
+          incident["watchdog_ms"] = durability_.watchdog_ms;
+          incident["elapsed_ms"] = elapsed_ms;
+          (void)journal_.append_incident(++seq_,
+                                         json::Value(std::move(incident)));
+        }
+        return Status::DeadlineExceeded(
+            "analyze: watchdog tripped after " + std::to_string(elapsed_ms) +
+            " ms (limit " + std::to_string(durability_.watchdog_ms) + " ms)");
+      }
+    }
   }
 
   // Assemble the FULL design's report from the stored slots — identical
@@ -405,6 +714,20 @@ Status Session::verb_stats(json::Object& result) {
   red["hits"] = reductions_.hits();
   red["misses"] = reductions_.misses();
   result["reduction_cache"] = json::Value(std::move(red));
+  json::Object dur;
+  dur["enabled"] = journal_.is_open();
+  if (journal_.is_open()) dur["state_dir"] = durability_.state_dir;
+  dur["seq"] = seq_;
+  dur["mutations_since_snapshot"] = mutations_since_snapshot_;
+  dur["snapshots"] = snapshots_;
+  dur["snapshot_failures"] = snapshot_failures_;
+  dur["watchdog_trips"] = watchdog_trips_;
+  dur["recovered"] = recovered_;
+  dur["replayed"] = replayed_;
+  dur["torn_tail_discarded"] = torn_tail_discarded_;
+  dur["warmup"] = warmup_;
+  dur["warmup_promotions"] = warmup_promotions_;
+  result["durability"] = json::Value(std::move(dur));
   // The full dn::obs registry, when the process was started with
   // metrics on (--profile/--metrics-json): the daemon's observability
   // story is the same one batch mode has.

@@ -1,0 +1,218 @@
+#include "util/durable_io.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace dn::durable {
+
+namespace {
+
+constexpr std::uint32_t kFrameMagic = 0x444e4c47u;  // "DNLG"
+constexpr std::size_t kHeaderSize = 4 + 4 + 8;
+/// Upper bound on one record: a frame claiming more than this is treated
+/// as corruption, not as an allocation request.
+constexpr std::uint32_t kMaxRecordSize = 64u << 20;
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+std::uint32_t get_u32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  return v;
+}
+
+Status errno_status(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+bool write_all(int fd, const char* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::write(fd, data + off, n - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+/// fsync on the directory containing `path`, making a rename/creation in
+/// it durable. Best effort: some filesystems refuse directory fsync.
+void sync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) return;
+  ::fsync(dfd);
+  ::close(dfd);
+}
+
+}  // namespace
+
+std::uint64_t fnv1a(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char ch : bytes) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+Status atomic_write_file(const std::string& path, std::string_view contents,
+                         bool sync) {
+  if (path.empty())
+    return Status::InvalidArgument("atomic_write_file: empty path");
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return errno_status("atomic_write_file: open " + tmp);
+  if (!write_all(fd, contents.data(), contents.size())) {
+    const Status s = errno_status("atomic_write_file: write " + tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return s;
+  }
+  if (sync && ::fsync(fd) != 0) {
+    const Status s = errno_status("atomic_write_file: fsync " + tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return s;
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return errno_status("atomic_write_file: close " + tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status s = errno_status("atomic_write_file: rename to " + path);
+    ::unlink(tmp.c_str());
+    return s;
+  }
+  if (sync) sync_parent_dir(path);
+  return Status::Ok();
+}
+
+StatusOr<std::string> read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return Status::NotFound("cannot read " + path);
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  if (is.bad()) return Status::Internal("read failed for " + path);
+  return ss.str();
+}
+
+Status truncate_file(const std::string& path, std::uint64_t size) {
+  const int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) return errno_status("truncate_file: open " + path);
+  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    const Status s = errno_status("truncate_file: ftruncate " + path);
+    ::close(fd);
+    return s;
+  }
+  ::fsync(fd);
+  ::close(fd);
+  return Status::Ok();
+}
+
+AppendLog::~AppendLog() { close(); }
+
+Status AppendLog::open(const std::string& path, FsyncPolicy policy) {
+  close();
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return errno_status("append log: open " + path);
+  fd_ = fd;
+  path_ = path;
+  policy_ = policy;
+  return Status::Ok();
+}
+
+Status AppendLog::append(std::string_view payload) {
+  if (fd_ < 0) return Status::FailedPrecondition("append log: not open");
+  if (payload.size() > kMaxRecordSize)
+    return Status::InvalidArgument("append log: record exceeds " +
+                                   std::to_string(kMaxRecordSize) + " bytes");
+  std::string frame;
+  frame.reserve(kHeaderSize + payload.size());
+  put_u32(frame, kFrameMagic);
+  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  put_u64(frame, fnv1a(payload));
+  frame.append(payload.data(), payload.size());
+  if (!write_all(fd_, frame.data(), frame.size()))
+    return errno_status("append log: write " + path_);
+  if (policy_ == FsyncPolicy::kAlways && ::fsync(fd_) != 0)
+    return errno_status("append log: fsync " + path_);
+  return Status::Ok();
+}
+
+Status AppendLog::sync() {
+  if (fd_ < 0) return Status::FailedPrecondition("append log: not open");
+  if (::fsync(fd_) != 0) return errno_status("append log: fsync " + path_);
+  return Status::Ok();
+}
+
+Status AppendLog::truncate() {
+  if (fd_ < 0) return Status::FailedPrecondition("append log: not open");
+  if (::ftruncate(fd_, 0) != 0)
+    return errno_status("append log: truncate " + path_);
+  if (::fsync(fd_) != 0) return errno_status("append log: fsync " + path_);
+  return Status::Ok();
+}
+
+void AppendLog::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+StatusOr<LogRecords> read_log(const std::string& path) {
+  StatusOr<std::string> bytes = read_file(path);
+  if (!bytes.ok()) return bytes.status();
+  const std::string& buf = *bytes;
+
+  LogRecords out;
+  std::size_t off = 0;
+  while (off < buf.size()) {
+    if (buf.size() - off < kHeaderSize) break;  // Torn header.
+    const std::uint32_t magic = get_u32(buf.data() + off);
+    const std::uint32_t len = get_u32(buf.data() + off + 4);
+    const std::uint64_t sum = get_u64(buf.data() + off + 8);
+    if (magic != kFrameMagic || len > kMaxRecordSize) break;
+    if (buf.size() - off - kHeaderSize < len) break;  // Torn payload.
+    const std::string_view payload(buf.data() + off + kHeaderSize, len);
+    if (fnv1a(payload) != sum) break;  // Corrupt payload bytes.
+    out.records.emplace_back(payload);
+    off += kHeaderSize + len;
+  }
+  out.valid_bytes = off;
+  out.torn_tail = off != buf.size();
+  return out;
+}
+
+}  // namespace dn::durable

@@ -1,0 +1,109 @@
+// dn::durable — crash-safe file primitives for the serving stack.
+//
+// Two failure modes matter for a resident server's on-disk state:
+//   1. A torn WRITE: the process (or machine) dies mid-write and leaves a
+//      half-written file. atomic_write_file closes that hole with the
+//      classic tmp + fsync + rename dance — readers see either the old
+//      complete file or the new complete file, never a mixture.
+//   2. A torn APPEND: a write-ahead journal is append-only, so the only
+//      possible corruption from a crash is an incomplete FINAL record.
+//      AppendLog frames every record with a magic, a length, and a
+//      content checksum; read_log validates frames in order and treats
+//      the first invalid frame as the torn tail — everything before it
+//      is trusted, everything from it on is discarded.
+//
+// Durability policy is a knob, not a constant: FsyncPolicy::kAlways
+// makes an acknowledged append survive power loss (one fsync per
+// record); kNone trusts the OS page cache (survives process crash —
+// the chaos suite's kill -9 — but not power loss).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace dn::durable {
+
+/// When an acknowledged append has actually reached stable storage.
+enum class FsyncPolicy {
+  kNone,    // OS page cache only: survives SIGKILL, not power loss.
+  kAlways,  // fsync(2) after every append: survives power loss.
+};
+
+/// FNV-1a over a byte string — the framing/content checksum used by
+/// every durable file format in the repo.
+std::uint64_t fnv1a(std::string_view bytes);
+
+/// Atomically replaces `path` with `contents`: writes `path + ".tmp"`,
+/// flushes (+ fsync when `sync`), renames over `path`, and fsyncs the
+/// containing directory so the rename itself is durable. A crash at any
+/// point leaves either the previous file intact or the new one complete
+/// — never a truncated artifact.
+Status atomic_write_file(const std::string& path, std::string_view contents,
+                         bool sync = true);
+
+/// Whole-file binary read; kNotFound when the file cannot be opened.
+StatusOr<std::string> read_file(const std::string& path);
+
+/// Truncates `path` to `size` bytes and syncs — how a recovering journal
+/// amputates a torn tail before new appends go after it.
+Status truncate_file(const std::string& path, std::uint64_t size);
+
+/// Append-only record log. Each record is framed as
+///   u32 magic | u32 payload_size | u64 fnv1a(payload) | payload
+/// (fixed-width little-endian header) and issued as a single write(2) on
+/// an O_APPEND descriptor, so concurrent readers never observe an
+/// interleaved frame and a crash can only tear the final record.
+class AppendLog {
+ public:
+  AppendLog() = default;
+  ~AppendLog();
+
+  AppendLog(const AppendLog&) = delete;
+  AppendLog& operator=(const AppendLog&) = delete;
+
+  /// Opens (creating if absent) `path` for appends under `policy`.
+  Status open(const std::string& path, FsyncPolicy policy);
+
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+  /// Appends one framed record. With FsyncPolicy::kAlways the record is
+  /// on stable storage when this returns OK.
+  Status append(std::string_view payload);
+
+  /// Forces an fsync regardless of policy (graceful-drain path).
+  Status sync();
+
+  /// Truncates the log to empty (a snapshot has made its records
+  /// redundant) and syncs the truncation.
+  Status truncate();
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  FsyncPolicy policy_ = FsyncPolicy::kAlways;
+};
+
+struct LogRecords {
+  std::vector<std::string> records;  // Whole valid records, in order.
+  /// True when trailing bytes did not form a complete valid frame — the
+  /// signature of a crash mid-append. The torn bytes are discarded;
+  /// `records` holds everything before them.
+  bool torn_tail = false;
+  std::uint64_t valid_bytes = 0;  // Offset of the first unusable byte.
+};
+
+/// Reads every complete, checksum-valid record from an AppendLog file.
+/// The first invalid frame (bad magic, impossible length, checksum
+/// mismatch, or truncation) ends the scan: nothing after a corrupt
+/// record can be trusted, so it and everything following are reported as
+/// the torn tail. kNotFound when the file does not exist.
+StatusOr<LogRecords> read_log(const std::string& path);
+
+}  // namespace dn::durable

@@ -363,4 +363,24 @@ StatusOr<Value> parse(std::string_view text) {
   return Parser(text).parse_document();
 }
 
+std::size_t node_count(const Value& v) {
+  switch (v.type()) {
+    case Type::kArray: {
+      std::size_t n = 1;
+      for (const Value& e : v.as_array()) n += node_count(e);
+      return n;
+    }
+    case Type::kObject: {
+      std::size_t n = 1;
+      for (const auto& [key, val] : v.as_object()) {
+        (void)key;
+        n += node_count(val);
+      }
+      return n;
+    }
+    default:
+      return 1;
+  }
+}
+
 }  // namespace dn::json

@@ -123,4 +123,10 @@ void write_number(std::ostream& os, double v);
 /// kInvalidArgument with a byte-offset context message.
 StatusOr<Value> parse(std::string_view text);
 
+/// Total number of values in the tree — containers and leaves alike.
+/// The server's per-request field-count limit is enforced on this, so a
+/// structurally huge request is rejected by one cheap walk instead of
+/// being discovered deep inside a handler.
+std::size_t node_count(const Value& v);
+
 }  // namespace dn::json

@@ -71,6 +71,7 @@
 #include "rcnet/spef.hpp"
 #include "server/server.hpp"
 #include "util/deadline.hpp"
+#include "util/durable_io.hpp"
 #include "util/fault_injection.hpp"
 #include "util/trace.hpp"
 #include "util/units.hpp"
@@ -115,7 +116,9 @@ std::vector<std::string> positional_args(int argc, char** argv) {
       "--config",      "--socket",     "--queue-soft",  "--queue-hard",
       "--save-cache",  "--load-cache", "--lte-tol",     "--max-dt-growth",
       "--stale-jacobian-iters", "--warm-start",
-      "--fidelity",    "--fidelity-threshold", "--fidelity-margin"};
+      "--fidelity",    "--fidelity-threshold", "--fidelity-margin",
+      "--state-dir",   "--fsync",      "--snapshot-every", "--watchdog-ms",
+      "--max-request-bytes", "--max-request-nodes", "--max-design-nets"};
   std::vector<std::string> out;
   for (int i = 1; i < argc; ++i) {
     if (argv[i][0] == '-') {
@@ -146,6 +149,15 @@ int usage() {
       "       dnoise_cli --screen <file.spef>... (rank by severity)\n"
       "       dnoise_cli --serve [--socket PATH] [--queue-soft N]\n"
       "                  [--queue-hard N]   (NDJSON analysis daemon)\n"
+      "  durability (DESIGN.md §15):\n"
+      "       [--state-dir DIR]  journal + snapshot directory; SIGTERM\n"
+      "                          drains gracefully and snapshots\n"
+      "       [--recover]        restore snapshot, replay journal tail\n"
+      "       [--fsync none|always]   journal durability policy\n"
+      "       [--snapshot-every N]    mutations per auto-snapshot\n"
+      "       [--watchdog-ms MS]      per-request stuck-analyze bound\n"
+      "       [--max-request-bytes N] [--max-request-nodes N]\n"
+      "       [--max-design-nets N]   NDJSON per-request limits\n"
       "config (all analysis modes; one validation path):\n"
       "       [--config FILE]  JSON object of dn::AnalysisConfig keys\n"
       "       [--solver auto|dense|sparse]  linear-solver backend\n"
@@ -258,24 +270,27 @@ int finalize_observability(const ObsFlags& f) {
     obs::metrics().write_summary(os);
     std::fputs(os.str().c_str(), stderr);
   }
+  // Both artifacts go through the atomic tmp+rename helper: a consumer
+  // tailing the path (or a crash mid-write) never sees a partial JSON.
   if (f.metrics_json) {
-    std::ofstream out(f.metrics_json);
-    if (out) {
-      obs::metrics().write_json(out);
-      out << "\n";
-    } else {
-      std::fprintf(stderr, "error: cannot write metrics to %s\n",
-                   f.metrics_json);
+    std::ostringstream out;
+    obs::metrics().write_json(out);
+    out << "\n";
+    const Status s = durable::atomic_write_file(f.metrics_json, out.str());
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: cannot write metrics to %s: %s\n",
+                   f.metrics_json, s.message().c_str());
       rc = 1;
     }
   }
   if (f.trace_out) {
-    std::ofstream out(f.trace_out);
-    if (out) {
-      obs::TraceRecorder::instance().write_json(out);
-      out << "\n";
-    } else {
-      std::fprintf(stderr, "error: cannot write trace to %s\n", f.trace_out);
+    std::ostringstream out;
+    obs::TraceRecorder::instance().write_json(out);
+    out << "\n";
+    const Status s = durable::atomic_write_file(f.trace_out, out.str());
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: cannot write trace to %s: %s\n",
+                   f.trace_out, s.message().c_str());
       rc = 1;
     }
   }
@@ -454,6 +469,36 @@ int run_serve(int argc, char** argv, const AnalysisConfig& cfg) {
   opts.queue_hard_limit = static_cast<std::size_t>(std::max(
       static_cast<int>(opts.queue_soft_limit),
       int_flag(argc, argv, "--queue-hard", 64)));
+  if (const char* dir = str_flag(argc, argv, "--state-dir", nullptr))
+    opts.durability.state_dir = dir;
+  opts.durability.recover = has_flag(argc, argv, "--recover");
+  if (opts.durability.recover && opts.durability.state_dir.empty()) {
+    std::fprintf(stderr, "error: --recover requires --state-dir\n");
+    return 2;
+  }
+  if (const char* fsync = str_flag(argc, argv, "--fsync", nullptr)) {
+    if (std::strcmp(fsync, "always") == 0) {
+      opts.durability.fsync = durable::FsyncPolicy::kAlways;
+    } else if (std::strcmp(fsync, "none") == 0) {
+      opts.durability.fsync = durable::FsyncPolicy::kNone;
+    } else {
+      std::fprintf(stderr, "error: --fsync must be none or always\n");
+      return 2;
+    }
+  }
+  opts.durability.snapshot_every = static_cast<std::uint64_t>(
+      std::max(0, int_flag(argc, argv, "--snapshot-every", 32)));
+  opts.durability.watchdog_ms =
+      std::max(0.0, double_flag(argc, argv, "--watchdog-ms", 0.0));
+  opts.limits.max_request_bytes = static_cast<std::size_t>(std::max(
+      0, int_flag(argc, argv, "--max-request-bytes",
+                  static_cast<int>(opts.limits.max_request_bytes))));
+  opts.limits.max_request_nodes = static_cast<std::size_t>(std::max(
+      0, int_flag(argc, argv, "--max-request-nodes",
+                  static_cast<int>(opts.limits.max_request_nodes))));
+  opts.limits.max_design_nets = static_cast<std::size_t>(std::max(
+      0, int_flag(argc, argv, "--max-design-nets",
+                  static_cast<int>(opts.limits.max_design_nets))));
   server::Server srv(opts);
   if (const char* path = str_flag(argc, argv, "--socket", nullptr))
     return srv.serve_unix(path);

@@ -1,0 +1,201 @@
+// fuzz_json: robustness fuzzer for the JSON parser and the server's
+// NDJSON request surface.
+//
+// Two targets share every input:
+//   1. json::parse() — the strict one-document parser. Contract: a
+//      Status for ANY byte sequence; never crashes, never throws past
+//      the boundary, never recurses off the stack (depth cap), never
+//      loops forever.
+//   2. Session::handle_line() — the resident daemon's request boundary,
+//      run with deliberately tight ProtocolLimits so the fuzz loop also
+//      exercises the oversized-request and node-count rejections.
+//      Contract: every line gets exactly one JSON response; malformed,
+//      hostile, or limit-busting requests come back as clean protocol
+//      errors, and the session object stays usable for the next line.
+//
+// The session persists ACROSS inputs (that is the deployment shape: one
+// long-lived process fed untrusted lines), and is recycled whenever a
+// fuzzed line happens to spell "shutdown" — after that verb a session
+// answers everything kUnavailable by design, which would blind the rest
+// of the run.
+//
+// Two build modes from one file, same scheme as fuzz_spef:
+//   - LLVMFuzzerTestOneInput is the libFuzzer ABI; with a clang
+//     toolchain link with -fsanitize=fuzzer and no further changes.
+//   - Without libFuzzer (the default here: plain g++), the bundled
+//     main() replays a seed corpus, then runs a deterministic seeded
+//     mutation loop. Same seed -> same byte streams -> reproducible.
+//
+// Usage (standalone):
+//   fuzz_json <corpus-dir> [--iters N] [--seed S] [--max-len L]
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "server/session.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+/// One resident session, recycled after a fuzzed shutdown verb. Tight
+/// limits keep worst-case work per line small (a mutated load_design
+/// can legitimately parse) while still reaching the rejection paths.
+dn::server::Session& fuzz_session() {
+  static std::unique_ptr<dn::server::Session> session;
+  if (!session || session->shutdown_requested()) {
+    dn::server::ProtocolLimits limits;
+    limits.max_request_bytes = 4096;
+    limits.max_request_nodes = 512;
+    limits.max_design_nets = 8;
+    session = std::make_unique<dn::server::Session>(
+        dn::AnalysisConfig{}, dn::server::DurabilityOptions{}, limits);
+  }
+  return *session;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  // Target 1: the parser alone, unlimited size (its own caps under test).
+  const dn::StatusOr<dn::json::Value> doc = dn::json::parse(text);
+  (void)doc;
+
+  // Target 2: the NDJSON request boundary. The response must always be
+  // a JSON object; anything else (or an escaped exception) is the bug.
+  const dn::json::Value response = fuzz_session().handle_line(text);
+  (void)response;
+  return 0;
+}
+
+#ifndef DN_FUZZ_LIBFUZZER
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace {
+
+// Self-contained SplitMix64 so the driver's schedule is independent of
+// libstdc++'s distribution implementations (those may change between
+// releases; corpus reproducibility should not).
+struct Rng {
+  std::uint64_t state;
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  std::size_t below(std::size_t n) {
+    return n ? static_cast<std::size_t>(next() % n) : 0;
+  }
+};
+
+// One mutation step: the fuzz_spef byte-level operators, with the
+// keyword splice retargeted at JSON structure — unbalanced brackets,
+// hostile numbers, escape fragments, verbs with surprising payloads.
+void mutate(std::string& s, Rng& rng, std::size_t max_len) {
+  switch (rng.below(6)) {
+    case 0:  // Flip a byte.
+      if (!s.empty()) s[rng.below(s.size())] = static_cast<char>(rng.next());
+      break;
+    case 1:  // Truncate.
+      if (!s.empty()) s.resize(rng.below(s.size()));
+      break;
+    case 2:  // Insert a random byte.
+      s.insert(s.begin() + static_cast<long>(rng.below(s.size() + 1)),
+               static_cast<char>(rng.next()));
+      break;
+    case 3: {  // Duplicate a slice (repeated keys, doubled documents).
+      if (s.empty()) break;
+      const std::size_t a = rng.below(s.size());
+      const std::size_t n = rng.below(s.size() - a) + 1;
+      s.insert(rng.below(s.size()), s.substr(a, n));
+      break;
+    }
+    case 4: {  // Replace a digit run with a huge number (overflow paths).
+      const std::size_t at = rng.below(s.size() + 1);
+      s.insert(at, "999999999999999999999");
+      break;
+    }
+    case 5: {  // Splice in a JSON-shaped token.
+      static const char* kTokens[] = {
+          "{",          "}",           "[",        "]",
+          "\"",         "\\u00",       "\\",       ":",
+          ",",          "null",        "true",     "1e309",
+          "-0.0",       "nan",         "\"verb\"", "\"load_design\"",
+          "\"config\"", "\"analyze\"", "\"seq\"",  "[[[[[[[[",
+      };
+      const std::size_t at = rng.below(s.size() + 1);
+      s.insert(at, kTokens[rng.below(sizeof(kTokens) / sizeof(kTokens[0]))]);
+      break;
+    }
+  }
+  if (s.size() > max_len) s.resize(max_len);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* corpus_dir = nullptr;
+  long iters = 20000;
+  std::uint64_t seed = 1;
+  std::size_t max_len = 1 << 16;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--iters") == 0 && i + 1 < argc)
+      iters = std::atol(argv[++i]);
+    else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc)
+      seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    else if (std::strcmp(argv[i], "--max-len") == 0 && i + 1 < argc)
+      max_len = static_cast<std::size_t>(std::atol(argv[++i]));
+    else if (argv[i][0] != '-')
+      corpus_dir = argv[i];
+  }
+  if (!corpus_dir) {
+    std::fprintf(stderr,
+                 "usage: fuzz_json <corpus-dir> [--iters N] [--seed S] "
+                 "[--max-len L]\n");
+    return 2;
+  }
+
+  std::vector<std::string> corpus;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(corpus_dir)) {
+    if (!entry.is_regular_file()) continue;
+    std::ifstream f(entry.path(), std::ios::binary);
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    corpus.push_back(ss.str());
+  }
+  if (corpus.empty()) {
+    std::fprintf(stderr, "fuzz_json: empty corpus at %s\n", corpus_dir);
+    return 2;
+  }
+
+  // Phase 1: replay the seeds verbatim.
+  for (const auto& s : corpus)
+    LLVMFuzzerTestOneInput(
+        reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+
+  // Phase 2: deterministic mutation loop. Each iteration takes a random
+  // seed, applies a small stack of mutations, and feeds both targets.
+  Rng rng{seed};
+  for (long i = 0; i < iters; ++i) {
+    std::string input = corpus[rng.below(corpus.size())];
+    const std::size_t steps = 1 + rng.below(4);
+    for (std::size_t m = 0; m < steps; ++m) mutate(input, rng, max_len);
+    LLVMFuzzerTestOneInput(
+        reinterpret_cast<const std::uint8_t*>(input.data()), input.size());
+  }
+  std::printf("fuzz_json: %zu seeds + %ld mutated inputs, no crash\n",
+              corpus.size(), iters);
+  return 0;
+}
+
+#endif  // DN_FUZZ_LIBFUZZER
